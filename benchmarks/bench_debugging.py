@@ -1,0 +1,62 @@
+"""E10 — Section 5's schema-debugging claim.
+
+Paper claim (future work, implemented here): "provide the designer with
+a minimum number of constraints that are unsatisfiable, thus supporting
+her in schema debugging".
+
+Reproduction: minimal unsatisfiable constraint sets are extracted for
+the paper's two unsatisfiable schemas; the deletion-based extractor and
+QuickXplain agree on minimality, and their costs (reasoner calls) are
+measured.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import paper_row
+from repro.ext.debugging import (
+    minimal_unsatisfiable_constraints,
+    quickxplain_unsatisfiable_constraints,
+)
+
+
+def test_figure1_mus_deletion(benchmark, figure1):
+    report = benchmark(minimal_unsatisfiable_constraints, figure1, "D")
+    assert len(report.mus) == 3  # D isa C + the two cardinality pairs
+    paper_row(
+        "E10/Figure1",
+        "a minimum number of constraints that are unsatisfiable",
+        f"MUS of {len(report.mus)} statements in {report.checks} reasoner "
+        "calls (deletion)",
+    )
+
+
+def test_figure1_mus_quickxplain(benchmark, figure1):
+    report = benchmark(quickxplain_unsatisfiable_constraints, figure1, "D")
+    assert len(report.mus) == 3
+    paper_row(
+        "E10/Figure1",
+        "QuickXplain finds the same conflict",
+        f"MUS of {len(report.mus)} statements in {report.checks} reasoner "
+        "calls (quickxplain)",
+    )
+
+
+def test_refined_meeting_mus_deletion(benchmark, refined_meeting):
+    report = benchmark(
+        minimal_unsatisfiable_constraints, refined_meeting, "Speaker"
+    )
+    # Section 3.3's counting argument uses every constraint of the schema.
+    assert len(report.mus) == len(refined_meeting.constraints())
+    paper_row(
+        "E10/Sec3.3",
+        "the whole refined meeting schema is one irreducible conflict",
+        f"MUS = all {len(report.mus)} statements "
+        f"({report.checks} reasoner calls)",
+    )
+
+
+def test_refined_meeting_mus_quickxplain(benchmark, refined_meeting):
+    report = benchmark(
+        quickxplain_unsatisfiable_constraints, refined_meeting, "Speaker"
+    )
+    assert len(report.mus) == len(refined_meeting.constraints())

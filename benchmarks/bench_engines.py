@@ -1,0 +1,87 @@
+"""E11 — engine ablation: fixpoint vs literal Theorem 3.4 vs baseline.
+
+The paper proves decidability through the zero-set enumeration of
+Theorem 3.4 (exponential in the number of class unknowns) and notes
+"there are many possible criteria for decreasing the complexity of the
+method".  This benchmark quantifies one: the maximal-support fixpoint
+engine decides the same questions with polynomially many LP calls per
+expansion.  The Lenzerini–Nobili baseline [15] is included on an
+ISA-free projection as the historical reference point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import paper_row
+from repro.cr.baseline import baseline_satisfiable_classes
+from repro.cr.builder import SchemaBuilder
+from repro.cr.satisfiability import is_class_satisfiable
+from repro.paper import meeting_schema, refined_meeting_schema
+
+
+@pytest.mark.parametrize("engine", ["fixpoint", "naive"])
+def test_meeting_satisfiable_case(benchmark, meeting, engine):
+    result = benchmark(is_class_satisfiable, meeting, "Speaker", engine)
+    assert result.satisfiable
+
+
+@pytest.mark.parametrize("engine", ["fixpoint", "naive"])
+def test_meeting_unsatisfiable_case(benchmark, refined_meeting, engine):
+    """Unsatisfiable inputs are the naive engine's worst case: every
+    zero-set must be refuted."""
+    result = benchmark(is_class_satisfiable, refined_meeting, "Speaker", engine)
+    assert not result.satisfiable
+
+
+def test_engines_agree_on_both_paper_schemas(benchmark):
+    def agreement():
+        verdicts = []
+        for schema in (meeting_schema(), refined_meeting_schema()):
+            fixpoint = is_class_satisfiable(schema, "Speaker", engine="fixpoint")
+            naive = is_class_satisfiable(schema, "Speaker", engine="naive")
+            verdicts.append((fixpoint.satisfiable, naive.satisfiable))
+        return verdicts
+
+    verdicts = benchmark(agreement)
+    assert verdicts == [(True, True), (False, False)]
+    paper_row(
+        "E11/agreement",
+        "Theorem 3.4 and the fixpoint engine decide the same problem",
+        "verdicts agree on the meeting schema and its Sec-3.3 refinement",
+    )
+
+
+def isa_free_meeting():
+    """The meeting schema with the ISA (and hence the refinement)
+    dropped — the fragment [15] can handle."""
+    return (
+        SchemaBuilder("FlatMeeting")
+        .classes("Speaker", "Discussant", "Talk")
+        .relationship("Holds", U1="Speaker", U2="Talk")
+        .relationship("Participates", U3="Discussant", U4="Talk")
+        .card("Speaker", "Holds", "U1", minc=1)
+        .card("Talk", "Holds", "U2", minc=1, maxc=1)
+        .card("Discussant", "Participates", "U3", minc=1, maxc=1)
+        .card("Talk", "Participates", "U4", minc=1)
+        .build()
+    )
+
+
+def test_lenzerini_nobili_baseline(benchmark):
+    schema = isa_free_meeting()
+    verdicts = benchmark(baseline_satisfiable_classes, schema)
+    assert all(verdicts.values())
+    paper_row(
+        "E11/baseline",
+        "[15] decides the ISA-free fragment with one unknown per symbol",
+        f"baseline verdicts: {verdicts}",
+    )
+
+
+def test_full_procedure_on_the_isa_free_projection(benchmark):
+    from repro.cr.satisfiability import satisfiable_classes
+
+    schema = isa_free_meeting()
+    verdicts = benchmark(satisfiable_classes, schema)
+    assert verdicts == baseline_satisfiable_classes(schema)

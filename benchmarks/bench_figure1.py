@@ -1,0 +1,42 @@
+"""E1 — Figure 1: a finitely unsatisfiable ER-diagram.
+
+Paper claim: the schema of Figure 1 (``D ≼ C`` while the cardinalities
+force ``|D| = 2·|C|``… more precisely ``2·|C| ≤ |R| ≤ |D| ≤ |C|``)
+"admits no finite database state".
+
+Reproduction: the reasoner reports every class finitely unsatisfiable
+for any participation ratio ≥ 2, and satisfiable at the boundary
+ratio 1.  The benchmark measures the full decision (expansion + system
++ fixpoint) from a cold start.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import paper_row
+from repro.cr.satisfiability import satisfiable_classes
+from repro.paper import figure1_schema
+
+
+def test_figure1_detected_unsatisfiable(benchmark, figure1):
+    verdicts = benchmark(satisfiable_classes, figure1)
+    assert verdicts == {"C": False, "D": False}
+    paper_row(
+        "E1/Figure1",
+        "the schema admits no finite database state",
+        f"satisfiable_classes = {verdicts}",
+    )
+
+
+@pytest.mark.parametrize("ratio", [1, 2, 3, 5, 10])
+def test_figure1_ratio_family(benchmark, ratio):
+    schema = figure1_schema(ratio)
+    verdicts = benchmark(satisfiable_classes, schema)
+    expected = ratio == 1
+    assert verdicts == {"C": expected, "D": expected}
+    paper_row(
+        "E1/ratio-family",
+        "unsatisfiable exactly when the ratio exceeds 1",
+        f"ratio={ratio} -> satisfiable={expected}",
+    )

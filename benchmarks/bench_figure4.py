@@ -1,0 +1,97 @@
+"""E3 — Figure 4: the expansion of the meeting schema.
+
+Paper content: 7 compound classes (consistent: C1, C3, C4, C5, C7), 98
+compound relationships with the consistent ones
+``{H<i,j> : i ∈ {1,4,5,7}, j ∈ {3,5,7}} ∪ {P<i,j> : i ∈ {4,7}, j ∈ {3,5,7}}``,
+and the lifted minc/maxc values listed in the figure.
+
+Reproduction: all of the above, checked literally; the benchmark
+measures expansion construction.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import paper_row
+from repro.cr.expansion import Expansion
+from repro.cr.schema import Card, UNBOUNDED
+from repro.render import render_expansion
+
+
+def test_expansion_construction(benchmark, meeting):
+    expansion = benchmark(Expansion, meeting)
+    summary = expansion.size_summary()
+    assert summary["all_compound_classes"] == 7
+    assert summary["all_compound_relationships"] == 98
+    assert summary["consistent_compound_classes"] == 5
+    assert summary["consistent_compound_relationships"] == 18
+    paper_row(
+        "E3/Figure4",
+        "7 compound classes (5 consistent), 98 compound relationships "
+        "(12 + 6 consistent)",
+        f"{summary}",
+    )
+
+
+def test_consistent_sets_match_figure4(benchmark, meeting_expansion):
+    def collect():
+        classes = [
+            meeting_expansion.class_index(cc)
+            for cc in meeting_expansion.consistent_compound_classes()
+        ]
+        pairs = {
+            name: sorted(
+                tuple(
+                    meeting_expansion.class_index(component)
+                    for _, component in compound.signature
+                )
+                for compound in meeting_expansion.consistent_relationships_of(
+                    name
+                )
+            )
+            for name in ("Holds", "Participates")
+        }
+        return classes, pairs
+
+    classes, pairs = benchmark(collect)
+    assert classes == [1, 3, 4, 5, 7]
+    assert pairs["Holds"] == sorted(
+        (i, j) for i in (1, 4, 5, 7) for j in (3, 5, 7)
+    )
+    assert pairs["Participates"] == sorted(
+        (i, j) for i in (4, 7) for j in (3, 5, 7)
+    )
+
+
+def test_lifted_cardinalities_match_figure4(benchmark, meeting_expansion):
+    def lifted_table():
+        table = {}
+        for rel in meeting_expansion.schema.relationships:
+            for role, _ in rel.signature:
+                for cc in meeting_expansion.consistent_compound_classes():
+                    if rel.primary_class(role) in cc.members:
+                        index = meeting_expansion.class_index(cc)
+                        table[(index, rel.name, role)] = (
+                            meeting_expansion.lifted_card(cc, rel.name, role)
+                        )
+        return table
+
+    table = benchmark(lifted_table)
+    # Every non-default value printed in Figure 4.
+    assert table[(1, "Holds", "U1")] == Card(1, UNBOUNDED)
+    assert table[(4, "Holds", "U1")] == Card(1, 2)
+    assert table[(5, "Holds", "U1")] == Card(1, UNBOUNDED)
+    assert table[(7, "Holds", "U1")] == Card(1, 2)
+    assert table[(3, "Holds", "U2")] == Card(1, 1)
+    assert table[(5, "Holds", "U2")] == Card(1, 1)
+    assert table[(7, "Holds", "U2")] == Card(1, 1)
+    assert table[(4, "Participates", "U3")] == Card(1, 1)
+    assert table[(7, "Participates", "U3")] == Card(1, 1)
+    assert table[(3, "Participates", "U4")] == Card(1, UNBOUNDED)
+    assert table[(5, "Participates", "U4")] == Card(1, UNBOUNDED)
+    assert table[(7, "Participates", "U4")] == Card(1, UNBOUNDED)
+
+
+def test_figure4_text_regenerates(benchmark, meeting_expansion):
+    text = benchmark(render_expansion, meeting_expansion)
+    assert "Cc = {C1, C3, C4, C5, C7};" in text
+    print("\n" + text)

@@ -1,0 +1,71 @@
+"""E7 — Figure 7: implications drawn from the meeting schema.
+
+Paper content (Figure 7): the schema implies
+
+* ``Speaker ≼ Discussant``,
+* ``maxc(Talk, Participates, U4) = 1``,
+* ``maxc(Speaker, Holds, U1) = 1``.
+
+Reproduction: all three derive (with both implication reductions of
+Section 4 exercised), and non-implications produce verified
+counter-models.  Benchmarks measure the ISA reduction and the
+``C_exc`` cardinality reduction separately.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import paper_row
+from repro.cr.checker import check_model
+from repro.cr.implication import (
+    implies,
+    implies_isa,
+    implies_max_cardinality,
+)
+from repro.paper import figure7_queries
+from repro.render import render_inferences
+
+
+def test_isa_inference(benchmark, meeting):
+    result = benchmark(implies_isa, meeting, "Speaker", "Discussant")
+    assert result.implied
+    paper_row("E7/Figure7", "S |= Speaker isa Discussant", result.pretty())
+
+
+def test_maxc_participates_inference(benchmark, meeting):
+    result = benchmark(
+        implies_max_cardinality, meeting, "Talk", "Participates", "U4", 1
+    )
+    assert result.implied
+    paper_row(
+        "E7/Figure7", "S |= maxc(Talk, Participates, U4) = 1", result.pretty()
+    )
+
+
+def test_maxc_holds_inference(benchmark, meeting):
+    result = benchmark(
+        implies_max_cardinality, meeting, "Speaker", "Holds", "U1", 1
+    )
+    assert result.implied
+    paper_row(
+        "E7/Figure7", "S |= maxc(Speaker, Holds, U1) = 1", result.pretty()
+    )
+
+
+def test_all_figure7_rows_regenerate(benchmark, meeting):
+    results = benchmark(
+        lambda: [implies(meeting, query) for query in figure7_queries()]
+    )
+    assert all(result.implied for result in results)
+    text = render_inferences(results)
+    assert text.splitlines() == [
+        "S |= Speaker isa Discussant",
+        "S |= maxc(Talk, Participates, U4) = 1",
+        "S |= maxc(Speaker, Holds, U1) = 1",
+    ]
+    print("\n" + text)
+
+
+def test_non_implication_with_countermodel(benchmark, meeting):
+    result = benchmark(implies_isa, meeting, "Talk", "Speaker")
+    assert not result.implied
+    assert check_model(meeting, result.countermodel) == []

@@ -1,0 +1,86 @@
+"""E8 — the complexity claim of Section 3.3.
+
+Paper claim: "our method can be turned into an algorithm running in
+exponential time with respect to the size of the schema", and the
+problem is "polynomially intractable" — the expansion is the
+exponential step.
+
+Reproduction: on a family of schemas with ``k`` mutually unrelated
+classes all usable in one relationship role, the number of consistent
+compound classes is exactly ``2^k − 1`` and the end-to-end
+satisfiability time grows accordingly; with an ISA *chain* instead, the
+consistent compound classes grow only linearly (``k`` upward-closed
+sets) — locating the blow-up precisely where the paper puts it
+(overlapping, ISA-unrelated classes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import paper_row
+from repro.cr.builder import SchemaBuilder
+from repro.cr.expansion import Expansion
+from repro.cr.satisfiability import is_class_satisfiable
+
+
+def antichain_schema(k: int):
+    """k ISA-unrelated classes, one shared relationship."""
+    builder = SchemaBuilder(f"Antichain{k}")
+    for i in range(k):
+        builder.cls(f"K{i}")
+    builder.relationship("R", U1="K0", U2="K0")
+    builder.card("K0", "R", "U1", minc=1)
+    return builder.build()
+
+
+def chain_schema(k: int):
+    """K(k-1) <= ... <= K0, one shared relationship."""
+    builder = SchemaBuilder(f"Chain{k}")
+    for i in range(k):
+        builder.cls(f"K{i}")
+    for i in range(1, k):
+        builder.isa(f"K{i}", f"K{i-1}")
+    builder.relationship("R", U1="K0", U2="K0")
+    builder.card("K0", "R", "U1", minc=1)
+    return builder.build()
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+def test_antichain_expansion_grows_exponentially(benchmark, k):
+    schema = antichain_schema(k)
+    expansion = benchmark(Expansion, schema)
+    count = len(expansion.consistent_compound_classes())
+    assert count == 2**k - 1
+    paper_row(
+        "E8/antichain",
+        "exponential expansion in the schema size",
+        f"k={k}: {count} consistent compound classes (= 2^{k} - 1)",
+    )
+
+
+@pytest.mark.parametrize("k", [2, 4, 6, 8, 10])
+def test_chain_expansion_grows_linearly(benchmark, k):
+    schema = chain_schema(k)
+    expansion = benchmark(Expansion, schema)
+    count = len(expansion.consistent_compound_classes())
+    assert count == k
+    paper_row(
+        "E8/chain",
+        "ISA chains keep the consistent expansion linear",
+        f"k={k}: {count} consistent compound classes",
+    )
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_antichain_satisfiability_end_to_end(benchmark, k):
+    schema = antichain_schema(k)
+    result = benchmark(is_class_satisfiable, schema, "K0")
+    assert result.satisfiable
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+def test_chain_satisfiability_end_to_end(benchmark, k):
+    schema = chain_schema(k)
+    result = benchmark(is_class_satisfiable, schema, f"K{k-1}")
+    assert result.satisfiable

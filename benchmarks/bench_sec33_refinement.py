@@ -1,0 +1,49 @@
+"""E6 — Section 3.3's negative example.
+
+Paper content: adding ``minc(Discussant, Holds, U1) = 2`` ("each
+speaker that is allowed to participate in a discussion must hold at
+least two talks") contributes the disequations
+``2·c_i ≤ h_i3 + h_i5 + h_i7`` for ``i ∈ {4, 7}``, and the system
+(with the Speaker-positivity row) becomes unsolvable.
+
+Reproduction: the generated system contains exactly those strengthened
+rows, and every class of the refined schema is reported unsatisfiable.
+The benchmark measures unsatisfiability detection, which exercises the
+full fixpoint (supports shrink to the empty set).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import paper_row
+from repro.cr.expansion import Expansion
+from repro.cr.satisfiability import is_class_satisfiable, satisfiable_classes
+from repro.cr.system import build_system
+
+
+def test_strengthened_rows_present(benchmark, refined_meeting):
+    cr_system = benchmark(
+        lambda: build_system(Expansion(refined_meeting), mode="pruned")
+    )
+    rendered = {c.pretty() for c in cr_system.system.constraints}
+    assert "2*c4 <= h43 + h45 + h47" in rendered
+    assert "2*c7 <= h73 + h75 + h77" in rendered
+    paper_row(
+        "E6/Sec3.3",
+        "the refinement adds 2*ci <= hi3 + hi5 + hi7 for i in {4,7}",
+        "both rows present in the generated system",
+    )
+
+
+def test_speaker_becomes_unsatisfiable(benchmark, refined_meeting):
+    result = benchmark(is_class_satisfiable, refined_meeting, "Speaker")
+    assert not result.satisfiable
+    paper_row(
+        "E6/Sec3.3",
+        "the system with c1 + c4 + c5 + c7 > 0 becomes unsolvable",
+        "Speaker reported finitely unsatisfiable",
+    )
+
+
+def test_whole_schema_collapses(benchmark, refined_meeting):
+    verdicts = benchmark(satisfiable_classes, refined_meeting)
+    assert verdicts == {"Speaker": False, "Discussant": False, "Talk": False}

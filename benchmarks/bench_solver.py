@@ -1,0 +1,147 @@
+"""E12 — solver ablation: exact simplex vs Fourier–Motzkin vs scipy.
+
+The decision path of the library is float-free by design (Section 3.2's
+systems are decided exactly).  This benchmark measures what that
+exactness costs by comparing, on the paper's own systems:
+
+* the exact rational simplex (the production engine),
+* Fourier–Motzkin elimination (exact, strictness-native, exponential),
+* scipy's HiGHS ``linprog`` (floating point; oracle only).
+
+All engines must agree on feasibility; the timings quantify the gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from benchmarks.conftest import paper_row
+from repro.cr.expansion import Expansion
+from repro.cr.system import build_system
+from repro.ext.disjointness import with_disjointness
+from repro.paper import figure1_schema, meeting_schema, refined_meeting_schema
+from repro.solver.fourier_motzkin import fm_feasible
+from repro.solver.linear import Constraint, LinearSystem, Relation, term
+from repro.solver.simplex import solve_lp
+
+
+def _positivity_system(schema, cls) -> LinearSystem:
+    """Psi_S plus the Theorem-3.3 positivity row, with > sharpened to
+    >= 1 (sound for homogeneous systems by cone scaling)."""
+    cr_system = build_system(Expansion(schema), mode="pruned")
+    positivity = Constraint(
+        cr_system.class_population_expr(cls) - 1, Relation.GE
+    )
+    return cr_system.system.with_constraints([positivity])
+
+
+def scipy_feasible(system: LinearSystem) -> bool:
+    variables = list(system.variables)
+    index = {name: i for i, name in enumerate(variables)}
+    a_ub, b_ub, a_eq, b_eq = [], [], [], []
+    for constraint in system.constraints:
+        row = [0.0] * len(variables)
+        for name, coeff in constraint.expr.coefficients.items():
+            row[index[name]] = float(coeff)
+        rhs = -float(constraint.expr.constant_term)
+        if constraint.relation is Relation.LE:
+            a_ub.append(row)
+            b_ub.append(rhs)
+        elif constraint.relation is Relation.GE:
+            a_ub.append([-v for v in row])
+            b_ub.append(-rhs)
+        else:
+            a_eq.append(row)
+            b_eq.append(rhs)
+    result = linprog(
+        c=np.zeros(len(variables)),
+        A_ub=np.array(a_ub) if a_ub else None,
+        b_ub=np.array(b_ub) if b_ub else None,
+        A_eq=np.array(a_eq) if a_eq else None,
+        b_eq=np.array(b_eq) if b_eq else None,
+        bounds=[(0, None)] * len(variables),
+        method="highs",
+    )
+    return bool(result.success)
+
+
+CASES = [
+    ("meeting/sat", meeting_schema, "Speaker", True),
+    ("refined/unsat", refined_meeting_schema, "Speaker", False),
+]
+
+
+@pytest.mark.parametrize("name,schema_factory,cls,expected", CASES)
+def test_exact_simplex(benchmark, name, schema_factory, cls, expected):
+    system = _positivity_system(schema_factory(), cls)
+    verdict = benchmark(lambda: solve_lp(system).is_feasible)
+    assert verdict == expected
+    paper_row(
+        "E12/simplex", f"{name} feasibility", f"exact simplex says {verdict}"
+    )
+
+
+FM_CASES = [
+    # Fourier-Motzkin is doubly exponential in the eliminated variables:
+    # on the full 23-unknown meeting system it does not terminate in
+    # reasonable time (that blow-up IS the measurement — see
+    # EXPERIMENTS.md E12), so the FM rows use the small systems: the
+    # Figure-1 schema and the disjointness-pruned meeting schema of E9.
+    ("figure1/unsat", lambda: figure1_schema(), "D", False),
+    ("figure1-ratio1/sat", lambda: figure1_schema(1), "D", True),
+    (
+        "pruned-meeting/sat",
+        lambda: with_disjointness(meeting_schema(), ("Speaker", "Talk")),
+        "Speaker",
+        True,
+    ),
+]
+
+
+@pytest.mark.parametrize("name,schema_factory,cls,expected", FM_CASES)
+def test_fourier_motzkin(benchmark, name, schema_factory, cls, expected):
+    system = _positivity_system(schema_factory(), cls)
+    verdict = benchmark(
+        lambda: fm_feasible(system, max_constraints=2_000_000)
+    )
+    assert verdict == expected
+    paper_row(
+        "E12/fourier-motzkin",
+        f"{name} feasibility (small systems only; FM blows up beyond)",
+        f"FM agrees: {verdict}",
+    )
+
+
+@pytest.mark.parametrize("name,schema_factory,cls,expected", FM_CASES)
+def test_exact_simplex_on_fm_cases(benchmark, name, schema_factory, cls, expected):
+    """The same small systems through the simplex, for a direct ratio."""
+    system = _positivity_system(schema_factory(), cls)
+    verdict = benchmark(lambda: solve_lp(system).is_feasible)
+    assert verdict == expected
+
+
+@pytest.mark.parametrize("name,schema_factory,cls,expected", CASES)
+def test_scipy_float_lp(benchmark, name, schema_factory, cls, expected):
+    system = _positivity_system(schema_factory(), cls)
+    verdict = benchmark(scipy_feasible, system)
+    assert verdict == expected
+    paper_row(
+        "E12/scipy",
+        f"{name} feasibility (float oracle)",
+        f"HiGHS agrees: {verdict}",
+    )
+
+
+def test_exactness_guard(benchmark):
+    """A case where float tolerance would be dangerous: a cone that is
+    infeasible only by an exact rational margin."""
+    x, y = term("x"), term("y")
+    big = 10**14
+    system = LinearSystem(
+        [big * x <= (big - 1) * y, y <= x, x >= 1]
+    )
+    verdict = benchmark(lambda: solve_lp(system).is_feasible)
+    assert not verdict
+    assert not fm_feasible(system)

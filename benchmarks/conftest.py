@@ -1,0 +1,50 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every module in this directory regenerates one artifact of the paper
+(see the experiment index in DESIGN.md) and measures its cost with
+pytest-benchmark.  Each benchmark *asserts* the paper's qualitative
+claim — who is satisfiable, what is implied, what shrinks — so a green
+run is itself the reproduction; the timings quantify the method.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to also see
+the regenerated figure text.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.expansion import Expansion
+from repro.cr.system import build_system
+from repro.paper import figure1_schema, meeting_schema, refined_meeting_schema
+
+
+@pytest.fixture(scope="session")
+def meeting():
+    return meeting_schema()
+
+
+@pytest.fixture(scope="session")
+def meeting_expansion(meeting):
+    return Expansion(meeting)
+
+
+@pytest.fixture(scope="session")
+def meeting_system(meeting_expansion):
+    return build_system(meeting_expansion, mode="pruned")
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    return figure1_schema()
+
+
+@pytest.fixture(scope="session")
+def refined_meeting():
+    return refined_meeting_schema()
+
+
+def paper_row(experiment: str, claim: str, measured: str) -> None:
+    """Print one paper-vs-measured row (visible with ``pytest -s``)."""
+    print(f"\n[{experiment}] paper: {claim}")
+    print(f"[{experiment}] measured: {measured}")

@@ -1,0 +1,87 @@
+"""Finite vs infinite models: why the paper exists.
+
+The motivating observation of the paper (its Figure 1): ISA and
+cardinality constraints can interact so that a class is *necessarily
+empty in every finite database state* — even though the schema is
+perfectly consistent classically, i.e. has infinite models.  Databases
+are finite, so design tools need **finite-model** reasoning, and that
+is what the paper's procedure delivers.
+
+This example runs both engines side by side, shows the gap on the
+paper's two broken schemas, prints the verified proof of finite
+unsatisfiability, and finishes by loading a constructed witness model
+into the integrity-enforcing store (problem (c) of the paper's intro).
+
+Run with::
+
+    python examples/finite_vs_infinite.py
+"""
+
+from repro import (
+    Database,
+    construct_model_for_result,
+    explain_unsatisfiability,
+    is_class_satisfiable,
+    satisfiable_classes,
+    unrestricted_satisfiable_classes,
+)
+from repro.er import render_er_diagram
+from repro.paper import (
+    figure1_er,
+    figure1_schema,
+    meeting_schema,
+    refined_meeting_schema,
+)
+
+
+def compare(name, schema):
+    finite = satisfiable_classes(schema)
+    unrestricted = unrestricted_satisfiable_classes(schema)
+    print(f"{name}:")
+    print(f"  {'class':12} {'finite':>8} {'unrestricted':>13}")
+    for cls in schema.classes:
+        marker = "   <-- the gap" if finite[cls] != unrestricted[cls] else ""
+        print(
+            f"  {cls:12} {str(finite[cls]):>8} "
+            f"{str(unrestricted[cls]):>13}{marker}"
+        )
+    return finite, unrestricted
+
+
+def main() -> None:
+    print("=== Figure 1: the motivating diagram ===")
+    print(render_er_diagram(figure1_er()))
+    print()
+    schema = figure1_schema()
+    compare("figure-1 schema", schema)
+
+    print(
+        "\nIn any FINITE state: 2|C| <= |R| <= |D| <= |C|, so C is empty."
+        "\nWith infinitely many C's the ratio costs nothing — hence the gap."
+    )
+
+    print("\nThe finite engine's verdict comes with a verifiable proof:")
+    explanation = explain_unsatisfiability(schema, "D")
+    assert explanation.verify()
+    print(explanation.pretty())
+
+    print("\n=== The meeting schema: no gap ===")
+    compare("meeting", meeting_schema())
+
+    print("\n=== The Section-3.3 refinement: the gap swallows everything ===")
+    compare("refined meeting", refined_meeting_schema())
+
+    print("\n=== From verdict to data: populate a store (problem (c)) ===")
+    meeting = meeting_schema()
+    result = is_class_satisfiable(meeting, "Speaker")
+    model = construct_model_for_result(result)
+    database = Database.from_interpretation(meeting, model)
+    print(f"loaded the witness model into {database!r}")
+    print(
+        "every commit is re-validated against Definition 2.2, so the "
+        "store can only ever hold models of the schema."
+    )
+
+
+if __name__ == "__main__":
+    main()

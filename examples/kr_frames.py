@@ -1,0 +1,87 @@
+"""Frame-based knowledge representation: coherence of a terminology.
+
+Section 5 of the paper: "by interpreting classes as frames and
+relationships as slots, we obtain a corresponding decision procedure
+for several knowledge representation formalisms."  This example builds
+a small zoo terminology with number restrictions and runs the classic
+KR services through the CR reasoner:
+
+* **coherence** — can a frame have instances in a finite world?
+* **finite-model subsumption** — restrictions that force one frame
+  under another;
+* **implied number restrictions** — bounds the terminology entails.
+
+Run with::
+
+    python examples/kr_frames.py
+"""
+
+from repro import (
+    implies_max_cardinality,
+    implies_min_cardinality,
+    satisfiable_classes,
+)
+from repro.kr import KnowledgeBase, kr_to_cr
+from repro.kr.to_cr import slot_roles
+
+
+def main() -> None:
+    kb = KnowledgeBase("Zoo")
+    kb.frame("Animal")
+    kb.frame("Predator", subsumers=["Animal"])
+    kb.frame("Herbivore", subsumers=["Animal"])
+    kb.disjoint("Predator", "Herbivore")
+
+    # Slot: every predator hunts 1..3 herbivores; each herbivore is
+    # hunted by at most 2 predators.
+    kb.slot("hunts", domain="Predator", range="Herbivore")
+    kb.restrict("Predator", "hunts", at_least=1, at_most=3)
+
+    kb.slot("huntedBy", domain="Herbivore", range="Predator")
+    kb.restrict("Herbivore", "huntedBy", at_least=0, at_most=2)
+
+    # A specialised frame with a refined restriction.
+    kb.frame("ApexPredator", subsumers=["Predator"])
+    kb.restrict("ApexPredator", "hunts", at_least=3)
+
+    schema = kr_to_cr(kb)
+    print("=== Coherence of the terminology ===")
+    print(satisfiable_classes(schema))
+
+    print("\n=== An incoherent frame ===")
+    kb.frame("Vegan", subsumers=["Predator"])
+    kb.restrict("Vegan", "hunts", at_least=0, at_most=0)  # hunts nothing
+    schema = kr_to_cr(kb)
+    verdicts = satisfiable_classes(schema)
+    print(verdicts)
+    # Predators hunt at least once; a Vegan predator hunts zero times.
+    assert verdicts["Vegan"] is False
+    print("Vegan is incoherent: the inherited (at-least 1 hunts) clashes "
+          "with its own (at-most 0 hunts).")
+
+    print("\n=== Implied number restrictions ===")
+    domain_role, _ = slot_roles("hunts")
+    checks = [
+        (
+            "ApexPredator hunts at most 3 (inherited bound)",
+            implies_max_cardinality(schema, "ApexPredator", "hunts", domain_role, 3),
+            True,
+        ),
+        (
+            "ApexPredator hunts at least 3 (own restriction)",
+            implies_min_cardinality(schema, "ApexPredator", "hunts", domain_role, 3),
+            True,
+        ),
+        (
+            "every Predator hunts at least 2 (NOT implied)",
+            implies_min_cardinality(schema, "Predator", "hunts", domain_role, 2),
+            False,
+        ),
+    ]
+    for description, result, expected in checks:
+        print(f"  {result.pretty():50} ({description})")
+        assert result.implied == expected
+
+
+if __name__ == "__main__":
+    main()

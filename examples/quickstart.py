@@ -1,0 +1,82 @@
+"""Quickstart: the paper's meeting example, end to end.
+
+Builds the CR-schema of Figure 3, checks that the design can be
+populated, constructs an explicit database state witnessing it,
+and derives the (surprising) constraints of Figure 7.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    SchemaBuilder,
+    check_model,
+    construct_model_for_result,
+    implies_isa,
+    implies_max_cardinality,
+    is_class_satisfiable,
+    satisfiable_classes,
+)
+from repro.render import render_interpretation, render_schema
+
+
+def main() -> None:
+    # A meeting consists of talks.  Each talk has exactly one speaker
+    # and at least one discussant; each discussant joins exactly one
+    # talk; every discussant is also a speaker; discussant-speakers hold
+    # at most two talks (a *refinement* of the speaker cardinality).
+    schema = (
+        SchemaBuilder("Meeting")
+        .classes("Speaker", "Discussant", "Talk")
+        .isa("Discussant", "Speaker")
+        .relationship("Holds", U1="Speaker", U2="Talk")
+        .relationship("Participates", U3="Discussant", U4="Talk")
+        .card("Speaker", "Holds", "U1", minc=1)
+        .card("Discussant", "Holds", "U1", maxc=2)
+        .card("Talk", "Holds", "U2", minc=1, maxc=1)
+        .card("Discussant", "Participates", "U3", minc=1, maxc=1)
+        .card("Talk", "Participates", "U4", minc=1)
+        .build()
+    )
+
+    print("The schema (Figure 3 of the paper):")
+    print(render_schema(schema))
+    print()
+
+    # 1. Design health: can every class be populated in a FINITE state?
+    print("Class satisfiability:", satisfiable_classes(schema))
+
+    # 2. A concrete witness: an explicit finite database state.
+    result = is_class_satisfiable(schema, "Speaker")
+    model = construct_model_for_result(result)
+    assert check_model(schema, model) == [], "the witness must be a model"
+    print("\nA finite database state populating Speaker:")
+    print(render_interpretation(model))
+
+    # 3. Implication: constraints the schema forces without stating them.
+    print("\nImplied constraints (Figure 7):")
+    for description, result in [
+        (
+            "every speaker is a discussant",
+            implies_isa(schema, "Speaker", "Discussant"),
+        ),
+        (
+            "every talk has at most one participant",
+            implies_max_cardinality(schema, "Talk", "Participates", "U4", 1),
+        ),
+        (
+            "every speaker holds at most one talk",
+            implies_max_cardinality(schema, "Speaker", "Holds", "U1", 1),
+        ),
+    ]:
+        print(f"  {result.pretty():45}  ({description})")
+
+    # 4. A non-implication comes with an explicit counter-model.
+    control = implies_isa(schema, "Talk", "Speaker")
+    print(f"\nControl: {control.pretty()}")
+    print("Counter-model:", control.countermodel.summary())
+
+
+if __name__ == "__main__":
+    main()

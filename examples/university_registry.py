@@ -1,0 +1,119 @@
+"""A realistic conceptual-design session: a university registry.
+
+The scenario the paper's introduction motivates: a designer drafts an
+ER-style schema with ISA hierarchies and cardinality constraints, then
+uses the reasoner during *schema construction* (the paper's problem
+(b)) to
+
+1. verify the design can be populated at all,
+2. discover constraints the design implies but nobody wrote down,
+3. catch an innocuous-looking refinement that silently makes part of
+   the schema impossible to populate.
+
+The schema is written in the textual DSL to show that entry path.
+
+Run with::
+
+    python examples/university_registry.py
+"""
+
+from repro import (
+    implies_isa,
+    implies_max_cardinality,
+    implies_min_cardinality,
+    minimal_unsatisfiable_constraints,
+    parse_schema,
+    satisfiable_classes,
+)
+
+REGISTRY = """
+schema UniversityRegistry {
+  class Person;
+  class Student isa Person;
+  class PhdStudent isa Student;
+  class Professor isa Person;
+  class Course;
+  class Seminar isa Course;
+
+  // every course is taught by exactly one professor; professors teach
+  // between one and four courses
+  relationship Teaches(lecturer: Professor, subject: Course);
+  cardinality Professor in Teaches.lecturer: (1, 4);
+  cardinality Course in Teaches.subject: (1, 1);
+
+  // students enrol in one to six courses; a course needs at least
+  // three enrolled students to run
+  relationship EnrolledIn(attendee: Student, class_: Course);
+  cardinality Student in EnrolledIn.attendee: (1, 6);
+  cardinality Course in EnrolledIn.class_: (3, *);
+
+  // PhD students enrol in at most two courses (refinement!) ...
+  cardinality PhdStudent in EnrolledIn.attendee: (1, 2);
+
+  // ... and each is supervised by exactly one professor, who
+  // supervises at most three of them
+  relationship Supervises(advisor: Professor, advisee: PhdStudent);
+  cardinality PhdStudent in Supervises.advisee: (1, 1);
+  cardinality Professor in Supervises.advisor: (0, 3);
+}
+"""
+
+
+def main() -> None:
+    schema = parse_schema(REGISTRY)
+
+    print("1. Design health check")
+    verdicts = satisfiable_classes(schema)
+    for cls, satisfiable in verdicts.items():
+        marker = "ok " if satisfiable else "DEAD"
+        print(f"   [{marker}] {cls}")
+    assert all(verdicts.values())
+
+    print("\n2. Constraints the design implies (but nobody wrote):")
+    queries = [
+        (
+            "a PhD student enrols in at most 6 courses (inherited)",
+            implies_max_cardinality(schema, "PhdStudent", "EnrolledIn", "attendee", 6),
+        ),
+        (
+            "a PhD student enrols in at least 1 course",
+            implies_min_cardinality(schema, "PhdStudent", "EnrolledIn", "attendee", 1),
+        ),
+        (
+            "a seminar is taught by exactly one professor (inherited)",
+            implies_min_cardinality(schema, "Seminar", "Teaches", "subject", 1),
+        ),
+        (
+            "control: not every student is a PhD student",
+            implies_isa(schema, "Student", "PhdStudent"),
+        ),
+    ]
+    for description, result in queries:
+        print(f"   {result.pretty():60} ({description})")
+
+    print("\n3. A refinement that silently kills part of the design")
+    # The committee decides every seminar is examined by exactly one
+    # PhD student ("to train them"), and each PhD student examines
+    # exactly five seminars ("to spread the load").  Sounds fine?
+    broken = parse_schema(
+        REGISTRY.rstrip().rstrip("}")
+        + """
+  relationship Examines(examiner: PhdStudent, exam: Seminar);
+  cardinality PhdStudent in Examines.examiner: (5, 5);
+  cardinality Seminar in Examines.exam: (1, 1);
+  cardinality PhdStudent in EnrolledIn.attendee: (3, *);
+}
+"""
+    )
+    verdicts = satisfiable_classes(broken)
+    dead = sorted(cls for cls, ok in verdicts.items() if not ok)
+    print(f"   classes that can no longer be populated: {dead}")
+    assert "PhdStudent" in dead
+
+    print("\n4. Why?  Ask the debugger for a minimal conflict:")
+    report = minimal_unsatisfiable_constraints(broken, "PhdStudent")
+    print("   " + report.pretty().replace("\n", "\n   "))
+
+
+if __name__ == "__main__":
+    main()

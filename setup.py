@@ -1,0 +1,12 @@
+"""Legacy-install shim.
+
+The execution environment has setuptools < 70 and no `wheel` package, so
+PEP 660 editable installs (which need bdist_wheel) fail.  This shim lets
+`pip install -e . --no-build-isolation` fall back to the classic
+`setup.py develop` code path.  All project metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

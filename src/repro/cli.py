@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro <command> schema.cr ...``.
+
+Brings the reasoner to the shell for schemas written in the DSL
+(:mod:`repro.dsl`):
+
+========  =============================================================
+check     per-class finite satisfiability (optionally one class,
+          optionally also the unrestricted verdict)
+implies   decide ``S ⊨ K`` for a statement like ``"A isa B"`` or
+          ``"maxc(Speaker, Holds, U1) = 1"``
+model     construct and print a witness database state for a class
+explain   print the verified infeasibility proof for an unsat class
+debug     print a minimal unsatisfiable constraint set for a class
+render    print the schema / expansion / disequation system in the
+          paper's figure notation
+fmt       parse and re-serialise the schema (canonical formatting)
+========  =============================================================
+
+Every command exits 0 on a "positive" outcome (satisfiable / implied /
+model built), 1 on the negative outcome, 2 on usage or input errors —
+so the CLI composes with shell scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+from repro.cr.constraints import (
+    DisjointnessStatement,
+    IsaStatement,
+    MaxCardinalityStatement,
+    MinCardinalityStatement,
+)
+from repro.cr.construction import construct_model_for_result
+from repro.cr.explain import explain_unsatisfiability
+from repro.cr.implication import implies
+from repro.cr.satisfiability import is_class_satisfiable, satisfiable_classes
+from repro.cr.schema import CRSchema
+from repro.cr.system import build_system
+from repro.cr.unrestricted import unrestricted_satisfiable_classes
+from repro.dsl import parse_schema, serialize_schema
+from repro.errors import ReproError
+from repro.ext.debugging import (
+    minimal_unsatisfiable_constraints,
+    quickxplain_unsatisfiable_constraints,
+)
+from repro.render import (
+    render_expansion,
+    render_interpretation,
+    render_schema,
+    render_system,
+)
+
+_STATEMENT_PATTERNS = [
+    (
+        re.compile(r"\s*(\w+)\s+isa\s+(\w+)\s*$"),
+        lambda m: IsaStatement(m.group(1), m.group(2)),
+    ),
+    (
+        re.compile(r"\s*minc\(\s*(\w+)\s*,\s*(\w+)\s*,\s*(\w+)\s*\)\s*=\s*(\d+)\s*$"),
+        lambda m: MinCardinalityStatement(
+            m.group(1), m.group(2), m.group(3), int(m.group(4))
+        ),
+    ),
+    (
+        re.compile(r"\s*maxc\(\s*(\w+)\s*,\s*(\w+)\s*,\s*(\w+)\s*\)\s*=\s*(\d+)\s*$"),
+        lambda m: MaxCardinalityStatement(
+            m.group(1), m.group(2), m.group(3), int(m.group(4))
+        ),
+    ),
+    (
+        re.compile(r"\s*disjoint\(\s*(\w+(?:\s*,\s*\w+)+)\s*\)\s*$"),
+        lambda m: DisjointnessStatement(
+            frozenset(part.strip() for part in m.group(1).split(","))
+        ),
+    ),
+]
+
+
+def parse_statement(text: str):
+    """Parse a query statement in the Figure-7 surface syntax."""
+    for pattern, build in _STATEMENT_PATTERNS:
+        match = pattern.match(text)
+        if match:
+            return build(match)
+    raise ReproError(
+        f"cannot parse statement {text!r}; expected one of: "
+        "'A isa B', 'minc(C, R, U) = n', 'maxc(C, R, U) = n', "
+        "'disjoint(A, B, ...)'"
+    )
+
+
+def _load_schema(path: str) -> CRSchema:
+    return parse_schema(Path(path).read_text())
+
+
+# -- subcommand implementations (return process exit codes) ---------------
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    if args.cls:
+        result = is_class_satisfiable(schema, args.cls, engine=args.engine)
+        verdict = "satisfiable" if result.satisfiable else "UNSATISFIABLE"
+        print(f"{args.cls}: {verdict} (finite models)")
+        return 0 if result.satisfiable else 1
+    verdicts = satisfiable_classes(schema)
+    unrestricted = (
+        unrestricted_satisfiable_classes(schema) if args.unrestricted else None
+    )
+    for cls, satisfiable in verdicts.items():
+        line = f"{cls}: {'satisfiable' if satisfiable else 'UNSATISFIABLE'}"
+        if unrestricted is not None:
+            line += (
+                "  [unrestricted: "
+                f"{'satisfiable' if unrestricted[cls] else 'unsatisfiable'}]"
+            )
+        print(line)
+    return 0 if all(verdicts.values()) else 1
+
+
+def _cmd_implies(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    statement = parse_statement(args.statement)
+    result = implies(schema, statement, engine=args.engine)
+    print(result.pretty())
+    if not result.implied and args.countermodel:
+        print(render_interpretation(result.countermodel))
+    return 0 if result.implied else 1
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    result = is_class_satisfiable(schema, args.cls, engine=args.engine)
+    if not result.satisfiable:
+        print(f"{args.cls} is unsatisfiable; no model exists")
+        return 1
+    model = construct_model_for_result(result)
+    print(render_interpretation(model))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    explanation = explain_unsatisfiability(schema, args.cls)
+    assert explanation.verify()
+    print(explanation.pretty())
+    return 0
+
+
+def _cmd_debug(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    extract = (
+        quickxplain_unsatisfiable_constraints
+        if args.algorithm == "quickxplain"
+        else minimal_unsatisfiable_constraints
+    )
+    report = extract(schema, args.cls)
+    print(report.pretty())
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    if args.what == "schema":
+        print(render_schema(schema))
+        return 0
+    from repro.cr.expansion import Expansion
+
+    expansion = Expansion(schema)
+    if args.what == "expansion":
+        print(render_expansion(expansion))
+    else:
+        print(render_system(build_system(expansion, mode=args.mode)))
+    return 0
+
+
+def _cmd_fmt(args: argparse.Namespace) -> int:
+    schema = _load_schema(args.schema)
+    text = serialize_schema(schema)
+    if args.write:
+        Path(args.schema).write_text(text)
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reason about ISA + cardinality constraints "
+        "(Calvanese & Lenzerini, ICDE'94).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_engine(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--engine",
+            choices=["fixpoint", "naive"],
+            default="fixpoint",
+            help="satisfiability engine (default: fixpoint)",
+        )
+
+    check = subparsers.add_parser("check", help="class satisfiability")
+    check.add_argument("schema")
+    check.add_argument("--class", dest="cls", default=None)
+    check.add_argument(
+        "--unrestricted",
+        action="store_true",
+        help="also report satisfiability over possibly-infinite models",
+    )
+    add_engine(check)
+    check.set_defaults(run=_cmd_check)
+
+    imp = subparsers.add_parser("implies", help="decide S |= K")
+    imp.add_argument("schema")
+    imp.add_argument("statement")
+    imp.add_argument(
+        "--countermodel",
+        action="store_true",
+        help="print the counter-model when not implied",
+    )
+    add_engine(imp)
+    imp.set_defaults(run=_cmd_implies)
+
+    model = subparsers.add_parser("model", help="construct a witness state")
+    model.add_argument("schema")
+    model.add_argument("--class", dest="cls", required=True)
+    add_engine(model)
+    model.set_defaults(run=_cmd_model)
+
+    explain = subparsers.add_parser(
+        "explain", help="verified proof of unsatisfiability"
+    )
+    explain.add_argument("schema")
+    explain.add_argument("--class", dest="cls", required=True)
+    explain.set_defaults(run=_cmd_explain)
+
+    debug = subparsers.add_parser(
+        "debug", help="minimal unsatisfiable constraint set"
+    )
+    debug.add_argument("schema")
+    debug.add_argument("--class", dest="cls", required=True)
+    debug.add_argument(
+        "--algorithm",
+        choices=["deletion", "quickxplain"],
+        default="quickxplain",
+    )
+    debug.set_defaults(run=_cmd_debug)
+
+    render = subparsers.add_parser(
+        "render", help="print paper-style listings"
+    )
+    render.add_argument("schema")
+    render.add_argument(
+        "--what",
+        choices=["schema", "expansion", "system"],
+        default="schema",
+    )
+    render.add_argument(
+        "--mode", choices=["pruned", "literal"], default="literal"
+    )
+    render.set_defaults(run=_cmd_render)
+
+    fmt = subparsers.add_parser("fmt", help="canonical formatting")
+    fmt.add_argument("schema")
+    fmt.add_argument("--write", action="store_true", help="rewrite in place")
+    fmt.set_defaults(run=_cmd_fmt)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""The CR data model and the paper's decision procedures.
+
+This package is the reproduction of the paper's technical content:
+
+* :mod:`repro.cr.schema` / :mod:`repro.cr.builder` — the CR data model
+  (Definition 2.1): classes, n-ary relationships with named roles, ISA
+  statements, cardinality constraints with refinement along ISA edges;
+* :mod:`repro.cr.interpretation` / :mod:`repro.cr.checker` — finite
+  interpretations and the model conditions (A)–(C) of Definition 2.2
+  plus the expansion conditions (A')–(C') of Lemma 3.2;
+* :mod:`repro.cr.expansion` — compound classes and compound
+  relationships (Section 3.1);
+* :mod:`repro.cr.system` — the system of linear disequations `Ψ_S`
+  (Section 3.2);
+* :mod:`repro.cr.satisfiability` — class satisfiability (Theorems 3.3
+  and 3.4), with both the literal zero-set enumeration engine and a
+  polynomial-per-expansion fixpoint engine;
+* :mod:`repro.cr.construction` — builds an explicit finite model from
+  an acceptable solution (the constructive half of completeness);
+* :mod:`repro.cr.implication` — implication of ISA and cardinality
+  constraints (Section 4).
+"""
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.constraints import (
+    CardinalityDeclaration,
+    CoveringStatement,
+    DisjointnessStatement,
+    IsaStatement,
+    MaxCardinalityStatement,
+    MinCardinalityStatement,
+)
+from repro.cr.checker import Violation, check_model, is_model
+from repro.cr.construction import construct_model
+from repro.cr.expansion import CompoundClass, CompoundRelationship, Expansion
+from repro.cr.implication import (
+    ImplicationResult,
+    implies_disjointness,
+    implies_isa,
+    implies_max_cardinality,
+    implies_min_cardinality,
+)
+from repro.cr.interpretation import Interpretation, LabeledTuple
+from repro.cr.satisfiability import (
+    SatisfiabilityResult,
+    is_class_satisfiable,
+    satisfiable_classes,
+)
+from repro.cr.schema import Card, CRSchema, Relationship, UNBOUNDED
+
+__all__ = [
+    "SchemaBuilder",
+    "CRSchema",
+    "Relationship",
+    "Card",
+    "UNBOUNDED",
+    "IsaStatement",
+    "CardinalityDeclaration",
+    "MinCardinalityStatement",
+    "MaxCardinalityStatement",
+    "DisjointnessStatement",
+    "CoveringStatement",
+    "Interpretation",
+    "LabeledTuple",
+    "Violation",
+    "check_model",
+    "is_model",
+    "CompoundClass",
+    "CompoundRelationship",
+    "Expansion",
+    "SatisfiabilityResult",
+    "is_class_satisfiable",
+    "satisfiable_classes",
+    "construct_model",
+    "ImplicationResult",
+    "implies_isa",
+    "implies_min_cardinality",
+    "implies_max_cardinality",
+    "implies_disjointness",
+]

@@ -1,0 +1,149 @@
+"""The Lenzerini–Nobili (1990) baseline: cardinality reasoning without ISA.
+
+The paper positions itself against [15] (Lenzerini & Nobili,
+*On the satisfiability of dependency constraints in entity-relationship
+schemata*, Information Systems 15(4), 1990), which handles cardinality
+constraints but **no inclusion dependencies**: with classes pairwise
+non-overlapping there is no need for compound classes, and one unknown
+per class and per relationship suffices.
+
+This module implements that simpler procedure directly.  It doubles as
+
+* the ablation baseline of experiment E11/E12 (how much does the
+  expansion cost once ISA enters?), and
+* a differential-testing oracle: on ISA-free schemas the full
+  procedure and this baseline must agree (the expansion degenerates —
+  every relevant compound class is a singleton-closure).
+
+The baseline *rejects* schemas with ISA statements or refined
+cardinalities: that is precisely the gap the paper closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.cr.schema import CRSchema
+from repro.errors import SchemaError
+from repro.solver.homogeneous import integerize, maximal_support
+from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation, term
+
+
+@dataclass(frozen=True)
+class BaselineSystem:
+    """One unknown per class / relationship, plus the dependency map."""
+
+    schema: CRSchema
+    system: LinearSystem
+    class_var: dict[str, str]
+    rel_var: dict[str, str]
+    dependencies: dict[str, tuple[str, ...]]
+
+
+def lenzerini_nobili_system(schema: CRSchema) -> BaselineSystem:
+    """Build the [15]-style disequation system for an ISA-free schema.
+
+    For each relationship ``R`` and role ``U`` with primary class ``C``:
+    ``minc(C,R,U) · Var(C) ≤ Var(R)`` and, when bounded,
+    ``maxc(C,R,U) · Var(C) ≥ Var(R)``.
+    """
+    if schema.isa_statements:
+        raise SchemaError(
+            "the Lenzerini-Nobili baseline handles no ISA constraints; "
+            "use repro.cr.satisfiability for this schema"
+        )
+    if schema.disjointness_groups or schema.coverings:
+        raise SchemaError(
+            "the Lenzerini-Nobili baseline predates disjointness/covering "
+            "constraints"
+        )
+
+    class_var = {cls: f"n_{cls}" for cls in schema.classes}
+    rel_var = {rel.name: f"n_{rel.name}" for rel in schema.relationships}
+    system = LinearSystem(
+        variables=list(class_var.values()) + list(rel_var.values())
+    )
+    for name in class_var.values():
+        system.add(Constraint(term(name), Relation.GE, label=f"nonneg:{name}"))
+    for name in rel_var.values():
+        system.add(Constraint(term(name), Relation.GE, label=f"nonneg:{name}"))
+
+    for rel in schema.relationships:
+        for role, primary in rel.signature:
+            card = schema.card(primary, rel.name, role)
+            class_term = term(class_var[primary])
+            rel_term = term(rel_var[rel.name])
+            if card.minc > 0:
+                system.add(
+                    Constraint(
+                        card.minc * class_term - rel_term,
+                        Relation.LE,
+                        label=f"min:{rel.name}:{role}",
+                    )
+                )
+            if card.maxc is not None:
+                system.add(
+                    Constraint(
+                        card.maxc * class_term - rel_term,
+                        Relation.GE,
+                        label=f"max:{rel.name}:{role}",
+                    )
+                )
+
+    dependencies = {
+        rel_var[rel.name]: tuple(
+            class_var[primary] for _, primary in rel.signature
+        )
+        for rel in schema.relationships
+    }
+    return BaselineSystem(schema, system, class_var, rel_var, dependencies)
+
+
+def baseline_satisfiable_classes(schema: CRSchema) -> dict[str, bool]:
+    """Per-class satisfiability via the baseline (ISA-free schemas only).
+
+    Uses the same acceptability fixpoint as the full procedure, on the
+    much smaller baseline system.
+    """
+    baseline = lenzerini_nobili_system(schema)
+    forced_zero: set[str] = set()
+    while True:
+        constrained = baseline.system.with_constraints(
+            Constraint(term(name), Relation.EQ, label=f"forced-zero:{name}")
+            for name in sorted(forced_zero)
+        )
+        support, _solution = maximal_support(constrained)
+        newly_forced = {
+            rel_unknown
+            for rel_unknown, class_unknowns in baseline.dependencies.items()
+            if rel_unknown not in forced_zero
+            and any(c not in support for c in class_unknowns)
+        }
+        if not newly_forced:
+            break
+        forced_zero |= newly_forced
+    return {
+        cls: baseline.class_var[cls] in support for cls in schema.classes
+    }
+
+
+def baseline_witness(schema: CRSchema) -> dict[str, int]:
+    """An integer point of the baseline system's maximal acceptable support."""
+    baseline = lenzerini_nobili_system(schema)
+    forced_zero: set[str] = set()
+    solution: dict[str, Fraction]
+    while True:
+        constrained = baseline.system.with_constraints(
+            Constraint(term(name), Relation.EQ) for name in sorted(forced_zero)
+        )
+        support, solution = maximal_support(constrained)
+        newly_forced = {
+            rel_unknown
+            for rel_unknown, class_unknowns in baseline.dependencies.items()
+            if rel_unknown not in forced_zero
+            and any(c not in support for c in class_unknowns)
+        }
+        if not newly_forced:
+            return integerize(solution)
+        forced_zero |= newly_forced

@@ -1,0 +1,121 @@
+"""Fluent construction of CR-schemas.
+
+The builder collects declarations in any order and validates everything
+once at :meth:`SchemaBuilder.build`, so mutually referring statements
+("Discussant isa Speaker" before Speaker's cardinalities, say) can be
+written naturally.  All methods return ``self`` for chaining::
+
+    schema = (
+        SchemaBuilder("Meeting")
+        .cls("Speaker").cls("Discussant").cls("Talk")
+        .isa("Discussant", "Speaker")
+        .relationship("Holds", U1="Speaker", U2="Talk")
+        .relationship("Participates", U3="Discussant", U4="Talk")
+        .card("Speaker", "Holds", "U1", minc=1)
+        .card("Discussant", "Holds", "U1", maxc=2)
+        .card("Talk", "Holds", "U2", minc=1, maxc=1)
+        .card("Discussant", "Participates", "U3", minc=1, maxc=1)
+        .card("Talk", "Participates", "U4", minc=1)
+        .build()
+    )
+
+which is exactly the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.cr.schema import Card, CRSchema, Relationship, UNBOUNDED
+from repro.errors import DuplicateSymbolError, SchemaError
+
+
+class SchemaBuilder:
+    """Accumulates declarations and produces an immutable :class:`CRSchema`."""
+
+    def __init__(self, name: str = "S") -> None:
+        self._name = name
+        self._classes: list[str] = []
+        self._relationships: list[Relationship] = []
+        self._isa: list[tuple[str, str]] = []
+        self._cards: dict[tuple[str, str, str], Card] = {}
+        self._disjointness: list[frozenset[str]] = []
+        self._coverings: list[tuple[str, frozenset[str]]] = []
+
+    # -- declarations ---------------------------------------------------
+
+    def cls(self, name: str) -> SchemaBuilder:
+        """Declare a class symbol."""
+        if name in self._classes:
+            raise DuplicateSymbolError(f"class {name!r} declared twice")
+        self._classes.append(name)
+        return self
+
+    def classes(self, *names: str) -> SchemaBuilder:
+        """Declare several class symbols at once."""
+        for name in names:
+            self.cls(name)
+        return self
+
+    def relationship(self, name: str, **roles: str) -> SchemaBuilder:
+        """Declare a relationship; keyword order gives the signature order.
+
+        ``roles`` maps role name → primary class, e.g.
+        ``relationship("Holds", U1="Speaker", U2="Talk")``.
+        """
+        if any(rel.name == name for rel in self._relationships):
+            raise DuplicateSymbolError(f"relationship {name!r} declared twice")
+        self._relationships.append(
+            Relationship(name, tuple(roles.items()))
+        )
+        return self
+
+    def isa(self, sub: str, sup: str) -> SchemaBuilder:
+        """Declare ``sub ≼ sup``."""
+        self._isa.append((sub, sup))
+        return self
+
+    def card(
+        self,
+        cls: str,
+        rel: str,
+        role: str,
+        minc: int = 0,
+        maxc: int | None = UNBOUNDED,
+    ) -> SchemaBuilder:
+        """Declare ``minc``/``maxc`` for a (class, relationship, role) triple.
+
+        Declaring the same triple twice intersects the constraints (the
+        tightest of both applies), mirroring how refinements accumulate.
+        """
+        key = (cls, rel, role)
+        new = Card(minc, maxc)
+        existing = self._cards.get(key)
+        self._cards[key] = new if existing is None else existing.intersect(new)
+        return self
+
+    def disjoint(self, *classes: str) -> SchemaBuilder:
+        """Declare the given classes pairwise disjoint (Section 5 extension)."""
+        if len(classes) < 2:
+            raise SchemaError("disjoint() needs at least two classes")
+        self._disjointness.append(frozenset(classes))
+        return self
+
+    def cover(self, covered: str, *coverers: str) -> SchemaBuilder:
+        """Declare that ``coverers`` jointly cover ``covered`` (Section 5)."""
+        if not coverers:
+            raise SchemaError("cover() needs at least one coverer")
+        self._coverings.append((covered, frozenset(coverers)))
+        return self
+
+    # -- finalisation -----------------------------------------------------
+
+    def build(self) -> CRSchema:
+        """Validate everything and return the immutable schema."""
+        return CRSchema(
+            self._classes,
+            self._relationships,
+            self._isa,
+            self._cards,
+            self._disjointness,
+            self._coverings,
+            name=self._name,
+        )

@@ -1,0 +1,142 @@
+"""Constraint statements of the CR model (and its extensions).
+
+These are the *sentences* one states about a schema: the ISA and
+cardinality constraints of the paper's Section 2, the disjointness and
+covering constraints its Section 5 proposes as extensions, and the
+min/max statements used as implication queries in Section 4.
+
+Statement objects serve three roles in the library:
+
+1. as input — :class:`repro.cr.builder.SchemaBuilder` records them;
+2. as implication queries — :mod:`repro.cr.implication` decides
+   ``S ⊨ K`` for every statement kind defined here;
+3. as the unit of blame — the schema debugger
+   (:mod:`repro.ext.debugging`) reports minimal unsatisfiable sets of
+   these statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cr.schema import Card
+
+
+@dataclass(frozen=True)
+class IsaStatement:
+    """``sub ≼ sup``: every instance of ``sub`` is an instance of ``sup``."""
+
+    sub: str
+    sup: str
+
+    def pretty(self) -> str:
+        return f"{self.sub} isa {self.sup}"
+
+
+@dataclass(frozen=True)
+class CardinalityDeclaration:
+    """A ``(minc, maxc)`` pair declared for a class on a relationship role.
+
+    This is the *schema-side* artifact (one dashed or solid cardinality
+    edge of a CR-diagram); the query-side statements are
+    :class:`MinCardinalityStatement` and :class:`MaxCardinalityStatement`.
+    """
+
+    cls: str
+    rel: str
+    role: str
+    card: Card
+
+    def pretty(self) -> str:
+        return f"card({self.cls}, {self.rel}, {self.role}) = {self.card.pretty()}"
+
+
+@dataclass(frozen=True)
+class MinCardinalityStatement:
+    """``minc(cls, rel, role) = value`` as an implication query.
+
+    Satisfied by an interpretation when every instance of ``cls`` is the
+    ``role``-component of at least ``value`` tuples of ``rel``.
+    """
+
+    cls: str
+    rel: str
+    role: str
+    value: int
+
+    def pretty(self) -> str:
+        return f"minc({self.cls}, {self.rel}, {self.role}) = {self.value}"
+
+
+@dataclass(frozen=True)
+class MaxCardinalityStatement:
+    """``maxc(cls, rel, role) = value`` as an implication query.
+
+    Satisfied by an interpretation when every instance of ``cls`` is the
+    ``role``-component of at most ``value`` tuples of ``rel``.
+    """
+
+    cls: str
+    rel: str
+    role: str
+    value: int
+
+    def pretty(self) -> str:
+        return f"maxc({self.cls}, {self.rel}, {self.role}) = {self.value}"
+
+
+@dataclass(frozen=True)
+class DisjointnessStatement:
+    """The classes in ``classes`` are pairwise disjoint (Section 5 extension)."""
+
+    classes: frozenset[str]
+
+    def __init__(self, classes) -> None:  # accept any iterable
+        object.__setattr__(self, "classes", frozenset(classes))
+        if len(self.classes) < 2:
+            raise ValueError("a disjointness statement needs at least two classes")
+
+    def pretty(self) -> str:
+        return f"disjoint({', '.join(sorted(self.classes))})"
+
+
+@dataclass(frozen=True)
+class CoveringStatement:
+    """``covered`` is covered by ``coverers`` (Section 5 extension).
+
+    Every instance of ``covered`` must be an instance of at least one of
+    the ``coverers``.  Together with the implicit ISA statements from
+    each coverer to ``covered`` this is the classical *generalization
+    hierarchy with covering* of [Lenzerini 1987]; here only the covering
+    condition itself is expressed — ISA edges are stated separately.
+    """
+
+    covered: str
+    coverers: frozenset[str]
+
+    def __init__(self, covered: str, coverers) -> None:
+        object.__setattr__(self, "covered", covered)
+        object.__setattr__(self, "coverers", frozenset(coverers))
+        if not self.coverers:
+            raise ValueError("a covering statement needs at least one coverer")
+
+    def pretty(self) -> str:
+        return f"cover({self.covered} by {', '.join(sorted(self.coverers))})"
+
+
+SchemaConstraint = (
+    IsaStatement
+    | CardinalityDeclaration
+    | DisjointnessStatement
+    | CoveringStatement
+)
+"""Union of the statement kinds a schema is assembled from (and the
+granularity at which the debugger assigns blame)."""
+
+ImplicationQuery = (
+    IsaStatement
+    | MinCardinalityStatement
+    | MaxCardinalityStatement
+    | DisjointnessStatement
+)
+"""Union of the statement kinds :func:`repro.cr.implication.implies` decides."""

@@ -1,0 +1,399 @@
+"""Expansion of a CR-schema (Section 3.1 of the paper).
+
+Because classes may share instances, the instance counts of the classes
+themselves cannot serve as system unknowns (a single individual would be
+counted twice).  The expansion fixes this by switching to **compound
+classes** — non-empty subsets ``C̄ ⊆ C`` standing for the individuals
+that belong to *exactly* the classes in ``C̄`` — whose extensions
+partition the domain, and **compound relationships** — role-labelled
+tuples of compound classes — whose extensions partition each
+relationship.
+
+A compound class is *consistent* when it is upward-closed along the
+declared ISA statements (and, with the Section-5 extensions enabled,
+respects disjointness and covering); a compound relationship is
+consistent when every role carries a consistent compound class
+containing that role's primary class.  Inconsistent compounds are
+forced empty by Lemma 3.2 and appear in the literal disequation system
+only as ``Var = 0`` rows.
+
+The lifted cardinalities of Definition 3.1 are the intersections of the
+member classes' constraints: ``minc`` is the largest member minimum,
+``maxc`` the smallest member maximum.
+
+Everything here enumerates deterministically.  Compound classes are
+numbered the way the paper's Figure 4 numbers them: by size first, then
+lexicographically in class-declaration order — so for the meeting
+schema the numbering is exactly ``C̄1={S} ... C̄7={S,D,T}``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from dataclasses import dataclass
+from itertools import combinations, product
+
+from repro.cr.schema import Card, CRSchema, Relationship
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class CompoundClass:
+    """A non-empty set of class symbols (one cell of the type partition)."""
+
+    members: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ReproError("a compound class is a NONEMPTY subset of C")
+
+    def contains(self, cls: str) -> bool:
+        return cls in self.members
+
+    def pretty(self) -> str:
+        return "{" + ",".join(sorted(self.members)) + "}"
+
+    def __repr__(self) -> str:
+        return f"CompoundClass({self.pretty()})"
+
+
+@dataclass(frozen=True)
+class CompoundRelationship:
+    """A relationship symbol with a compound class attached to each role."""
+
+    rel: str
+    signature: tuple[tuple[str, CompoundClass], ...]
+
+    def component(self, role: str) -> CompoundClass:
+        for candidate, compound in self.signature:
+            if candidate == role:
+                return compound
+        raise KeyError(role)
+
+    @property
+    def roles(self) -> tuple[str, ...]:
+        return tuple(role for role, _ in self.signature)
+
+    def pretty(self) -> str:
+        inner = ", ".join(
+            f"{role}: {compound.pretty()}" for role, compound in self.signature
+        )
+        return f"<{inner}>_{self.rel}"
+
+    def __repr__(self) -> str:
+        return f"CompoundRelationship({self.pretty()})"
+
+
+@dataclass(frozen=True)
+class ExpansionLimits:
+    """Guards against the expansion's inherent exponential blow-up.
+
+    The decision procedure is exponential in the schema size (the paper
+    notes the problem is intractable in general); these limits turn a
+    runaway computation into a clear error instead of an apparent hang.
+    """
+
+    max_all_compound_classes: int = 1 << 16
+    max_consistent_compound_classes: int = 1 << 14
+    max_consistent_compound_relationships: int = 1 << 17
+
+    def check_all_classes(self, count: int) -> None:
+        if count > self.max_all_compound_classes:
+            raise ReproError(
+                f"the schema has {count} compound classes, above the limit of "
+                f"{self.max_all_compound_classes}; add disjointness "
+                "constraints to prune the expansion or raise ExpansionLimits"
+            )
+
+    def check_consistent_classes(self, count: int) -> None:
+        if count > self.max_consistent_compound_classes:
+            raise ReproError(
+                f"the schema has more than {self.max_consistent_compound_classes} "
+                "consistent compound classes; add disjointness constraints "
+                "to prune the expansion or raise ExpansionLimits"
+            )
+
+    def check_consistent_relationships(self, count: int) -> None:
+        if count > self.max_consistent_compound_relationships:
+            raise ReproError(
+                f"the schema has {count} consistent compound relationships, "
+                f"above the limit of {self.max_consistent_compound_relationships}; "
+                "add disjointness constraints to prune the expansion or raise "
+                "ExpansionLimits"
+            )
+
+
+class Expansion:
+    """The expansion ``S̄`` of a CR-schema ``S`` (Definition 3.1).
+
+    Consistent compound classes and relationships are materialised
+    eagerly (they are what the disequation system quantifies over); the
+    full — inconsistent-including — enumerations are generators, used
+    only by the literal Figure-4/Figure-5 renderings and the
+    Lemma-3.2 checker.
+    """
+
+    def __init__(
+        self, schema: CRSchema, limits: ExpansionLimits | None = None
+    ) -> None:
+        self.schema = schema
+        self.limits = limits or ExpansionLimits()
+        self._class_position = {
+            cls: index for index, cls in enumerate(schema.classes)
+        }
+        self._consistent_classes = self._enumerate_consistent_classes()
+        self._consistent_class_set = frozenset(self._consistent_classes)
+        self._consistent_relationships = self._enumerate_consistent_relationships()
+        self._lifted_cache: dict[tuple[CompoundClass, str, str], Card] = {}
+
+    # -- enumeration of compound classes ---------------------------------
+
+    def all_compound_classes(self) -> Iterator[CompoundClass]:
+        """Every non-empty subset of ``C``, in paper (Figure 4) order.
+
+        Exponential in the number of classes; guarded by the limits.
+        """
+        classes = self.schema.classes
+        self.limits.check_all_classes((1 << len(classes)) - 1)
+        for size in range(1, len(classes) + 1):
+            for subset in combinations(classes, size):
+                yield CompoundClass(frozenset(subset))
+
+    def _enumerate_consistent_classes(self) -> tuple[CompoundClass, ...]:
+        """Depth-first generation of the consistent compound classes only.
+
+        Walks classes in declaration order deciding membership, pruning a
+        branch as soon as a constraint with fully-decided classes is
+        violated.  With disjointness constraints present this visits far
+        fewer nodes than the power set — the measurable claim of the
+        paper's conclusion (experiment E9).
+        """
+        schema = self.schema
+        classes = schema.classes
+        n = len(classes)
+        position = self._class_position
+
+        # Constraints in a propagation-friendly form, each tagged with the
+        # highest class position it mentions — the branch point at which
+        # the constraint becomes fully decided.
+        isa_edges = [
+            (position[sub], position[sup]) for sub, sup in schema.isa_statements
+        ]
+        disjoint_pairs: set[tuple[int, int]] = set()
+        for group in schema.disjointness_groups:
+            indices = sorted(position[cls] for cls in group)
+            for i, first in enumerate(indices):
+                for second in indices[i + 1 :]:
+                    disjoint_pairs.add((first, second))
+        coverings = [
+            (position[covered], sorted(position[cls] for cls in coverers))
+            for covered, coverers in schema.coverings
+        ]
+
+        isa_by_depth: dict[int, list[tuple[int, int]]] = {}
+        for sub, sup in isa_edges:
+            isa_by_depth.setdefault(max(sub, sup), []).append((sub, sup))
+        disjoint_by_depth: dict[int, list[tuple[int, int]]] = {}
+        for first, second in disjoint_pairs:
+            disjoint_by_depth.setdefault(second, []).append((first, second))
+        covering_by_depth: dict[int, list[tuple[int, list[int]]]] = {}
+        for covered, coverers in coverings:
+            depth = max([covered] + coverers)
+            covering_by_depth.setdefault(depth, []).append((covered, coverers))
+
+        results: list[frozenset[str]] = []
+        membership = [False] * n
+
+        def recurse(depth: int) -> None:
+            if depth == n:
+                selected = frozenset(
+                    classes[i] for i in range(n) if membership[i]
+                )
+                if selected:
+                    results.append(selected)
+                    self.limits.check_consistent_classes(len(results))
+                return
+            for include in (False, True):
+                membership[depth] = include
+                decided = depth + 1
+                ok = True
+                for sub, sup in isa_by_depth.get(depth, ()):
+                    if membership[sub] and not membership[sup]:
+                        ok = False
+                        break
+                if ok:
+                    for first, second in disjoint_by_depth.get(depth, ()):
+                        if membership[first] and membership[second]:
+                            ok = False
+                            break
+                if ok:
+                    for covered, coverers in covering_by_depth.get(depth, ()):
+                        if membership[covered] and not any(
+                            membership[i] for i in coverers
+                        ):
+                            ok = False
+                            break
+                if ok:
+                    recurse(decided)
+            membership[depth] = False
+
+        recurse(0)
+        ordered = sorted(
+            results, key=lambda members: self._order_key(members)
+        )
+        return tuple(CompoundClass(members) for members in ordered)
+
+    def _order_key(self, members: frozenset[str]) -> tuple[int, tuple[int, ...]]:
+        positions = tuple(sorted(self._class_position[cls] for cls in members))
+        return (len(members), positions)
+
+    def consistent_compound_classes(self) -> tuple[CompoundClass, ...]:
+        """The consistent compound classes, in Figure-4 order."""
+        return self._consistent_classes
+
+    def is_consistent_class(self, compound: CompoundClass) -> bool:
+        return compound in self._consistent_class_set
+
+    def consistent_classes_containing(self, cls: str) -> tuple[CompoundClass, ...]:
+        """Consistent compound classes whose member set contains ``cls``."""
+        return tuple(
+            compound
+            for compound in self._consistent_classes
+            if cls in compound.members
+        )
+
+    # -- numbering (matches the paper's Figure 4) -------------------------
+
+    def class_index(self, compound: CompoundClass) -> int:
+        """1-based index of a compound class in the full Figure-4 order.
+
+        Computed combinatorially (no power-set enumeration): all smaller
+        subsets come first, then the lexicographic rank among subsets of
+        equal size.
+        """
+        n = len(self.schema.classes)
+        positions = sorted(self._class_position[cls] for cls in compound.members)
+        size = len(positions)
+        index = sum(math.comb(n, s) for s in range(1, size))
+        # Lexicographic rank of the combination `positions` among
+        # `size`-subsets of {0..n-1}.
+        rank = 0
+        previous = -1
+        for slot, value in enumerate(positions):
+            for smaller in range(previous + 1, value):
+                rank += math.comb(n - smaller - 1, size - slot - 1)
+            previous = value
+        return index + rank + 1
+
+    # -- compound relationships -------------------------------------------
+
+    def all_compound_relationships(self) -> Iterator[CompoundRelationship]:
+        """Every compound relationship (exponential; rendering/tests only)."""
+        all_classes = list(self.all_compound_classes())
+        for rel in self.schema.relationships:
+            for assignment in product(all_classes, repeat=rel.arity):
+                yield CompoundRelationship(
+                    rel.name, tuple(zip(rel.roles, assignment))
+                )
+
+    def _enumerate_consistent_relationships(
+        self,
+    ) -> tuple[CompoundRelationship, ...]:
+        results: list[CompoundRelationship] = []
+        for rel in self.schema.relationships:
+            candidate_lists = [
+                self.consistent_classes_containing(rel.primary_class(role))
+                for role in rel.roles
+            ]
+            count = math.prod(len(candidates) for candidates in candidate_lists)
+            self.limits.check_consistent_relationships(len(results) + count)
+            for assignment in product(*candidate_lists):
+                results.append(
+                    CompoundRelationship(
+                        rel.name, tuple(zip(rel.roles, assignment))
+                    )
+                )
+        return tuple(results)
+
+    def consistent_compound_relationships(self) -> tuple[CompoundRelationship, ...]:
+        """The consistent compound relationships, grouped by relationship."""
+        return self._consistent_relationships
+
+    def consistent_relationships_of(
+        self, rel: str
+    ) -> tuple[CompoundRelationship, ...]:
+        return tuple(
+            compound
+            for compound in self._consistent_relationships
+            if compound.rel == rel
+        )
+
+    def is_consistent_relationship(self, compound: CompoundRelationship) -> bool:
+        """Consistency per Section 3.1: each role's compound class is
+        consistent and contains the role's primary class."""
+        rel = self.schema.relationship(compound.rel)
+        for role, compound_class in compound.signature:
+            if not self.is_consistent_class(compound_class):
+                return False
+            if rel.primary_class(role) not in compound_class.members:
+                return False
+        return True
+
+    # -- lifted cardinalities (Definition 3.1) -----------------------------
+
+    def lifted_card(self, compound: CompoundClass, rel: str, role: str) -> Card:
+        """``(minc(C̄,R,U), maxc(C̄,R,U))``: intersection over the members.
+
+        Only members that are ``≼*``-subclasses of the role's primary
+        class carry a constraint; the compound class is required to
+        contain the primary class (so the set of contributing members is
+        non-empty).
+        """
+        key = (compound, rel, role)
+        cached = self._lifted_cache.get(key)
+        if cached is not None:
+            return cached
+        relationship: Relationship = self.schema.relationship(rel)
+        primary = relationship.primary_class(role)
+        if primary not in compound.members:
+            raise ReproError(
+                f"lifted cardinality of {compound.pretty()} on "
+                f"({rel}, {role}) is undefined: the compound class does not "
+                f"contain the primary class {primary!r}"
+            )
+        lifted = Card.default()
+        for member in compound.members:
+            if self.schema.is_subclass(member, primary):
+                lifted = lifted.intersect(self.schema.card(member, rel, role))
+        self._lifted_cache[key] = lifted
+        return lifted
+
+    # -- statistics -----------------------------------------------------------
+
+    def size_summary(self) -> dict[str, int]:
+        """Counts used by reports and the E8/E9 benchmarks."""
+        n = len(self.schema.classes)
+        total_relationships = 0
+        all_compound_classes = (1 << n) - 1
+        for rel in self.schema.relationships:
+            total_relationships += all_compound_classes ** rel.arity
+        return {
+            "classes": n,
+            "relationships": len(self.schema.relationships),
+            "all_compound_classes": all_compound_classes,
+            "consistent_compound_classes": len(self._consistent_classes),
+            "all_compound_relationships": total_relationships,
+            "consistent_compound_relationships": len(
+                self._consistent_relationships
+            ),
+        }
+
+    def __repr__(self) -> str:
+        summary = self.size_summary()
+        return (
+            f"Expansion({self.schema.name!r}: "
+            f"{summary['consistent_compound_classes']} consistent compound "
+            f"classes, {summary['consistent_compound_relationships']} "
+            "consistent compound relationships)"
+        )

@@ -1,0 +1,235 @@
+"""Machine-checkable explanations of class unsatisfiability.
+
+The paper's conclusion asks for tooling that "assists the designer when
+a schema is found unsatisfiable".  :mod:`repro.ext.debugging` answers
+*which constraints* conflict; this module answers *why*, with proofs:
+
+* **direct** — when already the linear relaxation
+  ``Ψ_S ∪ {Σ_{C̄ ∋ C} Var(C̄) ≥ 1}`` is infeasible, a single Farkas
+  certificate over the labelled disequations is the whole story (the
+  paper's Figure 1 and Section-3.3 examples are of this kind: the
+  counting argument *is* the certificate);
+* **layered** — when the relaxation is feasible but no *acceptable*
+  solution exists, the explanation mirrors the fixpoint: layer by
+  layer, class unknowns are proved zero by Farkas certificates, the
+  relationship unknowns depending on them are forced to zero by the
+  acceptability rule, and the strengthened system propagates further —
+  until every compound class containing the queried class is dead.
+
+Every certificate in an explanation re-verifies independently
+(:meth:`UnsatisfiabilityExplanation.verify`), so the reasoner's verdict
+can be audited without trusting the simplex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cr.expansion import Expansion, ExpansionLimits
+from repro.cr.schema import CRSchema
+from repro.cr.system import CRSystem, build_system
+from repro.errors import ReproError
+from repro.solver.certificates import FarkasCertificate, farkas_certificate
+from repro.solver.homogeneous import maximal_support
+from repro.solver.linear import Constraint, LinearSystem, Relation, term
+
+
+@dataclass(frozen=True)
+class ZeroUnknownProof:
+    """A Farkas proof that one class unknown is zero in every solution.
+
+    ``system`` is the probed system (current stage plus ``unknown >= 1``)
+    the certificate refutes.
+    """
+
+    unknown: str
+    certificate: FarkasCertificate
+    system: LinearSystem
+
+    def verify(self) -> bool:
+        return self.certificate.verify(self.system)
+
+
+@dataclass(frozen=True)
+class ForcedRelationship:
+    """A relationship unknown zeroed by the acceptability rule."""
+
+    unknown: str
+    zero_dependency: str
+
+
+@dataclass(frozen=True)
+class ExplanationLayer:
+    """One round of the fixpoint: proofs, then acceptability forcing."""
+
+    zero_proofs: tuple[ZeroUnknownProof, ...]
+    forced_relationships: tuple[ForcedRelationship, ...]
+
+
+@dataclass(frozen=True)
+class UnsatisfiabilityExplanation:
+    """Why a class admits no finite population.
+
+    Exactly one of ``direct_certificate`` (with ``direct_system``) or
+    ``layers`` is populated, per the module docstring.
+    """
+
+    cls: str
+    kind: str  # "direct" | "layered"
+    direct_certificate: FarkasCertificate | None = None
+    direct_system: LinearSystem | None = None
+    layers: tuple[ExplanationLayer, ...] = ()
+    target_unknowns: tuple[str, ...] = ()
+
+    def verify(self) -> bool:
+        """Re-check every certificate in the explanation."""
+        if self.kind == "direct":
+            assert self.direct_certificate and self.direct_system
+            return self.direct_certificate.verify(self.direct_system)
+        proven_zero = set()
+        for layer in self.layers:
+            if not all(proof.verify() for proof in layer.zero_proofs):
+                return False
+            proven_zero.update(proof.unknown for proof in layer.zero_proofs)
+            proven_zero.update(
+                forced.unknown for forced in layer.forced_relationships
+            )
+        return set(self.target_unknowns) <= proven_zero
+
+    def pretty(self) -> str:
+        lines = [f"class {self.cls!r} admits no finite population."]
+        if self.kind == "direct":
+            assert self.direct_certificate and self.direct_system
+            lines.append(
+                "Already the linear relaxation of Psi_S plus the "
+                "positivity of the class is infeasible:"
+            )
+            lines.append(self.direct_certificate.pretty(self.direct_system))
+            return "\n".join(lines)
+        lines.append(
+            "The relaxation is feasible, but no acceptable solution exists:"
+        )
+        for depth, layer in enumerate(self.layers, start=1):
+            lines.append(f"-- layer {depth}")
+            for proof in layer.zero_proofs:
+                lines.append(
+                    f"  {proof.unknown} = 0 in every solution "
+                    f"(Farkas proof over {len(proof.certificate.weights)} "
+                    "disequations)"
+                )
+            for forced in layer.forced_relationships:
+                lines.append(
+                    f"  {forced.unknown} = 0 by acceptability: it depends "
+                    f"on {forced.zero_dependency} = 0"
+                )
+        lines.append(
+            "hence every compound class containing the queried class is "
+            f"empty: {', '.join(self.target_unknowns)} = 0"
+        )
+        return "\n".join(lines)
+
+
+def _sharpened_positivity(cr_system: CRSystem, cls: str) -> Constraint:
+    """``Σ Var(C̄) ≥ 1`` — the cone-scaled Theorem-3.3 side condition."""
+    return Constraint(
+        cr_system.class_population_expr(cls) - 1,
+        Relation.GE,
+        label=f"positivity:{cls}",
+    )
+
+
+def explain_unsatisfiability(
+    schema: CRSchema,
+    cls: str,
+    expansion: Expansion | None = None,
+    limits: ExpansionLimits | None = None,
+) -> UnsatisfiabilityExplanation:
+    """Build a verified explanation for an unsatisfiable class.
+
+    Raises :class:`ReproError` if the class is in fact satisfiable.
+    """
+    schema.require_class(cls)
+    if expansion is None:
+        expansion = Expansion(schema, limits)
+    cr_system = build_system(expansion, mode="pruned")
+    targets = tuple(
+        cr_system.class_var[compound]
+        for compound in expansion.consistent_classes_containing(cls)
+    )
+
+    # Direct case: the relaxation itself is infeasible.
+    relaxation = cr_system.system.with_constraints(
+        [_sharpened_positivity(cr_system, cls)]
+    )
+    certificate = farkas_certificate(relaxation)
+    if certificate is not None:
+        return UnsatisfiabilityExplanation(
+            cls=cls,
+            kind="direct",
+            direct_certificate=certificate,
+            direct_system=relaxation,
+            target_unknowns=targets,
+        )
+
+    # Layered case: replay the acceptability fixpoint, proving each
+    # newly-dead class unknown with its own certificate.
+    layers: list[ExplanationLayer] = []
+    forced_zero: set[str] = set()
+    proven_zero: set[str] = set()
+    class_unknowns = list(cr_system.class_var.values())
+    while True:
+        constrained = cr_system.system.with_constraints(
+            Constraint(term(name), Relation.EQ, label=f"forced-zero:{name}")
+            for name in sorted(forced_zero)
+        )
+        support, _solution = maximal_support(
+            constrained, candidates=class_unknowns
+        )
+        zero_proofs = []
+        for name in class_unknowns:
+            if name in support or name in proven_zero:
+                continue
+            probe = constrained.with_constraints(
+                [Constraint(term(name) - 1, Relation.GE, label=f"probe:{name}")]
+            )
+            proof_certificate = farkas_certificate(probe)
+            assert proof_certificate is not None, (
+                f"{name} is outside the maximal support, so the probe "
+                "must be infeasible"
+            )
+            zero_proofs.append(
+                ZeroUnknownProof(name, proof_certificate, probe)
+            )
+            proven_zero.add(name)
+        newly_forced = []
+        for rel_unknown, deps in cr_system.dependencies.items():
+            if rel_unknown in forced_zero:
+                continue
+            dead = next((c for c in deps if c not in support), None)
+            if dead is not None:
+                newly_forced.append(ForcedRelationship(rel_unknown, dead))
+        if zero_proofs or newly_forced:
+            layers.append(
+                ExplanationLayer(tuple(zero_proofs), tuple(newly_forced))
+            )
+        if set(targets) <= proven_zero:
+            return UnsatisfiabilityExplanation(
+                cls=cls,
+                kind="layered",
+                layers=tuple(layers),
+                target_unknowns=targets,
+            )
+        if not newly_forced:
+            raise ReproError(
+                f"class {cls!r} is satisfiable; there is nothing to explain"
+            )
+        forced_zero.update(forced.unknown for forced in newly_forced)
+
+
+__all__ = [
+    "ZeroUnknownProof",
+    "ForcedRelationship",
+    "ExplanationLayer",
+    "UnsatisfiabilityExplanation",
+    "explain_unsatisfiability",
+]

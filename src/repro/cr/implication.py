@@ -1,0 +1,310 @@
+"""Implication of ISA and cardinality constraints (Section 4 of the paper).
+
+``S ⊨ K`` — every finite model of schema ``S`` satisfies statement
+``K`` — is decided by reduction to (un)satisfiability:
+
+* **ISA** ``C ≼ D``: not implied iff ``Ψ_S`` admits an acceptable
+  solution making positive some consistent compound class containing
+  ``C`` but not ``D`` — from such a solution a model with a ``C``
+  instance outside ``D`` is constructed.
+* **minc** ``minc(C, R, U) = m`` (``m > 0``): the paper's auxiliary
+  class ``C_exc`` is added with ``C_exc ≼ C`` and
+  ``maxc(C_exc, R, U) = m − 1``; the statement is implied iff ``C_exc``
+  is unsatisfiable in the extended schema.
+* **maxc** ``maxc(C, R, U) = n``: dually, ``C_exc ≼ C`` with
+  ``minc(C_exc, R, U) = n + 1``.
+* **disjointness** (Section-5 extension): ``C`` and ``D`` disjoint is
+  implied iff no consistent compound class containing both can be
+  populated.
+
+Whenever a statement is *not* implied, the engine returns an explicit
+finite counter-model (a model of ``S`` violating ``K``), which the
+test-suite re-validates with the Definition-2.2 checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cr.constraints import (
+    DisjointnessStatement,
+    IsaStatement,
+    MaxCardinalityStatement,
+    MinCardinalityStatement,
+)
+from repro.cr.construction import construct_model
+from repro.cr.expansion import Expansion, ExpansionLimits
+from repro.cr.interpretation import Interpretation
+from repro.cr.satisfiability import acceptable_with_positive
+from repro.cr.schema import Card, CRSchema, Relationship, UNBOUNDED
+from repro.cr.system import build_system
+from repro.errors import ReproError, SchemaError
+from repro.utils.naming import FreshNames
+
+ImplicationQuery = (
+    IsaStatement
+    | MinCardinalityStatement
+    | MaxCardinalityStatement
+    | DisjointnessStatement
+)
+
+
+@dataclass(frozen=True)
+class ImplicationResult:
+    """Outcome of an implication check ``S ⊨ K``.
+
+    When not implied, ``countermodel`` is a finite model of ``S`` in
+    which ``K`` fails.
+    """
+
+    query: ImplicationQuery
+    implied: bool
+    engine: str
+    countermodel: Interpretation | None
+
+    def pretty(self) -> str:
+        verdict = "S |= " if self.implied else "S |/= "
+        return verdict + self.query.pretty()
+
+
+def implies(
+    schema: CRSchema,
+    query: ImplicationQuery,
+    engine: str = "fixpoint",
+    limits: ExpansionLimits | None = None,
+) -> ImplicationResult:
+    """Dispatch an implication query to the matching decision routine."""
+    if isinstance(query, IsaStatement):
+        return implies_isa(schema, query.sub, query.sup, engine, limits)
+    if isinstance(query, MinCardinalityStatement):
+        return implies_min_cardinality(
+            schema, query.cls, query.rel, query.role, query.value, engine, limits
+        )
+    if isinstance(query, MaxCardinalityStatement):
+        return implies_max_cardinality(
+            schema, query.cls, query.rel, query.role, query.value, engine, limits
+        )
+    if isinstance(query, DisjointnessStatement):
+        classes = sorted(query.classes)
+        return implies_disjointness(schema, classes, engine, limits)
+    raise ReproError(f"unsupported implication query {query!r}")
+
+
+def implies_isa(
+    schema: CRSchema,
+    sub: str,
+    sup: str,
+    engine: str = "fixpoint",
+    limits: ExpansionLimits | None = None,
+) -> ImplicationResult:
+    """Decide ``S ⊨ sub ≼ sup``."""
+    schema.require_class(sub)
+    schema.require_class(sup)
+    query = IsaStatement(sub, sup)
+    expansion = Expansion(schema, limits)
+    cr_system = build_system(expansion, mode="pruned")
+    targets = frozenset(
+        cr_system.class_var[compound]
+        for compound in expansion.consistent_classes_containing(sub)
+        if sup not in compound.members
+    )
+    found, solution, _support = acceptable_with_positive(
+        cr_system, targets, engine
+    )
+    if not found:
+        return ImplicationResult(query, True, engine, None)
+    assert solution is not None
+    countermodel = construct_model(cr_system, solution)
+    return ImplicationResult(query, False, engine, countermodel)
+
+
+def _exceptional_schema(
+    schema: CRSchema,
+    cls: str,
+    rel: str,
+    role: str,
+    exceptional_card: Card,
+) -> tuple[CRSchema, str]:
+    """The schema ``S'`` of Section 4: ``S`` plus ``C_exc ≼ cls`` with the
+    given cardinality on ``(rel, role)``.  Returns ``(S', C_exc name)``."""
+    relationship: Relationship = schema.relationship(rel)
+    primary = relationship.primary_class(role)
+    if not schema.is_subclass(cls, primary):
+        raise SchemaError(
+            f"cardinality query on ({cls!r}, {rel!r}, {role!r}) is illegal: "
+            f"{cls!r} is not a subclass of the primary class {primary!r}"
+        )
+    fresh = FreshNames(schema.classes)
+    fresh.reserve(rel)
+    exc = fresh.fresh("C_exc")
+    cards = schema.declared_cards
+    cards[(exc, rel, role)] = exceptional_card
+    extended = CRSchema(
+        classes=tuple(schema.classes) + (exc,),
+        relationships=schema.relationships,
+        isa=tuple(schema.isa_statements) + ((exc, cls),),
+        cards=cards,
+        disjointness=schema.disjointness_groups,
+        coverings=schema.coverings,
+        name=f"{schema.name}+{exc}",
+    )
+    return extended, exc
+
+
+def _strip_class(interpretation: Interpretation, cls: str) -> Interpretation:
+    """Drop one class's extension (the reduct from ``S'`` back to ``S``)."""
+    return Interpretation(
+        domain=interpretation.domain,
+        class_extensions={
+            name: extension
+            for name, extension in interpretation.class_extensions.items()
+            if name != cls
+        },
+        relationship_extensions=interpretation.relationship_extensions,
+    )
+
+
+def _cardinality_implication(
+    schema: CRSchema,
+    query: MinCardinalityStatement | MaxCardinalityStatement,
+    exceptional_card: Card,
+    engine: str,
+    limits: ExpansionLimits | None,
+) -> ImplicationResult:
+    extended, exc = _exceptional_schema(
+        schema, query.cls, query.rel, query.role, exceptional_card
+    )
+    expansion = Expansion(extended, limits)
+    cr_system = build_system(expansion, mode="pruned")
+    targets = frozenset(
+        cr_system.class_var[compound]
+        for compound in expansion.consistent_classes_containing(exc)
+    )
+    found, solution, _support = acceptable_with_positive(
+        cr_system, targets, engine
+    )
+    if not found:
+        return ImplicationResult(query, True, engine, None)
+    assert solution is not None
+    countermodel = _strip_class(construct_model(cr_system, solution), exc)
+    return ImplicationResult(query, False, engine, countermodel)
+
+
+def implies_min_cardinality(
+    schema: CRSchema,
+    cls: str,
+    rel: str,
+    role: str,
+    value: int,
+    engine: str = "fixpoint",
+    limits: ExpansionLimits | None = None,
+) -> ImplicationResult:
+    """Decide ``S ⊨ minc(cls, rel, role) = value``.
+
+    ``value = 0`` is vacuously implied.  Otherwise ``C_exc`` with
+    ``maxc = value − 1`` is satisfiable exactly when some model has a
+    ``cls`` instance participating fewer than ``value`` times.
+    """
+    query = MinCardinalityStatement(cls, rel, role, value)
+    if value == 0:
+        return ImplicationResult(query, True, engine, None)
+    return _cardinality_implication(
+        schema, query, Card(0, value - 1), engine, limits
+    )
+
+
+def implies_max_cardinality(
+    schema: CRSchema,
+    cls: str,
+    rel: str,
+    role: str,
+    value: int,
+    engine: str = "fixpoint",
+    limits: ExpansionLimits | None = None,
+) -> ImplicationResult:
+    """Decide ``S ⊨ maxc(cls, rel, role) = value``.
+
+    ``C_exc`` is required to participate at least ``value + 1`` times;
+    it is satisfiable exactly when some model breaks the bound.
+    """
+    query = MaxCardinalityStatement(cls, rel, role, value)
+    return _cardinality_implication(
+        schema, query, Card(value + 1, UNBOUNDED), engine, limits
+    )
+
+
+def implies_disjointness(
+    schema: CRSchema,
+    classes,
+    engine: str = "fixpoint",
+    limits: ExpansionLimits | None = None,
+) -> ImplicationResult:
+    """Decide whether the given classes are pairwise disjoint in all models.
+
+    Not implied iff some *pair* can share an instance, i.e. some
+    consistent compound class containing both can be populated.
+    """
+    class_list = sorted(set(classes))
+    if len(class_list) < 2:
+        raise SchemaError("disjointness query needs at least two classes")
+    for cls in class_list:
+        schema.require_class(cls)
+    query = DisjointnessStatement(frozenset(class_list))
+    expansion = Expansion(schema, limits)
+    cr_system = build_system(expansion, mode="pruned")
+    targets = set()
+    for i, first in enumerate(class_list):
+        for second in class_list[i + 1 :]:
+            for compound in expansion.consistent_compound_classes():
+                if first in compound.members and second in compound.members:
+                    targets.add(cr_system.class_var[compound])
+    found, solution, _support = acceptable_with_positive(
+        cr_system, frozenset(targets), engine
+    )
+    if not found:
+        return ImplicationResult(query, True, engine, None)
+    assert solution is not None
+    countermodel = construct_model(cr_system, solution)
+    return ImplicationResult(query, False, engine, countermodel)
+
+
+# ---------------------------------------------------------------------------
+# statement evaluation over a concrete interpretation (used by tests
+# and by callers that want to inspect counter-models)
+# ---------------------------------------------------------------------------
+
+
+def statement_holds(
+    interpretation: Interpretation, statement: ImplicationQuery
+) -> bool:
+    """Whether an interpretation satisfies a constraint statement."""
+    if isinstance(statement, IsaStatement):
+        return interpretation.instances_of(
+            statement.sub
+        ) <= interpretation.instances_of(statement.sup)
+    if isinstance(statement, MinCardinalityStatement):
+        return all(
+            interpretation.participation_count(
+                statement.rel, statement.role, individual
+            )
+            >= statement.value
+            for individual in interpretation.instances_of(statement.cls)
+        )
+    if isinstance(statement, MaxCardinalityStatement):
+        return all(
+            interpretation.participation_count(
+                statement.rel, statement.role, individual
+            )
+            <= statement.value
+            for individual in interpretation.instances_of(statement.cls)
+        )
+    if isinstance(statement, DisjointnessStatement):
+        members = sorted(statement.classes)
+        for i, first in enumerate(members):
+            for second in members[i + 1 :]:
+                if interpretation.instances_of(
+                    first
+                ) & interpretation.instances_of(second):
+                    return False
+        return True
+    raise ReproError(f"unsupported statement {statement!r}")

@@ -1,0 +1,317 @@
+"""Class satisfiability in CR (Section 3.3 of the paper).
+
+Theorem 3.3 reduces satisfiability of a class ``C_s`` to the existence
+of an **acceptable** solution of ``Ψ'_S = Ψ_S ∪ {Σ_{C̄ ∋ C_s} Var(C̄) > 0}``,
+where a solution is acceptable when every relationship unknown that
+depends on a zero class unknown is itself zero.  Theorem 3.4 makes this
+decidable by enumerating the zero-set ``Z`` of class unknowns.
+
+Two engines implement the test:
+
+``naive``
+    The literal Theorem-3.4 procedure: for every subset ``Z`` of the
+    class unknowns, check feasibility of ``Ψ_Z`` (one exact LP each).
+    Exponential in the number of *consistent compound classes* — i.e.
+    doubly exponential in the schema — but it is the theorem verbatim,
+    and serves as the differential-testing oracle for the fast engine.
+
+``fixpoint``
+    Exploits the cone structure of homogeneous systems: the set of
+    unknowns positive in *some* solution is closed under union (sum the
+    witnesses), so there is a unique maximal support, computable with
+    one LP per unknown.  Acceptability is then enforced by a fixpoint:
+    any relationship unknown depending on a class unknown that can
+    never be positive is forced to zero, the support is recomputed, and
+    so on until stable.  The final support is exactly the union of the
+    supports of all acceptable solutions, so:
+
+    * class ``C`` is satisfiable  iff  some consistent compound class
+      containing ``C`` has its unknown in the final support;
+    * the accumulated full-support solution is itself acceptable and
+      witnesses every satisfiable class at once.
+
+    This needs polynomially many LP calls in the size of the expansion
+    (the expansion itself remains exponential in the schema, as the
+    paper proves is unavoidable).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+
+from repro.cr.expansion import Expansion, ExpansionLimits
+from repro.cr.schema import CRSchema
+from repro.cr.system import CRSystem, build_system
+from repro.errors import ReproError
+from repro.solver.homogeneous import (
+    find_positive_solution,
+    integerize,
+    maximal_support,
+)
+from repro.solver.linear import Constraint, LinearSystem, Relation, term
+
+_NAIVE_CLASS_UNKNOWN_LIMIT = 16
+
+
+@dataclass(frozen=True)
+class SatisfiabilityResult:
+    """Outcome of a class-satisfiability check.
+
+    ``solution`` is an acceptable non-negative *integer* solution of
+    ``Ψ'_S`` when satisfiable (the paper's Figure 6 object), from which
+    :func:`repro.cr.construction.construct_model` builds an explicit
+    finite model.  ``support`` is the set of unknowns the witness makes
+    positive.
+    """
+
+    cls: str
+    satisfiable: bool
+    engine: str
+    cr_system: CRSystem
+    solution: dict[str, int] | None
+    support: frozenset[str] | None
+
+    def witness_count(self, unknown: str) -> int:
+        """Convenience accessor into the witness solution."""
+        if self.solution is None:
+            raise ReproError("no witness: the class is unsatisfiable")
+        return self.solution.get(unknown, 0)
+
+
+def is_acceptable(
+    solution: Mapping[str, Fraction | int],
+    dependencies: Mapping[str, tuple[str, ...]],
+) -> bool:
+    """Section 3.3's acceptability condition on a solution.
+
+    Every relationship unknown depending (via some role) on a class
+    unknown valued 0 must be 0.
+    """
+    for rel_unknown, class_unknowns in dependencies.items():
+        if solution.get(rel_unknown, 0) == 0:
+            continue
+        if any(solution.get(c, 0) == 0 for c in class_unknowns):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint engine
+# ---------------------------------------------------------------------------
+
+
+def acceptable_support(
+    cr_system: CRSystem,
+) -> tuple[frozenset[str], dict[str, Fraction]]:
+    """Maximal support over all *acceptable* solutions, with a witness.
+
+    The witness is a single acceptable solution positive on exactly the
+    returned support.  See the module docstring for why the fixpoint is
+    sound and complete.
+    """
+    base = cr_system.system
+    dependencies = cr_system.dependencies
+    # Probing only the class unknowns suffices: the fixpoint forces out
+    # every relationship unknown that depends on an unreachable class,
+    # and at the fixpoint the witness is positive on every reachable
+    # class unknown, which makes it acceptable regardless of which
+    # relationship unknowns it happens to use.  Fewer probes mean a much
+    # smaller LP (one shadow variable and two rows per probe).
+    class_unknowns = list(cr_system.class_var.values())
+    forced_zero: set[str] = set()
+    while True:
+        constrained = base.with_constraints(
+            Constraint(term(name), Relation.EQ, label=f"forced-zero:{name}")
+            for name in sorted(forced_zero)
+        )
+        support, solution = maximal_support(
+            constrained, candidates=class_unknowns
+        )
+        newly_forced = {
+            rel_unknown
+            for rel_unknown, class_unknowns_of_rel in dependencies.items()
+            if rel_unknown not in forced_zero
+            and any(c not in support for c in class_unknowns_of_rel)
+        }
+        if not newly_forced:
+            assert is_acceptable(solution, dependencies)
+            return support, solution
+        forced_zero |= newly_forced
+
+
+def acceptable_with_positive(
+    cr_system: CRSystem,
+    targets: frozenset[str],
+    engine: str = "fixpoint",
+) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
+    """Is there an acceptable solution making some ``targets`` unknown positive?
+
+    This is the common core of Theorem 3.3 (``targets`` = unknowns of
+    the compound classes containing the queried class) and of the
+    Section-4 implication checks (``targets`` = unknowns of the
+    counterexample compound classes).  Returns
+    ``(found, integer_witness, support)``.
+    """
+    if engine == "fixpoint":
+        support, solution = acceptable_support(cr_system)
+        if not (targets & support):
+            return False, None, support
+        return True, integerize(solution), support
+    if engine == "naive":
+        return _naive_with_positive(cr_system, targets)
+    raise ReproError(f"unknown engine {engine!r}")
+
+
+# ---------------------------------------------------------------------------
+# Naive engine (Theorem 3.4 verbatim)
+# ---------------------------------------------------------------------------
+
+
+def _zero_set_system(
+    cr_system: CRSystem, zero_set: frozenset[str]
+) -> LinearSystem:
+    """The system ``Ψ_Z`` of Theorem 3.4.
+
+    Class unknowns in ``Z`` are pinned to 0, the others are required
+    strictly positive, and every relationship unknown depending on a
+    member of ``Z`` is pinned to 0 (non-negativity of the rest is
+    already part of ``Ψ_S``).
+    """
+    extra: list[Constraint] = []
+    for name in cr_system.consistent_class_unknowns():
+        if name in zero_set:
+            extra.append(
+                Constraint(term(name), Relation.EQ, label=f"Z-zero:{name}")
+            )
+        else:
+            extra.append(
+                Constraint(term(name), Relation.GT, label=f"Z-positive:{name}")
+            )
+    for rel_unknown, class_unknowns in cr_system.dependencies.items():
+        if any(c in zero_set for c in class_unknowns):
+            extra.append(
+                Constraint(
+                    term(rel_unknown), Relation.EQ, label=f"Z-dep:{rel_unknown}"
+                )
+            )
+    return cr_system.system.with_constraints(extra)
+
+
+def _naive_with_positive(
+    cr_system: CRSystem, targets: frozenset[str]
+) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
+    class_unknowns = list(cr_system.consistent_class_unknowns())
+    if len(class_unknowns) > _NAIVE_CLASS_UNKNOWN_LIMIT:
+        raise ReproError(
+            f"the naive (Theorem 3.4) engine enumerates 2^{len(class_unknowns)} "
+            "zero-sets; use engine='fixpoint' for schemas of this size"
+        )
+    universe = set(class_unknowns)
+    # Smaller zero-sets first: solutions with rich support come out of
+    # the search earlier, and Z = {} alone settles most satisfiable cases.
+    for size in range(len(class_unknowns) + 1):
+        for zero_tuple in combinations(class_unknowns, size):
+            zero_set = frozenset(zero_tuple)
+            if targets <= zero_set:
+                continue  # the required positivity would be impossible
+            candidate = _zero_set_system(cr_system, zero_set)
+            witness = find_positive_solution(candidate)
+            if witness.feasible:
+                assert witness.integral is not None
+                support = frozenset(
+                    name for name, value in witness.integral.items() if value > 0
+                )
+                assert universe - zero_set <= support
+                return True, witness.integral, support
+    return False, None, frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def is_class_satisfiable(
+    schema: CRSchema,
+    cls: str,
+    engine: str = "fixpoint",
+    expansion: Expansion | None = None,
+    limits: ExpansionLimits | None = None,
+) -> SatisfiabilityResult:
+    """Decide whether ``cls`` can be populated in some finite model.
+
+    Parameters
+    ----------
+    schema:
+        The CR-schema.
+    cls:
+        The class whose satisfiability is queried.
+    engine:
+        ``"fixpoint"`` (default) or ``"naive"`` — see the module
+        docstring.
+    expansion:
+        Optionally a precomputed expansion of ``schema`` (reused by the
+        implication engine to amortise the exponential step).
+    limits:
+        Expansion guards; ignored when ``expansion`` is given.
+    """
+    schema.require_class(cls)
+    if expansion is None:
+        expansion = Expansion(schema, limits)
+    cr_system = build_system(expansion, mode="pruned")
+    targets = frozenset(
+        cr_system.class_var[compound]
+        for compound in expansion.consistent_classes_containing(cls)
+    )
+    satisfiable, solution, support = acceptable_with_positive(
+        cr_system, targets, engine
+    )
+    return SatisfiabilityResult(
+        cls=cls,
+        satisfiable=satisfiable,
+        engine=engine,
+        cr_system=cr_system,
+        solution=solution,
+        support=support if satisfiable else frozenset(),
+    )
+
+
+def satisfiable_classes(
+    schema: CRSchema,
+    expansion: Expansion | None = None,
+    limits: ExpansionLimits | None = None,
+) -> dict[str, bool]:
+    """Satisfiability of every class with a single fixpoint run.
+
+    The final acceptable support settles all classes at once: a class is
+    satisfiable exactly when some consistent compound class containing
+    it has a positive unknown in the support.
+    """
+    if expansion is None:
+        expansion = Expansion(schema, limits)
+    cr_system = build_system(expansion, mode="pruned")
+    support, _solution = acceptable_support(cr_system)
+    return {
+        cls: any(
+            cr_system.class_var[compound] in support
+            for compound in expansion.consistent_classes_containing(cls)
+        )
+        for cls in schema.classes
+    }
+
+
+def is_schema_fully_satisfiable(
+    schema: CRSchema,
+    expansion: Expansion | None = None,
+    limits: ExpansionLimits | None = None,
+) -> bool:
+    """Whether *every* class of the schema is satisfiable.
+
+    The paper's notion of a well-formed design: no class is forced
+    empty by the interaction of ISA and cardinality constraints (the
+    pathology of Figure 1).
+    """
+    return all(satisfiable_classes(schema, expansion, limits).values())

@@ -1,0 +1,482 @@
+"""The CR data model (Definition 2.1 of the paper).
+
+A **CR-schema** consists of class symbols, relationship symbols with
+role-labelled signatures, ISA statements between classes, and
+cardinality declarations ``(minc, maxc)`` attached to a class /
+relationship / role triple — where the class may be any ``≼*``-subclass
+of the role's primary class (*refinement* of inherited cardinalities,
+the dashed edges of the paper's Figure 2).
+
+This module also carries the two Section-5 extensions (disjointness and
+covering statements): the base model of the paper is recovered by
+leaving them empty, and the expansion machinery consults them in a
+single place (:meth:`CRSchema.is_consistent_compound`) so the core
+algorithms need no special cases.
+
+Schemas are immutable; build them with
+:class:`repro.cr.builder.SchemaBuilder` or the DSL
+(:func:`repro.dsl.parse_schema`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import SchemaError, UnknownSymbolError
+from repro.utils.naming import is_identifier
+
+UNBOUNDED: None = None
+"""Sentinel for an unbounded ``maxc`` (the paper's ∞)."""
+
+
+def _reflexive_transitive_ancestors(
+    classes: Sequence[str], isa: Iterable[tuple[str, str]]
+) -> dict[str, frozenset[str]]:
+    """``≼*`` as class → ancestor set (every class is its own ancestor)."""
+    parents: dict[str, set[str]] = {cls: set() for cls in classes}
+    for sub, sup in isa:
+        parents[sub].add(sup)
+    ancestors: dict[str, frozenset[str]] = {}
+    for cls in classes:
+        reached = {cls}
+        frontier = [cls]
+        while frontier:
+            current = frontier.pop()
+            for parent in parents[current]:
+                if parent not in reached:
+                    reached.add(parent)
+                    frontier.append(parent)
+        ancestors[cls] = frozenset(reached)
+    return ancestors
+
+
+@dataclass(frozen=True)
+class Card:
+    """A ``(minc, maxc)`` pair; ``maxc is None`` means unbounded (∞).
+
+    The paper allows ``minc > maxc`` — such a declaration is not a
+    syntax error, it simply forces the class to be empty — so no
+    ordering is enforced here.
+    """
+
+    minc: int = 0
+    maxc: int | None = UNBOUNDED
+
+    def __post_init__(self) -> None:
+        if self.minc < 0:
+            raise SchemaError(f"minc must be non-negative, got {self.minc}")
+        if self.maxc is not None and self.maxc < 0:
+            raise SchemaError(f"maxc must be non-negative or None, got {self.maxc}")
+
+    @classmethod
+    def default(cls) -> Card:
+        """The implicit constraint ``(0, ∞)`` of undeclared triples."""
+        return cls(0, UNBOUNDED)
+
+    def is_default(self) -> bool:
+        return self.minc == 0 and self.maxc is UNBOUNDED
+
+    def admits(self, count: int) -> bool:
+        """Whether a participation count satisfies this constraint."""
+        if count < self.minc:
+            return False
+        return self.maxc is None or count <= self.maxc
+
+    def intersect(self, other: Card) -> Card:
+        """The tightest constraint implied by both (max of mins, min of maxs).
+
+        This is exactly the lifting rule of Definition 3.1 applied to a
+        pair of declarations.
+        """
+        if self.maxc is None:
+            maxc = other.maxc
+        elif other.maxc is None:
+            maxc = self.maxc
+        else:
+            maxc = min(self.maxc, other.maxc)
+        return Card(max(self.minc, other.minc), maxc)
+
+    def pretty(self) -> str:
+        upper = "inf" if self.maxc is None else str(self.maxc)
+        return f"({self.minc},{upper})"
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A relationship symbol with its role-labelled signature.
+
+    ``signature`` lists ``(role, primary_class)`` pairs in declaration
+    order; Definition 2.1 requires at least two roles and roles that are
+    specific to a single relationship (enforced by the schema).
+    """
+
+    name: str
+    signature: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.signature) < 2:
+            raise SchemaError(
+                f"relationship {self.name!r} must have arity >= 2 "
+                f"(Definition 2.1), got {len(self.signature)}"
+            )
+        roles = [role for role, _ in self.signature]
+        if len(set(roles)) != len(roles):
+            raise SchemaError(
+                f"relationship {self.name!r} declares a duplicate role"
+            )
+
+    @property
+    def roles(self) -> tuple[str, ...]:
+        """Role names in signature order."""
+        return tuple(role for role, _ in self.signature)
+
+    @property
+    def arity(self) -> int:
+        return len(self.signature)
+
+    def primary_class(self, role: str) -> str:
+        """The primary class for ``role`` in this relationship."""
+        for candidate, cls in self.signature:
+            if candidate == role:
+                return cls
+        raise UnknownSymbolError(
+            f"relationship {self.name!r} has no role {role!r}"
+        )
+
+    def pretty(self) -> str:
+        inner = ", ".join(f"{role}: {cls}" for role, cls in self.signature)
+        return f"{self.name} = <{inner}>"
+
+
+class CRSchema:
+    """An immutable CR-schema with precomputed derived structure.
+
+    Construction validates the whole schema (Definition 2.1 plus the
+    refinement side-condition on cardinality declarations) and
+    precomputes the reflexive-transitive ISA closure, so the hot paths
+    of the decision procedure are dictionary lookups.
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[str],
+        relationships: Sequence[Relationship],
+        isa: Iterable[tuple[str, str]] = (),
+        cards: Mapping[tuple[str, str, str], Card] | None = None,
+        disjointness: Iterable[frozenset[str]] = (),
+        coverings: Iterable[tuple[str, frozenset[str]]] = (),
+        name: str = "S",
+    ) -> None:
+        self.name = name
+        self._classes = tuple(classes)
+        self._relationships = {rel.name: rel for rel in relationships}
+        self._isa = tuple(dict.fromkeys(tuple(pair) for pair in isa))
+        self._cards = dict(cards or {})
+        self._disjointness = tuple(frozenset(group) for group in disjointness)
+        self._coverings = tuple(
+            (covered, frozenset(coverers)) for covered, coverers in coverings
+        )
+        self._validate()
+        self._ancestors = self._compute_ancestors()
+        self._validate_cards()
+        self._role_owner = {
+            role: rel.name
+            for rel in self._relationships.values()
+            for role in rel.roles
+        }
+
+    # -- validation ----------------------------------------------------
+
+    def _validate(self) -> None:
+        if len(set(self._classes)) != len(self._classes):
+            raise SchemaError("duplicate class declaration")
+        for cls in self._classes:
+            if not is_identifier(cls):
+                raise SchemaError(f"invalid class name {cls!r}")
+        class_set = set(self._classes)
+
+        if len(self._relationships) != len(
+            set(self._relationships)
+        ):  # pragma: no cover - dict keys are unique by construction
+            raise SchemaError("duplicate relationship declaration")
+        seen_roles: dict[str, str] = {}
+        for rel in self._relationships.values():
+            if not is_identifier(rel.name):
+                raise SchemaError(f"invalid relationship name {rel.name!r}")
+            if rel.name in class_set:
+                raise SchemaError(
+                    f"name {rel.name!r} is used for both a class and a relationship"
+                )
+            for role, cls in rel.signature:
+                if not is_identifier(role):
+                    raise SchemaError(f"invalid role name {role!r}")
+                if role in seen_roles:
+                    raise SchemaError(
+                        f"role {role!r} is declared in both "
+                        f"{seen_roles[role]!r} and {rel.name!r}; roles are "
+                        "specific to one relationship (Definition 2.1)"
+                    )
+                seen_roles[role] = rel.name
+                if cls not in class_set:
+                    raise UnknownSymbolError(
+                        f"relationship {rel.name!r} uses undeclared class {cls!r}"
+                    )
+
+        for sub, sup in self._isa:
+            if sub not in class_set:
+                raise UnknownSymbolError(f"ISA uses undeclared class {sub!r}")
+            if sup not in class_set:
+                raise UnknownSymbolError(f"ISA uses undeclared class {sup!r}")
+
+        for group in self._disjointness:
+            if len(group) < 2:
+                raise SchemaError(
+                    "a disjointness statement needs at least two classes"
+                )
+            for cls in group:
+                if cls not in class_set:
+                    raise UnknownSymbolError(
+                        f"disjointness uses undeclared class {cls!r}"
+                    )
+        for covered, coverers in self._coverings:
+            if covered not in class_set:
+                raise UnknownSymbolError(
+                    f"covering uses undeclared class {covered!r}"
+                )
+            if not coverers:
+                raise SchemaError("a covering statement needs coverers")
+            for cls in coverers:
+                if cls not in class_set:
+                    raise UnknownSymbolError(
+                        f"covering uses undeclared class {cls!r}"
+                    )
+
+    def _validate_cards(self) -> None:
+        for (cls, rel_name, role), card in self._cards.items():
+            rel = self._relationships.get(rel_name)
+            if rel is None:
+                raise UnknownSymbolError(
+                    f"cardinality declared on undeclared relationship {rel_name!r}"
+                )
+            primary = rel.primary_class(role)
+            if cls not in set(self._classes):
+                raise UnknownSymbolError(
+                    f"cardinality declared on undeclared class {cls!r}"
+                )
+            if not self.is_subclass(cls, primary):
+                raise SchemaError(
+                    f"cardinality on ({cls!r}, {rel_name!r}, {role!r}) is "
+                    f"illegal: {cls!r} is not a (transitive) subclass of the "
+                    f"primary class {primary!r} (Definition 2.1)"
+                )
+            assert isinstance(card, Card)
+
+    # -- ISA closure ----------------------------------------------------
+
+    def _compute_ancestors(self) -> dict[str, frozenset[str]]:
+        """Reflexive-transitive closure ``≼*`` as class → ancestor set."""
+        return _reflexive_transitive_ancestors(self._classes, self._isa)
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """Class symbols in declaration order."""
+        return self._classes
+
+    @property
+    def relationships(self) -> tuple[Relationship, ...]:
+        """Relationship declarations in declaration order."""
+        return tuple(self._relationships.values())
+
+    def relationship(self, name: str) -> Relationship:
+        rel = self._relationships.get(name)
+        if rel is None:
+            raise UnknownSymbolError(f"unknown relationship {name!r}")
+        return rel
+
+    def has_class(self, name: str) -> bool:
+        return name in self._ancestors
+
+    def require_class(self, name: str) -> None:
+        if not self.has_class(name):
+            raise UnknownSymbolError(f"unknown class {name!r}")
+
+    @property
+    def isa_statements(self) -> tuple[tuple[str, str], ...]:
+        """The declared (direct) ISA statements, in declaration order."""
+        return self._isa
+
+    @property
+    def disjointness_groups(self) -> tuple[frozenset[str], ...]:
+        return self._disjointness
+
+    @property
+    def coverings(self) -> tuple[tuple[str, frozenset[str]], ...]:
+        return self._coverings
+
+    def relationship_of_role(self, role: str) -> Relationship:
+        """The unique relationship declaring ``role``."""
+        name = self._role_owner.get(role)
+        if name is None:
+            raise UnknownSymbolError(f"unknown role {role!r}")
+        return self._relationships[name]
+
+    def ancestors(self, cls: str) -> frozenset[str]:
+        """All ``D`` with ``cls ≼* D`` (including ``cls`` itself)."""
+        self.require_class(cls)
+        return self._ancestors[cls]
+
+    def descendants(self, cls: str) -> frozenset[str]:
+        """All ``D`` with ``D ≼* cls`` (including ``cls`` itself)."""
+        self.require_class(cls)
+        return frozenset(
+            other for other in self._classes if cls in self._ancestors[other]
+        )
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        """Whether ``sub ≼* sup`` holds by the declared statements."""
+        self.require_class(sub)
+        self.require_class(sup)
+        return sup in self._ancestors[sub]
+
+    # -- cardinalities -----------------------------------------------------
+
+    @property
+    def declared_cards(self) -> dict[tuple[str, str, str], Card]:
+        """Copy of the explicit declarations keyed by (class, rel, role)."""
+        return dict(self._cards)
+
+    def card(self, cls: str, rel: str, role: str) -> Card:
+        """The declared constraint, or the default ``(0, ∞)``.
+
+        Raises :class:`SchemaError` if ``cls`` is not a subclass of the
+        role's primary class (the triple carries no constraint then —
+        not even the default one).
+        """
+        relationship = self.relationship(rel)
+        primary = relationship.primary_class(role)
+        if not self.is_subclass(cls, primary):
+            raise SchemaError(
+                f"({cls!r}, {rel!r}, {role!r}) carries no cardinality: "
+                f"{cls!r} is not a subclass of the primary class {primary!r}"
+            )
+        return self._cards.get((cls, rel, role), Card.default())
+
+    # -- consistency of compound classes (Sections 3.1 and 5) -------------
+
+    def is_consistent_compound(self, members: frozenset[str]) -> bool:
+        """Whether a compound class is consistent.
+
+        Base condition (Section 3.1): membership is upward-closed along
+        declared ISA statements.  Extension conditions (Section 5): no
+        two members are declared disjoint, and for every covering whose
+        covered class is a member, some coverer is a member too.
+        """
+        if not members:
+            return False
+        for sub, sup in self._isa:
+            if sub in members and sup not in members:
+                return False
+        for group in self._disjointness:
+            if len(group & members) >= 2:
+                return False
+        for covered, coverers in self._coverings:
+            if covered in members and not (coverers & members):
+                return False
+        return True
+
+    # -- constraint inventory / surgery (used by the debugger) -----------
+
+    def constraints(self) -> list:
+        """Every removable constraint statement in the schema.
+
+        The structural part (class and relationship declarations) is not
+        listed: it cannot cause unsatisfiability on its own.
+        """
+        from repro.cr.constraints import (
+            CardinalityDeclaration,
+            CoveringStatement,
+            DisjointnessStatement,
+            IsaStatement,
+        )
+
+        statements: list = [IsaStatement(sub, sup) for sub, sup in self._isa]
+        statements.extend(
+            CardinalityDeclaration(cls, rel, role, card)
+            for (cls, rel, role), card in sorted(self._cards.items())
+        )
+        statements.extend(
+            DisjointnessStatement(group) for group in self._disjointness
+        )
+        statements.extend(
+            CoveringStatement(covered, coverers)
+            for covered, coverers in self._coverings
+        )
+        return statements
+
+    def without_constraints(self, removed: Iterable) -> CRSchema:
+        """A copy of the schema with the given statements removed.
+
+        Structure (classes, relationships, signatures) is preserved.
+        Statements not present are ignored, which lets the debugger pass
+        arbitrary candidate subsets.
+        """
+        from repro.cr.constraints import (
+            CardinalityDeclaration,
+            CoveringStatement,
+            DisjointnessStatement,
+            IsaStatement,
+        )
+
+        removed_set = set(removed)
+        isa = [
+            pair
+            for pair in self._isa
+            if IsaStatement(pair[0], pair[1]) not in removed_set
+        ]
+        cards = {
+            key: card
+            for key, card in self._cards.items()
+            if CardinalityDeclaration(key[0], key[1], key[2], card)
+            not in removed_set
+        }
+        # Removing an ISA statement can orphan a cardinality refinement
+        # (its class is no longer a subclass of the role's primary class);
+        # such declarations depend on the removed statement and go with it.
+        ancestors = _reflexive_transitive_ancestors(self._classes, isa)
+        cards = {
+            (cls, rel_name, role): card
+            for (cls, rel_name, role), card in cards.items()
+            if self._relationships[rel_name].primary_class(role)
+            in ancestors[cls]
+        }
+        disjointness = [
+            group
+            for group in self._disjointness
+            if DisjointnessStatement(group) not in removed_set
+        ]
+        coverings = [
+            (covered, coverers)
+            for covered, coverers in self._coverings
+            if CoveringStatement(covered, coverers) not in removed_set
+        ]
+        return CRSchema(
+            self._classes,
+            tuple(self._relationships.values()),
+            isa,
+            cards,
+            disjointness,
+            coverings,
+            name=self.name,
+        )
+
+    # -- misc ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"CRSchema({self.name!r}: {len(self._classes)} classes, "
+            f"{len(self._relationships)} relationships, "
+            f"{len(self._isa)} isa, {len(self._cards)} cardinalities)"
+        )

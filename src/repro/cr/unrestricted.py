@@ -1,0 +1,146 @@
+"""Satisfiability in *unrestricted* (possibly infinite) models.
+
+The paper restricts attention to finite models — the right notion for
+databases — precisely because the two notions differ: its Figure 1
+schema has **no finite model** with a populated class, yet it has an
+infinite one (take countably many ``C``-instances; infinite cardinal
+arithmetic absorbs the ``2:1`` ratio that kills every finite
+population).  This module decides the unrestricted notion, making the
+paper's motivating distinction executable.
+
+The procedure is the classical *type elimination* (greatest fixpoint)
+rather than a disequation system — counting arguments have no force
+over infinite sets, only local supply matters:
+
+* a consistent compound relationship is **usable** while all its
+  components are viable and every role's lifted ``maxc`` is at least 1
+  (a fresh witness instance must be allowed to carry the tuple);
+* a consistent compound class stays **viable** while, for every
+  relationship role whose primary class it contains, the lifted bounds
+  satisfy ``minc ≤ maxc`` and a positive ``minc`` is backed by some
+  usable compound relationship carrying it in that role.
+
+Eliminate until stable; a class is satisfiable in an unrestricted model
+iff some viable compound class contains it.
+
+*Soundness* is a countable chase: satisfy every instance's minimum
+demands with fresh witnesses stage by stage — fresh witnesses carry one
+tuple (allowed since ``maxc ≥ 1``), and an instance's own demands never
+exceed its ``maxc`` because ``minc ≤ maxc``.  *Completeness*: the type
+of any instance of any model survives elimination, by induction on the
+elimination order (a real tuple exhibits a usable compound
+relationship).  The property-based tests check the one-way implication
+against the finite-model engine (finitely satisfiable ⇒ unrestricted
+satisfiable) and the strictness of the inclusion on Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.cr.expansion import (
+    CompoundClass,
+    CompoundRelationship,
+    Expansion,
+    ExpansionLimits,
+)
+from repro.cr.schema import CRSchema
+
+
+def _usable(
+    expansion: Expansion,
+    compound_rel: CompoundRelationship,
+    viable: set[CompoundClass],
+) -> bool:
+    for role, component in compound_rel.signature:
+        if component not in viable:
+            return False
+        lifted = expansion.lifted_card(component, compound_rel.rel, role)
+        if lifted.maxc is not None and lifted.maxc < 1:
+            return False
+    return True
+
+
+def _locally_supported(
+    expansion: Expansion,
+    compound: CompoundClass,
+    viable: set[CompoundClass],
+) -> bool:
+    schema = expansion.schema
+    for rel in schema.relationships:
+        for role, primary in rel.signature:
+            if primary not in compound.members:
+                continue
+            lifted = expansion.lifted_card(compound, rel.name, role)
+            if lifted.maxc is not None and lifted.minc > lifted.maxc:
+                return False
+            if lifted.minc >= 1:
+                supplier = any(
+                    compound_rel.component(role) == compound
+                    and _usable(expansion, compound_rel, viable)
+                    for compound_rel in expansion.consistent_relationships_of(
+                        rel.name
+                    )
+                )
+                if not supplier:
+                    return False
+    return True
+
+
+def viable_compound_classes(
+    expansion: Expansion,
+) -> frozenset[CompoundClass]:
+    """The greatest fixpoint of the local-support condition."""
+    viable = set(expansion.consistent_compound_classes())
+    changed = True
+    while changed:
+        changed = False
+        for compound in list(viable):
+            if not _locally_supported(expansion, compound, viable):
+                viable.discard(compound)
+                changed = True
+    return frozenset(viable)
+
+
+def unrestricted_satisfiable_classes(
+    schema: CRSchema,
+    expansion: Expansion | None = None,
+    limits: ExpansionLimits | None = None,
+) -> dict[str, bool]:
+    """Per-class satisfiability over unrestricted (finite or infinite) models."""
+    if expansion is None:
+        expansion = Expansion(schema, limits)
+    viable = viable_compound_classes(expansion)
+    return {
+        cls: any(cls in compound.members for compound in viable)
+        for cls in schema.classes
+    }
+
+
+def is_class_unrestricted_satisfiable(
+    schema: CRSchema,
+    cls: str,
+    expansion: Expansion | None = None,
+    limits: ExpansionLimits | None = None,
+) -> bool:
+    """Whether ``cls`` can be populated when infinite states are allowed."""
+    schema.require_class(cls)
+    return unrestricted_satisfiable_classes(schema, expansion, limits)[cls]
+
+
+def finitely_controllable_classes(
+    schema: CRSchema,
+    finite_verdicts: dict[str, bool],
+    expansion: Expansion | None = None,
+    limits: ExpansionLimits | None = None,
+) -> dict[str, bool]:
+    """Which classes behave the same finitely and unrestrictedly.
+
+    ``False`` entries are exactly the paper's motivating pathology:
+    classes whose only models are infinite (Figure 1's ``C`` and ``D``).
+    ``finite_verdicts`` comes from
+    :func:`repro.cr.satisfiability.satisfiable_classes`.
+    """
+    unrestricted = unrestricted_satisfiable_classes(schema, expansion, limits)
+    return {
+        cls: finite_verdicts[cls] == unrestricted[cls]
+        for cls in schema.classes
+    }

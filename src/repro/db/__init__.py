@@ -1,0 +1,13 @@
+"""An in-memory database enforcing a CR-schema's constraints.
+
+The paper's introduction lists three problems around integrity
+constraints: (a) expressing them, (b) reasoning about them at design
+time, (c) **ensuring the database satisfies them**.  The rest of the
+library is problem (b); this package is problem (c): a small
+transactional object store whose commits are validated against
+Definition 2.2 by the model checker.
+"""
+
+from repro.db.store import Database, IntegrityError, Transaction
+
+__all__ = ["Database", "IntegrityError", "Transaction"]

@@ -1,0 +1,260 @@
+"""A transactional in-memory store validated against a CR-schema.
+
+Design choices, in the spirit of SQL's *deferred* constraint checking:
+
+* **structural errors are immediate** — inserting into an undeclared
+  class, or a tuple whose roles do not match the relationship's
+  signature, raises at the call site (such updates could never become
+  consistent);
+* **semantic constraints are checked at commit** — ISA containment and
+  cardinality constraints are routinely violated *during* a transaction
+  (insert a talk, then its speaker, then the Holds tuple), so they are
+  enforced when :class:`Transaction` commits, by running the
+  Definition-2.2 model checker over the prospective state.  A failing
+  commit raises :class:`IntegrityError` carrying the precise violations
+  and leaves the store untouched.
+
+The store is deliberately simple — dictionaries of frozensets, copy-on-
+commit — because its job in this repository is to make the paper's
+problem (c) concrete and testable, not to compete with a storage
+engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.cr.checker import Violation, check_model
+from repro.cr.interpretation import Individual, Interpretation, LabeledTuple
+from repro.cr.schema import CRSchema
+from repro.errors import InterpretationError, ReproError, UnknownSymbolError
+
+
+class IntegrityError(ReproError):
+    """A commit would violate the schema; carries the checker's findings."""
+
+    def __init__(self, violations: list[Violation]) -> None:
+        summary = "; ".join(str(violation) for violation in violations[:5])
+        if len(violations) > 5:
+            summary += f"; ... ({len(violations) - 5} more)"
+        super().__init__(f"commit rejected: {summary}")
+        self.violations = violations
+
+
+class Transaction:
+    """A mutable scratch state; apply changes, then commit or abort.
+
+    Also usable as a context manager: committing on clean exit,
+    discarding on exception.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._domain = set(database._domain)
+        self._classes = {
+            name: set(members) for name, members in database._classes.items()
+        }
+        self._tuples = {
+            name: set(tuples) for name, tuples in database._tuples.items()
+        }
+        self._open = True
+
+    # -- updates ---------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise ReproError("transaction is no longer open")
+
+    def insert_object(
+        self, individual: Individual, classes: Iterable[str] = ()
+    ) -> Transaction:
+        """Add an individual to the domain and to the given classes."""
+        self._require_open()
+        self._domain.add(individual)
+        for cls in classes:
+            self.add_to_class(individual, cls)
+        return self
+
+    def add_to_class(self, individual: Individual, cls: str) -> Transaction:
+        """Make an existing (or new) individual an instance of ``cls``."""
+        self._require_open()
+        if cls not in self._classes:
+            raise UnknownSymbolError(f"unknown class {cls!r}")
+        self._domain.add(individual)
+        self._classes[cls].add(individual)
+        return self
+
+    def remove_from_class(self, individual: Individual, cls: str) -> Transaction:
+        self._require_open()
+        if cls not in self._classes:
+            raise UnknownSymbolError(f"unknown class {cls!r}")
+        self._classes[cls].discard(individual)
+        return self
+
+    def insert_tuple(
+        self, rel: str, components: Mapping[str, Individual]
+    ) -> Transaction:
+        """Add a labelled tuple; roles must match the signature exactly."""
+        self._require_open()
+        relationship = self._database.schema.relationship(rel)
+        expected = set(relationship.roles)
+        if set(components) != expected:
+            raise InterpretationError(
+                f"tuple for {rel!r} must assign exactly the roles "
+                f"{sorted(expected)}, got {sorted(components)}"
+            )
+        for value in components.values():
+            self._domain.add(value)
+        self._tuples[rel].add(LabeledTuple(components))
+        return self
+
+    def delete_tuple(
+        self, rel: str, components: Mapping[str, Individual]
+    ) -> Transaction:
+        self._require_open()
+        if rel not in self._tuples:
+            raise UnknownSymbolError(f"unknown relationship {rel!r}")
+        self._tuples[rel].discard(LabeledTuple(components))
+        return self
+
+    def delete_object(self, individual: Individual) -> Transaction:
+        """Remove an individual everywhere: domain, classes, and tuples."""
+        self._require_open()
+        self._domain.discard(individual)
+        for members in self._classes.values():
+            members.discard(individual)
+        for name, tuples in self._tuples.items():
+            self._tuples[name] = {
+                labelled
+                for labelled in tuples
+                if individual not in labelled.as_dict().values()
+            }
+        return self
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def prospective_state(self) -> Interpretation:
+        """The interpretation this transaction would commit."""
+        return Interpretation(
+            domain=frozenset(self._domain),
+            class_extensions={
+                name: frozenset(members)
+                for name, members in self._classes.items()
+            },
+            relationship_extensions={
+                name: frozenset(tuples)
+                for name, tuples in self._tuples.items()
+            },
+        )
+
+    def violations(self) -> list[Violation]:
+        """Dry-run the commit check without committing."""
+        return check_model(self._database.schema, self.prospective_state())
+
+    def commit(self) -> None:
+        """Validate and publish; raises :class:`IntegrityError` on failure."""
+        self._require_open()
+        found = self.violations()
+        if found:
+            raise IntegrityError(found)
+        self._database._publish(self._domain, self._classes, self._tuples)
+        self._open = False
+
+    def abort(self) -> None:
+        self._open = False
+
+    def __enter__(self) -> Transaction:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None and self._open:
+            self.commit()
+        else:
+            self.abort()
+        return False
+
+
+class Database:
+    """An in-memory database state guaranteed to satisfy its schema.
+
+    Every published state is a model of the schema (Definition 2.2);
+    the empty initial state trivially is.  All mutation goes through
+    :meth:`transaction`.
+    """
+
+    def __init__(self, schema: CRSchema) -> None:
+        self.schema = schema
+        self._domain: frozenset[Individual] = frozenset()
+        self._classes: dict[str, frozenset[Individual]] = {
+            cls: frozenset() for cls in schema.classes
+        }
+        self._tuples: dict[str, frozenset[LabeledTuple]] = {
+            rel.name: frozenset() for rel in schema.relationships
+        }
+
+    @classmethod
+    def from_interpretation(
+        cls, schema: CRSchema, interpretation: Interpretation
+    ) -> Database:
+        """Load an existing model (e.g. one built by the reasoner).
+
+        Raises :class:`IntegrityError` if it is not actually a model.
+        """
+        database = cls(schema)
+        with database.transaction() as txn:
+            for individual in interpretation.domain:
+                txn.insert_object(individual)
+            for name in schema.classes:
+                for individual in interpretation.instances_of(name):
+                    txn.add_to_class(individual, name)
+            for rel in schema.relationships:
+                for labelled in interpretation.tuples_of(rel.name):
+                    txn.insert_tuple(rel.name, labelled.as_dict())
+        return database
+
+    def transaction(self) -> Transaction:
+        return Transaction(self)
+
+    def _publish(
+        self,
+        domain: set[Individual],
+        classes: dict[str, set[Individual]],
+        tuples: dict[str, set[LabeledTuple]],
+    ) -> None:
+        self._domain = frozenset(domain)
+        self._classes = {
+            name: frozenset(members) for name, members in classes.items()
+        }
+        self._tuples = {
+            name: frozenset(values) for name, values in tuples.items()
+        }
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def domain(self) -> frozenset[Individual]:
+        return self._domain
+
+    def instances_of(self, cls: str) -> frozenset[Individual]:
+        if cls not in self._classes:
+            raise UnknownSymbolError(f"unknown class {cls!r}")
+        return self._classes[cls]
+
+    def tuples_of(self, rel: str) -> frozenset[LabeledTuple]:
+        if rel not in self._tuples:
+            raise UnknownSymbolError(f"unknown relationship {rel!r}")
+        return self._tuples[rel]
+
+    def snapshot(self) -> Interpretation:
+        """The current state as an immutable interpretation."""
+        return Interpretation(
+            domain=self._domain,
+            class_extensions=dict(self._classes),
+            relationship_extensions=dict(self._tuples),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({self.schema.name!r}: {len(self._domain)} individuals, "
+            f"{sum(len(t) for t in self._tuples.values())} tuples)"
+        )

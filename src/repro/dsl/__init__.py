@@ -1,0 +1,28 @@
+"""A textual schema language for the CR model.
+
+The DSL mirrors the paper's Figure-3 notation::
+
+    schema Meeting {
+      class Speaker;
+      class Discussant isa Speaker;
+      class Talk;
+      relationship Holds(U1: Speaker, U2: Talk);
+      relationship Participates(U3: Discussant, U4: Talk);
+      cardinality Speaker in Holds.U1: (1, *);
+      cardinality Discussant in Holds.U1: (0, 2);
+      cardinality Talk in Holds.U2: (1, 1);
+      cardinality Discussant in Participates.U3: (1, 1);
+      cardinality Talk in Participates.U4: (1, *);
+    }
+
+plus the Section-5 extensions ``disjoint A, B;`` and
+``cover A by B, C;``.  ``//`` starts a line comment.
+
+:func:`parse_schema` and :func:`serialize_schema` round-trip.
+"""
+
+from repro.dsl.lexer import Token, tokenize
+from repro.dsl.parser import parse_schema
+from repro.dsl.serializer import serialize_schema
+
+__all__ = ["Token", "tokenize", "parse_schema", "serialize_schema"]

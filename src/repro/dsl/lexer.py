@@ -1,0 +1,85 @@
+"""Tokenizer for the CR schema DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset(
+    ["schema", "class", "isa", "relationship", "cardinality", "in",
+     "disjoint", "cover", "by"]
+)
+
+PUNCTUATION = frozenset("{}(),:;.*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit with its 1-based source position.
+
+    ``kind`` is ``"ident"``, ``"int"``, ``"keyword"``, a punctuation
+    character, or ``"eof"``.
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        if self.kind == "eof":
+            return "end of input"
+        return repr(self.value)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize DSL text; raises :class:`ParseError` on bad characters.
+
+    ``//`` starts a comment running to end of line.
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "/" and text[index : index + 2] == "//":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if char in PUNCTUATION:
+            tokens.append(Token(char, char, line, column))
+            index += 1
+            column += 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and text[index].isdigit():
+                index += 1
+            value = text[start:index]
+            tokens.append(Token("int", value, line, column))
+            column += index - start
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            value = text[start:index]
+            kind = "keyword" if value in KEYWORDS else "ident"
+            tokens.append(Token(kind, value, line, column))
+            column += index - start
+            continue
+        raise ParseError(f"unexpected character {char!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,181 @@
+"""Recursive-descent parser for the CR schema DSL.
+
+Grammar (see the package docstring for an example)::
+
+    schema      := "schema" IDENT "{" statement* "}"
+    statement   := class | relationship | cardinality | disjoint | cover
+    class       := "class" IDENT ("isa" IDENT ("," IDENT)*)? ";"
+    relationship:= "relationship" IDENT
+                   "(" IDENT ":" IDENT ("," IDENT ":" IDENT)* ")" ";"
+    cardinality := "cardinality" IDENT "in" IDENT "." IDENT ":"
+                   "(" INT "," (INT | "*") ")" ";"
+    disjoint    := "disjoint" IDENT ("," IDENT)+ ";"
+    cover       := "cover" IDENT "by" IDENT ("," IDENT)* ";"
+
+Semantic validation (unknown symbols, refinement legality, role
+uniqueness) is delegated to :class:`repro.cr.schema.CRSchema`; parse
+errors carry source positions.
+"""
+
+from __future__ import annotations
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.schema import CRSchema, UNBOUNDED
+from repro.dsl.lexer import Token, tokenize
+from repro.errors import ParseError
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(message, token.line, token.column)
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = value if value is not None else kind
+            raise self._error(
+                f"expected {expected!r}, found {token.describe()}", token
+            )
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        return self._expect("keyword", word)
+
+    def _expect_ident(self) -> str:
+        return self._expect("ident").value
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "keyword" and token.value == word
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> CRSchema:
+        self._expect_keyword("schema")
+        builder = SchemaBuilder(self._expect_ident())
+        self._expect("{")
+        pending_isa: list[tuple[str, str]] = []
+        while not self._peek().kind == "}":
+            if self._at_keyword("class"):
+                self._parse_class(builder, pending_isa)
+            elif self._at_keyword("relationship"):
+                self._parse_relationship(builder)
+            elif self._at_keyword("cardinality"):
+                self._parse_cardinality(builder)
+            elif self._at_keyword("disjoint"):
+                self._parse_disjoint(builder)
+            elif self._at_keyword("cover"):
+                self._parse_cover(builder)
+            else:
+                raise self._error(
+                    "expected a statement (class / relationship / "
+                    f"cardinality / disjoint / cover), found "
+                    f"{self._peek().describe()}"
+                )
+        self._expect("}")
+        self._expect("eof")
+        for sub, sup in pending_isa:
+            builder.isa(sub, sup)
+        return builder.build()
+
+    def _parse_class(
+        self, builder: SchemaBuilder, pending_isa: list[tuple[str, str]]
+    ) -> None:
+        self._expect_keyword("class")
+        name = self._expect_ident()
+        builder.cls(name)
+        if self._at_keyword("isa"):
+            self._advance()
+            pending_isa.append((name, self._expect_ident()))
+            while self._peek().kind == ",":
+                self._advance()
+                pending_isa.append((name, self._expect_ident()))
+        self._expect(";")
+
+    def _parse_relationship(self, builder: SchemaBuilder) -> None:
+        self._expect_keyword("relationship")
+        name = self._expect_ident()
+        self._expect("(")
+        roles: dict[str, str] = {}
+        while True:
+            role = self._expect_ident()
+            self._expect(":")
+            cls = self._expect_ident()
+            if role in roles:
+                raise self._error(f"role {role!r} declared twice")
+            roles[role] = cls
+            if self._peek().kind == ",":
+                self._advance()
+                continue
+            break
+        self._expect(")")
+        self._expect(";")
+        builder.relationship(name, **roles)
+
+    def _parse_cardinality(self, builder: SchemaBuilder) -> None:
+        self._expect_keyword("cardinality")
+        cls = self._expect_ident()
+        self._expect_keyword("in")
+        rel = self._expect_ident()
+        self._expect(".")
+        role = self._expect_ident()
+        self._expect(":")
+        self._expect("(")
+        minimum = int(self._expect("int").value)
+        self._expect(",")
+        token = self._peek()
+        if token.kind == "*":
+            self._advance()
+            maximum: int | None = UNBOUNDED
+        elif token.kind == "int":
+            maximum = int(self._advance().value)
+        else:
+            raise self._error(
+                f"expected an integer or '*', found {token.describe()}", token
+            )
+        self._expect(")")
+        self._expect(";")
+        builder.card(cls, rel, role, minimum, maximum)
+
+    def _parse_disjoint(self, builder: SchemaBuilder) -> None:
+        self._expect_keyword("disjoint")
+        classes = [self._expect_ident()]
+        while self._peek().kind == ",":
+            self._advance()
+            classes.append(self._expect_ident())
+        if len(classes) < 2:
+            raise self._error("disjoint needs at least two classes")
+        self._expect(";")
+        builder.disjoint(*classes)
+
+    def _parse_cover(self, builder: SchemaBuilder) -> None:
+        self._expect_keyword("cover")
+        covered = self._expect_ident()
+        self._expect_keyword("by")
+        coverers = [self._expect_ident()]
+        while self._peek().kind == ",":
+            self._advance()
+            coverers.append(self._expect_ident())
+        self._expect(";")
+        builder.cover(covered, *coverers)
+
+
+def parse_schema(text: str) -> CRSchema:
+    """Parse DSL text into a validated :class:`CRSchema`."""
+    return _Parser(tokenize(text)).parse()

@@ -1,0 +1,43 @@
+"""Serialize a CR-schema back to DSL text (round-trips with the parser)."""
+
+from __future__ import annotations
+
+from repro.cr.schema import CRSchema
+
+
+def serialize_schema(schema: CRSchema) -> str:
+    """Render a schema in the DSL syntax.
+
+    The output parses back to an equal schema (same classes in the same
+    order, same relationships, ISA statements, cardinality declarations
+    and extensions) — the property-based round-trip tests rely on this.
+    """
+    lines: list[str] = [f"schema {schema.name} {{"]
+
+    isa_of: dict[str, list[str]] = {}
+    for sub, sup in schema.isa_statements:
+        isa_of.setdefault(sub, []).append(sup)
+    for cls in schema.classes:
+        parents = isa_of.get(cls)
+        if parents:
+            lines.append(f"  class {cls} isa {', '.join(parents)};")
+        else:
+            lines.append(f"  class {cls};")
+
+    for rel in schema.relationships:
+        inner = ", ".join(f"{role}: {cls}" for role, cls in rel.signature)
+        lines.append(f"  relationship {rel.name}({inner});")
+
+    for (cls, rel_name, role), card in sorted(schema.declared_cards.items()):
+        upper = "*" if card.maxc is None else str(card.maxc)
+        lines.append(
+            f"  cardinality {cls} in {rel_name}.{role}: ({card.minc}, {upper});"
+        )
+
+    for group in schema.disjointness_groups:
+        lines.append(f"  disjoint {', '.join(sorted(group))};")
+    for covered, coverers in schema.coverings:
+        lines.append(f"  cover {covered} by {', '.join(sorted(coverers))};")
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,21 @@
+"""Entity-Relationship front-end.
+
+The paper's motivating figures are ER diagrams; this package provides
+an ER vocabulary (entity types, n-ary relationship types with
+``(min, max)`` participation constraints, ISA arrows), the faithful
+translation to the CR model, and an ASCII diagram renderer for the
+Figure-1/Figure-2 style pictures.
+"""
+
+from repro.er.model import EREntity, ERRelationship, ERSchema, Participation
+from repro.er.to_cr import er_to_cr
+from repro.er.diagrams import render_er_diagram
+
+__all__ = [
+    "EREntity",
+    "ERRelationship",
+    "ERSchema",
+    "Participation",
+    "er_to_cr",
+    "render_er_diagram",
+]

@@ -1,0 +1,76 @@
+"""ASCII rendering of ER diagrams in the paper's visual dialect.
+
+Entities are rendered as ``[boxes]``, relationships as ``<diamonds>``,
+participation legs carry their ``(min, max)`` pair, ISA arrows and
+dashed refinement edges are listed underneath — a faithful textual
+stand-in for Figures 1 and 2, printable from benchmarks and examples::
+
+    [C] --(2,N)-- <R> --(0,1)-- [D]
+    ISA:
+      D --isa--> C
+
+The renderer is presentation only — no reasoning reads this output.
+"""
+
+from __future__ import annotations
+
+from repro.er.model import ERRelationship, ERSchema
+
+
+def _relationship_line(rel: ERRelationship) -> str:
+    """One line per relationship: ``[E1] --(c1)-- <R> --(c2)-- [E2] ...``."""
+    legs = rel.participations
+    pieces = [
+        f"[{legs[0].entity}]",
+        f"--{legs[0].cardinality_label()}--",
+        f"<{rel.name}>",
+    ]
+    for leg in legs[1:]:
+        pieces.append(f"--{leg.cardinality_label()}--")
+        pieces.append(f"[{leg.entity}]")
+    return " ".join(pieces)
+
+
+def render_er_diagram(er: ERSchema) -> str:
+    """A textual ER diagram: one line per relationship, then ISA arrows.
+
+    Refinements (dashed edges) are rendered as ``- - ->`` lines, the
+    Figure-2 notation for refined cardinalities.
+    """
+    lines: list[str] = [f"ER diagram: {er.name}", "=" * (12 + len(er.name))]
+    for rel in er.relationships.values():
+        lines.append(_relationship_line(rel))
+    isa_lines = [
+        f"  {entity.name} --isa--> {parent}"
+        for entity in er.entities.values()
+        for parent in entity.parents
+    ]
+    if isa_lines:
+        lines.append("ISA:")
+        lines.extend(isa_lines)
+    if er.refinements:
+        lines.append("refinements (dashed edges):")
+        for refinement in er.refinements:
+            upper = "N" if refinement.maximum is None else str(refinement.maximum)
+            lines.append(
+                f"  {refinement.entity} - - ({refinement.minimum},{upper}) - -> "
+                f"{refinement.relationship}.{refinement.role}"
+            )
+    if er.disjointness:
+        lines.append("disjointness:")
+        for group in er.disjointness:
+            lines.append("  disjoint(" + ", ".join(sorted(group)) + ")")
+    if er.coverings:
+        lines.append("coverings:")
+        for covered, coverers in er.coverings:
+            lines.append(
+                f"  {covered} covered by " + ", ".join(sorted(coverers))
+            )
+    unconnected = set(er.entities) - {
+        leg.entity
+        for rel in er.relationships.values()
+        for leg in rel.participations
+    }
+    if unconnected:
+        lines.append("isolated entities: " + ", ".join(sorted(unconnected)))
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""An Entity-Relationship vocabulary in the paper's dialect.
+
+Entities are boxes, relationships are diamonds, and every connection of
+an entity to a relationship carries a ``(min-card, max-card)`` pair —
+the notation of the paper's Figure 1 and Figure 2 (following Batini,
+Ceri & Navathe).  ISA arrows connect entities.  Cardinality
+*refinements* (the dashed edge of Figure 2) attach a tighter pair for a
+sub-entity on a role it inherits.
+
+The ER layer is deliberately thin: semantics is given by translation to
+CR (:func:`repro.er.to_cr.er_to_cr`), and all reasoning happens there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cr.schema import UNBOUNDED
+from repro.errors import DuplicateSymbolError, SchemaError, UnknownSymbolError
+
+
+@dataclass(frozen=True)
+class Participation:
+    """One leg of a relationship: role, entity, and (min, max) pair."""
+
+    role: str
+    entity: str
+    minimum: int = 0
+    maximum: int | None = UNBOUNDED
+
+    def cardinality_label(self) -> str:
+        upper = "N" if self.maximum is None else str(self.maximum)
+        return f"({self.minimum},{upper})"
+
+
+@dataclass(frozen=True)
+class EREntity:
+    """An entity type; ``parents`` are the targets of its ISA arrows."""
+
+    name: str
+    parents: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ERRelationship:
+    """A relationship type with its participations in declaration order."""
+
+    name: str
+    participations: tuple[Participation, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.participations) < 2:
+            raise SchemaError(
+                f"ER relationship {self.name!r} must connect at least two legs"
+            )
+
+
+@dataclass(frozen=True)
+class Refinement:
+    """A tighter (min, max) pair declared for a sub-entity on a role.
+
+    The dashed edges of the paper's Figure 2: ``Discussant`` refines the
+    ``(1, ∞)`` of ``Speaker`` on role ``U1`` of ``Holds`` to ``(0, 2)``.
+    """
+
+    entity: str
+    relationship: str
+    role: str
+    minimum: int = 0
+    maximum: int | None = UNBOUNDED
+
+
+@dataclass
+class ERSchema:
+    """A mutable ER schema; translate with :func:`repro.er.er_to_cr`."""
+
+    name: str = "ER"
+    entities: dict[str, EREntity] = field(default_factory=dict)
+    relationships: dict[str, ERRelationship] = field(default_factory=dict)
+    refinements: list[Refinement] = field(default_factory=list)
+    disjointness: list[frozenset[str]] = field(default_factory=list)
+    coverings: list[tuple[str, frozenset[str]]] = field(default_factory=list)
+
+    # -- declaration helpers ------------------------------------------------
+
+    def entity(self, name: str, isa: tuple[str, ...] | list[str] = ()) -> ERSchema:
+        """Declare an entity, optionally with ISA arrows to ``isa``."""
+        if name in self.entities:
+            raise DuplicateSymbolError(f"entity {name!r} declared twice")
+        self.entities[name] = EREntity(name, tuple(isa))
+        return self
+
+    def relationship(
+        self,
+        name: str,
+        *legs: tuple[str, str, int, int | None],
+    ) -> ERSchema:
+        """Declare a relationship from ``(role, entity, min, max)`` legs."""
+        if name in self.relationships:
+            raise DuplicateSymbolError(f"relationship {name!r} declared twice")
+        participations = tuple(
+            Participation(role, entity, minimum, maximum)
+            for role, entity, minimum, maximum in legs
+        )
+        self.relationships[name] = ERRelationship(name, participations)
+        return self
+
+    def refine(
+        self,
+        entity: str,
+        relationship: str,
+        role: str,
+        minimum: int = 0,
+        maximum: int | None = UNBOUNDED,
+    ) -> ERSchema:
+        """Attach a cardinality refinement (dashed edge) for a sub-entity."""
+        self.refinements.append(
+            Refinement(entity, relationship, role, minimum, maximum)
+        )
+        return self
+
+    def disjoint(self, *entities: str) -> ERSchema:
+        self.disjointness.append(frozenset(entities))
+        return self
+
+    def cover(self, covered: str, *coverers: str) -> ERSchema:
+        self.coverings.append((covered, frozenset(coverers)))
+        return self
+
+    # -- light validation (full validation happens in the CR layer) --------
+
+    def validate(self) -> None:
+        for entity in self.entities.values():
+            for parent in entity.parents:
+                if parent not in self.entities:
+                    raise UnknownSymbolError(
+                        f"entity {entity.name!r} has ISA arrow to undeclared "
+                        f"{parent!r}"
+                    )
+        for rel in self.relationships.values():
+            for leg in rel.participations:
+                if leg.entity not in self.entities:
+                    raise UnknownSymbolError(
+                        f"relationship {rel.name!r} connects undeclared "
+                        f"entity {leg.entity!r}"
+                    )
+        for refinement in self.refinements:
+            rel = self.relationships.get(refinement.relationship)
+            if rel is None:
+                raise UnknownSymbolError(
+                    f"refinement targets undeclared relationship "
+                    f"{refinement.relationship!r}"
+                )
+            if refinement.role not in {p.role for p in rel.participations}:
+                raise UnknownSymbolError(
+                    f"refinement targets unknown role {refinement.role!r} of "
+                    f"{refinement.relationship!r}"
+                )
+            if refinement.entity not in self.entities:
+                raise UnknownSymbolError(
+                    f"refinement uses undeclared entity {refinement.entity!r}"
+                )

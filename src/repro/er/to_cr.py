@@ -1,0 +1,50 @@
+"""Translation from the ER front-end to the CR model.
+
+The mapping is the one the paper sketches when it introduces CR as the
+common abstraction: entities become classes, ER relationship legs
+become relationship roles with the leg's entity as primary class, the
+``(min, max)`` pair of a leg becomes the cardinality declaration of the
+primary class on that role, ISA arrows become ISA statements, and
+cardinality refinements become declarations for the sub-entity on the
+inherited role.
+"""
+
+from __future__ import annotations
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.schema import CRSchema
+from repro.er.model import ERSchema
+
+
+def er_to_cr(er: ERSchema) -> CRSchema:
+    """Translate a validated ER schema into an equivalent CR-schema."""
+    er.validate()
+    builder = SchemaBuilder(er.name)
+    for entity in er.entities.values():
+        builder.cls(entity.name)
+    for entity in er.entities.values():
+        for parent in entity.parents:
+            builder.isa(entity.name, parent)
+    for rel in er.relationships.values():
+        builder.relationship(
+            rel.name,
+            **{leg.role: leg.entity for leg in rel.participations},
+        )
+        for leg in rel.participations:
+            if leg.minimum > 0 or leg.maximum is not None:
+                builder.card(
+                    leg.entity, rel.name, leg.role, leg.minimum, leg.maximum
+                )
+    for refinement in er.refinements:
+        builder.card(
+            refinement.entity,
+            refinement.relationship,
+            refinement.role,
+            refinement.minimum,
+            refinement.maximum,
+        )
+    for group in er.disjointness:
+        builder.disjoint(*sorted(group))
+    for covered, coverers in er.coverings:
+        builder.cover(covered, *sorted(coverers))
+    return builder.build()

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while programming mistakes (``TypeError`` and friends)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A CR-schema (or a front-end schema) is structurally ill-formed.
+
+    Examples: a relationship with fewer than two roles, a role shared by
+    two relationships, a cardinality declared for a class that is not a
+    subclass of the role's primary class, ``minc`` exceeding ``maxc`` on
+    the same declaration.
+    """
+
+
+class UnknownSymbolError(SchemaError):
+    """A class, relationship, or role name is not declared in the schema."""
+
+
+class DuplicateSymbolError(SchemaError):
+    """A class, relationship, or role name is declared more than once."""
+
+
+class InterpretationError(ReproError):
+    """An interpretation is not well-formed with respect to its schema.
+
+    This is distinct from the interpretation merely *violating* the
+    schema's constraints: constraint violations are reported by the model
+    checker as :class:`repro.cr.checker.Violation` values, whereas this
+    exception signals data that cannot even be evaluated (for instance, a
+    relationship tuple whose roles do not match the relationship's
+    signature).
+    """
+
+
+class SolverError(ReproError):
+    """The linear-arithmetic substrate was used incorrectly.
+
+    Examples: mixing unknowns from different systems, asking the simplex
+    for a certificate before solving, non-homogeneous input to a routine
+    that requires a homogeneous system.
+    """
+
+
+class UnboundedProblemError(SolverError):
+    """A linear program asked for optimisation has unbounded objective."""
+
+
+class InfeasibleProblemError(SolverError):
+    """A linear program required to be feasible is infeasible."""
+
+
+class ParseError(ReproError):
+    """The schema DSL text could not be parsed.
+
+    Carries the 1-based line and column of the offending token.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column

@@ -1,0 +1,30 @@
+"""Extensions the paper's Section 5 proposes as future work.
+
+All three are implemented here:
+
+* :mod:`repro.ext.disjointness` — disjointness statements between
+  classes, including the measurable claim that they "lead to a dramatic
+  reduction of the size of the resulting system";
+* :mod:`repro.ext.covering` — covering constraints [Lenzerini 1987];
+* :mod:`repro.ext.debugging` — schema debugging: when a class is
+  unsatisfiable, compute a *minimal* set of schema constraints that
+  already forces it empty.
+"""
+
+from repro.ext.covering import with_covering
+from repro.ext.debugging import (
+    DebugReport,
+    minimal_unsatisfiable_constraints,
+    quickxplain_unsatisfiable_constraints,
+)
+from repro.ext.disjointness import PruningReport, pruning_report, with_disjointness
+
+__all__ = [
+    "with_disjointness",
+    "with_covering",
+    "PruningReport",
+    "pruning_report",
+    "DebugReport",
+    "minimal_unsatisfiable_constraints",
+    "quickxplain_unsatisfiable_constraints",
+]

@@ -1,0 +1,64 @@
+"""Covering constraints (Section 5, following [Lenzerini 1987]).
+
+A covering ``cover(C by C1, ..., Ck)`` states that every instance of
+``C`` belongs to at least one ``Ci``.  Like disjointness, the
+constraint itself is stored on the schema and enforced through
+compound-class consistency: a compound class containing ``C`` but none
+of the ``Ci`` is inconsistent, hence empty in every model.
+
+Together with ISA statements ``Ci ≼ C`` this expresses the classical
+*total generalization*; with disjointness on the ``Ci`` it expresses a
+*partition*.  Both composites are provided as helpers.
+"""
+
+from __future__ import annotations
+
+from repro.cr.schema import CRSchema
+from repro.ext.disjointness import with_disjointness
+
+
+def with_covering(
+    schema: CRSchema, covered: str, *coverers: str
+) -> CRSchema:
+    """A copy of ``schema`` with one more covering constraint."""
+    return CRSchema(
+        classes=schema.classes,
+        relationships=schema.relationships,
+        isa=schema.isa_statements,
+        cards=schema.declared_cards,
+        disjointness=schema.disjointness_groups,
+        coverings=tuple(schema.coverings) + ((covered, frozenset(coverers)),),
+        name=schema.name,
+    )
+
+
+def with_total_generalization(
+    schema: CRSchema, parent: str, *children: str
+) -> CRSchema:
+    """ISA from every child to ``parent`` plus the covering of ``parent``.
+
+    The children are assumed to be declared; the ISA statements are
+    added if not already present.
+    """
+    existing = set(schema.isa_statements)
+    new_isa = [
+        (child, parent) for child in children if (child, parent) not in existing
+    ]
+    extended = CRSchema(
+        classes=schema.classes,
+        relationships=schema.relationships,
+        isa=tuple(schema.isa_statements) + tuple(new_isa),
+        cards=schema.declared_cards,
+        disjointness=schema.disjointness_groups,
+        coverings=schema.coverings,
+        name=schema.name,
+    )
+    return with_covering(extended, parent, *children)
+
+
+def with_partition(schema: CRSchema, parent: str, *children: str) -> CRSchema:
+    """A total *and* disjoint generalization of ``parent`` into ``children``."""
+    total = with_total_generalization(schema, parent, *children)
+    if len(children) < 2:
+        return total
+    return with_disjointness(total, tuple(children))

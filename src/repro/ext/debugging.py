@@ -1,0 +1,142 @@
+"""Schema debugging: minimal unsatisfiable constraint sets (Section 5).
+
+The paper's conclusion: *"we are studying an extension of the method in
+order to assist the designer when a schema is found unsatisfiable.  The
+idea is to equip our method with a technique that provides the designer
+with a minimum number of constraints that are unsatisfiable, thus
+supporting her in schema debugging."*
+
+This module implements that assistant.  Given a class that the reasoner
+finds unsatisfiable, it computes a **minimal unsatisfiable subset
+(MUS)** of the schema's constraint statements: keeping only the
+statements in the MUS (structure — classes, relationships, signatures —
+always stays) still forces the class empty, and dropping *any single*
+statement from the MUS makes the class satisfiable again.
+
+Two classical extraction algorithms are provided:
+
+* **deletion-based** — walk the constraints once, dropping each one
+  that is not needed; always ``n`` satisfiability calls;
+* **QuickXplain** (Junker 2004) — divide-and-conquer; roughly
+  ``O(k log(n/k))`` calls for a MUS of size ``k``, much cheaper when
+  the conflict is small (the common case in schema debugging).
+
+Minimality is *set-inclusion* minimality, as in the MUS literature; a
+minimum-cardinality set would require exhausting all MUSes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cr.expansion import ExpansionLimits
+from repro.cr.satisfiability import is_class_satisfiable
+from repro.cr.schema import CRSchema
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class DebugReport:
+    """A minimal unsatisfiable constraint set for one class.
+
+    ``checks`` counts the satisfiability calls spent — the cost metric
+    compared by experiment E10.
+    """
+
+    cls: str
+    mus: tuple
+    algorithm: str
+    checks: int
+
+    def pretty(self) -> str:
+        lines = [
+            f"class {self.cls!r} is unsatisfiable; a minimal conflicting "
+            f"constraint set ({len(self.mus)} statements, found by "
+            f"{self.algorithm} with {self.checks} reasoner calls):"
+        ]
+        lines.extend(f"  - {statement.pretty()}" for statement in self.mus)
+        return "\n".join(lines)
+
+
+class _SatOracle:
+    """Counts satisfiability calls; the unit of cost for both algorithms."""
+
+    def __init__(
+        self, schema: CRSchema, cls: str, limits: ExpansionLimits | None
+    ) -> None:
+        self._schema = schema
+        self._cls = cls
+        self._limits = limits
+        self._all = schema.constraints()
+        self.checks = 0
+
+    @property
+    def all_constraints(self) -> list:
+        return list(self._all)
+
+    def satisfiable_with(self, kept) -> bool:
+        """Is the class satisfiable when only ``kept`` constraints remain?"""
+        removed = [c for c in self._all if c not in set(kept)]
+        reduced = self._schema.without_constraints(removed)
+        self.checks += 1
+        return is_class_satisfiable(
+            reduced, self._cls, expansion=None, limits=self._limits
+        ).satisfiable
+
+
+def _require_unsatisfiable(oracle: _SatOracle, cls: str) -> None:
+    if oracle.satisfiable_with(oracle.all_constraints):
+        raise ReproError(
+            f"class {cls!r} is satisfiable; there is nothing to debug"
+        )
+
+
+def minimal_unsatisfiable_constraints(
+    schema: CRSchema,
+    cls: str,
+    limits: ExpansionLimits | None = None,
+) -> DebugReport:
+    """Deletion-based MUS extraction.
+
+    Invariant: ``kept`` always keeps ``cls`` unsatisfiable.  Each
+    constraint is dropped tentatively; if ``cls`` becomes satisfiable
+    the constraint is necessary and is put back.
+    """
+    oracle = _SatOracle(schema, cls, limits)
+    _require_unsatisfiable(oracle, cls)
+    kept = oracle.all_constraints
+    for candidate in list(kept):
+        trial = [c for c in kept if c != candidate]
+        if not oracle.satisfiable_with(trial):
+            kept = trial
+    return DebugReport(
+        cls=cls, mus=tuple(kept), algorithm="deletion", checks=oracle.checks
+    )
+
+
+def quickxplain_unsatisfiable_constraints(
+    schema: CRSchema,
+    cls: str,
+    limits: ExpansionLimits | None = None,
+) -> DebugReport:
+    """QuickXplain MUS extraction (preferred when the conflict is small)."""
+    oracle = _SatOracle(schema, cls, limits)
+    _require_unsatisfiable(oracle, cls)
+
+    def qx(background: list, delta_added: bool, candidates: list) -> list:
+        if delta_added and not oracle.satisfiable_with(background):
+            return []
+        if len(candidates) == 1:
+            return list(candidates)
+        half = len(candidates) // 2
+        left, right = candidates[:half], candidates[half:]
+        conflict_right = qx(background + left, bool(left), right)
+        conflict_left = qx(
+            background + conflict_right, bool(conflict_right), left
+        )
+        return conflict_left + conflict_right
+
+    mus = qx([], False, oracle.all_constraints)
+    return DebugReport(
+        cls=cls, mus=tuple(mus), algorithm="quickxplain", checks=oracle.checks
+    )

@@ -1,0 +1,104 @@
+"""Disjointness constraints and their pruning effect (Section 5).
+
+The paper's conclusion makes two claims about disjointness statements:
+they *extend expressiveness* and they *shrink the expansion* — "taking
+as an example the diagram of Figure 2, the natural restriction that
+talks and speakers be disjoint leads to a system of disequations with
+just a few unknowns".
+
+The constraint itself lives in :class:`repro.cr.schema.CRSchema`
+(compound-class consistency consults it centrally); this module adds
+the schema-surgery helper and the measurement utilities behind
+experiment E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cr.expansion import Expansion, ExpansionLimits
+from repro.cr.schema import CRSchema
+from repro.cr.system import build_system
+
+
+def with_disjointness(schema: CRSchema, *groups: tuple[str, ...]) -> CRSchema:
+    """A copy of ``schema`` with extra pairwise-disjointness groups."""
+    return CRSchema(
+        classes=schema.classes,
+        relationships=schema.relationships,
+        isa=schema.isa_statements,
+        cards=schema.declared_cards,
+        disjointness=tuple(schema.disjointness_groups)
+        + tuple(frozenset(group) for group in groups),
+        coverings=schema.coverings,
+        name=schema.name,
+    )
+
+
+@dataclass(frozen=True)
+class PruningReport:
+    """Expansion / system sizes before and after adding disjointness."""
+
+    classes: int
+    compound_classes_before: int
+    compound_classes_after: int
+    compound_relationships_before: int
+    compound_relationships_after: int
+    unknowns_before: int
+    unknowns_after: int
+    disequations_before: int
+    disequations_after: int
+
+    @property
+    def unknown_reduction_factor(self) -> float:
+        if self.unknowns_after == 0:
+            return float("inf")
+        return self.unknowns_before / self.unknowns_after
+
+    def pretty(self) -> str:
+        return (
+            f"consistent compound classes: {self.compound_classes_before} -> "
+            f"{self.compound_classes_after}; "
+            f"consistent compound relationships: "
+            f"{self.compound_relationships_before} -> "
+            f"{self.compound_relationships_after}; "
+            f"unknowns: {self.unknowns_before} -> {self.unknowns_after} "
+            f"({self.unknown_reduction_factor:.1f}x); "
+            f"disequations: {self.disequations_before} -> "
+            f"{self.disequations_after}"
+        )
+
+
+def pruning_report(
+    schema: CRSchema,
+    *groups: tuple[str, ...],
+    limits: ExpansionLimits | None = None,
+) -> PruningReport:
+    """Measure how much the given disjointness groups shrink the system.
+
+    Builds the pruned-mode disequation system with and without the
+    groups and reports unknown / disequation counts — the paper's E9
+    claim, quantified.
+    """
+    before = build_system(Expansion(schema, limits), mode="pruned")
+    after_schema = with_disjointness(schema, *groups)
+    after = build_system(Expansion(after_schema, limits), mode="pruned")
+    return PruningReport(
+        classes=len(schema.classes),
+        compound_classes_before=len(
+            before.expansion.consistent_compound_classes()
+        ),
+        compound_classes_after=len(
+            after.expansion.consistent_compound_classes()
+        ),
+        compound_relationships_before=len(
+            before.expansion.consistent_compound_relationships()
+        ),
+        compound_relationships_after=len(
+            after.expansion.consistent_compound_relationships()
+        ),
+        unknowns_before=len(before.system.variables),
+        unknowns_after=len(after.system.variables),
+        disequations_before=len(before.system),
+        disequations_after=len(after.system),
+    )

@@ -1,0 +1,14 @@
+"""Frame/knowledge-representation adapter.
+
+Section 1 and Section 5 of the paper claim the CR technique yields a
+decision procedure for frame-based languages "by interpreting classes
+as frames and relationships as slots".  This package provides a small
+frame vocabulary — frames, slots with domain and range, number
+restrictions refined along the frame taxonomy — and its translation to
+CR.
+"""
+
+from repro.kr.model import Frame, KnowledgeBase, Slot
+from repro.kr.to_cr import kr_to_cr
+
+__all__ = ["Frame", "KnowledgeBase", "Slot", "kr_to_cr"]

@@ -1,0 +1,117 @@
+"""A frame language with number restrictions.
+
+The vocabulary follows the structured-inheritance tradition the paper
+cites (frames à la Fikes & Kehler, terminological systems à la BACK):
+
+* **frames** organised in a subsumption taxonomy;
+* **slots**, each with a *domain* frame and a *range* frame;
+* **number restrictions** ``(at-least n S)`` / ``(at-most m S)``
+  attached to frames that specialise the slot's domain — the frame
+  counterpart of CR's cardinality refinement.
+
+Reasoning services (frame coherence = class satisfiability, subsumption
+over finite models = ISA implication) come from the CR translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cr.schema import UNBOUNDED
+from repro.errors import DuplicateSymbolError, UnknownSymbolError
+
+
+@dataclass(frozen=True)
+class Slot:
+    """A slot with its domain and range frames."""
+
+    name: str
+    domain: str
+    range: str
+
+
+@dataclass(frozen=True)
+class NumberRestriction:
+    """``(at-least minimum slot)`` and/or ``(at-most maximum slot)``."""
+
+    frame: str
+    slot: str
+    minimum: int = 0
+    maximum: int | None = UNBOUNDED
+
+
+@dataclass
+class Frame:
+    """A frame with its direct subsumers."""
+
+    name: str
+    subsumers: tuple[str, ...] = ()
+
+
+@dataclass
+class KnowledgeBase:
+    """Frames + slots + restrictions; translate with :func:`repro.kr.kr_to_cr`."""
+
+    name: str = "KB"
+    frames: dict[str, Frame] = field(default_factory=dict)
+    slots: dict[str, Slot] = field(default_factory=dict)
+    restrictions: list[NumberRestriction] = field(default_factory=list)
+    disjoint_frames: list[frozenset[str]] = field(default_factory=list)
+
+    def frame(
+        self, name: str, subsumers: tuple[str, ...] | list[str] = ()
+    ) -> KnowledgeBase:
+        if name in self.frames:
+            raise DuplicateSymbolError(f"frame {name!r} declared twice")
+        self.frames[name] = Frame(name, tuple(subsumers))
+        return self
+
+    def slot(self, name: str, domain: str, range: str) -> KnowledgeBase:
+        if name in self.slots:
+            raise DuplicateSymbolError(f"slot {name!r} declared twice")
+        self.slots[name] = Slot(name, domain, range)
+        return self
+
+    def restrict(
+        self,
+        frame: str,
+        slot: str,
+        at_least: int = 0,
+        at_most: int | None = UNBOUNDED,
+    ) -> KnowledgeBase:
+        """Attach a number restriction to ``frame`` on ``slot``."""
+        self.restrictions.append(
+            NumberRestriction(frame, slot, at_least, at_most)
+        )
+        return self
+
+    def disjoint(self, *frames: str) -> KnowledgeBase:
+        self.disjoint_frames.append(frozenset(frames))
+        return self
+
+    def validate(self) -> None:
+        for frame in self.frames.values():
+            for subsumer in frame.subsumers:
+                if subsumer not in self.frames:
+                    raise UnknownSymbolError(
+                        f"frame {frame.name!r} subsumed by undeclared "
+                        f"{subsumer!r}"
+                    )
+        for slot in self.slots.values():
+            if slot.domain not in self.frames:
+                raise UnknownSymbolError(
+                    f"slot {slot.name!r} has undeclared domain {slot.domain!r}"
+                )
+            if slot.range not in self.frames:
+                raise UnknownSymbolError(
+                    f"slot {slot.name!r} has undeclared range {slot.range!r}"
+                )
+        for restriction in self.restrictions:
+            if restriction.frame not in self.frames:
+                raise UnknownSymbolError(
+                    f"restriction on undeclared frame {restriction.frame!r}"
+                )
+            if restriction.slot not in self.slots:
+                raise UnknownSymbolError(
+                    f"restriction on undeclared slot {restriction.slot!r}"
+                )

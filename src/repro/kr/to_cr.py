@@ -1,0 +1,56 @@
+"""Translate a frame knowledge base to CR.
+
+Frames become classes, subsumption becomes ISA, and each slot ``S``
+with domain ``D`` and range ``R`` becomes the binary relationship
+``S = <of_S: D, is_S: R>``.  A number restriction on a frame ``F`` that
+specialises ``D`` becomes a cardinality declaration of ``F`` on role
+``of_S`` — well-formed in CR because ``F ≼* D``, and *exactly* the
+refinement mechanism of the paper's Figure 2.
+
+The classical KR reasoning services then read:
+
+* frame **coherence** (can the frame have instances in a finite world?)
+  = CR class satisfiability;
+* finite-model **subsumption** ``F1 ⊑ F2`` = CR ISA implication;
+* implied number restrictions = CR cardinality implication.
+"""
+
+from __future__ import annotations
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.schema import CRSchema
+from repro.kr.model import KnowledgeBase
+
+
+def slot_roles(slot_name: str) -> tuple[str, str]:
+    """The (domain, range) role names of a slot's CR relationship."""
+    return f"of_{slot_name}", f"is_{slot_name}"
+
+
+def kr_to_cr(kb: KnowledgeBase) -> CRSchema:
+    """Translate a validated knowledge base into an equivalent CR-schema."""
+    kb.validate()
+    builder = SchemaBuilder(kb.name)
+    for frame in kb.frames.values():
+        builder.cls(frame.name)
+    for frame in kb.frames.values():
+        for subsumer in frame.subsumers:
+            builder.isa(frame.name, subsumer)
+    for slot in kb.slots.values():
+        domain_role, range_role = slot_roles(slot.name)
+        builder.relationship(
+            slot.name, **{domain_role: slot.domain, range_role: slot.range}
+        )
+    for restriction in kb.restrictions:
+        slot = kb.slots[restriction.slot]
+        domain_role, _range_role = slot_roles(slot.name)
+        builder.card(
+            restriction.frame,
+            slot.name,
+            domain_role,
+            restriction.minimum,
+            restriction.maximum,
+        )
+    for group in kb.disjoint_frames:
+        builder.disjoint(*sorted(group))
+    return builder.build()

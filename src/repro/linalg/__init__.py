@@ -1,0 +1,17 @@
+"""Exact rational linear algebra.
+
+The decision procedure of the paper must be float-free: a feasibility
+verdict that flips on a rounding error would break soundness or
+completeness.  This package provides exact dense linear algebra over
+``fractions.Fraction`` — vectors, matrices, reduced row echelon form,
+rank, nullspace, linear solving — as a standalone toolkit for analysing
+the generated disequation systems (e.g. the rank of the equality part,
+or a nullspace basis of the homogeneous constraints).  The simplex in
+:mod:`repro.solver` keeps its own tableau representation for
+performance; the test-suite uses this package to cross-check it.
+"""
+
+from repro.linalg.matrix import Matrix
+from repro.linalg.vector import Vector
+
+__all__ = ["Matrix", "Vector"]

@@ -1,0 +1,216 @@
+"""Exact dense matrices over the rationals.
+
+Provides the operations the solver layer needs: reduced row echelon
+form, rank, nullspace bases, and linear-system solving.  Everything is
+exact (``fractions.Fraction``); these matrices are small — at most the
+size of a generated disequation system — so a dense representation is
+the simple and adequate choice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from fractions import Fraction
+
+from repro.linalg.vector import Vector
+
+
+class Matrix:
+    """An immutable dense matrix of :class:`fractions.Fraction` entries."""
+
+    __slots__ = ("_rows", "_num_rows", "_num_cols")
+
+    def __init__(self, rows: Iterable[Iterable[Fraction | int]]) -> None:
+        self._rows = tuple(
+            tuple(Fraction(entry) for entry in row) for row in rows
+        )
+        self._num_rows = len(self._rows)
+        self._num_cols = len(self._rows[0]) if self._rows else 0
+        for row in self._rows:
+            if len(row) != self._num_cols:
+                raise ValueError("all matrix rows must have equal length")
+
+    @classmethod
+    def identity(cls, size: int) -> Matrix:
+        """The ``size`` × ``size`` identity matrix."""
+        return cls(
+            [
+                [Fraction(1) if i == j else Fraction(0) for j in range(size)]
+                for i in range(size)
+            ]
+        )
+
+    @classmethod
+    def zeros(cls, num_rows: int, num_cols: int) -> Matrix:
+        """An all-zero matrix of the given shape."""
+        return cls([[Fraction(0)] * num_cols for _ in range(num_rows)])
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Vector]) -> Matrix:
+        """Build a matrix whose rows are the given vectors."""
+        return cls([list(row) for row in rows])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._num_rows, self._num_cols)
+
+    def row(self, index: int) -> Vector:
+        return Vector(self._rows[index])
+
+    def column(self, index: int) -> Vector:
+        return Vector(row[index] for row in self._rows)
+
+    def rows(self) -> tuple[Vector, ...]:
+        return tuple(Vector(row) for row in self._rows)
+
+    def __getitem__(self, position: tuple[int, int]) -> Fraction:
+        i, j = position
+        return self._rows[i][j]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(self._rows)
+
+    def transpose(self) -> Matrix:
+        return Matrix(
+            [
+                [self._rows[i][j] for i in range(self._num_rows)]
+                for j in range(self._num_cols)
+            ]
+        )
+
+    def __add__(self, other: Matrix) -> Matrix:
+        self._check_shape(other)
+        return Matrix(
+            [
+                [a + b for a, b in zip(row_a, row_b)]
+                for row_a, row_b in zip(self._rows, other._rows)
+            ]
+        )
+
+    def __sub__(self, other: Matrix) -> Matrix:
+        self._check_shape(other)
+        return Matrix(
+            [
+                [a - b for a, b in zip(row_a, row_b)]
+                for row_a, row_b in zip(self._rows, other._rows)
+            ]
+        )
+
+    def __mul__(self, scalar: Fraction | int) -> Matrix:
+        factor = Fraction(scalar)
+        return Matrix([[entry * factor for entry in row] for row in self._rows])
+
+    __rmul__ = __mul__
+
+    def matmul(self, other: Matrix) -> Matrix:
+        """Exact matrix product ``self @ other``."""
+        if self._num_cols != other._num_rows:
+            raise ValueError(
+                f"shape mismatch for product: {self.shape} @ {other.shape}"
+            )
+        other_t = other.transpose()
+        return Matrix(
+            [
+                [
+                    sum(
+                        (a * b for a, b in zip(row, col)),
+                        Fraction(0),
+                    )
+                    for col in other_t._rows
+                ]
+                for row in self._rows
+            ]
+        )
+
+    def apply(self, vector: Vector) -> Vector:
+        """Matrix–vector product."""
+        if len(vector) != self._num_cols:
+            raise ValueError(
+                f"shape mismatch: matrix has {self._num_cols} columns, "
+                f"vector has length {len(vector)}"
+            )
+        return Vector(Vector(row).dot(vector) for row in self._rows)
+
+    def rref(self) -> tuple[Matrix, list[int]]:
+        """Reduced row echelon form and the list of pivot column indices."""
+        rows = [list(row) for row in self._rows]
+        pivots: list[int] = []
+        pivot_row = 0
+        for col in range(self._num_cols):
+            if pivot_row >= len(rows):
+                break
+            chosen = next(
+                (r for r in range(pivot_row, len(rows)) if rows[r][col] != 0),
+                None,
+            )
+            if chosen is None:
+                continue
+            rows[pivot_row], rows[chosen] = rows[chosen], rows[pivot_row]
+            pivot_value = rows[pivot_row][col]
+            rows[pivot_row] = [entry / pivot_value for entry in rows[pivot_row]]
+            for r, row in enumerate(rows):
+                if r != pivot_row and row[col] != 0:
+                    factor = row[col]
+                    rows[r] = [
+                        entry - factor * lead
+                        for entry, lead in zip(row, rows[pivot_row])
+                    ]
+            pivots.append(col)
+            pivot_row += 1
+        return Matrix(rows), pivots
+
+    def rank(self) -> int:
+        """Rank over the rationals."""
+        return len(self.rref()[1])
+
+    def nullspace(self) -> list[Vector]:
+        """A basis of the (right) nullspace, one vector per free column."""
+        reduced, pivots = self.rref()
+        pivot_set = set(pivots)
+        free_columns = [
+            col for col in range(self._num_cols) if col not in pivot_set
+        ]
+        basis: list[Vector] = []
+        for free in free_columns:
+            entries = [Fraction(0)] * self._num_cols
+            entries[free] = Fraction(1)
+            for pivot_index, pivot_col in enumerate(pivots):
+                entries[pivot_col] = -reduced[pivot_index, free]
+            basis.append(Vector(entries))
+        return basis
+
+    def solve(self, rhs: Vector) -> Vector | None:
+        """One exact solution of ``self @ x = rhs``, or ``None`` if inconsistent.
+
+        When the system is underdetermined, free variables are set to 0.
+        """
+        if len(rhs) != self._num_rows:
+            raise ValueError(
+                f"shape mismatch: matrix has {self._num_rows} rows, "
+                f"rhs has length {len(rhs)}"
+            )
+        augmented = Matrix(
+            [list(row) + [rhs[i]] for i, row in enumerate(self._rows)]
+        )
+        reduced, pivots = augmented.rref()
+        if self._num_cols in pivots:
+            return None
+        solution = [Fraction(0)] * self._num_cols
+        for pivot_index, pivot_col in enumerate(pivots):
+            solution[pivot_col] = reduced[pivot_index, self._num_cols]
+        return Vector(solution)
+
+    def _check_shape(self, other: Matrix) -> None:
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+
+    def __repr__(self) -> str:
+        body = "; ".join(
+            ", ".join(str(entry) for entry in row) for row in self._rows
+        )
+        return f"Matrix([{body}])"

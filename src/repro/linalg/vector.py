@@ -1,0 +1,84 @@
+"""Immutable exact rational vectors."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from fractions import Fraction
+
+
+class Vector:
+    """A fixed-length vector of :class:`fractions.Fraction` entries.
+
+    Instances are immutable and hashable; all arithmetic is exact.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Iterable[Fraction | int]) -> None:
+        self._entries = tuple(Fraction(entry) for entry in entries)
+
+    @classmethod
+    def zeros(cls, size: int) -> Vector:
+        """The zero vector of the given length."""
+        return cls([Fraction(0)] * size)
+
+    @classmethod
+    def unit(cls, size: int, index: int) -> Vector:
+        """The standard basis vector ``e_index`` of the given length."""
+        entries = [Fraction(0)] * size
+        entries[index] = Fraction(1)
+        return cls(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Fraction]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> Fraction:
+        return self._entries[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vector):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __add__(self, other: Vector) -> Vector:
+        self._check_length(other)
+        return Vector(a + b for a, b in zip(self._entries, other._entries))
+
+    def __sub__(self, other: Vector) -> Vector:
+        self._check_length(other)
+        return Vector(a - b for a, b in zip(self._entries, other._entries))
+
+    def __neg__(self) -> Vector:
+        return Vector(-entry for entry in self._entries)
+
+    def __mul__(self, scalar: Fraction | int) -> Vector:
+        factor = Fraction(scalar)
+        return Vector(entry * factor for entry in self._entries)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: Vector) -> Fraction:
+        """Exact inner product."""
+        self._check_length(other)
+        return sum(
+            (a * b for a, b in zip(self._entries, other._entries)), Fraction(0)
+        )
+
+    def is_zero(self) -> bool:
+        """Whether every entry is zero."""
+        return all(entry == 0 for entry in self._entries)
+
+    def _check_length(self, other: Vector) -> None:
+        if len(self) != len(other):
+            raise ValueError(
+                f"vector length mismatch: {len(self)} vs {len(other)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Vector([{', '.join(str(entry) for entry in self._entries)}])"

@@ -1,0 +1,150 @@
+"""A small object-oriented data model (classes, attributes, inheritance).
+
+The vocabulary follows the object-oriented database tradition the paper
+cites (Albano, Ghelli & Orsini's relationship mechanism): a class has
+typed attributes; each attribute carries a multiplicity ``(min, max)``
+(how many values an object stores) and optionally an *inverse
+multiplicity* (how many objects may reference the same value — the
+other direction of the reified relationship).  Subclasses may
+*override* an inherited attribute's multiplicity, which translates to
+the CR model's cardinality refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cr.schema import UNBOUNDED
+from repro.errors import DuplicateSymbolError, SchemaError, UnknownSymbolError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A typed attribute with multiplicity bounds.
+
+    ``multiplicity`` bounds the number of values per object;
+    ``inverse_multiplicity`` bounds the number of objects per value
+    (``(0, None)`` — unconstrained — by default).
+    """
+
+    name: str
+    target: str
+    multiplicity: tuple[int, int | None] = (1, 1)
+    inverse_multiplicity: tuple[int, int | None] = (0, UNBOUNDED)
+
+
+@dataclass(frozen=True)
+class Override:
+    """A subclass tightening an inherited attribute's multiplicity."""
+
+    cls: str
+    owner: str
+    attribute: str
+    multiplicity: tuple[int, int | None]
+
+
+@dataclass
+class OOClass:
+    """A class with its own attributes; ``parents`` are superclasses."""
+
+    name: str
+    parents: tuple[str, ...] = ()
+    attributes: dict[str, Attribute] = field(default_factory=dict)
+
+
+@dataclass
+class OOModel:
+    """A collection of OO classes; translate with :func:`repro.oo.oo_to_cr`."""
+
+    name: str = "OO"
+    classes: dict[str, OOClass] = field(default_factory=dict)
+    overrides: list[Override] = field(default_factory=list)
+
+    def cls(self, name: str, parents: tuple[str, ...] | list[str] = ()) -> OOModel:
+        if name in self.classes:
+            raise DuplicateSymbolError(f"class {name!r} declared twice")
+        self.classes[name] = OOClass(name, tuple(parents))
+        return self
+
+    def attribute(
+        self,
+        owner: str,
+        name: str,
+        target: str,
+        minimum: int = 1,
+        maximum: int | None = 1,
+        inverse_minimum: int = 0,
+        inverse_maximum: int | None = UNBOUNDED,
+    ) -> OOModel:
+        """Declare ``owner.name : target`` with the given multiplicities."""
+        cls = self.classes.get(owner)
+        if cls is None:
+            raise UnknownSymbolError(f"unknown class {owner!r}")
+        if name in cls.attributes:
+            raise DuplicateSymbolError(
+                f"attribute {name!r} declared twice on {owner!r}"
+            )
+        cls.attributes[name] = Attribute(
+            name,
+            target,
+            (minimum, maximum),
+            (inverse_minimum, inverse_maximum),
+        )
+        return self
+
+    def override(
+        self,
+        cls: str,
+        owner: str,
+        attribute: str,
+        minimum: int = 0,
+        maximum: int | None = UNBOUNDED,
+    ) -> OOModel:
+        """Tighten the multiplicity of ``owner.attribute`` for subclass ``cls``."""
+        self.overrides.append(
+            Override(cls, owner, attribute, (minimum, maximum))
+        )
+        return self
+
+    def validate(self) -> None:
+        for cls in self.classes.values():
+            for parent in cls.parents:
+                if parent not in self.classes:
+                    raise UnknownSymbolError(
+                        f"class {cls.name!r} inherits from undeclared {parent!r}"
+                    )
+            for attribute in cls.attributes.values():
+                if attribute.target not in self.classes:
+                    raise UnknownSymbolError(
+                        f"attribute {cls.name}.{attribute.name} targets "
+                        f"undeclared class {attribute.target!r}"
+                    )
+        for override in self.overrides:
+            owner = self.classes.get(override.owner)
+            if owner is None or override.attribute not in owner.attributes:
+                raise UnknownSymbolError(
+                    f"override targets unknown attribute "
+                    f"{override.owner}.{override.attribute}"
+                )
+            if override.cls not in self.classes:
+                raise UnknownSymbolError(
+                    f"override declared for undeclared class {override.cls!r}"
+                )
+            if not self._inherits(override.cls, override.owner):
+                raise SchemaError(
+                    f"override on {override.cls!r} is illegal: it is not a "
+                    f"subclass of {override.owner!r}"
+                )
+
+    def _inherits(self, sub: str, sup: str) -> bool:
+        seen = {sub}
+        frontier = [sub]
+        while frontier:
+            current = self.classes[frontier.pop()]
+            if current.name == sup:
+                return True
+            for parent in current.parents:
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        return False

@@ -1,0 +1,57 @@
+"""Reify OO attributes into CR relationships.
+
+Every attribute ``C.a : T`` becomes a binary relationship
+``a_of_C = <src: C, tgt: T>``:
+
+* the attribute multiplicity ``(m, n)`` becomes the cardinality of
+  ``C`` on role ``src``;
+* the inverse multiplicity becomes the cardinality of ``T`` on ``tgt``;
+* an override by subclass ``D`` becomes a cardinality refinement of
+  ``D`` on role ``src`` — legal in CR precisely because ``D ≼* C``.
+
+Role names are ``src_<rel>`` / ``tgt_<rel>`` (roles must be globally
+unique in CR).
+"""
+
+from __future__ import annotations
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.schema import CRSchema
+from repro.oo.model import OOModel
+
+
+def attribute_relationship_name(owner: str, attribute: str) -> str:
+    """Name of the CR relationship reifying ``owner.attribute``."""
+    return f"{attribute}_of_{owner}"
+
+
+def oo_to_cr(model: OOModel) -> CRSchema:
+    """Translate a validated OO model into an equivalent CR-schema."""
+    model.validate()
+    builder = SchemaBuilder(model.name)
+    for cls in model.classes.values():
+        builder.cls(cls.name)
+    for cls in model.classes.values():
+        for parent in cls.parents:
+            builder.isa(cls.name, parent)
+    for cls in model.classes.values():
+        for attribute in cls.attributes.values():
+            rel = attribute_relationship_name(cls.name, attribute.name)
+            src_role = f"src_{rel}"
+            tgt_role = f"tgt_{rel}"
+            builder.relationship(
+                rel, **{src_role: cls.name, tgt_role: attribute.target}
+            )
+            minimum, maximum = attribute.multiplicity
+            if minimum > 0 or maximum is not None:
+                builder.card(cls.name, rel, src_role, minimum, maximum)
+            inv_minimum, inv_maximum = attribute.inverse_multiplicity
+            if inv_minimum > 0 or inv_maximum is not None:
+                builder.card(
+                    attribute.target, rel, tgt_role, inv_minimum, inv_maximum
+                )
+    for override in model.overrides:
+        rel = attribute_relationship_name(override.owner, override.attribute)
+        minimum, maximum = override.multiplicity
+        builder.card(override.cls, rel, f"src_{rel}", minimum, maximum)
+    return builder.build()

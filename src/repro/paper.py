@@ -1,0 +1,121 @@
+"""The paper's running examples, as ready-made objects.
+
+Used throughout the tests, benchmarks and examples:
+
+* :func:`figure1_er` / :func:`figure1_schema` — the finitely
+  unsatisfiable diagram of Figure 1 (class ``D`` ISA ``C`` while the
+  cardinalities force ``|R| >= 2·|C|`` and ``|R| <= |D|``);
+* :func:`meeting_er` / :func:`meeting_schema` — the meeting example of
+  Figures 2 and 3 (speakers, discussants, talks);
+* :func:`refined_meeting_schema` — the Section-3.3 variant with the
+  additional refinement ``minc(Discussant, Holds, U1) = 2`` that makes
+  every class unsatisfiable;
+* :func:`figure7_queries` — the three implied statements of Figure 7.
+"""
+
+from __future__ import annotations
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.constraints import (
+    IsaStatement,
+    MaxCardinalityStatement,
+)
+from repro.cr.schema import CRSchema, UNBOUNDED
+from repro.er.model import ERSchema
+from repro.er.to_cr import er_to_cr
+
+
+def figure1_er(ratio: int = 2) -> ERSchema:
+    """The ER diagram of Figure 1, generalised to an arbitrary ratio.
+
+    ``C`` participates at least ``ratio`` times in ``R`` while ``D``
+    participates at most once, and ``D ≼ C``; any finite model then
+    needs ``ratio·|C| ≤ |R| ≤ |D| ≤ |C|``, so all classes are empty.
+    The paper's figure is ``ratio = 2``; ``ratio = 1`` is the edge case
+    where the schema becomes satisfiable.
+    """
+    er = ERSchema("Figure1")
+    er.entity("C")
+    er.entity("D", isa=["C"])
+    er.relationship(
+        "R",
+        ("V1", "C", ratio, UNBOUNDED),
+        ("V2", "D", 0, 1),
+    )
+    return er
+
+
+def figure1_schema(ratio: int = 2) -> CRSchema:
+    """The CR translation of Figure 1 (see :func:`figure1_er`)."""
+    return er_to_cr(figure1_er(ratio))
+
+
+def meeting_er() -> ERSchema:
+    """The CR-diagram of Figure 2 in ER form, refinement included."""
+    er = ERSchema("Meeting")
+    er.entity("Speaker")
+    er.entity("Discussant", isa=["Speaker"])
+    er.entity("Talk")
+    er.relationship(
+        "Holds",
+        ("U1", "Speaker", 1, UNBOUNDED),
+        ("U2", "Talk", 1, 1),
+    )
+    er.relationship(
+        "Participates",
+        ("U3", "Discussant", 1, 1),
+        ("U4", "Talk", 1, UNBOUNDED),
+    )
+    er.refine("Discussant", "Holds", "U1", 0, 2)
+    return er
+
+
+def meeting_schema() -> CRSchema:
+    """The CR-schema of Figure 3 (built directly, not via ER)."""
+    return (
+        SchemaBuilder("Meeting")
+        .classes("Speaker", "Discussant", "Talk")
+        .isa("Discussant", "Speaker")
+        .relationship("Holds", U1="Speaker", U2="Talk")
+        .relationship("Participates", U3="Discussant", U4="Talk")
+        .card("Speaker", "Holds", "U1", minc=1)
+        .card("Discussant", "Holds", "U1", maxc=2)
+        .card("Talk", "Holds", "U2", minc=1, maxc=1)
+        .card("Discussant", "Participates", "U3", minc=1, maxc=1)
+        .card("Talk", "Participates", "U4", minc=1)
+        .build()
+    )
+
+
+def refined_meeting_schema() -> CRSchema:
+    """Section 3.3's unsatisfiable variant.
+
+    Adds ``minc(Discussant, Holds, U1) = 2`` ("each speaker that is
+    allowed to participate in a discussion must hold at least two
+    talks").  The paper shows the resulting system is unsolvable: the
+    original constraints force ``|Talk| = |Speaker| = |Discussant|``
+    with every speaker holding exactly one talk, contradicting the new
+    minimum of two.
+    """
+    return (
+        SchemaBuilder("MeetingRefined")
+        .classes("Speaker", "Discussant", "Talk")
+        .isa("Discussant", "Speaker")
+        .relationship("Holds", U1="Speaker", U2="Talk")
+        .relationship("Participates", U3="Discussant", U4="Talk")
+        .card("Speaker", "Holds", "U1", minc=1)
+        .card("Discussant", "Holds", "U1", minc=2, maxc=2)
+        .card("Talk", "Holds", "U2", minc=1, maxc=1)
+        .card("Discussant", "Participates", "U3", minc=1, maxc=1)
+        .card("Talk", "Participates", "U4", minc=1)
+        .build()
+    )
+
+
+def figure7_queries() -> list:
+    """The three statements Figure 7 reports as implied by the schema."""
+    return [
+        IsaStatement("Speaker", "Discussant"),
+        MaxCardinalityStatement("Talk", "Participates", "U4", 1),
+        MaxCardinalityStatement("Speaker", "Holds", "U1", 1),
+    ]

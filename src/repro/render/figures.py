@@ -1,0 +1,185 @@
+"""Renderers for the paper's Figures 3–7.
+
+These produce deterministic plain text, designed to be diffed against
+the paper: the meeting schema of Figure 2 renders (up to typography)
+exactly the listings of Figures 3, 4 and 5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.cr.expansion import Expansion
+from repro.cr.implication import ImplicationResult
+from repro.cr.interpretation import Interpretation
+from repro.cr.schema import CRSchema
+from repro.cr.system import CRSystem
+
+
+def _class_abbreviations(schema: CRSchema) -> dict[str, str]:
+    """Single-letter abbreviations when initials are unique (the paper
+    abbreviates Speaker/Discussant/Talk to S/D/T), full names otherwise."""
+    initials = [cls[0] for cls in schema.classes]
+    if len(set(initials)) == len(initials):
+        return {cls: cls[0] for cls in schema.classes}
+    return {cls: cls for cls in schema.classes}
+
+
+def render_schema(schema: CRSchema) -> str:
+    """Figure-3 style listing of a CR-schema."""
+    lines: list[str] = []
+    lines.append("C = {" + ", ".join(schema.classes) + "};")
+    lines.append(
+        "R = {" + ", ".join(rel.name for rel in schema.relationships) + "};"
+    )
+    roles = [role for rel in schema.relationships for role in rel.roles]
+    lines.append("U = {" + ", ".join(roles) + "};")
+    isa = ", ".join(f"{sub} <= {sup}" for sub, sup in schema.isa_statements)
+    lines.append("Sisa = {" + isa + "};")
+    lines.append("")
+    for rel in schema.relationships:
+        inner = ", ".join(f"{role}: {cls}" for role, cls in rel.signature)
+        lines.append(f"{rel.name} = <{inner}>;")
+    lines.append("")
+    for (cls, rel_name, role), card in sorted(
+        schema.declared_cards.items(),
+        key=lambda item: (item[0][1], item[0][2], item[0][0]),
+    ):
+        if card.minc > 0:
+            lines.append(f"minc({cls}, {rel_name}, {role}) = {card.minc};")
+        if card.maxc is not None:
+            lines.append(f"maxc({cls}, {rel_name}, {role}) = {card.maxc};")
+    for group in schema.disjointness_groups:
+        lines.append("disjoint(" + ", ".join(sorted(group)) + ");")
+    for covered, coverers in schema.coverings:
+        lines.append(
+            f"cover({covered} by " + ", ".join(sorted(coverers)) + ");"
+        )
+    return "\n".join(lines)
+
+
+def render_expansion(expansion: Expansion) -> str:
+    """Figure-4 style listing of an expansion.
+
+    Compound classes appear with their paper indices and abbreviated
+    member sets; the consistent subsets and the lifted non-default
+    cardinalities follow.
+    """
+    schema = expansion.schema
+    abbrev = _class_abbreviations(schema)
+    lines: list[str] = []
+
+    all_classes = list(expansion.all_compound_classes())
+    rendered = ", ".join(
+        f"C{expansion.class_index(cc)} = "
+        + "{"
+        + ",".join(abbrev[cls] for cls in schema.classes if cls in cc.members)
+        + "}"
+        for cc in all_classes
+    )
+    lines.append(f"Cbar = {{C1 .. C{len(all_classes)}}}, where {rendered};")
+    consistent = expansion.consistent_compound_classes()
+    lines.append(
+        "Cc = {"
+        + ", ".join(f"C{expansion.class_index(cc)}" for cc in consistent)
+        + "};"
+    )
+    lines.append("")
+
+    for rel in schema.relationships:
+        compounds = expansion.consistent_relationships_of(rel.name)
+        letter = rel.name[0]
+        tuples = ", ".join(
+            letter
+            + "<"
+            + ",".join(
+                str(expansion.class_index(component))
+                for _, component in compound.signature
+            )
+            + ">"
+            for compound in compounds
+        )
+        lines.append(f"Rc({rel.name}) = {{{tuples}}};")
+    lines.append("")
+
+    for rel in schema.relationships:
+        for role, _primary in rel.signature:
+            for compound in consistent:
+                if rel.primary_class(role) not in compound.members:
+                    continue
+                card = expansion.lifted_card(compound, rel.name, role)
+                index = expansion.class_index(compound)
+                if card.minc > 0:
+                    lines.append(
+                        f"minc(C{index}, {rel.name}, {role}) = {card.minc};"
+                    )
+                if card.maxc is not None:
+                    lines.append(
+                        f"maxc(C{index}, {rel.name}, {role}) = {card.maxc};"
+                    )
+    return "\n".join(lines)
+
+
+def render_system(cr_system: CRSystem) -> str:
+    """Figure-5 style listing: unknowns, then the disequations by group."""
+    lines: list[str] = []
+    class_names = ", ".join(cr_system.class_var.values())
+    lines.append(f"class unknowns: {class_names}")
+    rel_names = ", ".join(cr_system.rel_var.values())
+    lines.append(f"relationship unknowns: {rel_names}")
+    lines.append("")
+
+    def section(prefix: str, title: str) -> None:
+        rows = [
+            constraint.pretty()
+            for constraint in cr_system.system.constraints
+            if constraint.label is not None
+            and constraint.label.startswith(prefix)
+        ]
+        if rows:
+            lines.append(f"-- {title}")
+            lines.extend(rows)
+            lines.append("")
+
+    section("zero-class:", "inconsistent compound classes (= 0)")
+    section("zero-rel:", "inconsistent compound relationships (= 0)")
+    section("min:", "lifted minc disequations")
+    section("max:", "lifted maxc disequations")
+    section("nonneg:", "non-negativity")
+    return "\n".join(lines).rstrip()
+
+
+def render_solution(solution: Mapping[str, int], only_nonzero: bool = True) -> str:
+    """Figure-6 style listing of a solution of the system."""
+    lines = []
+    for name in sorted(solution):
+        value = solution[name]
+        if only_nonzero and value == 0:
+            continue
+        lines.append(f"X({name}) = {value};")
+    if not lines:
+        return "X = 0 (the empty solution);"
+    return "\n".join(lines)
+
+
+def render_interpretation(interpretation: Interpretation) -> str:
+    """Figure-6 style listing of a finite interpretation."""
+    lines: list[str] = []
+    domain = ", ".join(sorted(map(str, interpretation.domain)))
+    lines.append(f"Delta = {{{domain}}};")
+    for cls in sorted(interpretation.class_extensions):
+        members = ", ".join(
+            sorted(map(str, interpretation.instances_of(cls)))
+        )
+        lines.append(f"{cls}^I = {{{members}}};")
+    for rel in sorted(interpretation.relationship_extensions):
+        tuples = ", ".join(
+            labelled.pretty() for labelled in sorted(interpretation.tuples_of(rel))
+        )
+        lines.append(f"{rel}^I = {{{tuples}}};")
+    return "\n".join(lines)
+
+
+def render_inferences(results: Iterable[ImplicationResult]) -> str:
+    """Figure-7 style listing of implication verdicts."""
+    return "\n".join(result.pretty() for result in results)

@@ -1,0 +1,47 @@
+"""Exact linear-arithmetic substrate.
+
+The paper reduces reasoning over ISA + cardinality constraints to the
+existence of particular solutions of homogeneous systems of linear
+disequations (Section 3.2).  This package supplies everything that
+reduction needs, implemented from scratch and float-free:
+
+* :mod:`repro.solver.linear` — expressions, constraints, systems;
+* :mod:`repro.solver.simplex` — exact two-phase simplex (Bland's rule);
+* :mod:`repro.solver.fourier_motzkin` — Fourier–Motzkin elimination,
+  supporting strict inequalities natively (used on small systems and as
+  a differential-testing oracle for the simplex);
+* :mod:`repro.solver.homogeneous` — decision routines specialised to
+  homogeneous systems: feasibility with strict constraints (by cone
+  scaling), maximal-support computation, integer witnesses.
+"""
+
+from repro.solver.certificates import FarkasCertificate, farkas_certificate
+from repro.solver.fourier_motzkin import FourierMotzkinResult, fm_feasible, fm_solve
+from repro.solver.homogeneous import (
+    HomogeneousWitness,
+    find_positive_solution,
+    integerize,
+    maximal_support,
+)
+from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation, term
+from repro.solver.simplex import SimplexResult, SimplexStatus, solve_lp
+
+__all__ = [
+    "Constraint",
+    "LinearSystem",
+    "LinExpr",
+    "Relation",
+    "term",
+    "SimplexResult",
+    "SimplexStatus",
+    "solve_lp",
+    "FarkasCertificate",
+    "farkas_certificate",
+    "FourierMotzkinResult",
+    "fm_feasible",
+    "fm_solve",
+    "HomogeneousWitness",
+    "find_positive_solution",
+    "integerize",
+    "maximal_support",
+]

@@ -1,0 +1,413 @@
+"""Linear expressions, constraints and systems over named unknowns.
+
+This is the little language in which the paper's disequation systems
+(Figure 5) are written down.  Unknowns are plain strings; coefficients
+and constants are exact rationals.  Expressions support natural Python
+arithmetic and comparisons::
+
+    >>> x, y = term("x"), term("y")
+    >>> c = 2 * x - y <= 4
+    >>> c.pretty()
+    '2*x - y <= 4'
+
+Comparisons build :class:`Constraint` values; a :class:`LinearSystem`
+is an ordered collection of constraints with provenance labels, which
+the schema-debugging extension uses to map disequations back to the
+schema constraints that produced them.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping, Sequence
+from fractions import Fraction
+from typing import Any
+
+from repro.errors import SolverError
+
+Coefficient = Fraction | int
+Assignment = Mapping[str, Fraction]
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``.
+
+    Immutable.  Zero-coefficient terms are dropped eagerly so equality of
+    expressions is equality of their canonical forms.
+    """
+
+    __slots__ = ("_coeffs", "_constant")
+
+    def __init__(
+        self,
+        coeffs: Mapping[str, Coefficient] | None = None,
+        constant: Coefficient = 0,
+    ) -> None:
+        cleaned: dict[str, Fraction] = {}
+        for name, coeff in (coeffs or {}).items():
+            value = Fraction(coeff)
+            if value != 0:
+                cleaned[name] = value
+        self._coeffs = cleaned
+        self._constant = Fraction(constant)
+
+    @classmethod
+    def constant(cls, value: Coefficient) -> LinExpr:
+        """The constant expression ``value``."""
+        return cls({}, value)
+
+    @property
+    def coefficients(self) -> dict[str, Fraction]:
+        """A copy of the variable → coefficient mapping (no zeros)."""
+        return dict(self._coeffs)
+
+    @property
+    def constant_term(self) -> Fraction:
+        return self._constant
+
+    def coefficient(self, name: str) -> Fraction:
+        """Coefficient of ``name`` (0 if absent)."""
+        return self._coeffs.get(name, Fraction(0))
+
+    def variables(self) -> tuple[str, ...]:
+        """The variables with non-zero coefficient, sorted."""
+        return tuple(sorted(self._coeffs))
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def evaluate(self, assignment: Assignment) -> Fraction:
+        """Value of the expression under a (total) variable assignment."""
+        total = self._constant
+        for name, coeff in self._coeffs.items():
+            total += coeff * Fraction(assignment[name])
+        return total
+
+    # -- arithmetic ----------------------------------------------------
+
+    @staticmethod
+    def _coerce(other: LinExpr | Coefficient) -> LinExpr:
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, (int, Fraction)):
+            return LinExpr.constant(other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: LinExpr | Coefficient) -> LinExpr:
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        coeffs = dict(self._coeffs)
+        for name, coeff in rhs._coeffs.items():
+            coeffs[name] = coeffs.get(name, Fraction(0)) + coeff
+        return LinExpr(coeffs, self._constant + rhs._constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: LinExpr | Coefficient) -> LinExpr:
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other: Coefficient) -> LinExpr:
+        return LinExpr.constant(other) - self
+
+    def __neg__(self) -> LinExpr:
+        return LinExpr(
+            {name: -coeff for name, coeff in self._coeffs.items()},
+            -self._constant,
+        )
+
+    def __mul__(self, scalar: Coefficient) -> LinExpr:
+        if not isinstance(scalar, (int, Fraction)):
+            return NotImplemented
+        factor = Fraction(scalar)
+        return LinExpr(
+            {name: coeff * factor for name, coeff in self._coeffs.items()},
+            self._constant * factor,
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Coefficient) -> LinExpr:
+        if not isinstance(scalar, (int, Fraction)):
+            return NotImplemented
+        return self * (Fraction(1) / Fraction(scalar))
+
+    # -- comparisons build constraints ---------------------------------
+
+    def __le__(self, other: LinExpr | Coefficient) -> Constraint:
+        return Constraint(self - self._coerce(other), Relation.LE)
+
+    def __ge__(self, other: LinExpr | Coefficient) -> Constraint:
+        return Constraint(self - self._coerce(other), Relation.GE)
+
+    def __lt__(self, other: LinExpr | Coefficient) -> Constraint:
+        return Constraint(self - self._coerce(other), Relation.LT)
+
+    def __gt__(self, other: LinExpr | Coefficient) -> Constraint:
+        return Constraint(self - self._coerce(other), Relation.GT)
+
+    def equals(self, other: LinExpr | Coefficient) -> Constraint:
+        """Build the equality constraint ``self == other``.
+
+        Named method rather than ``__eq__`` so expressions keep normal
+        Python equality semantics (and stay usable in sets and dicts).
+        """
+        return Constraint(self - self._coerce(other), Relation.EQ)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return (
+            self._coeffs == other._coeffs and self._constant == other._constant
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._coeffs.items()), self._constant))
+
+    # -- rendering -----------------------------------------------------
+
+    def pretty(self) -> str:
+        """Human-readable form, e.g. ``2*x - y + 3``."""
+        parts: list[str] = []
+        for name in sorted(self._coeffs):
+            coeff = self._coeffs[name]
+            magnitude = abs(coeff)
+            rendered = name if magnitude == 1 else f"{magnitude}*{name}"
+            if not parts:
+                parts.append(rendered if coeff > 0 else f"-{rendered}")
+            else:
+                parts.append(f"+ {rendered}" if coeff > 0 else f"- {rendered}")
+        if self._constant != 0 or not parts:
+            value = self._constant
+            if not parts:
+                parts.append(str(value))
+            elif value > 0:
+                parts.append(f"+ {value}")
+            else:
+                parts.append(f"- {-value}")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"LinExpr({self.pretty()!r})"
+
+
+def term(name: str, coefficient: Coefficient = 1) -> LinExpr:
+    """The expression ``coefficient * name``."""
+    return LinExpr({name: coefficient})
+
+
+class Relation(enum.Enum):
+    """Comparison sense of a constraint, relative to zero."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    LT = "<"
+    GT = ">"
+
+    @property
+    def is_strict(self) -> bool:
+        return self in (Relation.LT, Relation.GT)
+
+    def flipped(self) -> Relation:
+        """The relation obtained by negating both sides."""
+        mapping = {
+            Relation.LE: Relation.GE,
+            Relation.GE: Relation.LE,
+            Relation.LT: Relation.GT,
+            Relation.GT: Relation.LT,
+            Relation.EQ: Relation.EQ,
+        }
+        return mapping[self]
+
+
+class Constraint:
+    """A constraint ``expr REL 0`` with an optional provenance label.
+
+    The normal form keeps everything on the left-hand side.  ``label``
+    and ``origin`` carry provenance: the CR system generator labels each
+    disequation with the schema constraint that produced it so that the
+    debugging extension can report minimal unsatisfiable *schema*
+    constraint sets rather than raw disequations.
+    """
+
+    __slots__ = ("expr", "relation", "label", "origin")
+
+    def __init__(
+        self,
+        expr: LinExpr,
+        relation: Relation,
+        label: str | None = None,
+        origin: Any = None,
+    ) -> None:
+        self.expr = expr
+        self.relation = relation
+        self.label = label
+        self.origin = origin
+
+    def labelled(self, label: str, origin: Any = None) -> Constraint:
+        """A copy of this constraint carrying provenance."""
+        return Constraint(self.expr, self.relation, label, origin)
+
+    def variables(self) -> tuple[str, ...]:
+        return self.expr.variables()
+
+    def is_homogeneous(self) -> bool:
+        """Whether the constant term is zero (Section 3.2 systems are)."""
+        return self.expr.constant_term == 0
+
+    def is_satisfied_by(self, assignment: Assignment) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.relation is Relation.LE:
+            return value <= 0
+        if self.relation is Relation.GE:
+            return value >= 0
+        if self.relation is Relation.EQ:
+            return value == 0
+        if self.relation is Relation.LT:
+            return value < 0
+        return value > 0
+
+    def negated(self) -> Constraint:
+        """The complement constraint (``<=`` becomes ``>`` and so on)."""
+        mapping = {
+            Relation.LE: Relation.GT,
+            Relation.GE: Relation.LT,
+            Relation.LT: Relation.GE,
+            Relation.GT: Relation.LE,
+        }
+        if self.relation is Relation.EQ:
+            raise SolverError("cannot negate an equality into one constraint")
+        return Constraint(self.expr, mapping[self.relation], self.label)
+
+    def non_strict_relaxation(self) -> Constraint:
+        """``<`` becomes ``<=`` and ``>`` becomes ``>=``; others unchanged."""
+        mapping = {Relation.LT: Relation.LE, Relation.GT: Relation.GE}
+        relation = mapping.get(self.relation, self.relation)
+        return Constraint(self.expr, relation, self.label, self.origin)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return self.expr == other.expr and self.relation is other.relation
+
+    def __hash__(self) -> int:
+        return hash((self.expr, self.relation))
+
+    def pretty(self) -> str:
+        """Render with negative terms moved right, like the paper's figures.
+
+        ``Constraint(x - y, LE)`` renders as ``x <= y`` rather than
+        ``x - y <= 0``.
+        """
+        positives: dict[str, Fraction] = {}
+        negatives: dict[str, Fraction] = {}
+        for name, coeff in self.expr.coefficients.items():
+            if coeff > 0:
+                positives[name] = coeff
+            else:
+                negatives[name] = -coeff
+        lhs = LinExpr(positives)
+        rhs = LinExpr(negatives, -self.expr.constant_term)
+        return f"{lhs.pretty()} {self.relation.value} {rhs.pretty()}"
+
+    def __repr__(self) -> str:
+        suffix = f", label={self.label!r}" if self.label else ""
+        return f"Constraint({self.pretty()!r}{suffix})"
+
+
+class LinearSystem:
+    """An ordered set of constraints over a declared variable universe.
+
+    Variables may be declared explicitly (so a system can mention
+    variables no constraint uses — e.g. unknowns of consistent compound
+    classes that appear only in non-negativity constraints); any
+    variable used by a constraint is declared implicitly.
+    """
+
+    def __init__(
+        self,
+        constraints: Iterable[Constraint] = (),
+        variables: Iterable[str] = (),
+    ) -> None:
+        self._constraints: list[Constraint] = []
+        self._variables: dict[str, None] = {}  # insertion-ordered set
+        for name in variables:
+            self._variables.setdefault(name)
+        for constraint in constraints:
+            self.add(constraint)
+
+    def add(self, constraint: Constraint) -> None:
+        """Append a constraint, declaring its variables."""
+        self._constraints.append(constraint)
+        for name in constraint.variables():
+            self._variables.setdefault(name)
+
+    def declare(self, name: str) -> None:
+        """Declare a variable without constraining it."""
+        self._variables.setdefault(name)
+
+    def extend(self, constraints: Iterable[Constraint]) -> None:
+        for constraint in constraints:
+            self.add(constraint)
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(self._variables)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self):
+        return iter(self._constraints)
+
+    def is_homogeneous(self) -> bool:
+        """Whether every constraint has zero constant term."""
+        return all(constraint.is_homogeneous() for constraint in self._constraints)
+
+    def has_strict_constraints(self) -> bool:
+        return any(c.relation.is_strict for c in self._constraints)
+
+    def is_satisfied_by(self, assignment: Assignment) -> bool:
+        """Whether ``assignment`` satisfies every constraint."""
+        return all(c.is_satisfied_by(assignment) for c in self._constraints)
+
+    def violated_constraints(self, assignment: Assignment) -> list[Constraint]:
+        """The constraints ``assignment`` violates, in system order."""
+        return [c for c in self._constraints if not c.is_satisfied_by(assignment)]
+
+    def copy(self) -> LinearSystem:
+        return LinearSystem(self._constraints, self._variables)
+
+    def with_constraints(self, extra: Iterable[Constraint]) -> LinearSystem:
+        """A copy of this system with ``extra`` appended."""
+        result = self.copy()
+        result.extend(extra)
+        return result
+
+    def restricted_to(self, labels: Sequence[str | None]) -> LinearSystem:
+        """The sub-system whose constraint labels are in ``labels``.
+
+        Used by the MUS extractor: label sets identify candidate subsets
+        of schema constraints.
+        """
+        wanted = set(labels)
+        kept = [c for c in self._constraints if c.label in wanted]
+        return LinearSystem(kept, self._variables)
+
+    def pretty(self) -> str:
+        """All constraints, one per line, in Figure-5 style."""
+        return "\n".join(constraint.pretty() for constraint in self._constraints)
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearSystem({len(self._constraints)} constraints, "
+            f"{len(self._variables)} variables)"
+        )

@@ -1,0 +1,21 @@
+"""Small, dependency-free helpers shared across the library."""
+
+from repro.utils.naming import FreshNames, is_identifier
+from repro.utils.orderings import stable_sorted_set, topological_levels
+from repro.utils.rationals import (
+    common_denominator_scale,
+    fraction_lcm,
+    integer_lcm,
+    parse_fraction,
+)
+
+__all__ = [
+    "FreshNames",
+    "is_identifier",
+    "stable_sorted_set",
+    "topological_levels",
+    "common_denominator_scale",
+    "fraction_lcm",
+    "integer_lcm",
+    "parse_fraction",
+]

@@ -1,0 +1,55 @@
+"""Name management: identifier validation and fresh-name generation.
+
+The implication engine of Section 4 of the paper introduces an auxiliary
+class ``C_exc`` into a copy of the schema; :class:`FreshNames` guarantees
+the auxiliary name cannot collide with a user symbol.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def is_identifier(name: str) -> bool:
+    """Return whether ``name`` is a valid schema symbol.
+
+    Schema symbols follow Python-identifier syntax (letters, digits and
+    underscores, not starting with a digit).  The DSL and the renderers
+    rely on this so that symbols never need quoting.
+    """
+    return bool(_IDENTIFIER_RE.match(name))
+
+
+class FreshNames:
+    """Generate names guaranteed not to clash with a set of taken names.
+
+    >>> fresh = FreshNames(["C", "C_exc"])
+    >>> fresh.fresh("C_exc")
+    'C_exc_1'
+    >>> fresh.fresh("C_exc")
+    'C_exc_2'
+    >>> fresh.fresh("D")
+    'D'
+    """
+
+    def __init__(self, taken: Iterable[str] = ()) -> None:
+        self._taken = set(taken)
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as taken without generating anything."""
+        self._taken.add(name)
+
+    def fresh(self, stem: str) -> str:
+        """Return ``stem`` itself if free, else ``stem_1``, ``stem_2``, ..."""
+        if stem not in self._taken:
+            self._taken.add(stem)
+            return stem
+        counter = 1
+        while f"{stem}_{counter}" in self._taken:
+            counter += 1
+        name = f"{stem}_{counter}"
+        self._taken.add(name)
+        return name

@@ -1,0 +1,66 @@
+"""Deterministic ordering helpers.
+
+The decision procedure enumerates exponentially many compound classes;
+to make every run (and every rendered figure) reproducible, all
+collections exposed by the library iterate in a deterministic order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from typing import TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T", bound=Hashable)
+
+
+def stable_sorted_set(items: Iterable[T]) -> tuple[T, ...]:
+    """Deduplicate ``items`` and return them sorted, as a tuple.
+
+    The items must be mutually comparable (the library only uses this on
+    strings and on tuples of strings).
+    """
+    return tuple(sorted(set(items)))
+
+
+def topological_levels(edges: Mapping[T, Iterable[T]]) -> list[list[T]]:
+    """Layer a DAG into levels: a node appears after all its predecessors.
+
+    ``edges`` maps each node to the nodes it points to ("is-a parents" in
+    the library's use).  Nodes that only appear as targets are included.
+    Within a level, nodes are sorted for determinism.
+
+    Raises :class:`ReproError` if the graph has a cycle that is not a
+    self-loop.  (ISA cycles are legal in the CR model — they just force
+    extensional equality — so callers collapse strongly connected
+    components before asking for levels.)
+    """
+    successors: dict[T, set[T]] = {}
+    indegree: dict[T, int] = {}
+    for node, targets in edges.items():
+        indegree.setdefault(node, 0)
+        for target in targets:
+            if target == node:
+                continue
+            indegree.setdefault(target, 0)
+            if target not in successors.setdefault(node, set()):
+                successors[node].add(target)
+                indegree[target] += 1
+
+    current = sorted(node for node, degree in indegree.items() if degree == 0)
+    levels: list[list[T]] = []
+    seen = 0
+    while current:
+        levels.append(current)
+        seen += len(current)
+        next_nodes: set[T] = set()
+        for node in current:
+            for target in successors.get(node, ()):
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    next_nodes.add(target)
+        current = sorted(next_nodes)
+    if seen != len(indegree):
+        raise ReproError("topological_levels: the graph contains a cycle")
+    return levels

@@ -1,0 +1,59 @@
+"""Exact rational helpers used by the solver substrate.
+
+The paper's systems are homogeneous with integer coefficients, so a
+rational solution can always be scaled to an integer one; these helpers
+implement that scaling exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from fractions import Fraction
+
+
+def integer_lcm(values: Iterable[int]) -> int:
+    """Least common multiple of positive integers (1 for an empty input)."""
+    result = 1
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"integer_lcm requires positive integers, got {value}")
+        result = result * value // math.gcd(result, value)
+    return result
+
+
+def fraction_lcm(values: Iterable[Fraction]) -> Fraction:
+    """LCM of positive rationals: lcm(numerators) / gcd(denominators).
+
+    This is the smallest positive rational that is an integer multiple of
+    every input.  Returns ``Fraction(1)`` for an empty input.
+    """
+    numerator_lcm = 1
+    denominator_gcd = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"fraction_lcm requires positive rationals, got {value}")
+        numerator_lcm = numerator_lcm * value.numerator // math.gcd(
+            numerator_lcm, value.numerator
+        )
+        denominator_gcd = math.gcd(denominator_gcd, value.denominator)
+    if denominator_gcd == 0:
+        return Fraction(1)
+    return Fraction(numerator_lcm, denominator_gcd)
+
+
+def common_denominator_scale(values: Iterable[Fraction]) -> int:
+    """Smallest positive integer ``q`` such that ``q * v`` is integral for all ``v``."""
+    scale = 1
+    for value in values:
+        scale = scale * value.denominator // math.gcd(scale, value.denominator)
+    return scale
+
+
+def parse_fraction(text: str) -> Fraction:
+    """Parse ``"3"``, ``"3/4"`` or ``"inf"``-free decimal text into a Fraction.
+
+    Used by the DSL for cardinality bounds; raises ``ValueError`` on
+    malformed input (the DSL wraps it into a :class:`repro.errors.ParseError`).
+    """
+    return Fraction(text.strip())

@@ -1,0 +1,49 @@
+"""Shared fixtures: the paper's running examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.expansion import Expansion
+from repro.cr.system import build_system
+from repro.paper import (
+    figure1_schema,
+    meeting_schema,
+    refined_meeting_schema,
+)
+
+
+@pytest.fixture(scope="session")
+def meeting():
+    """The CR-schema of Figure 3."""
+    return meeting_schema()
+
+
+@pytest.fixture(scope="session")
+def meeting_expansion(meeting):
+    """The expansion of Figure 4."""
+    return Expansion(meeting)
+
+
+@pytest.fixture(scope="session")
+def meeting_system(meeting_expansion):
+    """The pruned-mode disequation system of the meeting schema."""
+    return build_system(meeting_expansion, mode="pruned")
+
+
+@pytest.fixture(scope="session")
+def meeting_literal_system(meeting_expansion):
+    """The literal (Figure 5) disequation system of the meeting schema."""
+    return build_system(meeting_expansion, mode="literal")
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The finitely unsatisfiable schema of Figure 1."""
+    return figure1_schema()
+
+
+@pytest.fixture(scope="session")
+def refined_meeting():
+    """The Section-3.3 unsatisfiable refinement of the meeting schema."""
+    return refined_meeting_schema()

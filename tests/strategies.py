@@ -1,0 +1,144 @@
+"""Hypothesis strategies for random CR-schemas and interpretations.
+
+The property tests lean on two generators:
+
+* :func:`schemas` — small random CR-schemas (random ISA DAG edges,
+  random binary/ternary relationships, random small cardinality
+  declarations including refinements), sized so that both the fixpoint
+  and the naive Theorem-3.4 engine can run;
+* :func:`interpretations_for` — random finite interpretations of a
+  given schema, used to exercise the model checker and the Lemma-3.2
+  equivalence.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.interpretation import Interpretation
+from repro.cr.schema import CRSchema
+
+CLASS_NAMES = ["A", "B", "C", "D"]
+MAX_RELATIONSHIPS = 2
+
+
+@st.composite
+def schemas(
+    draw,
+    max_classes: int = 4,
+    max_relationships: int = MAX_RELATIONSHIPS,
+    allow_ternary: bool = False,
+    allow_extensions: bool = False,
+) -> CRSchema:
+    """A random small CR-schema."""
+    num_classes = draw(st.integers(min_value=2, max_value=max_classes))
+    classes = CLASS_NAMES[:num_classes]
+    builder = SchemaBuilder("Random")
+    for cls in classes:
+        builder.cls(cls)
+
+    # A random ISA DAG: edges only from later to earlier classes, so no
+    # cycles (cycles are legal but make shrunken failures harder to read).
+    for i, sub in enumerate(classes):
+        for sup in classes[:i]:
+            if draw(st.booleans()):
+                builder.isa(sub, sup)
+
+    num_relationships = draw(
+        st.integers(min_value=1, max_value=max_relationships)
+    )
+    role_counter = 0
+    relationship_signatures: list[tuple[str, list[str]]] = []
+    for rel_index in range(num_relationships):
+        arity = (
+            draw(st.integers(min_value=2, max_value=3)) if allow_ternary else 2
+        )
+        roles = {}
+        role_names = []
+        for _ in range(arity):
+            role_counter += 1
+            role = f"U{role_counter}"
+            roles[role] = draw(st.sampled_from(classes))
+            role_names.append(role)
+        name = f"R{rel_index + 1}"
+        builder.relationship(name, **roles)
+        relationship_signatures.append((name, role_names))
+
+    schema_so_far = builder.build()
+
+    # Random cardinality declarations, including refinements: any class
+    # that is a subclass of the role's primary class may carry one.
+    for name, role_names in relationship_signatures:
+        rel = schema_so_far.relationship(name)
+        for role in role_names:
+            primary = rel.primary_class(role)
+            candidates = [
+                cls
+                for cls in classes
+                if schema_so_far.is_subclass(cls, primary)
+            ]
+            for cls in candidates:
+                if not draw(st.booleans()):
+                    continue
+                minimum = draw(st.integers(min_value=0, max_value=2))
+                maximum = draw(
+                    st.one_of(
+                        st.none(), st.integers(min_value=minimum, max_value=3)
+                    )
+                )
+                builder.card(cls, name, role, minimum, maximum)
+
+    if allow_extensions:
+        if num_classes >= 2 and draw(st.booleans()):
+            pair = draw(
+                st.lists(
+                    st.sampled_from(classes), min_size=2, max_size=2, unique=True
+                )
+            )
+            builder.disjoint(*pair)
+        if num_classes >= 2 and draw(st.booleans()):
+            covered = draw(st.sampled_from(classes))
+            coverers = draw(
+                st.lists(
+                    st.sampled_from(classes), min_size=1, max_size=2, unique=True
+                )
+            )
+            builder.cover(covered, *coverers)
+
+    return builder.build()
+
+
+@st.composite
+def interpretations_for(draw, schema: CRSchema, max_domain: int = 4):
+    """A random finite interpretation of ``schema``.
+
+    Typing condition (B) is enforced by construction (tuples draw their
+    components from the primary classes' extensions) so the generated
+    interpretations are well-formed, while conditions (A) and (C) are
+    left to chance — the checker tests need both outcomes.
+    """
+    domain = [f"d{i}" for i in range(draw(st.integers(1, max_domain)))]
+    class_ext = {
+        cls: frozenset(
+            draw(st.lists(st.sampled_from(domain), max_size=len(domain), unique=True))
+        )
+        for cls in schema.classes
+    }
+    rel_ext = {}
+    for rel in schema.relationships:
+        pools = [sorted(class_ext[cls]) for _, cls in rel.signature]
+        if any(not pool for pool in pools):
+            rel_ext[rel.name] = []
+            continue
+        num_tuples = draw(st.integers(0, 3))
+        tuples = []
+        for _ in range(num_tuples):
+            tuples.append(
+                {
+                    role: draw(st.sampled_from(pool))
+                    for (role, _), pool in zip(rel.signature, pools)
+                }
+            )
+        rel_ext[rel.name] = tuples
+    return Interpretation.build(class_ext, rel_ext, extra_domain=domain)

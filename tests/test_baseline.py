@@ -1,0 +1,120 @@
+"""Unit tests for the Lenzerini–Nobili baseline (ISA-free reasoning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.baseline import (
+    baseline_satisfiable_classes,
+    baseline_witness,
+    lenzerini_nobili_system,
+)
+from repro.cr.builder import SchemaBuilder
+from repro.cr.satisfiability import satisfiable_classes
+from repro.errors import SchemaError
+
+
+def isa_free_schema(min_a: int = 1, max_b: int | None = None):
+    builder = (
+        SchemaBuilder("Flat")
+        .classes("A", "B")
+        .relationship("R", U1="A", U2="B")
+        .card("A", "R", "U1", minc=min_a)
+    )
+    if max_b is not None:
+        builder.card("B", "R", "U2", maxc=max_b)
+    return builder.build()
+
+
+class TestSystemConstruction:
+    def test_one_unknown_per_symbol(self):
+        baseline = lenzerini_nobili_system(isa_free_schema())
+        assert set(baseline.class_var) == {"A", "B"}
+        assert set(baseline.rel_var) == {"R"}
+
+    def test_rejects_isa(self, meeting):
+        with pytest.raises(SchemaError, match="no ISA"):
+            lenzerini_nobili_system(meeting)
+
+    def test_rejects_extensions(self):
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B")
+            .relationship("R", U1="A", U2="B")
+            .disjoint("A", "B")
+            .build()
+        )
+        with pytest.raises(SchemaError, match="predates"):
+            lenzerini_nobili_system(schema)
+
+    def test_disequations_have_expected_labels(self):
+        baseline = lenzerini_nobili_system(isa_free_schema(2, 3))
+        labels = {c.label for c in baseline.system}
+        assert "min:R:U1" in labels
+        assert "max:R:U2" in labels
+
+
+class TestBaselineSatisfiability:
+    def test_satisfiable_flat_schema(self):
+        verdicts = baseline_satisfiable_classes(isa_free_schema())
+        assert verdicts == {"A": True, "B": True}
+
+    def test_unsatisfiable_flat_schema(self):
+        # Every A needs 2 R-links, every B admits at most 1, and B
+        # reciprocally requires A to absorb 3 links each... a ratio
+        # conflict with no solution: 2|A| <= |R| <= |B| and 3|B| <= |R|
+        # combined with |R| <= |A| is impossible for nonzero counts.
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B")
+            .relationship("R", U1="A", U2="B")
+            .card("A", "R", "U1", minc=2, maxc=2)
+            .card("B", "R", "U2", minc=1, maxc=1)
+            .relationship("Q", V1="B", V2="A")
+            .card("B", "Q", "V1", minc=2, maxc=2)
+            .card("A", "Q", "V2", minc=1, maxc=1)
+            .build()
+        )
+        verdicts = baseline_satisfiable_classes(schema)
+        assert verdicts == {"A": False, "B": False}
+
+    def test_acceptability_matters_in_baseline_too(self):
+        # B unpopulatable (minc > maxc on its own role), and every A
+        # needs an R link: A dies through the dependency.
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B")
+            .relationship("R", U1="A", U2="B")
+            .card("A", "R", "U1", minc=1)
+            .card("B", "R", "U2", minc=3, maxc=2)
+            .build()
+        )
+        verdicts = baseline_satisfiable_classes(schema)
+        assert verdicts == {"A": False, "B": False}
+
+    def test_witness_solves_the_system(self):
+        schema = isa_free_schema(1, 2)
+        baseline = lenzerini_nobili_system(schema)
+        witness = baseline_witness(schema)
+        from fractions import Fraction
+
+        assignment = {
+            name: Fraction(witness.get(name, 0))
+            for name in baseline.system.variables
+        }
+        assert baseline.system.is_satisfied_by(assignment)
+        assert witness[baseline.class_var["A"]] > 0
+
+
+class TestAgreementWithFullProcedure:
+    """On ISA-free schemas the paper's procedure must agree with [15]."""
+
+    @pytest.mark.parametrize(
+        "min_a,max_b",
+        [(0, None), (1, None), (2, 1), (3, 3), (5, 1)],
+    )
+    def test_verdicts_agree(self, min_a, max_b):
+        schema = isa_free_schema(min_a, max_b)
+        assert baseline_satisfiable_classes(schema) == satisfiable_classes(
+            schema
+        )

@@ -1,0 +1,171 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, parse_statement
+from repro.cr.constraints import (
+    DisjointnessStatement,
+    IsaStatement,
+    MaxCardinalityStatement,
+    MinCardinalityStatement,
+)
+from repro.dsl import serialize_schema
+from repro.errors import ReproError
+from repro.paper import figure1_schema, meeting_schema, refined_meeting_schema
+
+
+@pytest.fixture
+def meeting_file(tmp_path):
+    path = tmp_path / "meeting.cr"
+    path.write_text(serialize_schema(meeting_schema()))
+    return str(path)
+
+
+@pytest.fixture
+def figure1_file(tmp_path):
+    path = tmp_path / "figure1.cr"
+    path.write_text(serialize_schema(figure1_schema()))
+    return str(path)
+
+
+@pytest.fixture
+def refined_file(tmp_path):
+    path = tmp_path / "refined.cr"
+    path.write_text(serialize_schema(refined_meeting_schema()))
+    return str(path)
+
+
+class TestParseStatement:
+    def test_isa(self):
+        assert parse_statement("A isa B") == IsaStatement("A", "B")
+
+    def test_minc(self):
+        assert parse_statement("minc(C, R, U) = 3") == MinCardinalityStatement(
+            "C", "R", "U", 3
+        )
+
+    def test_maxc(self):
+        assert parse_statement("maxc(C,R,U)=1") == MaxCardinalityStatement(
+            "C", "R", "U", 1
+        )
+
+    def test_disjoint(self):
+        statement = parse_statement("disjoint(A, B, C)")
+        assert statement == DisjointnessStatement(frozenset({"A", "B", "C"}))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ReproError):
+            parse_statement("A subset of B")
+
+
+class TestCheck:
+    def test_satisfiable_schema_exits_zero(self, meeting_file, capsys):
+        assert main(["check", meeting_file]) == 0
+        out = capsys.readouterr().out
+        assert "Speaker: satisfiable" in out
+
+    def test_unsatisfiable_schema_exits_one(self, figure1_file, capsys):
+        assert main(["check", figure1_file]) == 1
+        assert "UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_single_class(self, meeting_file, capsys):
+        assert main(["check", meeting_file, "--class", "Talk"]) == 0
+        assert "Talk: satisfiable" in capsys.readouterr().out
+
+    def test_unrestricted_flag(self, figure1_file, capsys):
+        assert main(["check", figure1_file, "--unrestricted"]) == 1
+        out = capsys.readouterr().out
+        assert "[unrestricted: satisfiable]" in out
+
+    def test_naive_engine(self, meeting_file, capsys):
+        assert main(
+            ["check", meeting_file, "--class", "Talk", "--engine", "naive"]
+        ) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/no/such/file.cr"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestImplies:
+    def test_figure7_inference(self, meeting_file, capsys):
+        code = main(["implies", meeting_file, "Speaker isa Discussant"])
+        assert code == 0
+        assert "S |= Speaker isa Discussant" in capsys.readouterr().out
+
+    def test_maxc_inference(self, meeting_file, capsys):
+        code = main(["implies", meeting_file, "maxc(Speaker, Holds, U1) = 1"])
+        assert code == 0
+
+    def test_non_implication_with_countermodel(self, meeting_file, capsys):
+        code = main(
+            ["implies", meeting_file, "Talk isa Speaker", "--countermodel"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "S |/= Talk isa Speaker" in out
+        assert "Delta = {" in out
+
+    def test_bad_statement(self, meeting_file, capsys):
+        assert main(["implies", meeting_file, "gibberish!!"]) == 2
+
+
+class TestModel:
+    def test_witness_model_printed(self, meeting_file, capsys):
+        assert main(["model", meeting_file, "--class", "Speaker"]) == 0
+        out = capsys.readouterr().out
+        assert "Speaker^I" in out
+        assert "Holds^I" in out
+
+    def test_unsatisfiable_class(self, figure1_file, capsys):
+        assert main(["model", figure1_file, "--class", "D"]) == 1
+
+
+class TestExplainAndDebug:
+    def test_explain_prints_a_proof(self, figure1_file, capsys):
+        assert main(["explain", figure1_file, "--class", "D"]) == 0
+        assert "Farkas" in capsys.readouterr().out
+
+    def test_explain_satisfiable_is_an_error(self, meeting_file, capsys):
+        assert main(["explain", meeting_file, "--class", "Talk"]) == 2
+
+    def test_debug_reports_a_mus(self, refined_file, capsys):
+        assert main(["debug", refined_file, "--class", "Speaker"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal conflicting constraint set" in out
+
+    def test_debug_deletion_algorithm(self, figure1_file, capsys):
+        code = main(
+            ["debug", figure1_file, "--class", "D", "--algorithm", "deletion"]
+        )
+        assert code == 0
+
+
+class TestRenderAndFmt:
+    def test_render_schema(self, meeting_file, capsys):
+        assert main(["render", meeting_file]) == 0
+        assert "Sisa" in capsys.readouterr().out
+
+    def test_render_expansion(self, meeting_file, capsys):
+        assert main(["render", meeting_file, "--what", "expansion"]) == 0
+        assert "Cc = {C1, C3, C4, C5, C7};" in capsys.readouterr().out
+
+    def test_render_system(self, meeting_file, capsys):
+        assert main(["render", meeting_file, "--what", "system"]) == 0
+        assert "lifted minc disequations" in capsys.readouterr().out
+
+    def test_fmt_roundtrip(self, meeting_file, capsys):
+        assert main(["fmt", meeting_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("schema Meeting {")
+
+    def test_fmt_write_in_place(self, tmp_path):
+        path = tmp_path / "messy.cr"
+        path.write_text(
+            "schema S {   class A;\n\n  class B;"
+            " relationship R(U1: A, U2: B); }"
+        )
+        assert main(["fmt", str(path), "--write"]) == 0
+        assert path.read_text().startswith("schema S {\n  class A;")

@@ -1,0 +1,187 @@
+"""Unit tests for the integrity-enforcing database store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.checker import is_model
+from repro.cr.construction import construct_model_for_result
+from repro.cr.satisfiability import is_class_satisfiable
+from repro.db import Database, IntegrityError
+from repro.errors import InterpretationError, ReproError, UnknownSymbolError
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder("Library")
+        .classes("Book", "Author", "Novel")
+        .isa("Novel", "Book")
+        .relationship("WrittenBy", work="Book", writer="Author")
+        .card("Book", "WrittenBy", "work", minc=1)
+        .card("Author", "WrittenBy", "writer", minc=0, maxc=2)
+        .build()
+    )
+
+
+class TestHappyPath:
+    def test_empty_database_is_a_model(self, schema):
+        database = Database(schema)
+        assert is_model(schema, database.snapshot())
+
+    def test_insert_consistent_state(self, schema):
+        database = Database(schema)
+        with database.transaction() as txn:
+            txn.insert_object("moby", classes=["Book", "Novel"])
+            txn.insert_object("melville", classes=["Author"])
+            txn.insert_tuple(
+                "WrittenBy", {"work": "moby", "writer": "melville"}
+            )
+        assert database.instances_of("Book") == {"moby"}
+        assert len(database.tuples_of("WrittenBy")) == 1
+
+    def test_chained_updates_within_one_transaction(self, schema):
+        database = Database(schema)
+        txn = database.transaction()
+        txn.insert_object("b", classes=["Book"]).insert_object(
+            "a", classes=["Author"]
+        ).insert_tuple("WrittenBy", {"work": "b", "writer": "a"})
+        txn.commit()
+        assert "b" in database.domain
+
+    def test_snapshot_is_immutable_copy(self, schema):
+        database = Database(schema)
+        before = database.snapshot()
+        with database.transaction() as txn:
+            txn.insert_object("b", classes=["Book"])
+            txn.insert_object("a", classes=["Author"])
+            txn.insert_tuple("WrittenBy", {"work": "b", "writer": "a"})
+        assert not before.instances_of("Book")
+        assert database.instances_of("Book") == {"b"}
+
+
+class TestDeferredChecking:
+    def test_intermediate_violations_are_fine(self, schema):
+        database = Database(schema)
+        txn = database.transaction()
+        # A book without its author: violates minc *inside* the txn.
+        txn.insert_object("b", classes=["Book"])
+        assert txn.violations()  # dry run sees the violation
+        txn.insert_object("a", classes=["Author"])
+        txn.insert_tuple("WrittenBy", {"work": "b", "writer": "a"})
+        txn.commit()  # healed by commit time
+
+    def test_commit_rejects_isa_violation(self, schema):
+        database = Database(schema)
+        txn = database.transaction()
+        txn.insert_object("n", classes=["Novel"])  # Novel but not Book
+        with pytest.raises(IntegrityError) as excinfo:
+            txn.commit()
+        assert any(v.condition == "A" for v in excinfo.value.violations)
+        # The store is untouched.
+        assert not database.instances_of("Novel")
+
+    def test_commit_rejects_cardinality_violation(self, schema):
+        database = Database(schema)
+        txn = database.transaction()
+        txn.insert_object("a", classes=["Author"])
+        for i in range(3):  # an author of 3 books: maxc is 2
+            txn.insert_object(f"b{i}", classes=["Book"])
+            txn.insert_tuple("WrittenBy", {"work": f"b{i}", "writer": "a"})
+        with pytest.raises(IntegrityError) as excinfo:
+            txn.commit()
+        assert any(v.condition == "C" for v in excinfo.value.violations)
+
+    def test_commit_rejects_typing_violation(self, schema):
+        database = Database(schema)
+        txn = database.transaction()
+        txn.insert_object("ghost")
+        txn.insert_object("b", classes=["Book"])
+        txn.insert_tuple("WrittenBy", {"work": "b", "writer": "ghost"})
+        with pytest.raises(IntegrityError) as excinfo:
+            txn.commit()
+        assert any(v.condition == "B" for v in excinfo.value.violations)
+
+    def test_context_manager_discards_on_exception(self, schema):
+        database = Database(schema)
+        with pytest.raises(RuntimeError):
+            with database.transaction() as txn:
+                txn.insert_object("b", classes=["Book"])
+                raise RuntimeError("user code failed")
+        assert not database.instances_of("Book")
+
+    def test_closed_transaction_rejects_updates(self, schema):
+        database = Database(schema)
+        txn = database.transaction()
+        txn.abort()
+        with pytest.raises(ReproError):
+            txn.insert_object("x")
+
+
+class TestStructuralErrors:
+    def test_unknown_class_immediate(self, schema):
+        txn = Database(schema).transaction()
+        with pytest.raises(UnknownSymbolError):
+            txn.add_to_class("x", "Ghost")
+
+    def test_wrong_roles_immediate(self, schema):
+        txn = Database(schema).transaction()
+        with pytest.raises(InterpretationError):
+            txn.insert_tuple("WrittenBy", {"work": "b"})
+        with pytest.raises(InterpretationError):
+            txn.insert_tuple(
+                "WrittenBy", {"work": "b", "writer": "a", "extra": "c"}
+            )
+
+    def test_unknown_relationship_immediate(self, schema):
+        txn = Database(schema).transaction()
+        with pytest.raises(UnknownSymbolError):
+            txn.insert_tuple("Ghost", {"x": 1})
+
+
+class TestDeletion:
+    def _loaded(self, schema):
+        database = Database(schema)
+        with database.transaction() as txn:
+            txn.insert_object("b", classes=["Book"])
+            txn.insert_object("a", classes=["Author"])
+            txn.insert_tuple("WrittenBy", {"work": "b", "writer": "a"})
+        return database
+
+    def test_delete_tuple_can_break_minc(self, schema):
+        database = self._loaded(schema)
+        txn = database.transaction()
+        txn.delete_tuple("WrittenBy", {"work": "b", "writer": "a"})
+        with pytest.raises(IntegrityError):
+            txn.commit()
+
+    def test_delete_object_cascades(self, schema):
+        database = self._loaded(schema)
+        with database.transaction() as txn:
+            txn.delete_object("b")  # removes the book AND its tuple
+        assert not database.instances_of("Book")
+        assert not database.tuples_of("WrittenBy")
+
+    def test_remove_from_class(self, schema):
+        database = self._loaded(schema)
+        txn = database.transaction()
+        txn.remove_from_class("b", "Book")
+        # Tuple still references b as work: typing violation at commit.
+        with pytest.raises(IntegrityError):
+            txn.commit()
+
+
+class TestReasonerIntegration:
+    def test_constructed_models_load_cleanly(self, meeting):
+        result = is_class_satisfiable(meeting, "Speaker")
+        model = construct_model_for_result(result)
+        database = Database.from_interpretation(meeting, model)
+        assert database.domain == model.domain
+
+    def test_non_models_are_rejected_at_load(self, schema):
+        from repro.cr.interpretation import Interpretation
+
+        broken = Interpretation.build({"Novel": ["n"]})  # not a Book
+        with pytest.raises(IntegrityError):
+            Database.from_interpretation(schema, broken)

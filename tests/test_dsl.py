@@ -1,0 +1,172 @@
+"""Unit tests for the schema DSL: lexer, parser, serializer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.schema import Card, UNBOUNDED
+from repro.dsl import parse_schema, serialize_schema, tokenize
+from repro.errors import ParseError, SchemaError
+
+MEETING_TEXT = """
+schema Meeting {
+  class Speaker;
+  class Discussant isa Speaker;
+  class Talk;
+  relationship Holds(U1: Speaker, U2: Talk);
+  relationship Participates(U3: Discussant, U4: Talk);
+  cardinality Speaker in Holds.U1: (1, *);
+  cardinality Discussant in Holds.U1: (0, 2);
+  cardinality Talk in Holds.U2: (1, 1);
+  cardinality Discussant in Participates.U3: (1, 1);
+  cardinality Talk in Participates.U4: (1, *);
+}
+"""
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("schema S { class A; }")
+        kinds = [token.kind for token in tokens]
+        assert kinds == ["keyword", "ident", "{", "keyword", "ident", ";", "}", "eof"]
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("a // comment with ; and {\nb")
+        assert [token.value for token in tokens[:-1]] == ["a", "b"]
+
+    def test_numbers(self):
+        tokens = tokenize("(1, 23)")
+        assert tokens[1].kind == "int"
+        assert tokens[3].value == "23"
+
+    def test_bad_character_raises_with_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("class $")
+        assert excinfo.value.line == 1
+        assert excinfo.value.column == 7
+
+
+class TestParser:
+    def test_parses_the_meeting_schema(self, meeting):
+        parsed = parse_schema(MEETING_TEXT)
+        assert parsed.classes == meeting.classes
+        assert parsed.isa_statements == meeting.isa_statements
+        assert parsed.declared_cards == meeting.declared_cards
+
+    def test_unbounded_maximum(self):
+        schema = parse_schema(
+            "schema S { class A; class B;"
+            " relationship R(U1: A, U2: B);"
+            " cardinality A in R.U1: (3, *); }"
+        )
+        assert schema.card("A", "R", "U1") == Card(3, UNBOUNDED)
+
+    def test_multiple_isa_parents(self):
+        schema = parse_schema(
+            "schema S { class A; class B; class C isa A, B;"
+            " relationship R(U1: A, U2: B); }"
+        )
+        assert schema.is_subclass("C", "A")
+        assert schema.is_subclass("C", "B")
+
+    def test_forward_references_allowed(self):
+        # ISA may mention a class declared later.
+        schema = parse_schema(
+            "schema S { class B isa A; class A;"
+            " relationship R(U1: A, U2: B); }"
+        )
+        assert schema.is_subclass("B", "A")
+
+    def test_disjoint_and_cover(self):
+        schema = parse_schema(
+            "schema S { class A; class B; class C isa A;"
+            " relationship R(U1: A, U2: B);"
+            " disjoint A, B;"
+            " cover A by C; }"
+        )
+        assert schema.disjointness_groups == (frozenset({"A", "B"}),)
+        assert schema.coverings == (("A", frozenset({"C"})),)
+
+    def test_ternary_relationship(self):
+        schema = parse_schema(
+            "schema S { class A; class B; class C;"
+            " relationship R(U1: A, U2: B, U3: C); }"
+        )
+        assert schema.relationship("R").arity == 3
+
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("schema S { class A }", "expected"),            # missing ;
+            ("schema S { klass A; }", "statement"),          # bad keyword
+            ("schema { class A; }", "expected"),             # missing name
+            ("schema S { relationship R(); }", "expected"),  # empty roles
+            (
+                "schema S { class A; class B;"
+                " relationship R(U1: A, U1: B); }",
+                "twice",
+            ),
+            (
+                "schema S { class A; class B; relationship R(U1: A, U2: B);"
+                " cardinality A in R.U1: (x, 2); }",
+                "expected",
+            ),
+            (
+                "schema S { class A; class B; relationship R(U1: A, U2: B);"
+                " cardinality A in R.U1: (1, ?); }",
+                "unexpected character",
+            ),
+            (
+                "schema S { class A; class B; relationship R(U1: A, U2: B);"
+                " cardinality A in R.U1: (1, by); }",
+                "integer",
+            ),
+            ("schema S { disjoint A; }", "two classes"),
+            ("schema S { class A; } trailing", "expected"),
+        ],
+    )
+    def test_syntax_errors(self, text, fragment):
+        with pytest.raises(ParseError, match=fragment):
+            parse_schema(text)
+
+    def test_semantic_errors_surface_as_schema_errors(self):
+        with pytest.raises(SchemaError):
+            parse_schema(
+                "schema S { class A; class B;"
+                " relationship R(U1: A, U2: B);"
+                " cardinality B in R.U1: (1, 2); }"
+            )
+
+    def test_parse_error_positions(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_schema("schema S {\n  klass A;\n}")
+        assert excinfo.value.line == 2
+
+
+class TestSerializer:
+    def test_roundtrip_of_the_meeting_schema(self, meeting):
+        text = serialize_schema(meeting)
+        parsed = parse_schema(text)
+        assert parsed.classes == meeting.classes
+        assert parsed.isa_statements == meeting.isa_statements
+        assert parsed.declared_cards == meeting.declared_cards
+        assert [r.signature for r in parsed.relationships] == [
+            r.signature for r in meeting.relationships
+        ]
+        # Serialisation is a fixpoint after one round.
+        assert serialize_schema(parsed) == text
+
+    def test_extensions_roundtrip(self):
+        schema = parse_schema(
+            "schema S { class A; class B; class C isa A;"
+            " relationship R(U1: A, U2: B);"
+            " disjoint A, B; cover A by C; }"
+        )
+        again = parse_schema(serialize_schema(schema))
+        assert again.disjointness_groups == schema.disjointness_groups
+        assert again.coverings == schema.coverings

@@ -1,0 +1,112 @@
+"""Unit tests for the ER front-end and its CR translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.satisfiability import satisfiable_classes
+from repro.cr.schema import Card, UNBOUNDED
+from repro.er import ERSchema, er_to_cr, render_er_diagram
+from repro.errors import DuplicateSymbolError, SchemaError, UnknownSymbolError
+from repro.paper import figure1_er, meeting_er, meeting_schema
+
+
+class TestERDeclarations:
+    def test_duplicate_entity_rejected(self):
+        er = ERSchema().entity("A")
+        with pytest.raises(DuplicateSymbolError):
+            er.entity("A")
+
+    def test_duplicate_relationship_rejected(self):
+        er = ERSchema().entity("A").entity("B")
+        er.relationship("R", ("U1", "A", 0, None), ("U2", "B", 0, None))
+        with pytest.raises(DuplicateSymbolError):
+            er.relationship("R", ("U3", "A", 0, None), ("U4", "B", 0, None))
+
+    def test_unary_relationship_rejected(self):
+        er = ERSchema().entity("A")
+        with pytest.raises(SchemaError):
+            er.relationship("R", ("U1", "A", 0, None))
+
+    def test_validation_catches_unknown_symbols(self):
+        er = ERSchema().entity("A", isa=["Ghost"])
+        with pytest.raises(UnknownSymbolError):
+            er.validate()
+        er2 = ERSchema().entity("A").entity("B")
+        er2.relationship("R", ("U1", "A", 0, None), ("U2", "Ghost", 0, None))
+        with pytest.raises(UnknownSymbolError):
+            er2.validate()
+
+    def test_refinement_validation(self):
+        er = meeting_er()
+        er.refine("Speaker", "Ghost", "U1", 0, 1)
+        with pytest.raises(UnknownSymbolError):
+            er.validate()
+
+
+class TestTranslation:
+    def test_meeting_er_translates_to_figure3_schema(self):
+        translated = er_to_cr(meeting_er())
+        direct = meeting_schema()
+        assert translated.classes == direct.classes
+        assert translated.isa_statements == direct.isa_statements
+        assert translated.declared_cards == direct.declared_cards
+        assert [rel.signature for rel in translated.relationships] == [
+            rel.signature for rel in direct.relationships
+        ]
+
+    def test_figure1_translation(self):
+        schema = er_to_cr(figure1_er())
+        assert schema.is_subclass("D", "C")
+        assert schema.card("C", "R", "V1") == Card(2, UNBOUNDED)
+        assert schema.card("D", "R", "V2") == Card(0, 1)
+
+    def test_default_participations_create_no_declarations(self):
+        er = ERSchema().entity("A").entity("B")
+        er.relationship("R", ("U1", "A", 0, None), ("U2", "B", 0, None))
+        schema = er_to_cr(er)
+        assert schema.declared_cards == {}
+
+    def test_disjointness_and_covering_carry_over(self):
+        er = ERSchema().entity("A").entity("B").entity("C")
+        er.relationship("R", ("U1", "A", 0, None), ("U2", "B", 0, None))
+        er.disjoint("A", "B")
+        er.cover("A", "C")
+        schema = er_to_cr(er)
+        assert schema.disjointness_groups == (frozenset({"A", "B"}),)
+        assert schema.coverings == (("A", frozenset({"C"})),)
+
+    def test_reasoning_through_the_er_layer(self):
+        # End to end: the Figure-1 ER diagram is finitely unsatisfiable.
+        assert satisfiable_classes(er_to_cr(figure1_er())) == {
+            "C": False,
+            "D": False,
+        }
+
+
+class TestDiagramRendering:
+    def test_figure1_diagram_mentions_everything(self):
+        text = render_er_diagram(figure1_er())
+        assert "[C] --(2,N)-- <R> --(0,1)-- [D]" in text
+        assert "D --isa--> C" in text
+
+    def test_figure2_diagram_includes_refinement(self):
+        text = render_er_diagram(meeting_er())
+        assert "<Holds>" in text
+        assert "<Participates>" in text
+        assert "Discussant - - (0,2) - -> Holds.U1" in text
+
+    def test_isolated_entities_listed(self):
+        er = ERSchema().entity("A").entity("B").entity("Lonely")
+        er.relationship("R", ("U1", "A", 0, None), ("U2", "B", 0, None))
+        text = render_er_diagram(er)
+        assert "isolated entities: Lonely" in text
+
+    def test_extensions_rendered(self):
+        er = ERSchema().entity("A").entity("B")
+        er.relationship("R", ("U1", "A", 0, None), ("U2", "B", 0, None))
+        er.disjoint("A", "B")
+        er.cover("A", "B")
+        text = render_er_diagram(er)
+        assert "disjoint(A, B)" in text
+        assert "A covered by B" in text

@@ -1,0 +1,240 @@
+"""Unit tests for the expansion (Section 3.1) — including the literal
+Figure-4 content for the meeting schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.expansion import CompoundClass, Expansion, ExpansionLimits
+from repro.cr.schema import Card, UNBOUNDED
+from repro.errors import ReproError
+
+
+def compound(*members: str) -> CompoundClass:
+    return CompoundClass(frozenset(members))
+
+
+class TestCompoundClass:
+    def test_nonempty_required(self):
+        with pytest.raises(ReproError):
+            CompoundClass(frozenset())
+
+    def test_contains_and_pretty(self):
+        cc = compound("B", "A")
+        assert cc.contains("A")
+        assert not cc.contains("C")
+        assert cc.pretty() == "{A,B}"
+
+
+class TestEnumerationOrder:
+    def test_all_compound_classes_in_figure4_order(self, meeting_expansion):
+        rendered = [
+            cc.members for cc in meeting_expansion.all_compound_classes()
+        ]
+        S, D, T = "Speaker", "Discussant", "Talk"
+        assert rendered == [
+            frozenset({S}),
+            frozenset({D}),
+            frozenset({T}),
+            frozenset({S, D}),
+            frozenset({S, T}),
+            frozenset({D, T}),
+            frozenset({S, D, T}),
+        ]
+
+    def test_class_index_matches_enumeration(self, meeting_expansion):
+        for position, cc in enumerate(
+            meeting_expansion.all_compound_classes(), start=1
+        ):
+            assert meeting_expansion.class_index(cc) == position
+
+    def test_class_index_without_enumeration_on_larger_schema(self):
+        builder = SchemaBuilder().classes(*[f"K{i}" for i in range(10)])
+        builder.relationship("R", U1="K0", U2="K1")
+        # Pairwise disjointness keeps the *consistent* expansion tiny;
+        # class_index is combinatorial over the full 2^10 - 1 subsets
+        # regardless of consistency.
+        builder.disjoint(*[f"K{i}" for i in range(10)])
+        expansion = Expansion(builder.build())
+        # {K0} is first; {K9} is tenth; the full set is last (2^10 - 1).
+        assert expansion.class_index(compound("K0")) == 1
+        assert expansion.class_index(compound("K9")) == 10
+        assert (
+            expansion.class_index(compound(*[f"K{i}" for i in range(10)]))
+            == (1 << 10) - 1
+        )
+
+
+class TestConsistency:
+    def test_figure4_consistent_set(self, meeting_expansion):
+        indices = [
+            meeting_expansion.class_index(cc)
+            for cc in meeting_expansion.consistent_compound_classes()
+        ]
+        assert indices == [1, 3, 4, 5, 7]
+
+    def test_is_consistent_class(self, meeting_expansion):
+        assert meeting_expansion.is_consistent_class(
+            compound("Discussant", "Speaker")
+        )
+        assert not meeting_expansion.is_consistent_class(compound("Discussant"))
+
+    def test_consistent_classes_containing(self, meeting_expansion):
+        containing_discussant = meeting_expansion.consistent_classes_containing(
+            "Discussant"
+        )
+        indices = [
+            meeting_expansion.class_index(cc) for cc in containing_discussant
+        ]
+        assert indices == [4, 7]
+
+    def test_disjointness_prunes(self):
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B")
+            .relationship("R", U1="A", U2="B")
+            .disjoint("A", "B")
+            .build()
+        )
+        expansion = Expansion(schema)
+        members = {cc.members for cc in expansion.consistent_compound_classes()}
+        assert members == {frozenset({"A"}), frozenset({"B"})}
+
+    def test_covering_prunes(self):
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B")
+            .isa("B", "A")
+            .relationship("R", U1="A", U2="A")
+            .cover("A", "B")
+            .build()
+        )
+        expansion = Expansion(schema)
+        members = {cc.members for cc in expansion.consistent_compound_classes()}
+        # {A} alone is inconsistent (A must be covered by B); {B} alone is
+        # inconsistent (B <= A).
+        assert members == {frozenset({"A", "B"})}
+
+
+class TestCompoundRelationships:
+    def test_figure4_counts(self, meeting_expansion):
+        summary = meeting_expansion.size_summary()
+        assert summary["all_compound_classes"] == 7
+        assert summary["all_compound_relationships"] == 98
+        assert summary["consistent_compound_classes"] == 5
+        assert summary["consistent_compound_relationships"] == 18
+
+    def test_figure4_consistent_index_pairs(self, meeting_expansion):
+        pairs = {
+            rel.rel: set()
+            for rel in meeting_expansion.consistent_compound_relationships()
+        }
+        for rel in meeting_expansion.consistent_compound_relationships():
+            indices = tuple(
+                meeting_expansion.class_index(component)
+                for _, component in rel.signature
+            )
+            pairs[rel.rel].add(indices)
+        assert pairs["Holds"] == {
+            (i, j) for i in (1, 4, 5, 7) for j in (3, 5, 7)
+        }
+        assert pairs["Participates"] == {
+            (i, j) for i in (4, 7) for j in (3, 5, 7)
+        }
+
+    def test_is_consistent_relationship(self, meeting_expansion):
+        holds = meeting_expansion.consistent_relationships_of("Holds")
+        assert all(
+            meeting_expansion.is_consistent_relationship(rel) for rel in holds
+        )
+        # A compound relationship whose role class misses the primary
+        # class is inconsistent.
+        from repro.cr.expansion import CompoundRelationship
+
+        bad = CompoundRelationship(
+            "Holds",
+            (
+                ("U1", compound("Talk")),  # does not contain Speaker
+                ("U2", compound("Talk")),
+            ),
+        )
+        assert not meeting_expansion.is_consistent_relationship(bad)
+
+    def test_component_access(self, meeting_expansion):
+        rel = meeting_expansion.consistent_relationships_of("Holds")[0]
+        assert rel.component("U1").contains("Speaker")
+        with pytest.raises(KeyError):
+            rel.component("U9")
+
+
+class TestLiftedCards:
+    def test_figure4_lifted_values_holds_u1(self, meeting_expansion):
+        # Figure 4: minc = 1 on C1, C4, C5, C7; maxc = 2 on C4 and C7.
+        expected = {
+            1: Card(1, UNBOUNDED),
+            4: Card(1, 2),
+            5: Card(1, UNBOUNDED),
+            7: Card(1, 2),
+        }
+        for cc in meeting_expansion.consistent_classes_containing("Speaker"):
+            index = meeting_expansion.class_index(cc)
+            assert (
+                meeting_expansion.lifted_card(cc, "Holds", "U1")
+                == expected[index]
+            )
+
+    def test_figure4_lifted_values_participates(self, meeting_expansion):
+        for cc in meeting_expansion.consistent_classes_containing("Discussant"):
+            assert meeting_expansion.lifted_card(
+                cc, "Participates", "U3"
+            ) == Card(1, 1)
+        for cc in meeting_expansion.consistent_classes_containing("Talk"):
+            assert meeting_expansion.lifted_card(
+                cc, "Participates", "U4"
+            ) == Card(1, UNBOUNDED)
+
+    def test_lifting_requires_primary_membership(self, meeting_expansion):
+        with pytest.raises(ReproError):
+            meeting_expansion.lifted_card(compound("Talk"), "Holds", "U1")
+
+    def test_lifting_can_cross_bounds(self):
+        # A (2, inf) refinement below a (0, 1) bound lifts to (2, 1):
+        # contradictory, hence the compound class must be empty — the
+        # lifting itself is still well-defined.
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B", "X")
+            .isa("B", "A")
+            .relationship("R", U1="A", U2="X")
+            .card("A", "R", "U1", maxc=1)
+            .card("B", "R", "U1", minc=2)
+            .build()
+        )
+        expansion = Expansion(schema)
+        lifted = expansion.lifted_card(compound("A", "B"), "R", "U1")
+        assert lifted == Card(2, 1)
+
+
+class TestLimits:
+    def test_consistent_class_limit_enforced(self):
+        builder = SchemaBuilder().classes(*[f"K{i}" for i in range(8)])
+        builder.relationship("R", U1="K0", U2="K1")
+        limits = ExpansionLimits(max_consistent_compound_classes=10)
+        with pytest.raises(ReproError, match="disjointness"):
+            Expansion(builder.build(), limits)
+
+    def test_relationship_limit_enforced(self):
+        builder = SchemaBuilder().classes(*[f"K{i}" for i in range(6)])
+        builder.relationship("R", U1="K0", U2="K1")
+        limits = ExpansionLimits(max_consistent_compound_relationships=10)
+        with pytest.raises(ReproError, match="compound relationships"):
+            Expansion(builder.build(), limits)
+
+    def test_all_compound_classes_limit(self):
+        builder = SchemaBuilder().classes(*[f"K{i}" for i in range(8)])
+        builder.relationship("R", U1="K0", U2="K1")
+        limits = ExpansionLimits(max_all_compound_classes=100)
+        expansion = Expansion(builder.build(), limits)
+        with pytest.raises(ReproError):
+            list(expansion.all_compound_classes())

@@ -1,0 +1,115 @@
+"""Unit tests for verified unsatisfiability explanations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.explain import explain_unsatisfiability
+from repro.cr.satisfiability import satisfiable_classes
+from repro.errors import ReproError
+from repro.paper import figure1_schema, refined_meeting_schema
+
+
+def layered_schema():
+    """A is unsatisfiable only through acceptability: B dies from Q's
+    contradictory bounds, R's tuples are unbounded in Psi, so the
+    relaxation is feasible."""
+    return (
+        SchemaBuilder()
+        .classes("A", "B")
+        .relationship("R", U1="A", U2="B")
+        .card("A", "R", "U1", minc=1)
+        .relationship("Q", V1="B", V2="A")
+        .card("B", "Q", "V1", minc=3, maxc=2)
+        .build()
+    )
+
+
+class TestDirectExplanations:
+    def test_figure1_is_direct(self, figure1):
+        explanation = explain_unsatisfiability(figure1, "D")
+        assert explanation.kind == "direct"
+        assert explanation.verify()
+
+    def test_figure1_proof_uses_both_cardinalities(self, figure1):
+        explanation = explain_unsatisfiability(figure1, "C")
+        labels = {
+            explanation.direct_system.constraints[index].label
+            for index, _ in explanation.direct_certificate.weights
+        }
+        assert any(label.startswith("min:R") for label in labels)
+        assert any(label.startswith("max:R") for label in labels)
+        assert any(label.startswith("positivity") for label in labels)
+
+    def test_refined_meeting_is_direct(self, refined_meeting):
+        explanation = explain_unsatisfiability(refined_meeting, "Speaker")
+        assert explanation.kind == "direct"
+        assert explanation.verify()
+        assert "admits no finite population" in explanation.pretty()
+
+    def test_pretty_contains_the_combination(self, figure1):
+        explanation = explain_unsatisfiability(figure1, "D")
+        assert "Farkas combination" in explanation.pretty()
+
+
+class TestLayeredExplanations:
+    def test_layered_case_detected(self):
+        schema = layered_schema()
+        assert satisfiable_classes(schema) == {"A": False, "B": False}
+        explanation = explain_unsatisfiability(schema, "A")
+        assert explanation.kind == "layered"
+        assert explanation.verify()
+
+    def test_layers_cover_the_targets(self):
+        explanation = explain_unsatisfiability(layered_schema(), "A")
+        proven = set()
+        for layer in explanation.layers:
+            proven.update(p.unknown for p in layer.zero_proofs)
+        assert set(explanation.target_unknowns) <= proven
+
+    def test_acceptability_steps_name_their_dependency(self):
+        explanation = explain_unsatisfiability(layered_schema(), "A")
+        forced = [
+            f for layer in explanation.layers for f in layer.forced_relationships
+        ]
+        assert forced
+        zeroed_classes = {
+            p.unknown for layer in explanation.layers for p in layer.zero_proofs
+        }
+        for f in forced:
+            assert f.zero_dependency in zeroed_classes
+
+    def test_layered_pretty_mentions_acceptability(self):
+        explanation = explain_unsatisfiability(layered_schema(), "A")
+        assert "by acceptability" in explanation.pretty()
+        assert "layer 2" in explanation.pretty()
+
+
+class TestErrors:
+    def test_satisfiable_class_raises(self, meeting):
+        with pytest.raises(ReproError, match="nothing to explain"):
+            explain_unsatisfiability(meeting, "Speaker")
+
+    def test_unknown_class_raises(self, meeting):
+        with pytest.raises(Exception):
+            explain_unsatisfiability(meeting, "Ghost")
+
+
+class TestAgreementWithReasoner:
+    @pytest.mark.parametrize(
+        "schema_factory,cls",
+        [
+            (figure1_schema, "C"),
+            (figure1_schema, "D"),
+            (refined_meeting_schema, "Speaker"),
+            (refined_meeting_schema, "Talk"),
+            (layered_schema, "A"),
+            (layered_schema, "B"),
+        ],
+    )
+    def test_every_unsat_verdict_is_explainable(self, schema_factory, cls):
+        schema = schema_factory()
+        assert not satisfiable_classes(schema)[cls]
+        explanation = explain_unsatisfiability(schema, cls)
+        assert explanation.verify()

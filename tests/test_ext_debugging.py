@@ -1,0 +1,159 @@
+"""Unit tests for the schema-debugging extension (MUS extraction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.constraints import CardinalityDeclaration, IsaStatement
+from repro.cr.satisfiability import is_class_satisfiable
+from repro.errors import ReproError
+from repro.ext.debugging import (
+    minimal_unsatisfiable_constraints,
+    quickxplain_unsatisfiable_constraints,
+)
+from repro.paper import figure1_schema, refined_meeting_schema
+
+ALGORITHMS = [
+    minimal_unsatisfiable_constraints,
+    quickxplain_unsatisfiable_constraints,
+]
+
+
+def assert_is_mus(schema, cls, mus):
+    """Check set-inclusion minimality: the MUS keeps `cls` unsatisfiable
+    and every single statement in it is necessary."""
+    all_constraints = schema.constraints()
+    outside = [c for c in all_constraints if c not in set(mus)]
+    reduced = schema.without_constraints(outside)
+    assert not is_class_satisfiable(reduced, cls).satisfiable
+    for statement in mus:
+        weaker = schema.without_constraints(outside + [statement])
+        assert is_class_satisfiable(weaker, cls).satisfiable, (
+            f"{statement.pretty()} is not necessary"
+        )
+
+
+class TestFigure1Debugging:
+    @pytest.mark.parametrize("extract", ALGORITHMS)
+    def test_mus_is_the_whole_conflict(self, extract):
+        schema = figure1_schema()
+        report = extract(schema, "D")
+        # The Figure-1 conflict needs all three statements: D isa C,
+        # minc(C, R, V1) = 2, maxc(D, R, V2) = 1.
+        kinds = sorted(type(s).__name__ for s in report.mus)
+        assert kinds == [
+            "CardinalityDeclaration",
+            "CardinalityDeclaration",
+            "IsaStatement",
+        ]
+        assert_is_mus(schema, "D", report.mus)
+
+    @pytest.mark.parametrize("extract", ALGORITHMS)
+    def test_for_class_c_the_isa_is_still_needed(self, extract):
+        # C is empty for the same reason: the conflict flows through D.
+        schema = figure1_schema()
+        report = extract(schema, "C")
+        assert IsaStatement("D", "C") in report.mus
+        assert_is_mus(schema, "C", report.mus)
+
+
+class TestRefinedMeetingDebugging:
+    @pytest.mark.parametrize("extract", ALGORITHMS)
+    def test_whole_schema_is_the_conflict(self, extract):
+        # The Section-3.3 counting argument genuinely uses every one of
+        # the six constraints, so the MUS is the full constraint set —
+        # and minimality means dropping ANY of them restores
+        # satisfiability.
+        schema = refined_meeting_schema()
+        report = extract(schema, "Speaker")
+        assert_is_mus(schema, "Speaker", report.mus)
+        assert len(report.mus) == len(schema.constraints())
+
+    @pytest.mark.parametrize("extract", ALGORITHMS)
+    def test_noise_constraint_excluded_from_mus(self, extract):
+        # Add an unrelated constraint; it must not appear in the MUS.
+        base = refined_meeting_schema()
+        noisy = (
+            SchemaBuilder("Noisy")
+            .classes(*base.classes, "Room")
+            .isa("Discussant", "Speaker")
+            .relationship("Holds", U1="Speaker", U2="Talk")
+            .relationship("Participates", U3="Discussant", U4="Talk")
+            .relationship("Hosted", W1="Talk", W2="Room")
+            .card("Speaker", "Holds", "U1", minc=1)
+            .card("Discussant", "Holds", "U1", minc=2, maxc=2)
+            .card("Talk", "Holds", "U2", minc=1, maxc=1)
+            .card("Discussant", "Participates", "U3", minc=1, maxc=1)
+            .card("Talk", "Participates", "U4", minc=1)
+            .card("Talk", "Hosted", "W1", minc=1, maxc=1)
+            .build()
+        )
+        report = extract(noisy, "Speaker")
+        assert_is_mus(noisy, "Speaker", report.mus)
+        for statement in report.mus:
+            if isinstance(statement, CardinalityDeclaration):
+                assert statement.rel != "Hosted", "noise constraint in MUS"
+
+    def test_deletion_and_quickxplain_agree_on_unsatisfiability(self):
+        schema = refined_meeting_schema()
+        deletion = minimal_unsatisfiable_constraints(schema, "Speaker")
+        quickxplain = quickxplain_unsatisfiable_constraints(schema, "Speaker")
+        for report in (deletion, quickxplain):
+            assert_is_mus(schema, "Speaker", report.mus)
+
+    def test_check_counters_are_recorded(self):
+        schema = figure1_schema()
+        deletion = minimal_unsatisfiable_constraints(schema, "D")
+        quickxplain = quickxplain_unsatisfiable_constraints(schema, "D")
+        assert deletion.checks >= len(schema.constraints())
+        assert quickxplain.checks > 0
+
+    def test_pretty_report(self):
+        report = minimal_unsatisfiable_constraints(figure1_schema(), "D")
+        text = report.pretty()
+        assert "unsatisfiable" in text
+        assert "isa" in text
+
+
+class TestSatisfiableInputRejected:
+    @pytest.mark.parametrize("extract", ALGORITHMS)
+    def test_debugging_a_satisfiable_class_raises(self, meeting, extract):
+        with pytest.raises(ReproError, match="nothing to debug"):
+            extract(meeting, "Speaker")
+
+
+class TestSeededConflicts:
+    """Conflicts planted in larger schemas must be isolated exactly."""
+
+    def build_schema_with_noise(self):
+        return (
+            SchemaBuilder("Seeded")
+            .classes("A", "B", "N1", "N2")
+            .isa("B", "A")
+            .relationship("R", U1="A", U2="B")
+            .card("A", "R", "U1", minc=2)
+            .card("B", "R", "U2", maxc=1)
+            # Noise: a second, harmless relationship with constraints.
+            .relationship("Q", V1="N1", V2="N2")
+            .card("N1", "Q", "V1", minc=1)
+            .card("N2", "Q", "V2", minc=1, maxc=4)
+            .build()
+        )
+
+    @pytest.mark.parametrize("extract", ALGORITHMS)
+    def test_noise_constraints_excluded(self, extract):
+        schema = self.build_schema_with_noise()
+        report = extract(schema, "A")
+        assert_is_mus(schema, "A", report.mus)
+        for statement in report.mus:
+            if isinstance(statement, CardinalityDeclaration):
+                assert statement.rel == "R", "noise constraint in MUS"
+
+    def test_quickxplain_uses_fewer_checks_on_seeded_conflicts(self):
+        # With a small conflict inside many constraints, QuickXplain's
+        # divide-and-conquer should not exceed the deletion scan.
+        schema = self.build_schema_with_noise()
+        deletion = minimal_unsatisfiable_constraints(schema, "A")
+        quickxplain = quickxplain_unsatisfiable_constraints(schema, "A")
+        assert quickxplain.checks <= deletion.checks + len(schema.constraints())

@@ -1,0 +1,146 @@
+"""Unit tests for the disjointness and covering extensions (Section 5)."""
+
+from __future__ import annotations
+
+from repro.cr.expansion import Expansion
+from repro.cr.satisfiability import satisfiable_classes
+from repro.ext.covering import (
+    with_covering,
+    with_partition,
+    with_total_generalization,
+)
+from repro.ext.disjointness import pruning_report, with_disjointness
+from repro.paper import meeting_schema
+
+
+class TestWithDisjointness:
+    def test_adds_a_group(self, meeting):
+        extended = with_disjointness(meeting, ("Speaker", "Talk"))
+        assert frozenset({"Speaker", "Talk"}) in extended.disjointness_groups
+
+    def test_original_schema_untouched(self, meeting):
+        with_disjointness(meeting, ("Speaker", "Talk"))
+        assert meeting.disjointness_groups == ()
+
+    def test_reasoning_still_works(self, meeting):
+        extended = with_disjointness(meeting, ("Speaker", "Talk"))
+        assert satisfiable_classes(extended) == {
+            "Speaker": True,
+            "Discussant": True,
+            "Talk": True,
+        }
+
+    def test_contradictory_disjointness_kills_subclass(self, meeting):
+        extended = with_disjointness(meeting, ("Speaker", "Discussant"))
+        verdicts = satisfiable_classes(extended)
+        # Discussant <= Speaker and disjoint(Speaker, Discussant) force
+        # Discussant empty; and since every talk needs a discussant, the
+        # whole meeting schema collapses.
+        assert verdicts["Discussant"] is False
+
+
+class TestPaperPruningClaim:
+    """Section 5: disjoint(Speaker, Talk) leaves 'just a few unknowns'."""
+
+    def test_expansion_shrinks(self, meeting):
+        report = pruning_report(meeting, ("Speaker", "Talk"))
+        assert report.compound_classes_after < report.compound_classes_before
+        assert (
+            report.compound_relationships_after
+            < report.compound_relationships_before
+        )
+        assert report.unknowns_after < report.unknowns_before
+
+    def test_expected_sizes_for_the_meeting_schema(self, meeting):
+        # Without disjointness: 5 consistent compound classes + 18
+        # consistent compound relationships.  With Speaker/Talk (hence
+        # also Discussant/Talk by inheritance... no — Discussant <= Speaker
+        # makes {Discussant, Talk} require Speaker too, already blocked):
+        # compound classes {S}, {T}, {S,D} and relationships 2x1 + 1x1.
+        extended = with_disjointness(meeting, ("Speaker", "Talk"))
+        expansion = Expansion(extended)
+        members = {
+            cc.members for cc in expansion.consistent_compound_classes()
+        }
+        assert members == {
+            frozenset({"Speaker"}),
+            frozenset({"Talk"}),
+            frozenset({"Speaker", "Discussant"}),
+        }
+        assert len(expansion.consistent_compound_relationships()) == 3
+
+    def test_report_pretty_mentions_reduction(self, meeting):
+        report = pruning_report(meeting, ("Speaker", "Talk"))
+        assert "->" in report.pretty()
+        assert report.unknown_reduction_factor > 1.0
+
+
+class TestCovering:
+    def test_with_covering_adds_statement(self, meeting):
+        extended = with_covering(meeting, "Speaker", "Discussant")
+        assert ("Speaker", frozenset({"Discussant"})) in extended.coverings
+
+    def test_covering_forces_population_into_coverers(self, meeting):
+        # Cover Speaker by Discussant: every speaker is a discussant.
+        # The meeting schema already implies that in finite models, so
+        # satisfiability is unchanged.
+        extended = with_covering(meeting, "Speaker", "Discussant")
+        assert satisfiable_classes(extended)["Speaker"] is True
+
+    def test_covering_can_make_classes_unsatisfiable(self):
+        from repro.cr.builder import SchemaBuilder
+
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B", "X")
+            .isa("B", "A")
+            .relationship("R", U1="B", U2="X")
+            .card("B", "R", "U1", minc=2, maxc=2)
+            .card("X", "R", "U2", minc=1, maxc=1)
+            .build()
+        )
+        # As declared, A alone is satisfiable (an A need not be a B).
+        assert satisfiable_classes(schema)["A"] is True
+        # Covering A by B pushes every A into B... and B is subject to a
+        # Figure-1-style ratio conflict with X <= ... no conflict yet:
+        covered = with_covering(schema, "A", "B")
+        verdicts = satisfiable_classes(covered)
+        # B itself: |R| = 2|B| and |R| = |X|; satisfiable with X twice B.
+        assert verdicts["B"] is True
+        assert verdicts["A"] is True
+
+    def test_total_generalization_adds_isa_and_covering(self):
+        from repro.cr.builder import SchemaBuilder
+
+        schema = (
+            SchemaBuilder()
+            .classes("Vehicle", "Car", "Bike")
+            .relationship("Owns", U1="Vehicle", U2="Vehicle")
+            .build()
+        )
+        total = with_total_generalization(schema, "Vehicle", "Car", "Bike")
+        assert total.is_subclass("Car", "Vehicle")
+        assert total.is_subclass("Bike", "Vehicle")
+        assert ("Vehicle", frozenset({"Car", "Bike"})) in total.coverings
+
+    def test_partition_adds_disjointness_too(self):
+        from repro.cr.builder import SchemaBuilder
+
+        schema = (
+            SchemaBuilder()
+            .classes("Vehicle", "Car", "Bike")
+            .relationship("Owns", U1="Vehicle", U2="Vehicle")
+            .build()
+        )
+        partitioned = with_partition(schema, "Vehicle", "Car", "Bike")
+        assert frozenset({"Car", "Bike"}) in partitioned.disjointness_groups
+        # A partitioned hierarchy prunes the expansion: {V}, {V,C,B} are
+        # inconsistent; only {V,C} and {V,B} survive.
+        expansion = Expansion(partitioned)
+        members = {
+            cc.members for cc in expansion.consistent_compound_classes()
+        }
+        assert members == {
+            frozenset({"Vehicle", "Car"}),
+            frozenset({"Vehicle", "Bike"}),
+        }

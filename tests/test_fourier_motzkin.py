@@ -1,0 +1,118 @@
+"""Unit tests for Fourier–Motzkin elimination."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.fourier_motzkin import fm_feasible, fm_solve
+from repro.solver.linear import LinearSystem, term
+
+
+class TestFeasibility:
+    def test_simple_feasible(self):
+        system = LinearSystem([term("x") + term("y") <= 4, term("x") >= 1])
+        assert fm_feasible(system)
+
+    def test_simple_infeasible(self):
+        system = LinearSystem([term("x") >= 3, term("x") <= 2])
+        assert not fm_feasible(system)
+
+    def test_implicit_nonnegativity(self):
+        assert not fm_feasible(LinearSystem([term("x") <= -1]))
+
+    def test_free_variables(self):
+        system = LinearSystem([term("x") <= -1])
+        assert fm_feasible(system, free_variables=["x"])
+
+    def test_equalities(self):
+        system = LinearSystem(
+            [(term("x") + term("y")).equals(4), term("x").equals(5)]
+        )
+        assert not fm_feasible(system)  # would force y = -1 < 0
+
+    def test_empty_system(self):
+        assert fm_feasible(LinearSystem(variables=["x"]))
+
+
+class TestStrictInequalities:
+    def test_open_interval_is_feasible_over_rationals(self):
+        system = LinearSystem([term("x") > 0, term("x") < 1])
+        result = fm_solve(system)
+        assert result.feasible
+        assert 0 < result.assignment["x"] < 1
+
+    def test_empty_open_interval(self):
+        system = LinearSystem([term("x") > 1, term("x") < 1])
+        assert not fm_feasible(system)
+
+    def test_strict_against_equality(self):
+        system = LinearSystem([term("x").equals(1), term("x") > 1])
+        assert not fm_feasible(system)
+
+    def test_strict_homogeneous(self):
+        c, h = term("c"), term("h")
+        system = LinearSystem([2 * c <= h, c >= h, c > 0])
+        assert not fm_feasible(system)
+        relaxed = LinearSystem([c <= h, 2 * c >= h, c > 0])
+        assert fm_feasible(relaxed)
+
+
+class TestWitnesses:
+    def test_witness_satisfies_system(self):
+        x, y = term("x"), term("y")
+        system = LinearSystem([x + y <= 4, x - y >= 1, y > 0])
+        result = fm_solve(system)
+        assert result.feasible
+        assignment = dict(result.assignment)
+        assert system.is_satisfied_by(assignment)
+        assert all(value >= 0 for value in assignment.values())
+
+    def test_witness_with_tight_equalities(self):
+        x, y = term("x"), term("y")
+        system = LinearSystem([(x + y).equals(2), (x - y).equals(0)])
+        result = fm_solve(system)
+        assert result.assignment == {"x": 1, "y": 1}
+
+    def test_witness_with_only_lower_bounds(self):
+        system = LinearSystem([term("x") >= 7])
+        result = fm_solve(system)
+        assert result.assignment["x"] >= 7
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        # 8 variables all pairwise related: the elimination blows up
+        # beyond a tiny budget.
+        variables = [term(f"x{i}") for i in range(8)]
+        constraints = []
+        for i, a in enumerate(variables):
+            for b in variables[i + 1 :]:
+                constraints.append(a + b <= 10)
+                constraints.append(a - b <= 1)
+        system = LinearSystem(constraints)
+        with pytest.raises(SolverError):
+            fm_solve(system, max_constraints=10)
+
+
+class TestDedup:
+    def test_duplicate_constraints_collapse(self):
+        x = term("x")
+        system = LinearSystem([x <= 1, 2 * x <= 2, 3 * x <= 3])
+        result = fm_solve(system)
+        assert result.feasible
+        assert result.assignment["x"] <= 1
+
+    def test_trivially_true_rows_dropped(self):
+        system = LinearSystem([term("x") - term("x") <= 1, term("x") <= 5])
+        assert fm_feasible(system)
+
+
+class TestExactness:
+    def test_fractional_witness(self):
+        x = term("x")
+        system = LinearSystem([3 * x >= 1, 3 * x <= 1])
+        result = fm_solve(system)
+        assert result.assignment["x"] == Fraction(1, 3)

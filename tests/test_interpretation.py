@@ -1,0 +1,180 @@
+"""Unit tests for interpretations and labelled tuples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.interpretation import Interpretation, LabeledTuple
+from repro.errors import InterpretationError
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder()
+        .classes("A", "B")
+        .isa("B", "A")
+        .relationship("R", U1="A", U2="B")
+        .build()
+    )
+
+
+class TestLabeledTuple:
+    def test_access_by_role(self):
+        labelled = LabeledTuple({"U1": "a", "U2": "b"})
+        assert labelled["U1"] == "a"
+        assert labelled.get("U2") == "b"
+        assert labelled.get("U9") is None
+
+    def test_missing_role_raises(self):
+        with pytest.raises(KeyError):
+            LabeledTuple({"U1": "a"})["U2"]
+
+    def test_equality_is_content_based(self):
+        assert LabeledTuple({"U1": "a", "U2": "b"}) == LabeledTuple(
+            {"U2": "b", "U1": "a"}
+        )
+
+    def test_hashable_and_set_semantics(self):
+        tuples = {
+            LabeledTuple({"U1": "a"}),
+            LabeledTuple({"U1": "a"}),
+            LabeledTuple({"U1": "b"}),
+        }
+        assert len(tuples) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(InterpretationError):
+            LabeledTuple({})
+
+    def test_pretty(self):
+        assert LabeledTuple({"U1": "a", "U2": "b"}).pretty() == "<U1: a, U2: b>"
+
+    def test_roles_sorted(self):
+        assert LabeledTuple({"U2": "b", "U1": "a"}).roles == ("U1", "U2")
+
+
+class TestInterpretationBasics:
+    def test_empty_interpretation(self):
+        empty = Interpretation.empty()
+        assert not empty.domain
+        assert empty.instances_of("anything") == frozenset()
+
+    def test_build_collects_domain(self):
+        interp = Interpretation.build(
+            {"A": ["a1"], "B": ["b1"]},
+            {"R": [{"U1": "a1", "U2": "b1"}]},
+            extra_domain=["lonely"],
+        )
+        assert interp.domain == {"a1", "b1", "lonely"}
+
+    def test_participation_count(self):
+        interp = Interpretation.build(
+            {"A": ["a1", "a2"], "B": ["b1"]},
+            {
+                "R": [
+                    {"U1": "a1", "U2": "b1"},
+                    {"U1": "a2", "U2": "b1"},
+                ]
+            },
+        )
+        assert interp.participation_count("R", "U1", "a1") == 1
+        assert interp.participation_count("R", "U2", "b1") == 2
+        assert interp.participation_count("R", "U1", "ghost") == 0
+
+    def test_duplicate_tuples_collapse(self):
+        interp = Interpretation.build(
+            {"A": ["a"], "B": ["b"]},
+            {"R": [{"U1": "a", "U2": "b"}, {"U1": "a", "U2": "b"}]},
+        )
+        assert len(interp.tuples_of("R")) == 1
+
+    def test_summary_mentions_sizes(self):
+        interp = Interpretation.build({"A": ["a1", "a2"]})
+        assert "|A|=2" in interp.summary()
+
+
+class TestCompoundExtensions:
+    def test_partition_semantics(self):
+        # a1 is only in A; ab is in both A and B.
+        interp = Interpretation.build({"A": ["a1", "ab"], "B": ["ab"]})
+        only_a = interp.compound_extension(frozenset({"A"}), ["A", "B"])
+        both = interp.compound_extension(frozenset({"A", "B"}), ["A", "B"])
+        assert only_a == {"a1"}
+        assert both == {"ab"}
+
+    def test_compound_extensions_partition_the_union(self):
+        interp = Interpretation.build({"A": ["x", "y"], "B": ["y", "z"]})
+        classes = ["A", "B"]
+        cells = [
+            interp.compound_extension(frozenset(members), classes)
+            for members in ({"A"}, {"B"}, {"A", "B"})
+        ]
+        union = set().union(*cells)
+        assert union == {"x", "y", "z"}
+        assert sum(len(cell) for cell in cells) == len(union)
+
+    def test_empty_compound_rejected(self):
+        interp = Interpretation.build({"A": ["x"]})
+        with pytest.raises(InterpretationError):
+            interp.compound_extension(frozenset(), ["A"])
+
+    def test_compound_tuples(self):
+        interp = Interpretation.build(
+            {"A": ["a", "ab"], "B": ["ab", "b"]},
+            {"R": [{"U1": "a", "U2": "ab"}, {"U1": "ab", "U2": "b"}]},
+        )
+        classes = ["A", "B"]
+        only_a_tuples = interp.compound_tuples(
+            "R",
+            {"U1": frozenset({"A"}), "U2": frozenset({"A", "B"})},
+            classes,
+        )
+        assert only_a_tuples == {LabeledTuple({"U1": "a", "U2": "ab"})}
+
+
+class TestWellFormedness:
+    def test_valid_interpretation_passes(self, schema):
+        interp = Interpretation.build(
+            {"A": ["a"], "B": ["a"]}, {"R": [{"U1": "a", "U2": "a"}]}
+        )
+        interp.check_well_formed(schema)  # must not raise
+
+    def test_unknown_class_rejected(self, schema):
+        interp = Interpretation.build({"Ghost": ["g"]})
+        with pytest.raises(InterpretationError):
+            interp.check_well_formed(schema)
+
+    def test_unknown_relationship_rejected(self, schema):
+        interp = Interpretation.build(
+            {"A": ["a"]}, {"Ghost": [{"U1": "a", "U2": "a"}]}
+        )
+        with pytest.raises(InterpretationError):
+            interp.check_well_formed(schema)
+
+    def test_wrong_roles_rejected(self, schema):
+        interp = Interpretation.build(
+            {"A": ["a"], "B": ["a"]}, {"R": [{"U1": "a", "WRONG": "a"}]}
+        )
+        with pytest.raises(InterpretationError):
+            interp.check_well_formed(schema)
+
+    def test_extension_outside_domain_rejected(self, schema):
+        interp = Interpretation(
+            domain=frozenset({"a"}),
+            class_extensions={"A": frozenset({"a", "stray"})},
+        )
+        with pytest.raises(InterpretationError):
+            interp.check_well_formed(schema)
+
+    def test_tuple_value_outside_domain_rejected(self, schema):
+        interp = Interpretation(
+            domain=frozenset({"a"}),
+            class_extensions={"A": frozenset({"a"}), "B": frozenset({"a"})},
+            relationship_extensions={
+                "R": frozenset({LabeledTuple({"U1": "a", "U2": "stray"})})
+            },
+        )
+        with pytest.raises(InterpretationError):
+            interp.check_well_formed(schema)

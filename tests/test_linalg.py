@@ -1,0 +1,178 @@
+"""Unit tests for :mod:`repro.linalg` (exact rational linear algebra)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg import Matrix, Vector
+
+fractions = st.fractions(min_value=-5, max_value=5)
+
+
+def small_matrices(rows=st.integers(1, 4), cols=st.integers(1, 4)):
+    return rows.flatmap(
+        lambda r: cols.flatmap(
+            lambda c: st.lists(
+                st.lists(fractions, min_size=c, max_size=c),
+                min_size=r,
+                max_size=r,
+            ).map(Matrix)
+        )
+    )
+
+
+class TestVector:
+    def test_construction_coerces_ints(self):
+        vector = Vector([1, 2])
+        assert vector[0] == Fraction(1)
+
+    def test_zeros_and_unit(self):
+        assert Vector.zeros(3).is_zero()
+        unit = Vector.unit(3, 1)
+        assert list(unit) == [0, 1, 0]
+
+    def test_addition_and_subtraction(self):
+        a, b = Vector([1, 2]), Vector([3, 4])
+        assert a + b == Vector([4, 6])
+        assert b - a == Vector([2, 2])
+
+    def test_scalar_multiplication_both_sides(self):
+        assert 2 * Vector([1, 2]) == Vector([2, 4])
+        assert Vector([1, 2]) * Fraction(1, 2) == Vector([Fraction(1, 2), 1])
+
+    def test_dot(self):
+        assert Vector([1, 2]).dot(Vector([3, 4])) == 11
+
+    def test_negation(self):
+        assert -Vector([1, -2]) == Vector([-1, 2])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Vector([1]).dot(Vector([1, 2]))
+        with pytest.raises(ValueError):
+            Vector([1]) + Vector([1, 2])
+
+    def test_hashable(self):
+        assert len({Vector([1, 2]), Vector([1, 2])}) == 1
+
+    @given(st.lists(fractions, min_size=1, max_size=5))
+    def test_dot_with_self_is_nonnegative(self, entries):
+        vector = Vector(entries)
+        assert vector.dot(vector) >= 0
+
+
+class TestMatrixBasics:
+    def test_shape_and_access(self):
+        matrix = Matrix([[1, 2, 3], [4, 5, 6]])
+        assert matrix.shape == (2, 3)
+        assert matrix[1, 2] == 6
+        assert matrix.row(0) == Vector([1, 2, 3])
+        assert matrix.column(1) == Vector([2, 5])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2], [3]])
+
+    def test_identity(self):
+        eye = Matrix.identity(2)
+        assert eye == Matrix([[1, 0], [0, 1]])
+
+    def test_transpose(self):
+        matrix = Matrix([[1, 2, 3], [4, 5, 6]])
+        assert matrix.transpose() == Matrix([[1, 4], [2, 5], [3, 6]])
+
+    def test_addition_and_scaling(self):
+        a = Matrix([[1, 2], [3, 4]])
+        assert a + a == 2 * a
+        assert a - a == Matrix.zeros(2, 2)
+
+    def test_matmul(self):
+        a = Matrix([[1, 2], [3, 4]])
+        b = Matrix([[0, 1], [1, 0]])
+        assert a.matmul(b) == Matrix([[2, 1], [4, 3]])
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2]]).matmul(Matrix([[1, 2]]))
+
+    def test_apply(self):
+        assert Matrix([[1, 2], [3, 4]]).apply(Vector([1, 1])) == Vector([3, 7])
+
+
+class TestRref:
+    def test_already_reduced(self):
+        matrix = Matrix.identity(3)
+        reduced, pivots = matrix.rref()
+        assert reduced == matrix
+        assert pivots == [0, 1, 2]
+
+    def test_rank_deficient(self):
+        matrix = Matrix([[1, 2], [2, 4]])
+        assert matrix.rank() == 1
+
+    def test_known_reduction(self):
+        matrix = Matrix([[1, 2, 3], [4, 5, 6]])
+        reduced, pivots = matrix.rref()
+        assert pivots == [0, 1]
+        assert reduced == Matrix([[1, 0, -1], [0, 1, 2]])
+
+    @given(small_matrices())
+    def test_rank_bounded_by_shape(self, matrix):
+        rank = matrix.rank()
+        assert 0 <= rank <= min(matrix.shape)
+
+    @given(small_matrices())
+    def test_rref_is_idempotent(self, matrix):
+        reduced, _ = matrix.rref()
+        again, _ = reduced.rref()
+        assert again == reduced
+
+
+class TestNullspace:
+    def test_full_rank_has_trivial_nullspace(self):
+        assert Matrix.identity(3).nullspace() == []
+
+    def test_nullspace_vectors_are_in_kernel(self):
+        matrix = Matrix([[1, 2, 3], [4, 5, 6]])
+        basis = matrix.nullspace()
+        assert len(basis) == 1
+        assert matrix.apply(basis[0]).is_zero()
+
+    @given(small_matrices())
+    def test_nullspace_dimension_matches_rank_nullity(self, matrix):
+        basis = matrix.nullspace()
+        assert len(basis) == matrix.shape[1] - matrix.rank()
+        for vector in basis:
+            assert matrix.apply(vector).is_zero()
+
+
+class TestSolve:
+    def test_unique_solution(self):
+        matrix = Matrix([[2, 0], [0, 4]])
+        solution = matrix.solve(Vector([4, 8]))
+        assert solution == Vector([2, 2])
+
+    def test_inconsistent_returns_none(self):
+        matrix = Matrix([[1, 1], [1, 1]])
+        assert matrix.solve(Vector([1, 2])) is None
+
+    def test_underdetermined_solution_satisfies_system(self):
+        matrix = Matrix([[1, 1, 1]])
+        solution = matrix.solve(Vector([3]))
+        assert solution is not None
+        assert matrix.apply(solution) == Vector([3])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2]]).solve(Vector([1, 2]))
+
+    @given(small_matrices())
+    def test_solve_agrees_with_apply(self, matrix):
+        rhs = matrix.apply(Vector([Fraction(1)] * matrix.shape[1]))
+        solution = matrix.solve(rhs)
+        assert solution is not None
+        assert matrix.apply(solution) == rhs

@@ -1,0 +1,134 @@
+"""Unit tests for the object-oriented adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.implication import implies_isa, implies_min_cardinality
+from repro.cr.satisfiability import satisfiable_classes
+from repro.cr.schema import Card, UNBOUNDED
+from repro.errors import DuplicateSymbolError, SchemaError, UnknownSymbolError
+from repro.oo import OOModel, oo_to_cr
+
+
+def library_model() -> OOModel:
+    model = OOModel("Library")
+    model.cls("Book")
+    model.cls("Author")
+    model.attribute(
+        "Book", "writtenBy", "Author", minimum=1, maximum=None,
+        inverse_minimum=0, inverse_maximum=None,
+    )
+    return model
+
+
+class TestDeclarations:
+    def test_duplicate_class_rejected(self):
+        model = OOModel().cls("A")
+        with pytest.raises(DuplicateSymbolError):
+            model.cls("A")
+
+    def test_duplicate_attribute_rejected(self):
+        model = OOModel().cls("A")
+        model.attribute("A", "x", "A")
+        with pytest.raises(DuplicateSymbolError):
+            model.attribute("A", "x", "A")
+
+    def test_attribute_on_unknown_class_rejected(self):
+        with pytest.raises(UnknownSymbolError):
+            OOModel().attribute("Ghost", "x", "Ghost")
+
+    def test_unknown_target_caught_by_validate(self):
+        model = OOModel().cls("A")
+        model.attribute("A", "x", "Ghost")
+        with pytest.raises(UnknownSymbolError):
+            model.validate()
+
+    def test_override_must_target_subclass(self):
+        model = OOModel().cls("A").cls("B")
+        model.attribute("A", "x", "A")
+        model.override("B", "A", "x", 0, 1)
+        with pytest.raises(SchemaError, match="not a subclass"):
+            model.validate()
+
+    def test_override_on_unknown_attribute(self):
+        model = OOModel().cls("A").cls("B", parents=["A"])
+        model.override("B", "A", "ghost", 0, 1)
+        with pytest.raises(UnknownSymbolError):
+            model.validate()
+
+
+class TestTranslation:
+    def test_attribute_becomes_binary_relationship(self):
+        schema = oo_to_cr(library_model())
+        rel = schema.relationship("writtenBy_of_Book")
+        assert rel.signature == (
+            ("src_writtenBy_of_Book", "Book"),
+            ("tgt_writtenBy_of_Book", "Author"),
+        )
+        assert schema.card(
+            "Book", "writtenBy_of_Book", "src_writtenBy_of_Book"
+        ) == Card(1, UNBOUNDED)
+
+    def test_inverse_multiplicity_translates(self):
+        model = OOModel().cls("A").cls("B")
+        model.attribute(
+            "A", "x", "B", minimum=1, maximum=1,
+            inverse_minimum=1, inverse_maximum=2,
+        )
+        schema = oo_to_cr(model)
+        assert schema.card("B", "x_of_A", "tgt_x_of_A") == Card(1, 2)
+
+    def test_inheritance_becomes_isa(self):
+        model = OOModel().cls("A").cls("B", parents=["A"])
+        model.attribute("A", "x", "A")
+        schema = oo_to_cr(model)
+        assert schema.is_subclass("B", "A")
+
+    def test_override_becomes_refinement(self):
+        model = OOModel().cls("A").cls("B", parents=["A"])
+        model.attribute("A", "x", "A", minimum=0, maximum=None)
+        model.override("B", "A", "x", minimum=2, maximum=3)
+        schema = oo_to_cr(model)
+        assert schema.card("B", "x_of_A", "src_x_of_A") == Card(2, 3)
+
+
+class TestReasoningThroughAdapter:
+    def test_satisfiable_model(self):
+        verdicts = satisfiable_classes(oo_to_cr(library_model()))
+        assert verdicts == {"Book": True, "Author": True}
+
+    def test_isa_cardinality_interaction_detected(self):
+        # The Figure-1 pathology expressed as an OO model: every A object
+        # stores exactly two x-values, all values are B objects, each B is
+        # referenced at most once, and B specialises A.
+        model = OOModel()
+        model.cls("A")
+        model.cls("B", parents=["A"])
+        model.attribute(
+            "A", "x", "B", minimum=2, maximum=2,
+            inverse_minimum=0, inverse_maximum=1,
+        )
+        verdicts = satisfiable_classes(oo_to_cr(model))
+        assert verdicts == {"A": False, "B": False}
+
+    def test_implied_subtyping(self):
+        # Finite-model subtyping through the adapter: with one A per B
+        # slot forced both ways, A and B must coincide.
+        model = OOModel()
+        model.cls("A")
+        model.cls("B", parents=["A"])
+        model.attribute(
+            "A", "x", "B", minimum=1, maximum=1,
+            inverse_minimum=1, inverse_maximum=1,
+        )
+        schema = oo_to_cr(model)
+        assert implies_isa(schema, "A", "B").implied
+
+    def test_inherited_minimum_is_implied_for_subclass(self):
+        model = OOModel().cls("A").cls("B", parents=["A"])
+        model.attribute("A", "x", "A", minimum=1, maximum=None)
+        schema = oo_to_cr(model)
+        assert implies_min_cardinality(
+            schema, "B", "x_of_A", "src_x_of_A", 1
+        ).implied

@@ -1,0 +1,84 @@
+"""Unit tests for :mod:`repro.paper` (the ready-made running examples)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.constraints import IsaStatement, MaxCardinalityStatement
+from repro.cr.schema import Card, UNBOUNDED
+from repro.er.to_cr import er_to_cr
+from repro.paper import (
+    figure1_er,
+    figure1_schema,
+    figure7_queries,
+    meeting_er,
+    meeting_schema,
+    refined_meeting_schema,
+)
+
+
+class TestFigure1Factory:
+    def test_default_ratio_is_the_paper_figure(self):
+        schema = figure1_schema()
+        assert schema.card("C", "R", "V1") == Card(2, UNBOUNDED)
+        assert schema.card("D", "R", "V2") == Card(0, 1)
+        assert schema.is_subclass("D", "C")
+
+    @pytest.mark.parametrize("ratio", [1, 2, 7])
+    def test_ratio_parameterisation(self, ratio):
+        schema = figure1_schema(ratio)
+        assert schema.card("C", "R", "V1").minc == ratio
+
+    def test_er_and_schema_agree(self):
+        assert er_to_cr(figure1_er(3)).declared_cards == (
+            figure1_schema(3).declared_cards
+        )
+
+
+class TestMeetingFactories:
+    def test_meeting_schema_matches_figure3(self):
+        schema = meeting_schema()
+        assert schema.classes == ("Speaker", "Discussant", "Talk")
+        assert len(schema.declared_cards) == 5
+        assert schema.card("Discussant", "Holds", "U1") == Card(0, 2)
+
+    def test_er_route_is_equivalent(self):
+        assert er_to_cr(meeting_er()).declared_cards == (
+            meeting_schema().declared_cards
+        )
+
+    def test_refined_variant_strengthens_exactly_one_declaration(self):
+        base = meeting_schema().declared_cards
+        refined = refined_meeting_schema().declared_cards
+        differing = {
+            key
+            for key in set(base) | set(refined)
+            if base.get(key) != refined.get(key)
+        }
+        assert differing == {("Discussant", "Holds", "U1")}
+        assert refined[("Discussant", "Holds", "U1")] == Card(2, 2)
+
+    def test_factories_return_fresh_objects(self):
+        assert meeting_schema() is not meeting_schema()
+
+
+class TestFigure7Queries:
+    def test_the_three_statements(self):
+        queries = figure7_queries()
+        assert queries[0] == IsaStatement("Speaker", "Discussant")
+        assert queries[1] == MaxCardinalityStatement(
+            "Talk", "Participates", "U4", 1
+        )
+        assert queries[2] == MaxCardinalityStatement(
+            "Speaker", "Holds", "U1", 1
+        )
+
+    def test_queries_are_well_formed_for_the_schema(self):
+        schema = meeting_schema()
+        for query in figure7_queries():
+            if isinstance(query, MaxCardinalityStatement):
+                # The class must be a subclass of the role's primary.
+                rel = schema.relationship(query.rel)
+                assert schema.is_subclass(
+                    query.cls, rel.primary_class(query.role)
+                )

@@ -1,0 +1,204 @@
+"""Property-based tests of the decision procedure's core guarantees.
+
+These are the library's strongest correctness evidence:
+
+* **engine agreement** — the fixpoint engine and the literal
+  Theorem-3.4 zero-set enumeration return the same verdict on random
+  schemas;
+* **executable soundness** — whenever a class is satisfiable, the
+  constructed model passes the Definition-2.2 checker and populates the
+  class;
+* **executable completeness of implication** — whenever a statement is
+  not implied, the counter-model is a model of the schema violating the
+  statement;
+* **Lemma 3.2** — a random interpretation satisfies conditions (A)–(C)
+  iff it satisfies (A')–(C');
+* **cone scaling** — integer multiples of a witness stay witnesses;
+* **baseline agreement** — on ISA-free schemas the full procedure
+  agrees with Lenzerini–Nobili.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cr.baseline import baseline_satisfiable_classes
+from repro.cr.checker import check_expansion_model, check_model
+from repro.cr.constraints import IsaStatement
+from repro.cr.construction import construct_model, construct_model_for_result
+from repro.cr.expansion import Expansion
+from repro.cr.implication import implies_isa, statement_holds
+from repro.cr.satisfiability import is_acceptable, is_class_satisfiable
+from repro.cr.system import build_system
+from repro.dsl import parse_schema, serialize_schema
+
+from tests.strategies import interpretations_for, schemas
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+MEDIUM = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@SLOW
+@given(data=st.data())
+def test_fixpoint_and_naive_engines_agree(data):
+    schema = data.draw(schemas(max_classes=3, max_relationships=1))
+    cls = data.draw(st.sampled_from(schema.classes))
+    expansion = Expansion(schema)
+    fixpoint = is_class_satisfiable(
+        schema, cls, engine="fixpoint", expansion=expansion
+    )
+    naive = is_class_satisfiable(
+        schema, cls, engine="naive", expansion=expansion
+    )
+    assert fixpoint.satisfiable == naive.satisfiable
+
+
+@MEDIUM
+@given(data=st.data())
+def test_satisfiable_classes_yield_checked_models(data):
+    schema = data.draw(schemas(max_classes=4, allow_extensions=True))
+    cls = data.draw(st.sampled_from(schema.classes))
+    result = is_class_satisfiable(schema, cls)
+    if not result.satisfiable:
+        return
+    model = construct_model_for_result(result)
+    assert check_model(schema, model) == [], (
+        f"constructed model violates the schema for class {cls}"
+    )
+    assert model.instances_of(cls), "witness model does not populate the class"
+
+
+@MEDIUM
+@given(data=st.data())
+def test_witness_solutions_solve_the_system_and_are_acceptable(data):
+    schema = data.draw(schemas(max_classes=4))
+    cls = data.draw(st.sampled_from(schema.classes))
+    result = is_class_satisfiable(schema, cls)
+    if not result.satisfiable:
+        return
+    cr_system = result.cr_system
+    solution = {
+        name: Fraction(result.solution.get(name, 0))
+        for name in cr_system.system.variables
+    }
+    assert cr_system.system.is_satisfied_by(solution)
+    assert is_acceptable(result.solution, cr_system.dependencies)
+
+
+@MEDIUM
+@given(data=st.data(), factor=st.integers(min_value=2, max_value=5))
+def test_cone_scaling_preserves_witnesses(data, factor):
+    schema = data.draw(schemas(max_classes=3))
+    cls = data.draw(st.sampled_from(schema.classes))
+    result = is_class_satisfiable(schema, cls)
+    if not result.satisfiable:
+        return
+    scaled = {name: value * factor for name, value in result.solution.items()}
+    model = construct_model(result.cr_system, scaled)
+    assert check_model(schema, model) == []
+
+
+@MEDIUM
+@given(data=st.data())
+def test_isa_implication_is_sound_and_complete(data):
+    schema = data.draw(schemas(max_classes=3, allow_extensions=True))
+    sub = data.draw(st.sampled_from(schema.classes))
+    sup = data.draw(st.sampled_from(schema.classes))
+    result = implies_isa(schema, sub, sup)
+    if result.implied:
+        # Soundness spot-check: any witness model for `sub` must keep
+        # the containment.
+        sat = is_class_satisfiable(schema, sub)
+        if sat.satisfiable:
+            model = construct_model_for_result(sat)
+            assert statement_holds(model, IsaStatement(sub, sup))
+    else:
+        model = result.countermodel
+        assert model is not None
+        assert check_model(schema, model) == []
+        assert not statement_holds(model, IsaStatement(sub, sup))
+
+
+@MEDIUM
+@given(data=st.data())
+def test_lemma_3_2_equivalence(data):
+    """(A)-(C) hold iff (A')-(C') hold, on random interpretations."""
+    schema = data.draw(schemas(max_classes=3, allow_extensions=True))
+    interpretation = data.draw(interpretations_for(schema))
+    expansion = Expansion(schema)
+    direct = check_model(schema, interpretation)
+    expanded = check_expansion_model(expansion, interpretation)
+    assert (not direct) == (not expanded), (
+        f"Definition 2.2 says {sorted(str(v) for v in direct)}, "
+        f"Lemma 3.2 says {sorted(str(v) for v in expanded)}"
+    )
+
+
+@MEDIUM
+@given(data=st.data())
+def test_declared_isa_statements_are_always_implied(data):
+    schema = data.draw(schemas(max_classes=4))
+    if not schema.isa_statements:
+        return
+    sub, sup = data.draw(st.sampled_from(schema.isa_statements))
+    assert implies_isa(schema, sub, sup).implied
+
+
+@MEDIUM
+@given(data=st.data())
+def test_baseline_agreement_on_isa_free_schemas(data):
+    schema = data.draw(schemas(max_classes=3))
+    if schema.isa_statements or schema.disjointness_groups or schema.coverings:
+        return
+    from repro.cr.satisfiability import satisfiable_classes
+
+    assert baseline_satisfiable_classes(schema) == satisfiable_classes(schema)
+
+
+@MEDIUM
+@given(data=st.data())
+def test_dsl_roundtrip_on_random_schemas(data):
+    schema = data.draw(schemas(max_classes=4, allow_extensions=True))
+    text = serialize_schema(schema)
+    parsed = parse_schema(text)
+    assert parsed.classes == schema.classes
+    assert set(parsed.isa_statements) == set(schema.isa_statements)
+    assert parsed.declared_cards == schema.declared_cards
+    assert [r.signature for r in parsed.relationships] == [
+        r.signature for r in schema.relationships
+    ]
+    assert set(parsed.disjointness_groups) == set(schema.disjointness_groups)
+    assert set(parsed.coverings) == set(schema.coverings)
+
+
+@MEDIUM
+@given(data=st.data())
+def test_literal_and_pruned_systems_have_the_same_acceptable_verdicts(data):
+    """The inconsistent unknowns are identically zero, so both builds
+    must classify every class identically."""
+    schema = data.draw(schemas(max_classes=3))
+    cls = data.draw(st.sampled_from(schema.classes))
+    expansion = Expansion(schema)
+    from repro.cr.satisfiability import acceptable_support
+
+    pruned = build_system(expansion, mode="pruned")
+    literal = build_system(expansion, mode="literal")
+    support_pruned, _ = acceptable_support(pruned)
+    support_literal, _ = acceptable_support(literal)
+    def verdict(cr_system, support):
+        return any(
+            cr_system.class_var[cc] in support
+            for cc in expansion.consistent_classes_containing(cls)
+        )
+    assert verdict(pruned, support_pruned) == verdict(literal, support_literal)

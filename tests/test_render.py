@@ -1,0 +1,116 @@
+"""Unit tests for the figure renderers."""
+
+from __future__ import annotations
+
+from repro.cr.implication import implies_isa
+from repro.cr.interpretation import Interpretation
+from repro.render import (
+    render_expansion,
+    render_inferences,
+    render_interpretation,
+    render_schema,
+    render_solution,
+    render_system,
+)
+
+
+class TestRenderSchema:
+    def test_figure3_sections_present(self, meeting):
+        text = render_schema(meeting)
+        assert "C = {Speaker, Discussant, Talk};" in text
+        assert "R = {Holds, Participates};" in text
+        assert "U = {U1, U2, U3, U4};" in text
+        assert "Sisa = {Discussant <= Speaker};" in text
+        assert "Holds = <U1: Speaker, U2: Talk>;" in text
+
+    def test_figure3_cardinality_lines(self, meeting):
+        text = render_schema(meeting)
+        for line in [
+            "minc(Speaker, Holds, U1) = 1;",
+            "maxc(Discussant, Holds, U1) = 2;",
+            "minc(Talk, Holds, U2) = 1;",
+            "maxc(Talk, Holds, U2) = 1;",
+            "minc(Discussant, Participates, U3) = 1;",
+            "maxc(Discussant, Participates, U3) = 1;",
+            "minc(Talk, Participates, U4) = 1;",
+        ]:
+            assert line in text
+
+    def test_extensions_rendered(self, meeting):
+        from repro.ext import with_covering, with_disjointness
+
+        extended = with_covering(
+            with_disjointness(meeting, ("Speaker", "Talk")),
+            "Speaker",
+            "Discussant",
+        )
+        text = render_schema(extended)
+        assert "disjoint(Speaker, Talk);" in text
+        assert "cover(Speaker by Discussant);" in text
+
+
+class TestRenderExpansion:
+    def test_figure4_compound_class_listing(self, meeting_expansion):
+        text = render_expansion(meeting_expansion)
+        assert "C1 = {S}" in text
+        assert "C4 = {S,D}" in text
+        assert "C7 = {S,D,T}" in text
+        assert "Cc = {C1, C3, C4, C5, C7};" in text
+
+    def test_figure4_lifted_cardinalities(self, meeting_expansion):
+        text = render_expansion(meeting_expansion)
+        assert "minc(C1, Holds, U1) = 1;" in text
+        assert "maxc(C4, Holds, U1) = 2;" in text
+        assert "maxc(C7, Participates, U3) = 1;" in text
+
+    def test_figure4_consistent_relationships(self, meeting_expansion):
+        text = render_expansion(meeting_expansion)
+        assert "H<1,3>" in text
+        assert "P<7,7>" in text
+        assert "H<2,3>" not in text  # C2 is inconsistent
+
+
+class TestRenderSystem:
+    def test_figure5_structure(self, meeting_literal_system):
+        text = render_system(meeting_literal_system)
+        assert "class unknowns: c1, c2, c3, c4, c5, c6, c7" in text
+        assert "inconsistent compound classes (= 0)" in text
+        assert "lifted minc disequations" in text
+        assert "c4 <= h43 + h45 + h47" in text
+        assert "2*c4 >= h43 + h45 + h47" in text
+
+    def test_pruned_system_has_no_zero_sections(self, meeting_system):
+        text = render_system(meeting_system)
+        assert "inconsistent" not in text
+        assert "non-negativity" in text
+
+
+class TestRenderSolutionAndInterpretation:
+    def test_solution_rendering_skips_zeros(self):
+        text = render_solution({"c3": 2, "c4": 2, "h43": 0})
+        assert "X(c3) = 2;" in text
+        assert "h43" not in text
+
+    def test_solution_rendering_all_zero(self):
+        assert "empty solution" in render_solution({"c1": 0})
+
+    def test_interpretation_rendering_figure6_style(self):
+        interp = Interpretation.build(
+            {"Speaker": ["John", "Mary"], "Talk": ["talkJ"]},
+            {"Holds": [{"U1": "John", "U2": "talkJ"}]},
+        )
+        text = render_interpretation(interp)
+        assert "Delta = {John, Mary, talkJ};" in text
+        assert "Speaker^I = {John, Mary};" in text
+        assert "Holds^I = {<U1: John, U2: talkJ>};" in text
+
+
+class TestRenderInferences:
+    def test_figure7_listing(self, meeting):
+        results = [
+            implies_isa(meeting, "Speaker", "Discussant"),
+            implies_isa(meeting, "Speaker", "Talk"),
+        ]
+        text = render_inferences(results)
+        assert "S |= Speaker isa Discussant" in text
+        assert "S |/= Speaker isa Talk" in text

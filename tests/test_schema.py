@@ -1,0 +1,315 @@
+"""Unit tests for the CR schema model and builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.constraints import (
+    CardinalityDeclaration,
+    CoveringStatement,
+    DisjointnessStatement,
+    IsaStatement,
+)
+from repro.cr.schema import Card, CRSchema, Relationship, UNBOUNDED
+from repro.errors import DuplicateSymbolError, SchemaError, UnknownSymbolError
+
+
+class TestCard:
+    def test_default(self):
+        card = Card.default()
+        assert card.minc == 0
+        assert card.maxc is UNBOUNDED
+        assert card.is_default()
+
+    def test_admits(self):
+        card = Card(1, 2)
+        assert not card.admits(0)
+        assert card.admits(1)
+        assert card.admits(2)
+        assert not card.admits(3)
+
+    def test_unbounded_admits_everything_above_min(self):
+        card = Card(2, UNBOUNDED)
+        assert card.admits(1_000_000)
+        assert not card.admits(1)
+
+    def test_intersect_takes_tightest(self):
+        assert Card(1, UNBOUNDED).intersect(Card(0, 2)) == Card(1, 2)
+        assert Card(0, 5).intersect(Card(2, 3)) == Card(2, 3)
+
+    def test_min_above_max_is_legal(self):
+        # The paper allows contradictory declarations: they force the
+        # class to be empty rather than being a syntax error.
+        card = Card(3, 1)
+        assert not card.admits(2)
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(SchemaError):
+            Card(-1, 2)
+        with pytest.raises(SchemaError):
+            Card(0, -2)
+
+    def test_pretty(self):
+        assert Card(1, UNBOUNDED).pretty() == "(1,inf)"
+        assert Card(0, 2).pretty() == "(0,2)"
+
+
+class TestRelationship:
+    def test_roles_and_primary(self):
+        rel = Relationship("R", (("U1", "A"), ("U2", "B")))
+        assert rel.roles == ("U1", "U2")
+        assert rel.arity == 2
+        assert rel.primary_class("U1") == "A"
+
+    def test_arity_below_two_rejected(self):
+        with pytest.raises(SchemaError):
+            Relationship("R", (("U1", "A"),))
+
+    def test_duplicate_role_rejected(self):
+        with pytest.raises(SchemaError):
+            Relationship("R", (("U1", "A"), ("U1", "B")))
+
+    def test_unknown_role_raises(self):
+        rel = Relationship("R", (("U1", "A"), ("U2", "B")))
+        with pytest.raises(UnknownSymbolError):
+            rel.primary_class("U9")
+
+
+def simple_schema() -> CRSchema:
+    return (
+        SchemaBuilder("S")
+        .classes("A", "B", "C")
+        .isa("B", "A")
+        .relationship("R", U1="A", U2="C")
+        .card("A", "R", "U1", minc=1)
+        .card("B", "R", "U1", maxc=2)
+        .build()
+    )
+
+
+class TestSchemaValidation:
+    def test_duplicate_class(self):
+        with pytest.raises(DuplicateSymbolError):
+            SchemaBuilder().cls("A").cls("A")
+
+    def test_duplicate_relationship(self):
+        builder = SchemaBuilder().classes("A", "B")
+        builder.relationship("R", U1="A", U2="B")
+        with pytest.raises(DuplicateSymbolError):
+            builder.relationship("R", U3="A", U4="B")
+
+    def test_relationship_with_unknown_class(self):
+        builder = SchemaBuilder().cls("A").relationship("R", U1="A", U2="Ghost")
+        with pytest.raises(UnknownSymbolError):
+            builder.build()
+
+    def test_isa_with_unknown_class(self):
+        builder = SchemaBuilder().cls("A").isa("A", "Ghost")
+        with pytest.raises(UnknownSymbolError):
+            builder.build()
+
+    def test_role_shared_across_relationships_rejected(self):
+        builder = (
+            SchemaBuilder()
+            .classes("A", "B")
+            .relationship("R1", U1="A", U2="B")
+            .relationship("R2", U1="A", U3="B")
+        )
+        with pytest.raises(SchemaError, match="specific to one relationship"):
+            builder.build()
+
+    def test_class_and_relationship_name_clash(self):
+        builder = SchemaBuilder().classes("A", "R").relationship("R", U1="A", U2="A")
+        with pytest.raises(SchemaError):
+            builder.build()
+
+    def test_invalid_identifier_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder().cls("not a name").build()
+
+    def test_cardinality_on_non_subclass_rejected(self):
+        # C is not <=* A, so it cannot refine A's role.
+        builder = (
+            SchemaBuilder()
+            .classes("A", "C")
+            .relationship("R", U1="A", U2="C")
+            .card("C", "R", "U1", minc=1)
+        )
+        with pytest.raises(SchemaError, match="not a .*subclass"):
+            builder.build()
+
+    def test_cardinality_refinement_on_subclass_allowed(self):
+        schema = simple_schema()
+        assert schema.card("B", "R", "U1") == Card(0, 2)
+
+    def test_disjointness_with_single_class_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder().classes("A", "B").disjoint("A")
+
+    def test_covering_requires_coverers(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder().classes("A", "B").cover("A")
+
+    def test_extension_statements_with_unknown_classes(self):
+        with pytest.raises(UnknownSymbolError):
+            SchemaBuilder().classes("A", "B").disjoint("A", "Ghost").build()
+        with pytest.raises(UnknownSymbolError):
+            SchemaBuilder().classes("A", "B").cover("A", "Ghost").build()
+
+
+class TestIsaClosure:
+    def test_reflexive(self):
+        schema = simple_schema()
+        assert schema.is_subclass("A", "A")
+
+    def test_direct_and_transitive(self):
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B", "C", "X")
+            .isa("C", "B")
+            .isa("B", "A")
+            .relationship("R", U1="A", U2="X")
+            .build()
+        )
+        assert schema.is_subclass("C", "A")
+        assert not schema.is_subclass("A", "C")
+        assert schema.ancestors("C") == {"A", "B", "C"}
+        assert schema.descendants("A") == {"A", "B", "C"}
+
+    def test_cycles_are_legal(self):
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B", "X")
+            .isa("A", "B")
+            .isa("B", "A")
+            .relationship("R", U1="A", U2="X")
+            .build()
+        )
+        assert schema.is_subclass("A", "B")
+        assert schema.is_subclass("B", "A")
+
+    def test_unknown_class_raises(self):
+        schema = simple_schema()
+        with pytest.raises(UnknownSymbolError):
+            schema.is_subclass("A", "Ghost")
+        with pytest.raises(UnknownSymbolError):
+            schema.ancestors("Ghost")
+
+
+class TestAccessors:
+    def test_card_defaults(self):
+        schema = simple_schema()
+        assert schema.card("A", "R", "U1") == Card(1, UNBOUNDED)
+        assert schema.card("C", "R", "U2") == Card.default()
+
+    def test_card_on_illegal_triple_raises(self):
+        schema = simple_schema()
+        with pytest.raises(SchemaError):
+            schema.card("C", "R", "U1")
+
+    def test_relationship_lookup(self):
+        schema = simple_schema()
+        assert schema.relationship("R").arity == 2
+        with pytest.raises(UnknownSymbolError):
+            schema.relationship("Ghost")
+
+    def test_relationship_of_role(self):
+        schema = simple_schema()
+        assert schema.relationship_of_role("U2").name == "R"
+        with pytest.raises(UnknownSymbolError):
+            schema.relationship_of_role("U9")
+
+    def test_builder_card_intersects_repeated_declarations(self):
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B")
+            .relationship("R", U1="A", U2="B")
+            .card("A", "R", "U1", minc=1)
+            .card("A", "R", "U1", maxc=3)
+            .build()
+        )
+        assert schema.card("A", "R", "U1") == Card(1, 3)
+
+
+class TestCompoundConsistency:
+    def test_upward_closure(self):
+        schema = simple_schema()
+        assert schema.is_consistent_compound(frozenset({"A"}))
+        assert schema.is_consistent_compound(frozenset({"A", "B"}))
+        assert not schema.is_consistent_compound(frozenset({"B"}))
+
+    def test_empty_set_inconsistent(self):
+        assert not simple_schema().is_consistent_compound(frozenset())
+
+    def test_disjointness_blocks_cooccurrence(self):
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B")
+            .relationship("R", U1="A", U2="B")
+            .disjoint("A", "B")
+            .build()
+        )
+        assert not schema.is_consistent_compound(frozenset({"A", "B"}))
+        assert schema.is_consistent_compound(frozenset({"A"}))
+
+    def test_covering_requires_a_coverer(self):
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B", "C")
+            .isa("B", "A")
+            .isa("C", "A")
+            .relationship("R", U1="A", U2="A")
+            .cover("A", "B", "C")
+            .build()
+        )
+        assert not schema.is_consistent_compound(frozenset({"A"}))
+        assert schema.is_consistent_compound(frozenset({"A", "B"}))
+        assert schema.is_consistent_compound(frozenset({"A", "C"}))
+
+
+class TestConstraintSurgery:
+    def test_constraints_lists_everything(self):
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B")
+            .isa("B", "A")
+            .relationship("R", U1="A", U2="B")
+            .card("A", "R", "U1", minc=1)
+            .disjoint("A", "B")
+            .cover("A", "B")
+            .build()
+        )
+        statements = schema.constraints()
+        kinds = {type(statement) for statement in statements}
+        assert kinds == {
+            IsaStatement,
+            CardinalityDeclaration,
+            DisjointnessStatement,
+            CoveringStatement,
+        }
+        assert len(statements) == 4
+
+    def test_without_constraints_removes_isa(self):
+        schema = simple_schema()
+        reduced = schema.without_constraints([IsaStatement("B", "A")])
+        assert not reduced.is_subclass("B", "A")
+
+    def test_removing_isa_drops_orphaned_refinement(self):
+        schema = simple_schema()
+        reduced = schema.without_constraints([IsaStatement("B", "A")])
+        # B's refinement on R.U1 depended on B <= A; it must be gone.
+        assert ("B", "R", "U1") not in reduced.declared_cards
+
+    def test_without_constraints_removes_card(self):
+        schema = simple_schema()
+        declaration = CardinalityDeclaration("A", "R", "U1", Card(1, UNBOUNDED))
+        reduced = schema.without_constraints([declaration])
+        assert ("A", "R", "U1") not in reduced.declared_cards
+        # The ISA statement survives.
+        assert reduced.is_subclass("B", "A")
+
+    def test_unknown_statements_ignored(self):
+        schema = simple_schema()
+        reduced = schema.without_constraints([IsaStatement("A", "C")])
+        assert reduced.isa_statements == schema.isa_statements

@@ -1,0 +1,149 @@
+"""Unit tests for the exact two-phase simplex."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.linear import LinearSystem, term
+from repro.solver.simplex import SimplexStatus, solve_lp
+
+
+class TestFeasibility:
+    def test_trivial_feasible(self):
+        result = solve_lp(LinearSystem([term("x") >= 0]))
+        assert result.status is SimplexStatus.OPTIMAL
+        assert result.is_feasible
+
+    def test_empty_system_is_feasible(self):
+        result = solve_lp(LinearSystem(variables=["x"]))
+        assert result.is_feasible
+        assert result.assignment == {"x": 0}
+
+    def test_contradictory_bounds_infeasible(self):
+        system = LinearSystem([term("x") >= 3, term("x") <= 2])
+        assert solve_lp(system).status is SimplexStatus.INFEASIBLE
+
+    def test_equality_constraints(self):
+        system = LinearSystem([(term("x") + term("y")).equals(4), term("x").equals(1)])
+        result = solve_lp(system)
+        assert result.assignment == {"x": 1, "y": 3}
+
+    def test_implicit_nonnegativity(self):
+        # x <= -1 is infeasible because x >= 0 is implicit.
+        assert not solve_lp(LinearSystem([term("x") <= -1])).is_feasible
+
+    def test_free_variable_can_go_negative(self):
+        system = LinearSystem([term("x") <= -1, term("x") >= -2])
+        result = solve_lp(system, free_variables=["x"])
+        assert result.is_feasible
+        assert -2 <= result.assignment["x"] <= -1
+
+    def test_strict_constraints_rejected(self):
+        with pytest.raises(SolverError):
+            solve_lp(LinearSystem([term("x") > 0]))
+
+    def test_zero_rhs_ge_rows(self):
+        # Rows with zero right-hand side exercise the artificial-variable
+        # eviction path.
+        system = LinearSystem([term("x") - term("y") >= 0, term("y") >= 1])
+        assert solve_lp(system).is_feasible
+
+
+class TestOptimization:
+    def test_simple_maximum(self):
+        x, y = term("x"), term("y")
+        system = LinearSystem([x + y <= 4, x - y >= 1])
+        result = solve_lp(system, objective=x + 2 * y, sense="max")
+        assert result.objective_value == Fraction(11, 2)
+        assert result.assignment == {"x": Fraction(5, 2), "y": Fraction(3, 2)}
+
+    def test_simple_minimum(self):
+        x = term("x")
+        result = solve_lp(LinearSystem([x >= 3]), objective=x, sense="min")
+        assert result.objective_value == 3
+
+    def test_unbounded(self):
+        x = term("x")
+        result = solve_lp(LinearSystem([x >= 1]), objective=x, sense="max")
+        assert result.status is SimplexStatus.UNBOUNDED
+        assert result.assignment is None
+
+    def test_objective_constant_term(self):
+        x = term("x")
+        result = solve_lp(LinearSystem([x >= 2]), objective=x + 10, sense="min")
+        assert result.objective_value == 12
+
+    def test_objective_over_free_variable(self):
+        x = term("x")
+        system = LinearSystem([x >= -5, x <= 5])
+        result = solve_lp(system, objective=x, sense="min", free_variables=["x"])
+        assert result.objective_value == -5
+
+    def test_degenerate_problem_terminates(self):
+        # Beale's cycling constraint matrix: heavily degenerate (both
+        # interesting rows have zero right-hand side), so this exercises
+        # the Bland anti-cycling fallback.  Optimum verified against an
+        # independent solver: -22/25 at (2/5, 0, 1, 1/10).
+        x1, x2, x3, x4 = (term(f"x{i}") for i in range(1, 5))
+        system = LinearSystem(
+            [
+                (Fraction(1, 4) * x1 - 8 * x2 - x3 + 9 * x4) <= 0,
+                (Fraction(1, 2) * x1 - 12 * x2 - Fraction(1, 2) * x3 + 3 * x4)
+                <= 0,
+                x3 <= 1,
+            ]
+        )
+        objective = (
+            -Fraction(3, 4) * x1 + 150 * x2 + Fraction(1, 50) * x3 - 6 * x4
+        )
+        result = solve_lp(system, objective=objective, sense="min")
+        assert result.status is SimplexStatus.OPTIMAL
+        assert result.objective_value == Fraction(-22, 25)
+        assert result.assignment == {
+            "x1": Fraction(2, 5),
+            "x2": Fraction(0),
+            "x3": Fraction(1),
+            "x4": Fraction(1, 10),
+        }
+
+    def test_invalid_sense_rejected(self):
+        with pytest.raises(SolverError):
+            solve_lp(LinearSystem([term("x") >= 0]), objective=term("x"), sense="best")
+
+    def test_objective_with_undeclared_variable_rejected(self):
+        with pytest.raises(SolverError):
+            solve_lp(LinearSystem([term("x") >= 0]), objective=term("ghost"))
+
+
+class TestExactness:
+    def test_fractional_vertex_is_exact(self):
+        # The optimum sits at a vertex with denominator 3; floats would
+        # return 0.3333... — the exact solver must return 1/3.
+        x, y = term("x"), term("y")
+        system = LinearSystem([3 * x + 3 * y <= 2, x - y >= 0])
+        result = solve_lp(system, objective=y, sense="max")
+        assert result.assignment["y"] == Fraction(1, 3)
+
+    def test_large_coefficients_stay_exact(self):
+        x = term("x")
+        big = 10**12
+        system = LinearSystem([big * x <= 1])
+        result = solve_lp(system, objective=x, sense="max")
+        assert result.objective_value == Fraction(1, big)
+
+    def test_assignment_satisfies_all_constraints(self):
+        x, y, z = term("x"), term("y"), term("z")
+        system = LinearSystem(
+            [
+                x + y + z <= 10,
+                x - y >= 2,
+                (y + z).equals(3),
+                z <= 1,
+            ]
+        )
+        result = solve_lp(system, objective=x + y + z, sense="max")
+        assert result.is_feasible
+        assert system.is_satisfied_by(result.assignment)

@@ -1,0 +1,151 @@
+"""Unit tests for the linear expression/constraint AST."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation, term
+
+
+class TestLinExpr:
+    def test_term_builds_single_variable(self):
+        x = term("x")
+        assert x.coefficients == {"x": 1}
+        assert x.constant_term == 0
+
+    def test_zero_coefficients_dropped(self):
+        expr = term("x") - term("x")
+        assert expr.is_constant()
+        assert expr.coefficients == {}
+
+    def test_arithmetic(self):
+        x, y = term("x"), term("y")
+        expr = 2 * x - y + 3
+        assert expr.coefficient("x") == 2
+        assert expr.coefficient("y") == -1
+        assert expr.constant_term == 3
+
+    def test_rsub_and_radd(self):
+        x = term("x")
+        assert (1 - x).coefficient("x") == -1
+        assert (1 + x).constant_term == 1
+
+    def test_division(self):
+        assert (term("x") / 2).coefficient("x") == Fraction(1, 2)
+
+    def test_evaluate(self):
+        expr = 2 * term("x") + term("y") - 1
+        assert expr.evaluate({"x": Fraction(2), "y": Fraction(3)}) == 6
+
+    def test_variables_sorted(self):
+        expr = term("b") + term("a")
+        assert expr.variables() == ("a", "b")
+
+    def test_equality_and_hash(self):
+        assert term("x") + 1 == 1 + term("x")
+        assert len({term("x"), term("x")}) == 1
+
+    def test_pretty(self):
+        assert (2 * term("x") - term("y")).pretty() == "2*x - y"
+        assert LinExpr.constant(0).pretty() == "0"
+        assert (term("x") - 3).pretty() == "x - 3"
+
+    @given(st.integers(-5, 5), st.integers(-5, 5))
+    def test_scalar_multiplication_distributes(self, a, b):
+        x = term("x")
+        assert (a + b) * x == a * x + b * x
+
+
+class TestConstraint:
+    def test_comparisons_build_constraints(self):
+        x = term("x")
+        assert (x <= 3).relation is Relation.LE
+        assert (x >= 3).relation is Relation.GE
+        assert (x < 3).relation is Relation.LT
+        assert (x > 3).relation is Relation.GT
+        assert x.equals(3).relation is Relation.EQ
+
+    def test_normal_form_moves_rhs_left(self):
+        constraint = term("x") <= term("y")
+        assert constraint.expr == term("x") - term("y")
+
+    def test_is_satisfied_by(self):
+        x = term("x")
+        assert (x <= 3).is_satisfied_by({"x": Fraction(3)})
+        assert not (x < 3).is_satisfied_by({"x": Fraction(3)})
+        assert (x > 0).is_satisfied_by({"x": Fraction(1, 10)})
+        assert x.equals(3).is_satisfied_by({"x": Fraction(3)})
+
+    def test_negated(self):
+        assert (term("x") <= 3).negated().relation is Relation.GT
+        with pytest.raises(SolverError):
+            term("x").equals(3).negated()
+
+    def test_non_strict_relaxation(self):
+        assert (term("x") < 3).non_strict_relaxation().relation is Relation.LE
+        assert (term("x") <= 3).non_strict_relaxation().relation is Relation.LE
+
+    def test_homogeneity(self):
+        assert (term("x") <= term("y")).is_homogeneous()
+        assert not (term("x") <= 1).is_homogeneous()
+
+    def test_pretty_moves_negatives_right(self):
+        constraint = 2 * term("c") - term("h") <= 0
+        assert constraint.pretty() == "2*c <= h"
+
+    def test_labelled_copy(self):
+        constraint = (term("x") <= 3).labelled("bound", origin="here")
+        assert constraint.label == "bound"
+        assert constraint.origin == "here"
+
+
+class TestLinearSystem:
+    def test_variables_accumulate_in_order(self):
+        system = LinearSystem([term("b") <= 1], variables=["a"])
+        system.add(term("c") >= 0)
+        assert system.variables == ("a", "b", "c")
+
+    def test_declare_without_constraint(self):
+        system = LinearSystem()
+        system.declare("lonely")
+        assert system.variables == ("lonely",)
+
+    def test_homogeneous_detection(self):
+        assert LinearSystem([term("x") <= term("y")]).is_homogeneous()
+        assert not LinearSystem([term("x") <= 1]).is_homogeneous()
+
+    def test_strictness_detection(self):
+        assert LinearSystem([term("x") > 0]).has_strict_constraints()
+        assert not LinearSystem([term("x") >= 0]).has_strict_constraints()
+
+    def test_satisfaction_and_violations(self):
+        system = LinearSystem([term("x") <= 1, term("x") >= 0])
+        assert system.is_satisfied_by({"x": Fraction(1)})
+        violated = system.violated_constraints({"x": Fraction(2)})
+        assert len(violated) == 1
+
+    def test_with_constraints_copies(self):
+        base = LinearSystem([term("x") >= 0])
+        extended = base.with_constraints([term("x") <= 1])
+        assert len(base) == 1
+        assert len(extended) == 2
+
+    def test_restricted_to_labels(self):
+        system = LinearSystem(
+            [
+                (term("x") >= 0).labelled("keep"),
+                (term("x") <= 1).labelled("drop"),
+            ]
+        )
+        restricted = system.restricted_to(["keep"])
+        assert len(restricted) == 1
+        assert restricted.constraints[0].label == "keep"
+
+    def test_pretty_one_line_per_constraint(self):
+        system = LinearSystem([term("x") >= 0, term("x") <= 1])
+        assert len(system.pretty().splitlines()) == 2

@@ -1,0 +1,129 @@
+"""Unit and property tests for unrestricted-model satisfiability."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.satisfiability import satisfiable_classes
+from repro.cr.unrestricted import (
+    finitely_controllable_classes,
+    is_class_unrestricted_satisfiable,
+    unrestricted_satisfiable_classes,
+)
+from repro.paper import figure1_schema, refined_meeting_schema
+
+from tests.strategies import schemas
+
+
+class TestPaperSchemas:
+    def test_figure1_is_the_motivating_gap(self, figure1):
+        """Figure 1 has no finite model — but it has an infinite one."""
+        assert satisfiable_classes(figure1) == {"C": False, "D": False}
+        assert unrestricted_satisfiable_classes(figure1) == {
+            "C": True,
+            "D": True,
+        }
+        assert finitely_controllable_classes(
+            figure1, satisfiable_classes(figure1)
+        ) == {"C": False, "D": False}
+
+    def test_meeting_schema_is_controllable(self, meeting):
+        finite = satisfiable_classes(meeting)
+        assert unrestricted_satisfiable_classes(meeting) == finite
+        assert all(
+            finitely_controllable_classes(meeting, finite).values()
+        )
+
+    def test_refined_meeting_satisfiable_only_infinitely(
+        self, refined_meeting
+    ):
+        # The Section-3.3 conflict is a counting argument; with infinite
+        # cardinalities it evaporates.
+        assert unrestricted_satisfiable_classes(refined_meeting) == {
+            "Speaker": True,
+            "Discussant": True,
+            "Talk": True,
+        }
+
+
+class TestLocalConditions:
+    def test_contradictory_bounds_kill_unrestrictedly_too(self):
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B")
+            .relationship("R", U1="A", U2="B")
+            .card("A", "R", "U1", minc=3, maxc=2)
+            .build()
+        )
+        verdicts = unrestricted_satisfiable_classes(schema)
+        assert verdicts["A"] is False
+        assert verdicts["B"] is True
+
+    def test_unsuppliable_minimum(self):
+        # A needs an R tuple, but B's side forbids any (maxc = 0), so no
+        # usable compound relationship exists even in infinite models.
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B")
+            .relationship("R", U1="A", U2="B")
+            .card("A", "R", "U1", minc=1)
+            .card("B", "R", "U2", maxc=0)
+            .build()
+        )
+        verdicts = unrestricted_satisfiable_classes(schema)
+        assert verdicts["A"] is False
+        assert verdicts["B"] is True
+
+    def test_elimination_propagates(self):
+        # C supplies B, B supplies A; kill C and the chain collapses.
+        schema = (
+            SchemaBuilder()
+            .classes("A", "B", "C")
+            .relationship("R", U1="A", U2="B")
+            .card("A", "R", "U1", minc=1)
+            .relationship("Q", V1="B", V2="C")
+            .card("B", "Q", "V1", minc=1)
+            .card("C", "Q", "V2", maxc=0)
+            .build()
+        )
+        verdicts = unrestricted_satisfiable_classes(schema)
+        assert verdicts == {"A": False, "B": False, "C": True}
+
+    def test_ratios_are_harmless_unrestrictedly(self):
+        # |R| = 2|A| = |B| with B <= A: the Figure-1 shape, directly.
+        assert is_class_unrestricted_satisfiable(figure1_schema(2), "D")
+        assert is_class_unrestricted_satisfiable(figure1_schema(100), "D")
+
+    def test_self_supply_cycles_are_viable(self):
+        # Everyone mentors someone and is mentored: an infinite chain
+        # (or any finite cycle) works; type elimination must keep it.
+        schema = (
+            SchemaBuilder()
+            .classes("P")
+            .relationship("Mentors", boss="P", pupil="P")
+            .card("P", "Mentors", "boss", minc=1, maxc=1)
+            .card("P", "Mentors", "pupil", minc=1, maxc=1)
+            .build()
+        )
+        assert is_class_unrestricted_satisfiable(schema, "P")
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_finite_satisfiability_implies_unrestricted(data):
+    """Finite models are unrestricted models, so the implication must
+    hold on every random schema."""
+    schema = data.draw(schemas(max_classes=3, allow_extensions=True))
+    finite = satisfiable_classes(schema)
+    unrestricted = unrestricted_satisfiable_classes(schema)
+    for cls in schema.classes:
+        if finite[cls]:
+            assert unrestricted[cls], (
+                f"{cls} finitely satisfiable but not unrestrictedly?!"
+            )

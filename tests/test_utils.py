@@ -1,0 +1,162 @@
+"""Unit tests for :mod:`repro.utils`."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.utils import (
+    FreshNames,
+    common_denominator_scale,
+    fraction_lcm,
+    integer_lcm,
+    is_identifier,
+    parse_fraction,
+    stable_sorted_set,
+    topological_levels,
+)
+
+
+class TestIsIdentifier:
+    def test_accepts_simple_names(self):
+        assert is_identifier("Speaker")
+        assert is_identifier("_private")
+        assert is_identifier("U1")
+
+    def test_rejects_leading_digit(self):
+        assert not is_identifier("1U")
+
+    def test_rejects_punctuation(self):
+        assert not is_identifier("a-b")
+        assert not is_identifier("a b")
+        assert not is_identifier("")
+
+    def test_rejects_embedded_newline(self):
+        assert not is_identifier("a\nb")
+
+
+class TestFreshNames:
+    def test_returns_stem_when_free(self):
+        assert FreshNames().fresh("C_exc") == "C_exc"
+
+    def test_counters_on_collisions(self):
+        fresh = FreshNames(["C_exc"])
+        assert fresh.fresh("C_exc") == "C_exc_1"
+        assert fresh.fresh("C_exc") == "C_exc_2"
+
+    def test_reserve_blocks_a_name(self):
+        fresh = FreshNames()
+        fresh.reserve("X")
+        assert fresh.fresh("X") == "X_1"
+
+    def test_generated_names_are_remembered(self):
+        fresh = FreshNames()
+        first = fresh.fresh("A")
+        second = fresh.fresh("A")
+        assert first != second
+
+    @given(st.lists(st.sampled_from(["a", "a_1", "b"]), max_size=6))
+    def test_never_returns_a_taken_name(self, taken):
+        fresh = FreshNames(taken)
+        produced = [fresh.fresh("a") for _ in range(4)]
+        assert len(set(produced)) == 4
+        assert not (set(produced) & set(taken))
+
+
+class TestStableSortedSet:
+    def test_deduplicates_and_sorts(self):
+        assert stable_sorted_set(["b", "a", "b"]) == ("a", "b")
+
+    def test_empty(self):
+        assert stable_sorted_set([]) == ()
+
+
+class TestTopologicalLevels:
+    def test_chain(self):
+        levels = topological_levels({"a": ["b"], "b": ["c"]})
+        assert levels == [["a"], ["b"], ["c"]]
+
+    def test_diamond(self):
+        levels = topological_levels({"a": ["b", "c"], "b": ["d"], "c": ["d"]})
+        assert levels == [["a"], ["b", "c"], ["d"]]
+
+    def test_self_loops_are_ignored(self):
+        levels = topological_levels({"a": ["a", "b"]})
+        assert levels == [["a"], ["b"]]
+
+    def test_cycle_raises(self):
+        with pytest.raises(ReproError):
+            topological_levels({"a": ["b"], "b": ["a"]})
+
+
+class TestIntegerLcm:
+    def test_basic(self):
+        assert integer_lcm([4, 6]) == 12
+
+    def test_empty_is_one(self):
+        assert integer_lcm([]) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            integer_lcm([0])
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=5))
+    def test_divides_all(self, values):
+        lcm = integer_lcm(values)
+        assert all(lcm % value == 0 for value in values)
+
+
+class TestFractionLcm:
+    def test_integers(self):
+        assert fraction_lcm([Fraction(2), Fraction(3)]) == 6
+
+    def test_fractions(self):
+        # lcm(1/2, 1/3) = 1: 1 is a multiple of both (2*(1/2), 3*(1/3)).
+        assert fraction_lcm([Fraction(1, 2), Fraction(1, 3)]) == 1
+
+    def test_empty_is_one(self):
+        assert fraction_lcm([]) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fraction_lcm([Fraction(0)])
+
+    @given(
+        st.lists(
+            st.fractions(min_value="1/10", max_value=10), min_size=1, max_size=4
+        )
+    )
+    def test_result_is_common_multiple(self, values):
+        lcm = fraction_lcm(values)
+        for value in values:
+            assert (lcm / value).denominator == 1
+
+
+class TestCommonDenominatorScale:
+    def test_integers_need_no_scaling(self):
+        assert common_denominator_scale([Fraction(3), Fraction(5)]) == 1
+
+    def test_mixed(self):
+        assert common_denominator_scale([Fraction(1, 2), Fraction(1, 3)]) == 6
+
+    @given(st.lists(st.fractions(min_value=0, max_value=5), max_size=5))
+    def test_scaling_makes_everything_integral(self, values):
+        scale = common_denominator_scale(values)
+        assert scale >= 1
+        assert all((value * scale).denominator == 1 for value in values)
+
+
+class TestParseFraction:
+    def test_integer(self):
+        assert parse_fraction("3") == 3
+
+    def test_ratio(self):
+        assert parse_fraction(" 3/4 ") == Fraction(3, 4)
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            parse_fraction("three")
