@@ -86,7 +86,13 @@ from repro.cr.unrestricted import (
 from repro.db import Database, IntegrityError
 from repro.dsl import parse_schema, serialize_schema
 from repro.er import ERSchema, er_to_cr
-from repro.errors import ReproError, SchemaError
+from repro.errors import (
+    BudgetExceededError,
+    CancelledError,
+    LimitExceededError,
+    ReproError,
+    SchemaError,
+)
 from repro.ext import (
     minimal_unsatisfiable_constraints,
     pruning_report,
@@ -96,6 +102,17 @@ from repro.ext import (
 )
 from repro.kr import KnowledgeBase, kr_to_cr
 from repro.oo import OOModel, oo_to_cr
+from repro.runtime import (
+    Budget,
+    FallbackPolicy,
+    ImplicationVerdict,
+    ProgressSnapshot,
+    Verdict,
+    activate,
+    current_budget,
+    inject_solver_faults,
+    run_governed,
+)
 
 __version__ = "1.0.0"
 
@@ -157,7 +174,20 @@ __all__ = [
     # DSL
     "parse_schema",
     "serialize_schema",
+    # resource governance
+    "Budget",
+    "ProgressSnapshot",
+    "Verdict",
+    "ImplicationVerdict",
+    "FallbackPolicy",
+    "activate",
+    "current_budget",
+    "run_governed",
+    "inject_solver_faults",
     # errors
     "ReproError",
     "SchemaError",
+    "LimitExceededError",
+    "BudgetExceededError",
+    "CancelledError",
 ]

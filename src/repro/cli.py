@@ -17,8 +17,12 @@ fmt       parse and re-serialise the schema (canonical formatting)
 ========  =============================================================
 
 Every command exits 0 on a "positive" outcome (satisfiable / implied /
-model built), 1 on the negative outcome, 2 on usage or input errors —
-so the CLI composes with shell scripts.
+model built), 1 on the negative outcome, 2 on usage or input errors,
+and 3 on **resource exhaustion** — a ``--timeout`` / ``--max-expansion``
+/ ``--max-lp`` budget ran out, or a static ``ExpansionLimits`` guard
+fired — so the CLI composes with shell scripts and callers can retry
+with a larger budget (exit 3) without misreading the answer as a
+negative verdict (exit 1) or a broken invocation (exit 2).
 """
 
 from __future__ import annotations
@@ -42,7 +46,9 @@ from repro.cr.schema import CRSchema
 from repro.cr.system import build_system
 from repro.cr.unrestricted import unrestricted_satisfiable_classes
 from repro.dsl import parse_schema, serialize_schema
-from repro.errors import ReproError
+from repro.errors import BudgetExceededError, LimitExceededError, ReproError
+from repro.runtime.budget import Budget, activate
+from repro.runtime.outcome import ImplicationVerdict, Verdict
 from repro.ext.debugging import (
     minimal_unsatisfiable_constraints,
     quickxplain_unsatisfiable_constraints,
@@ -97,36 +103,69 @@ def _load_schema(path: str) -> CRSchema:
     return parse_schema(Path(path).read_text())
 
 
+def _budget_from(args: argparse.Namespace) -> Budget | None:
+    """A :class:`Budget` from the resource flags, or ``None`` if unset."""
+    timeout = getattr(args, "timeout", None)
+    max_expansion = getattr(args, "max_expansion", None)
+    max_lp = getattr(args, "max_lp", None)
+    if timeout is None and max_expansion is None and max_lp is None:
+        return None
+    return Budget(
+        timeout=timeout,
+        max_expansion_nodes=max_expansion,
+        max_solver_calls=max_lp,
+    )
+
+
+def _verdict_word(value) -> str:
+    """Render a satisfiability verdict (bool or Verdict) for output."""
+    if value is Verdict.UNKNOWN:
+        return "UNKNOWN"
+    return "satisfiable" if value else "UNSATISFIABLE"
+
+
 # -- subcommand implementations (return process exit codes) ---------------
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
+    budget = _budget_from(args)
     if args.cls:
-        result = is_class_satisfiable(schema, args.cls, engine=args.engine)
+        result = is_class_satisfiable(
+            schema, args.cls, engine=args.engine, budget=budget
+        )
+        if result.verdict is Verdict.UNKNOWN:
+            print(f"{args.cls}: UNKNOWN ({result.unknown_reason})")
+            return 3
         verdict = "satisfiable" if result.satisfiable else "UNSATISFIABLE"
         print(f"{args.cls}: {verdict} (finite models)")
         return 0 if result.satisfiable else 1
-    verdicts = satisfiable_classes(schema)
+    verdicts = satisfiable_classes(schema, budget=budget)
     unrestricted = (
         unrestricted_satisfiable_classes(schema) if args.unrestricted else None
     )
     for cls, satisfiable in verdicts.items():
-        line = f"{cls}: {'satisfiable' if satisfiable else 'UNSATISFIABLE'}"
+        line = f"{cls}: {_verdict_word(satisfiable)}"
         if unrestricted is not None:
             line += (
                 "  [unrestricted: "
                 f"{'satisfiable' if unrestricted[cls] else 'unsatisfiable'}]"
             )
         print(line)
+    if any(value is Verdict.UNKNOWN for value in verdicts.values()):
+        return 3
     return 0 if all(verdicts.values()) else 1
 
 
 def _cmd_implies(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
     statement = parse_statement(args.statement)
-    result = implies(schema, statement, engine=args.engine)
+    result = implies(
+        schema, statement, engine=args.engine, budget=_budget_from(args)
+    )
     print(result.pretty())
+    if result.verdict is ImplicationVerdict.UNKNOWN:
+        return 3
     if not result.implied and args.countermodel:
         print(render_interpretation(result.countermodel))
     return 0 if result.implied else 1
@@ -204,6 +243,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="satisfiability engine (default: fixpoint)",
         )
 
+    def add_budget(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget; exhaustion exits 3 instead of hanging",
+        )
+        sub.add_argument(
+            "--max-expansion",
+            type=int,
+            default=None,
+            metavar="NODES",
+            help="cap on expansion nodes visited (the exponential step)",
+        )
+        sub.add_argument(
+            "--max-lp",
+            type=int,
+            default=None,
+            metavar="CALLS",
+            help="cap on LP solver calls",
+        )
+
     check = subparsers.add_parser("check", help="class satisfiability")
     check.add_argument("schema")
     check.add_argument("--class", dest="cls", default=None)
@@ -213,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also report satisfiability over possibly-infinite models",
     )
     add_engine(check)
+    add_budget(check)
     check.set_defaults(run=_cmd_check)
 
     imp = subparsers.add_parser("implies", help="decide S |= K")
@@ -224,12 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the counter-model when not implied",
     )
     add_engine(imp)
+    add_budget(imp)
     imp.set_defaults(run=_cmd_implies)
 
     model = subparsers.add_parser("model", help="construct a witness state")
     model.add_argument("schema")
     model.add_argument("--class", dest="cls", required=True)
     add_engine(model)
+    add_budget(model)
     model.set_defaults(run=_cmd_model)
 
     explain = subparsers.add_parser(
@@ -237,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument("schema")
     explain.add_argument("--class", dest="cls", required=True)
+    add_budget(explain)
     explain.set_defaults(run=_cmd_explain)
 
     debug = subparsers.add_parser(
@@ -249,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["deletion", "quickxplain"],
         default="quickxplain",
     )
+    add_budget(debug)
     debug.set_defaults(run=_cmd_debug)
 
     render = subparsers.add_parser(
@@ -263,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument(
         "--mode", choices=["pruned", "literal"], default="literal"
     )
+    add_budget(render)
     render.set_defaults(run=_cmd_render)
 
     fmt = subparsers.add_parser("fmt", help="canonical formatting")
@@ -277,10 +345,21 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.run(args)
+        # ``check``/``implies`` thread the budget through explicit
+        # ``budget=`` parameters (for degraded UNKNOWN verdicts); the
+        # remaining commands are governed ambiently and surface
+        # exhaustion as exit code 3 below.
+        with activate(_budget_from(args)):
+            return args.run(args)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BudgetExceededError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    except LimitExceededError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -35,7 +35,8 @@ from dataclasses import dataclass
 from itertools import combinations, product
 
 from repro.cr.schema import Card, CRSchema, Relationship
-from repro.errors import ReproError
+from repro.errors import LimitExceededError, ReproError
+from repro.runtime.budget import current_budget
 
 
 @dataclass(frozen=True)
@@ -91,7 +92,12 @@ class ExpansionLimits:
 
     The decision procedure is exponential in the schema size (the paper
     notes the problem is intractable in general); these limits turn a
-    runaway computation into a clear error instead of an apparent hang.
+    runaway computation into a clear, *typed*
+    :class:`~repro.errors.LimitExceededError` instead of an apparent
+    hang — so callers can distinguish "the input is too large for the
+    configured limits" from genuine bugs or usage errors.  For
+    wall-clock and work budgets shared across the whole pipeline, see
+    :class:`repro.runtime.Budget`.
     """
 
     max_all_compound_classes: int = 1 << 16
@@ -100,7 +106,7 @@ class ExpansionLimits:
 
     def check_all_classes(self, count: int) -> None:
         if count > self.max_all_compound_classes:
-            raise ReproError(
+            raise LimitExceededError(
                 f"the schema has {count} compound classes, above the limit of "
                 f"{self.max_all_compound_classes}; add disjointness "
                 "constraints to prune the expansion or raise ExpansionLimits"
@@ -108,7 +114,7 @@ class ExpansionLimits:
 
     def check_consistent_classes(self, count: int) -> None:
         if count > self.max_consistent_compound_classes:
-            raise ReproError(
+            raise LimitExceededError(
                 f"the schema has more than {self.max_consistent_compound_classes} "
                 "consistent compound classes; add disjointness constraints "
                 "to prune the expansion or raise ExpansionLimits"
@@ -116,7 +122,7 @@ class ExpansionLimits:
 
     def check_consistent_relationships(self, count: int) -> None:
         if count > self.max_consistent_compound_relationships:
-            raise ReproError(
+            raise LimitExceededError(
                 f"the schema has {count} consistent compound relationships, "
                 f"above the limit of {self.max_consistent_compound_relationships}; "
                 "add disjointness constraints to prune the expansion or raise "
@@ -156,8 +162,11 @@ class Expansion:
         """
         classes = self.schema.classes
         self.limits.check_all_classes((1 << len(classes)) - 1)
+        budget = current_budget()
         for size in range(1, len(classes) + 1):
             for subset in combinations(classes, size):
+                if budget is not None:
+                    budget.charge_expansion()
                 yield CompoundClass(frozenset(subset))
 
     def _enumerate_consistent_classes(self) -> tuple[CompoundClass, ...]:
@@ -204,8 +213,11 @@ class Expansion:
 
         results: list[frozenset[str]] = []
         membership = [False] * n
+        budget = current_budget()
 
         def recurse(depth: int) -> None:
+            if budget is not None:
+                budget.charge_expansion()
             if depth == n:
                 selected = frozenset(
                     classes[i] for i in range(n) if membership[i]
@@ -301,6 +313,7 @@ class Expansion:
         self,
     ) -> tuple[CompoundRelationship, ...]:
         results: list[CompoundRelationship] = []
+        budget = current_budget()
         for rel in self.schema.relationships:
             candidate_lists = [
                 self.consistent_classes_containing(rel.primary_class(role))
@@ -309,6 +322,8 @@ class Expansion:
             count = math.prod(len(candidates) for candidates in candidate_lists)
             self.limits.check_consistent_relationships(len(results) + count)
             for assignment in product(*candidate_lists):
+                if budget is not None:
+                    budget.charge_expansion()
                 results.append(
                     CompoundRelationship(
                         rel.name, tuple(zip(rel.roles, assignment))

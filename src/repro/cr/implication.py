@@ -35,10 +35,13 @@ from repro.cr.constraints import (
 from repro.cr.construction import construct_model
 from repro.cr.expansion import Expansion, ExpansionLimits
 from repro.cr.interpretation import Interpretation
-from repro.cr.satisfiability import acceptable_with_positive
+from repro.cr.satisfiability import DEFAULT_NAIVE_LIMIT, acceptable_with_positive
 from repro.cr.schema import Card, CRSchema, Relationship, UNBOUNDED
 from repro.cr.system import build_system
-from repro.errors import ReproError, SchemaError
+from repro.errors import BudgetExceededError, ReproError, SchemaError
+from repro.runtime.budget import Budget, ProgressSnapshot, current_budget, run_governed
+from repro.runtime.fallback import DEFAULT_FALLBACK, FallbackPolicy
+from repro.runtime.outcome import ImplicationVerdict
 from repro.utils.naming import FreshNames
 
 ImplicationQuery = (
@@ -54,17 +57,46 @@ class ImplicationResult:
     """Outcome of an implication check ``S ⊨ K``.
 
     When not implied, ``countermodel`` is a finite model of ``S`` in
-    which ``K`` fails.
+    which ``K`` fails.  ``verdict`` is the three-valued answer:
+    ``IMPLIED``, ``NOT_IMPLIED``, or — only when a caller-supplied
+    budget ran out — ``UNKNOWN``, in which case ``unknown_reason``
+    explains why and ``implied`` conservatively reads ``False``.
     """
 
     query: ImplicationQuery
     implied: bool
     engine: str
     countermodel: Interpretation | None
+    verdict: ImplicationVerdict | None = None
+    unknown_reason: str | None = None
+    snapshot: ProgressSnapshot | None = None
+
+    def __post_init__(self) -> None:
+        if self.verdict is None:
+            object.__setattr__(
+                self, "verdict", ImplicationVerdict.from_bool(self.implied)
+            )
 
     def pretty(self) -> str:
+        if self.verdict is ImplicationVerdict.UNKNOWN:
+            return f"S |? {self.query.pretty()}  (unknown: {self.unknown_reason})"
         verdict = "S |= " if self.implied else "S |/= "
         return verdict + self.query.pretty()
+
+
+def _unknown_implication(
+    query: ImplicationQuery, engine: str, error: BudgetExceededError
+) -> ImplicationResult:
+    snapshot = error.snapshot
+    return ImplicationResult(
+        query=query,
+        implied=False,
+        engine=engine,
+        countermodel=None,
+        verdict=ImplicationVerdict.UNKNOWN,
+        unknown_reason=str(error),
+        snapshot=snapshot if isinstance(snapshot, ProgressSnapshot) else None,
+    )
 
 
 def implies(
@@ -72,21 +104,36 @@ def implies(
     query: ImplicationQuery,
     engine: str = "fixpoint",
     limits: ExpansionLimits | None = None,
+    budget: Budget | None = None,
+    naive_limit: int = DEFAULT_NAIVE_LIMIT,
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> ImplicationResult:
-    """Dispatch an implication query to the matching decision routine."""
+    """Dispatch an implication query to the matching decision routine.
+
+    ``budget`` governs the whole check and degrades it to an UNKNOWN
+    verdict on exhaustion; ``naive_limit`` and ``fallback`` configure
+    the solver degradation chain (see
+    :func:`repro.cr.satisfiability.acceptable_with_positive`).
+    """
     if isinstance(query, IsaStatement):
-        return implies_isa(schema, query.sub, query.sup, engine, limits)
+        return implies_isa(
+            schema, query.sub, query.sup, engine, limits, budget, naive_limit, fallback
+        )
     if isinstance(query, MinCardinalityStatement):
         return implies_min_cardinality(
-            schema, query.cls, query.rel, query.role, query.value, engine, limits
+            schema, query.cls, query.rel, query.role, query.value, engine,
+            limits, budget, naive_limit, fallback,
         )
     if isinstance(query, MaxCardinalityStatement):
         return implies_max_cardinality(
-            schema, query.cls, query.rel, query.role, query.value, engine, limits
+            schema, query.cls, query.rel, query.role, query.value, engine,
+            limits, budget, naive_limit, fallback,
         )
     if isinstance(query, DisjointnessStatement):
         classes = sorted(query.classes)
-        return implies_disjointness(schema, classes, engine, limits)
+        return implies_disjointness(
+            schema, classes, engine, limits, budget, naive_limit, fallback
+        )
     raise ReproError(f"unsupported implication query {query!r}")
 
 
@@ -96,26 +143,45 @@ def implies_isa(
     sup: str,
     engine: str = "fixpoint",
     limits: ExpansionLimits | None = None,
+    budget: Budget | None = None,
+    naive_limit: int = DEFAULT_NAIVE_LIMIT,
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> ImplicationResult:
     """Decide ``S ⊨ sub ≼ sup``."""
     schema.require_class(sub)
     schema.require_class(sup)
     query = IsaStatement(sub, sup)
-    expansion = Expansion(schema, limits)
-    cr_system = build_system(expansion, mode="pruned")
-    targets = frozenset(
-        cr_system.class_var[compound]
-        for compound in expansion.consistent_classes_containing(sub)
-        if sup not in compound.members
+
+    def compute() -> ImplicationResult:
+        _enter_phase("expansion")
+        expansion = Expansion(schema, limits)
+        _enter_phase("system")
+        cr_system = build_system(expansion, mode="pruned")
+        targets = frozenset(
+            cr_system.class_var[compound]
+            for compound in expansion.consistent_classes_containing(sub)
+            if sup not in compound.members
+        )
+        _enter_phase(f"decide:{engine}")
+        found, solution, _support = acceptable_with_positive(
+            cr_system, targets, engine, naive_limit, fallback
+        )
+        if not found:
+            return ImplicationResult(query, True, engine, None)
+        assert solution is not None
+        countermodel = construct_model(cr_system, solution)
+        return ImplicationResult(query, False, engine, countermodel)
+
+    return run_governed(
+        budget, compute, lambda error: _unknown_implication(query, engine, error)
     )
-    found, solution, _support = acceptable_with_positive(
-        cr_system, targets, engine
-    )
-    if not found:
-        return ImplicationResult(query, True, engine, None)
-    assert solution is not None
-    countermodel = construct_model(cr_system, solution)
-    return ImplicationResult(query, False, engine, countermodel)
+
+
+def _enter_phase(name: str) -> None:
+    """Record the pipeline stage on the ambient budget, if any."""
+    active = current_budget()
+    if active is not None:
+        active.enter_phase(name)
 
 
 def _exceptional_schema(
@@ -170,24 +236,36 @@ def _cardinality_implication(
     exceptional_card: Card,
     engine: str,
     limits: ExpansionLimits | None,
+    budget: Budget | None = None,
+    naive_limit: int = DEFAULT_NAIVE_LIMIT,
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> ImplicationResult:
     extended, exc = _exceptional_schema(
         schema, query.cls, query.rel, query.role, exceptional_card
     )
-    expansion = Expansion(extended, limits)
-    cr_system = build_system(expansion, mode="pruned")
-    targets = frozenset(
-        cr_system.class_var[compound]
-        for compound in expansion.consistent_classes_containing(exc)
+
+    def compute() -> ImplicationResult:
+        _enter_phase("expansion")
+        expansion = Expansion(extended, limits)
+        _enter_phase("system")
+        cr_system = build_system(expansion, mode="pruned")
+        targets = frozenset(
+            cr_system.class_var[compound]
+            for compound in expansion.consistent_classes_containing(exc)
+        )
+        _enter_phase(f"decide:{engine}")
+        found, solution, _support = acceptable_with_positive(
+            cr_system, targets, engine, naive_limit, fallback
+        )
+        if not found:
+            return ImplicationResult(query, True, engine, None)
+        assert solution is not None
+        countermodel = _strip_class(construct_model(cr_system, solution), exc)
+        return ImplicationResult(query, False, engine, countermodel)
+
+    return run_governed(
+        budget, compute, lambda error: _unknown_implication(query, engine, error)
     )
-    found, solution, _support = acceptable_with_positive(
-        cr_system, targets, engine
-    )
-    if not found:
-        return ImplicationResult(query, True, engine, None)
-    assert solution is not None
-    countermodel = _strip_class(construct_model(cr_system, solution), exc)
-    return ImplicationResult(query, False, engine, countermodel)
 
 
 def implies_min_cardinality(
@@ -198,6 +276,9 @@ def implies_min_cardinality(
     value: int,
     engine: str = "fixpoint",
     limits: ExpansionLimits | None = None,
+    budget: Budget | None = None,
+    naive_limit: int = DEFAULT_NAIVE_LIMIT,
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> ImplicationResult:
     """Decide ``S ⊨ minc(cls, rel, role) = value``.
 
@@ -209,7 +290,8 @@ def implies_min_cardinality(
     if value == 0:
         return ImplicationResult(query, True, engine, None)
     return _cardinality_implication(
-        schema, query, Card(0, value - 1), engine, limits
+        schema, query, Card(0, value - 1), engine, limits, budget,
+        naive_limit, fallback,
     )
 
 
@@ -221,6 +303,9 @@ def implies_max_cardinality(
     value: int,
     engine: str = "fixpoint",
     limits: ExpansionLimits | None = None,
+    budget: Budget | None = None,
+    naive_limit: int = DEFAULT_NAIVE_LIMIT,
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> ImplicationResult:
     """Decide ``S ⊨ maxc(cls, rel, role) = value``.
 
@@ -229,7 +314,8 @@ def implies_max_cardinality(
     """
     query = MaxCardinalityStatement(cls, rel, role, value)
     return _cardinality_implication(
-        schema, query, Card(value + 1, UNBOUNDED), engine, limits
+        schema, query, Card(value + 1, UNBOUNDED), engine, limits, budget,
+        naive_limit, fallback,
     )
 
 
@@ -238,6 +324,9 @@ def implies_disjointness(
     classes,
     engine: str = "fixpoint",
     limits: ExpansionLimits | None = None,
+    budget: Budget | None = None,
+    naive_limit: int = DEFAULT_NAIVE_LIMIT,
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> ImplicationResult:
     """Decide whether the given classes are pairwise disjoint in all models.
 
@@ -250,22 +339,31 @@ def implies_disjointness(
     for cls in class_list:
         schema.require_class(cls)
     query = DisjointnessStatement(frozenset(class_list))
-    expansion = Expansion(schema, limits)
-    cr_system = build_system(expansion, mode="pruned")
-    targets = set()
-    for i, first in enumerate(class_list):
-        for second in class_list[i + 1 :]:
-            for compound in expansion.consistent_compound_classes():
-                if first in compound.members and second in compound.members:
-                    targets.add(cr_system.class_var[compound])
-    found, solution, _support = acceptable_with_positive(
-        cr_system, frozenset(targets), engine
+
+    def compute() -> ImplicationResult:
+        _enter_phase("expansion")
+        expansion = Expansion(schema, limits)
+        _enter_phase("system")
+        cr_system = build_system(expansion, mode="pruned")
+        targets = set()
+        for i, first in enumerate(class_list):
+            for second in class_list[i + 1 :]:
+                for compound in expansion.consistent_compound_classes():
+                    if first in compound.members and second in compound.members:
+                        targets.add(cr_system.class_var[compound])
+        _enter_phase(f"decide:{engine}")
+        found, solution, _support = acceptable_with_positive(
+            cr_system, frozenset(targets), engine, naive_limit, fallback
+        )
+        if not found:
+            return ImplicationResult(query, True, engine, None)
+        assert solution is not None
+        countermodel = construct_model(cr_system, solution)
+        return ImplicationResult(query, False, engine, countermodel)
+
+    return run_governed(
+        budget, compute, lambda error: _unknown_implication(query, engine, error)
     )
-    if not found:
-        return ImplicationResult(query, True, engine, None)
-    assert solution is not None
-    countermodel = construct_model(cr_system, solution)
-    return ImplicationResult(query, False, engine, countermodel)
 
 
 # ---------------------------------------------------------------------------

@@ -33,6 +33,18 @@ Two engines implement the test:
     This needs polynomially many LP calls in the size of the expansion
     (the expansion itself remains exponential in the schema, as the
     paper proves is unavoidable).
+
+**Resource governance.**  Both engines run under the ambient
+:class:`repro.runtime.Budget` (the hot loops charge it; exhaustion
+raises :class:`~repro.errors.BudgetExceededError`), and the public
+entry points accept a ``budget=`` parameter that additionally turns
+exhaustion into a graceful UNKNOWN verdict instead of an exception.
+Solver faults degrade along the chain of
+:mod:`repro.runtime.fallback`: each LP of the fixpoint retries on the
+Fourier–Motzkin backend, and if the fixpoint run still faults the
+whole query falls back to the naive engine — provided the system has
+at most ``naive_limit`` class unknowns (the naive engine enumerates
+``2^n`` zero-sets).
 """
 
 from __future__ import annotations
@@ -45,40 +57,85 @@ from itertools import combinations
 from repro.cr.expansion import Expansion, ExpansionLimits
 from repro.cr.schema import CRSchema
 from repro.cr.system import CRSystem, build_system
-from repro.errors import ReproError
-from repro.solver.homogeneous import (
-    find_positive_solution,
-    integerize,
-    maximal_support,
+from repro.errors import (
+    BudgetExceededError,
+    LimitExceededError,
+    ReproError,
+    SolverError,
 )
+from repro.runtime.budget import Budget, ProgressSnapshot, current_budget, run_governed
+from repro.runtime.fallback import (
+    DEFAULT_FALLBACK,
+    FallbackPolicy,
+    resilient_maximal_support,
+    resilient_positive_solution,
+)
+from repro.runtime.outcome import Verdict
+from repro.solver.homogeneous import integerize
 from repro.solver.linear import Constraint, LinearSystem, Relation, term
 
-_NAIVE_CLASS_UNKNOWN_LIMIT = 16
+DEFAULT_NAIVE_LIMIT = 16
+"""Default cap on class unknowns for the naive (Theorem 3.4) engine,
+which enumerates ``2^n`` zero-sets.  Override per call via the
+``naive_limit`` parameter."""
 
 
 @dataclass(frozen=True)
 class SatisfiabilityResult:
     """Outcome of a class-satisfiability check.
 
+    ``verdict`` is the three-valued answer: ``SAT``, ``UNSAT``, or —
+    only when the caller supplied a budget that ran out — ``UNKNOWN``,
+    in which case ``unknown_reason`` explains why and ``snapshot``
+    records how far the computation got.  ``satisfiable`` stays the
+    two-valued view (UNKNOWN reads as ``False``, conservatively).
+
     ``solution`` is an acceptable non-negative *integer* solution of
     ``Ψ'_S`` when satisfiable (the paper's Figure 6 object), from which
     :func:`repro.cr.construction.construct_model` builds an explicit
     finite model.  ``support`` is the set of unknowns the witness makes
-    positive.
+    positive.  On an UNKNOWN verdict ``cr_system`` may be ``None`` (the
+    budget can run out before the system is even built).
     """
 
     cls: str
     satisfiable: bool
     engine: str
-    cr_system: CRSystem
+    cr_system: CRSystem | None
     solution: dict[str, int] | None
     support: frozenset[str] | None
+    verdict: Verdict | None = None
+    unknown_reason: str | None = None
+    snapshot: ProgressSnapshot | None = None
+
+    def __post_init__(self) -> None:
+        if self.verdict is None:
+            object.__setattr__(
+                self, "verdict", Verdict.from_bool(self.satisfiable)
+            )
 
     def witness_count(self, unknown: str) -> int:
         """Convenience accessor into the witness solution."""
         if self.solution is None:
             raise ReproError("no witness: the class is unsatisfiable")
         return self.solution.get(unknown, 0)
+
+
+def _unknown_result(
+    cls: str, engine: str, error: BudgetExceededError
+) -> SatisfiabilityResult:
+    snapshot = error.snapshot
+    return SatisfiabilityResult(
+        cls=cls,
+        satisfiable=False,
+        engine=engine,
+        cr_system=None,
+        solution=None,
+        support=None,
+        verdict=Verdict.UNKNOWN,
+        unknown_reason=str(error),
+        snapshot=snapshot if isinstance(snapshot, ProgressSnapshot) else None,
+    )
 
 
 def is_acceptable(
@@ -105,12 +162,16 @@ def is_acceptable(
 
 def acceptable_support(
     cr_system: CRSystem,
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> tuple[frozenset[str], dict[str, Fraction]]:
     """Maximal support over all *acceptable* solutions, with a witness.
 
     The witness is a single acceptable solution positive on exactly the
     returned support.  See the module docstring for why the fixpoint is
-    sound and complete.
+    sound and complete.  Each support LP retries on the Fourier–Motzkin
+    backend when the simplex faults (per ``fallback``); the ambient
+    budget is checked once per fixpoint iteration on top of the
+    per-pivot charges inside the solvers.
     """
     base = cr_system.system
     dependencies = cr_system.dependencies
@@ -122,13 +183,16 @@ def acceptable_support(
     # smaller LP (one shadow variable and two rows per probe).
     class_unknowns = list(cr_system.class_var.values())
     forced_zero: set[str] = set()
+    budget = current_budget()
     while True:
+        if budget is not None:
+            budget.check()
         constrained = base.with_constraints(
             Constraint(term(name), Relation.EQ, label=f"forced-zero:{name}")
             for name in sorted(forced_zero)
         )
-        support, solution = maximal_support(
-            constrained, candidates=class_unknowns
+        support, solution = resilient_maximal_support(
+            constrained, class_unknowns, fallback
         )
         newly_forced = {
             rel_unknown
@@ -146,6 +210,8 @@ def acceptable_with_positive(
     cr_system: CRSystem,
     targets: frozenset[str],
     engine: str = "fixpoint",
+    naive_limit: int = DEFAULT_NAIVE_LIMIT,
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
     """Is there an acceptable solution making some ``targets`` unknown positive?
 
@@ -154,14 +220,31 @@ def acceptable_with_positive(
     Section-4 implication checks (``targets`` = unknowns of the
     counterexample compound classes).  Returns
     ``(found, integer_witness, support)``.
+
+    With a ``fallback`` policy, a fixpoint run whose solver faults even
+    after per-LP Fourier–Motzkin retries falls back to the naive engine
+    — but only when the system has at most ``naive_limit`` class
+    unknowns; otherwise the original fault propagates.  Budget
+    exhaustion is never absorbed by the chain.
     """
     if engine == "fixpoint":
-        support, solution = acceptable_support(cr_system)
+        try:
+            support, solution = acceptable_support(cr_system, fallback)
+        except BudgetExceededError:
+            raise
+        except SolverError:
+            if (
+                fallback is None
+                or not fallback.use_naive
+                or len(cr_system.consistent_class_unknowns()) > naive_limit
+            ):
+                raise
+            return _naive_with_positive(cr_system, targets, naive_limit, fallback)
         if not (targets & support):
             return False, None, support
         return True, integerize(solution), support
     if engine == "naive":
-        return _naive_with_positive(cr_system, targets)
+        return _naive_with_positive(cr_system, targets, naive_limit, fallback)
     raise ReproError(f"unknown engine {engine!r}")
 
 
@@ -201,24 +284,31 @@ def _zero_set_system(
 
 
 def _naive_with_positive(
-    cr_system: CRSystem, targets: frozenset[str]
+    cr_system: CRSystem,
+    targets: frozenset[str],
+    naive_limit: int = DEFAULT_NAIVE_LIMIT,
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
     class_unknowns = list(cr_system.consistent_class_unknowns())
-    if len(class_unknowns) > _NAIVE_CLASS_UNKNOWN_LIMIT:
-        raise ReproError(
+    if len(class_unknowns) > naive_limit:
+        raise LimitExceededError(
             f"the naive (Theorem 3.4) engine enumerates 2^{len(class_unknowns)} "
-            "zero-sets; use engine='fixpoint' for schemas of this size"
+            f"zero-sets, above the configured naive_limit of {naive_limit}; "
+            "use engine='fixpoint' for schemas of this size or raise the limit"
         )
     universe = set(class_unknowns)
+    budget = current_budget()
     # Smaller zero-sets first: solutions with rich support come out of
     # the search earlier, and Z = {} alone settles most satisfiable cases.
     for size in range(len(class_unknowns) + 1):
         for zero_tuple in combinations(class_unknowns, size):
+            if budget is not None:
+                budget.check()
             zero_set = frozenset(zero_tuple)
             if targets <= zero_set:
                 continue  # the required positivity would be impossible
             candidate = _zero_set_system(cr_system, zero_set)
-            witness = find_positive_solution(candidate)
+            witness = resilient_positive_solution(candidate, fallback)
             if witness.feasible:
                 assert witness.integral is not None
                 support = frozenset(
@@ -240,6 +330,9 @@ def is_class_satisfiable(
     engine: str = "fixpoint",
     expansion: Expansion | None = None,
     limits: ExpansionLimits | None = None,
+    budget: Budget | None = None,
+    naive_limit: int = DEFAULT_NAIVE_LIMIT,
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> SatisfiabilityResult:
     """Decide whether ``cls`` can be populated in some finite model.
 
@@ -257,25 +350,51 @@ def is_class_satisfiable(
         implication engine to amortise the exponential step).
     limits:
         Expansion guards; ignored when ``expansion`` is given.
+    budget:
+        A :class:`repro.runtime.Budget`.  When given, it governs the
+        whole pipeline (expansion, system generation, solving) and the
+        result degrades to an UNKNOWN verdict — instead of raising —
+        if it runs out.  Without one, any *ambient* budget still
+        applies but exhaustion propagates as
+        :class:`~repro.errors.BudgetExceededError`.
+    naive_limit:
+        Cap on class unknowns for the naive engine (it enumerates
+        ``2^n`` zero-sets); also bounds the fixpoint→naive fallback.
+    fallback:
+        Solver degradation policy (``None`` disables the chain).
     """
     schema.require_class(cls)
-    if expansion is None:
-        expansion = Expansion(schema, limits)
-    cr_system = build_system(expansion, mode="pruned")
-    targets = frozenset(
-        cr_system.class_var[compound]
-        for compound in expansion.consistent_classes_containing(cls)
-    )
-    satisfiable, solution, support = acceptable_with_positive(
-        cr_system, targets, engine
-    )
-    return SatisfiabilityResult(
-        cls=cls,
-        satisfiable=satisfiable,
-        engine=engine,
-        cr_system=cr_system,
-        solution=solution,
-        support=support if satisfiable else frozenset(),
+
+    def compute() -> SatisfiabilityResult:
+        active = current_budget()
+        if active is not None:
+            active.enter_phase("expansion")
+        local_expansion = expansion
+        if local_expansion is None:
+            local_expansion = Expansion(schema, limits)
+        if active is not None:
+            active.enter_phase("system")
+        cr_system = build_system(local_expansion, mode="pruned")
+        targets = frozenset(
+            cr_system.class_var[compound]
+            for compound in local_expansion.consistent_classes_containing(cls)
+        )
+        if active is not None:
+            active.enter_phase(f"decide:{engine}")
+        satisfiable, solution, support = acceptable_with_positive(
+            cr_system, targets, engine, naive_limit, fallback
+        )
+        return SatisfiabilityResult(
+            cls=cls,
+            satisfiable=satisfiable,
+            engine=engine,
+            cr_system=cr_system,
+            solution=solution,
+            support=support if satisfiable else frozenset(),
+        )
+
+    return run_governed(
+        budget, compute, lambda error: _unknown_result(cls, engine, error)
     )
 
 
@@ -283,35 +402,89 @@ def satisfiable_classes(
     schema: CRSchema,
     expansion: Expansion | None = None,
     limits: ExpansionLimits | None = None,
-) -> dict[str, bool]:
+    budget: Budget | None = None,
+    naive_limit: int = DEFAULT_NAIVE_LIMIT,
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+) -> dict[str, bool | Verdict]:
     """Satisfiability of every class with a single fixpoint run.
 
     The final acceptable support settles all classes at once: a class is
     satisfiable exactly when some consistent compound class containing
     it has a positive unknown in the support.
+
+    Decided classes map to plain booleans.  When a caller-supplied
+    ``budget`` runs out, every class maps to
+    :data:`repro.runtime.Verdict.UNKNOWN` instead (which is falsy, so
+    aggregate truthiness checks stay conservative).  A solver fault
+    that survives the per-LP Fourier–Motzkin retries re-runs the whole
+    question on the naive engine when the system is small enough.
     """
-    if expansion is None:
-        expansion = Expansion(schema, limits)
-    cr_system = build_system(expansion, mode="pruned")
-    support, _solution = acceptable_support(cr_system)
-    return {
-        cls: any(
-            cr_system.class_var[compound] in support
-            for compound in expansion.consistent_classes_containing(cls)
-        )
-        for cls in schema.classes
-    }
+
+    def compute() -> dict[str, bool | Verdict]:
+        active = current_budget()
+        if active is not None:
+            active.enter_phase("expansion")
+        local_expansion = expansion
+        if local_expansion is None:
+            local_expansion = Expansion(schema, limits)
+        if active is not None:
+            active.enter_phase("system")
+        cr_system = build_system(local_expansion, mode="pruned")
+        if active is not None:
+            active.enter_phase("decide:fixpoint")
+        try:
+            support, _solution = acceptable_support(cr_system, fallback)
+        except BudgetExceededError:
+            raise
+        except SolverError:
+            if (
+                fallback is None
+                or not fallback.use_naive
+                or len(cr_system.consistent_class_unknowns()) > naive_limit
+            ):
+                raise
+            if active is not None:
+                active.enter_phase("decide:naive")
+            return {
+                cls: _naive_with_positive(
+                    cr_system,
+                    frozenset(
+                        cr_system.class_var[compound]
+                        for compound in local_expansion.consistent_classes_containing(
+                            cls
+                        )
+                    ),
+                    naive_limit,
+                    fallback,
+                )[0]
+                for cls in schema.classes
+            }
+        return {
+            cls: any(
+                cr_system.class_var[compound] in support
+                for compound in local_expansion.consistent_classes_containing(cls)
+            )
+            for cls in schema.classes
+        }
+
+    return run_governed(
+        budget,
+        compute,
+        lambda error: {cls: Verdict.UNKNOWN for cls in schema.classes},
+    )
 
 
 def is_schema_fully_satisfiable(
     schema: CRSchema,
     expansion: Expansion | None = None,
     limits: ExpansionLimits | None = None,
+    budget: Budget | None = None,
 ) -> bool:
     """Whether *every* class of the schema is satisfiable.
 
     The paper's notion of a well-formed design: no class is forced
     empty by the interaction of ISA and cardinality constraints (the
-    pathology of Figure 1).
+    pathology of Figure 1).  Under an exhausted ``budget`` the answer
+    is conservatively ``False`` (UNKNOWN verdicts are falsy).
     """
-    return all(satisfiable_classes(schema, expansion, limits).values())
+    return all(satisfiable_classes(schema, expansion, limits, budget).values())

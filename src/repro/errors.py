@@ -60,6 +60,35 @@ class InfeasibleProblemError(SolverError):
     """A linear program required to be feasible is infeasible."""
 
 
+class LimitExceededError(ReproError):
+    """A configured resource limit was exceeded.
+
+    This is *not* a bug or a usage error: the input is simply larger
+    than the caller allowed for.  Distinguishing it from the other
+    :class:`ReproError` subclasses lets callers degrade gracefully
+    (report an UNKNOWN verdict, retry with larger limits) instead of
+    treating the failure as fatal.
+    """
+
+
+class BudgetExceededError(LimitExceededError):
+    """A :class:`repro.runtime.Budget` ran out mid-computation.
+
+    ``snapshot`` (a :class:`repro.runtime.ProgressSnapshot` when raised
+    by the runtime layer) records how far the computation got: the
+    phase, the number of expansion nodes visited, the LPs solved, the
+    simplex pivots performed, and the elapsed wall-clock time.
+    """
+
+    def __init__(self, message: str, snapshot: object | None = None) -> None:
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
+class CancelledError(BudgetExceededError):
+    """The computation was cooperatively cancelled via ``Budget.cancel()``."""
+
+
 class ParseError(ReproError):
     """The schema DSL text could not be parsed.
 

@@ -1,0 +1,77 @@
+"""Resource governance for the decision pipeline.
+
+The reasoning problem is provably exponential, so a production service
+needs the discipline this package provides on top of the raw decision
+procedures:
+
+* **budgets** (:mod:`repro.runtime.budget`) — wall-clock deadlines,
+  work caps, and cooperative cancellation, charged at every hot loop of
+  the pipeline and raising a typed, snapshot-carrying
+  :class:`~repro.errors.BudgetExceededError` on exhaustion;
+* **three-valued verdicts** (:mod:`repro.runtime.outcome`) — SAT /
+  UNSAT / UNKNOWN-with-reason, so governed entry points degrade instead
+  of hanging or dying;
+* **engine fallback** (:mod:`repro.runtime.fallback`) — per-LP retry on
+  the Fourier–Motzkin backend and last-resort fall-back to the naive
+  Theorem-3.4 engine when a solver faults mid-run;
+* **fault injection** (:mod:`repro.runtime.faults`) — a deterministic
+  harness that fails the N-th solver call, so the degradation paths are
+  themselves under test.
+
+Only the dependency-free modules are imported eagerly; ``fallback`` and
+``faults`` (which import the solver layer) load lazily on first
+attribute access, letting the solver modules import
+:func:`current_budget` without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.budget import (
+    Budget,
+    ProgressSnapshot,
+    activate,
+    current_budget,
+    run_governed,
+)
+from repro.runtime.outcome import ImplicationVerdict, Verdict
+
+_LAZY = {
+    "FallbackPolicy": "repro.runtime.fallback",
+    "DEFAULT_FALLBACK": "repro.runtime.fallback",
+    "fm_maximal_support": "repro.runtime.fallback",
+    "resilient_maximal_support": "repro.runtime.fallback",
+    "resilient_positive_solution": "repro.runtime.fallback",
+    "FaultPlan": "repro.runtime.faults",
+    "InjectedSolverFault": "repro.runtime.faults",
+    "inject_solver_faults": "repro.runtime.faults",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "Budget",
+    "ProgressSnapshot",
+    "Verdict",
+    "ImplicationVerdict",
+    "activate",
+    "current_budget",
+    "run_governed",
+    "FallbackPolicy",
+    "DEFAULT_FALLBACK",
+    "fm_maximal_support",
+    "resilient_maximal_support",
+    "resilient_positive_solution",
+    "FaultPlan",
+    "InjectedSolverFault",
+    "inject_solver_faults",
+]

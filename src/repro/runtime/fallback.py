@@ -1,0 +1,153 @@
+"""Fault-tolerant solver fallback chain.
+
+The satisfiability fixpoint normally runs every LP on the exact
+simplex.  If a solve *faults* (a :class:`~repro.errors.SolverError`,
+whether a genuine defect or one injected by
+:mod:`repro.runtime.faults`), the affected LP is retried on the
+completely independent Fourier–Motzkin backend before the failure is
+allowed to surface; if the whole fixpoint run still faults, the caller
+(:func:`repro.cr.satisfiability.acceptable_with_positive`) falls back
+to the naive Theorem-3.4 engine when the system is small enough.  The
+chain is
+
+    fixpoint/simplex  →  per-LP Fourier–Motzkin retry  →  naive engine
+
+and every link degrades, never silently changes the answer: each
+backend is sound and complete on the systems it accepts, so a verdict
+produced down-chain equals the verdict the unfaulted run would have
+produced.
+
+Budget exhaustion (:class:`~repro.errors.BudgetExceededError`) is
+deliberately *not* retried — running out of resources on one backend
+is not evidence the next, slower backend would do better.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import BudgetExceededError, SolverError
+from repro.solver.fourier_motzkin import fm_solve
+from repro.solver.homogeneous import (
+    HomogeneousWitness,
+    integerize,
+    find_positive_solution,
+    maximal_support,
+)
+from repro.solver.linear import Constraint, LinearSystem, Relation, term
+
+_ZERO = Fraction(0)
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """What the degradation chain is allowed to try.
+
+    ``fm_max_constraints`` bounds the intermediate systems of the
+    Fourier–Motzkin retries (FM is doubly exponential in the number of
+    eliminated variables; blowing through the bound raises
+    :class:`~repro.errors.SolverError`, which moves the chain along).
+    ``use_naive`` gates the final fall-back to the naive Theorem-3.4
+    engine, which is only attempted when the system has at most
+    ``naive_limit`` class unknowns (checked by the caller).
+    """
+
+    use_fourier_motzkin: bool = True
+    use_naive: bool = True
+    fm_max_constraints: int = 50_000
+
+
+DEFAULT_FALLBACK = FallbackPolicy()
+
+
+def resilient_maximal_support(
+    system: LinearSystem,
+    candidates: Iterable[str],
+    policy: FallbackPolicy | None = DEFAULT_FALLBACK,
+) -> tuple[frozenset[str], dict[str, Fraction]]:
+    """:func:`~repro.solver.homogeneous.maximal_support`, with FM retry.
+
+    On a simplex fault the same support is recomputed by per-unknown
+    Fourier–Motzkin probes (see :func:`fm_maximal_support`); budget
+    exhaustion always propagates.
+    """
+    candidate_list = list(candidates)
+    try:
+        return maximal_support(system, candidates=candidate_list)
+    except BudgetExceededError:
+        raise
+    except SolverError:
+        if policy is None or not policy.use_fourier_motzkin:
+            raise
+        return fm_maximal_support(
+            system, candidate_list, max_constraints=policy.fm_max_constraints
+        )
+
+
+def fm_maximal_support(
+    system: LinearSystem,
+    candidates: Iterable[str],
+    max_constraints: int = 50_000,
+) -> tuple[frozenset[str], dict[str, Fraction]]:
+    """Maximal support by one Fourier–Motzkin probe per candidate.
+
+    For each candidate unknown ``x`` the homogeneous system plus the
+    strict row ``x > 0`` (FM handles strictness natively) is decided;
+    an infeasible probe proves ``x`` is zero in every solution, and the
+    witnesses of the feasible probes are summed.  By the cone argument
+    of :mod:`repro.solver.homogeneous` the sum is itself a solution and
+    its support is the union of the probe supports — exactly the
+    contract of :func:`~repro.solver.homogeneous.maximal_support`,
+    definitive on the candidates.
+    """
+    totals: dict[str, Fraction] = {name: _ZERO for name in system.variables}
+    for name in candidates:
+        if totals.get(name, _ZERO) > 0:
+            continue  # already known positive via an earlier witness
+        probe = system.with_constraints(
+            [Constraint(term(name), Relation.GT, label=f"fm-probe:{name}")]
+        )
+        result = fm_solve(probe, max_constraints=max_constraints)
+        if result.feasible:
+            assert result.assignment is not None
+            for var, value in result.assignment.items():
+                totals[var] = totals.get(var, _ZERO) + value
+    solution = {name: totals[name] for name in system.variables}
+    support = frozenset(name for name, value in solution.items() if value > 0)
+    return support, solution
+
+
+def resilient_positive_solution(
+    system: LinearSystem,
+    policy: FallbackPolicy | None = DEFAULT_FALLBACK,
+) -> HomogeneousWitness:
+    """:func:`~repro.solver.homogeneous.find_positive_solution`, with FM retry.
+
+    Used by the naive engine's per-zero-set feasibility tests.  The
+    Fourier–Motzkin backend decides the strict system directly, so the
+    retry needs no cone sharpening.
+    """
+    try:
+        return find_positive_solution(system)
+    except BudgetExceededError:
+        raise
+    except SolverError:
+        if policy is None or not policy.use_fourier_motzkin:
+            raise
+        result = fm_solve(system, max_constraints=policy.fm_max_constraints)
+        if not result.feasible:
+            return HomogeneousWitness(False, None, None)
+        assert result.assignment is not None
+        rational = dict(result.assignment)
+        return HomogeneousWitness(True, rational, integerize(rational))
+
+
+__all__ = [
+    "DEFAULT_FALLBACK",
+    "FallbackPolicy",
+    "fm_maximal_support",
+    "resilient_maximal_support",
+    "resilient_positive_solution",
+]

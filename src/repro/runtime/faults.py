@@ -1,0 +1,109 @@
+"""Deterministic fault injection for the solver layer.
+
+Degradation paths that are written but never executed are not robust —
+they are untested code on the most stressful path.  This harness makes
+the fallback chain of :mod:`repro.runtime.fallback` *testable*: it
+wraps the two LP backends so that the N-th call to a backend raises a
+chosen exception, deterministically::
+
+    with inject_solver_faults(simplex_failures={1}) as plan:
+        result = is_class_satisfiable(schema, "Speaker")
+    assert plan.injected == [("simplex", 1)]
+
+Backends expose a module-level ``_FAULT_HOOK`` seam
+(:mod:`repro.solver.simplex` and :mod:`repro.solver.fourier_motzkin`)
+called at the top of every solve; the harness installs a counting hook
+for the duration of the ``with`` block and restores the previous hook
+on exit, so injections nest and never leak.
+
+``error_factory`` lets a test inject *any* failure mode at the chosen
+call — e.g. a :class:`~repro.errors.BudgetExceededError` to simulate a
+backend timing out mid-run — while the default
+:class:`InjectedSolverFault` is a :class:`~repro.errors.SolverError`
+subclass, i.e. exactly what the fallback chain catches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import SolverError
+from repro.solver import fourier_motzkin, simplex
+
+
+class InjectedSolverFault(SolverError):
+    """The deliberate failure raised by the default fault plan."""
+
+
+def _default_error(backend: str, call_index: int) -> Exception:
+    return InjectedSolverFault(
+        f"injected fault: {backend} call #{call_index}"
+    )
+
+
+@dataclass
+class FaultPlan:
+    """Which calls fail, and a record of what actually happened.
+
+    ``calls`` counts every solve per backend (1-based indices);
+    ``injected`` lists the ``(backend, call_index)`` pairs at which a
+    fault was raised, in order — assertions on it prove a degradation
+    path genuinely ran.
+    """
+
+    simplex_failures: frozenset[int] = frozenset()
+    fm_failures: frozenset[int] = frozenset()
+    error_factory: Callable[[str, int], Exception] = _default_error
+    calls: dict[str, int] = field(
+        default_factory=lambda: {"simplex": 0, "fourier-motzkin": 0}
+    )
+    injected: list[tuple[str, int]] = field(default_factory=list)
+
+    def _failures_for(self, backend: str) -> frozenset[int]:
+        return (
+            self.simplex_failures
+            if backend == "simplex"
+            else self.fm_failures
+        )
+
+    def on_call(self, backend: str) -> None:
+        """The hook body: count the call, raise if it is scripted to fail."""
+        self.calls[backend] += 1
+        index = self.calls[backend]
+        if index in self._failures_for(backend):
+            self.injected.append((backend, index))
+            raise self.error_factory(backend, index)
+
+
+@contextmanager
+def inject_solver_faults(
+    simplex_failures: Iterable[int] = (),
+    fm_failures: Iterable[int] = (),
+    error_factory: Callable[[str, int], Exception] | None = None,
+) -> Iterator[FaultPlan]:
+    """Fail the given (1-based) solver calls for the enclosed block.
+
+    Counters are per backend: ``simplex_failures={2, 3}`` fails the
+    second and third simplex runs while Fourier–Motzkin runs normally.
+    Yields the :class:`FaultPlan` so the caller can assert on
+    ``plan.calls`` and ``plan.injected`` afterwards.
+    """
+    plan = FaultPlan(
+        simplex_failures=frozenset(simplex_failures),
+        fm_failures=frozenset(fm_failures),
+        error_factory=error_factory or _default_error,
+    )
+    previous_simplex = simplex._FAULT_HOOK
+    previous_fm = fourier_motzkin._FAULT_HOOK
+    simplex._FAULT_HOOK = lambda: plan.on_call("simplex")
+    fourier_motzkin._FAULT_HOOK = lambda: plan.on_call("fourier-motzkin")
+    try:
+        yield plan
+    finally:
+        simplex._FAULT_HOOK = previous_simplex
+        fourier_motzkin._FAULT_HOOK = previous_fm
+
+
+__all__ = ["FaultPlan", "InjectedSolverFault", "inject_solver_faults"]

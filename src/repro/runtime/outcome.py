@@ -1,0 +1,57 @@
+"""Three-valued verdicts for governed decision procedures.
+
+Under a resource budget the reasoner's answers are no longer binary:
+besides SAT and UNSAT (resp. implied and not implied) a computation
+may legitimately end in **UNKNOWN** — the budget ran out, or every
+engine in the fallback chain faulted.  These enums make the third value
+explicit instead of overloading ``bool`` or exceptions.
+
+Both enums are falsy except for their positive member, so existing
+truthiness-based call sites (``all(verdicts.values())``) remain
+conservative: an UNKNOWN class is *not* reported as satisfiable.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Verdict(enum.Enum):
+    """Outcome of a satisfiability question."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        return self is Verdict.SAT
+
+    @classmethod
+    def from_bool(cls, satisfiable: bool) -> Verdict:
+        return cls.SAT if satisfiable else cls.UNSAT
+
+    @property
+    def decided(self) -> bool:
+        return self is not Verdict.UNKNOWN
+
+
+class ImplicationVerdict(enum.Enum):
+    """Outcome of an implication question ``S ⊨ K``."""
+
+    IMPLIED = "implied"
+    NOT_IMPLIED = "not-implied"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        return self is ImplicationVerdict.IMPLIED
+
+    @classmethod
+    def from_bool(cls, implied: bool) -> ImplicationVerdict:
+        return cls.IMPLIED if implied else cls.NOT_IMPLIED
+
+    @property
+    def decided(self) -> bool:
+        return self is not ImplicationVerdict.UNKNOWN
+
+
+__all__ = ["ImplicationVerdict", "Verdict"]

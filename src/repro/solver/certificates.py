@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.errors import SolverError
+from repro.runtime.budget import current_budget
 from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation
 from repro.solver.simplex import _Tableau
 
@@ -113,6 +114,12 @@ def farkas_certificate(system: LinearSystem) -> FarkasCertificate | None:
                 "farkas_certificate needs a non-strict system; sharpen "
                 "strict homogeneous constraints first"
             )
+    budget = current_budget()
+    if budget is not None:
+        # One phase-1 simplex run; charging it keeps certificate
+        # extraction (explain, debug) under the same account as the
+        # decision procedures.
+        budget.charge_solver_call()
 
     variables = list(system.variables)
     column_of = {name: j for j, name in enumerate(variables)}

@@ -19,9 +19,15 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.errors import SolverError
+from repro.runtime.budget import current_budget
 from repro.solver.linear import Constraint, LinearSystem, Relation
 
 _ZERO = Fraction(0)
+
+_FAULT_HOOK = None
+"""Test seam: when set (by :mod:`repro.runtime.faults`), called with no
+arguments at the top of every :func:`fm_solve`; may raise to simulate a
+backend fault."""
 
 
 @dataclass(frozen=True)
@@ -155,6 +161,11 @@ def fm_solve(
     ``max_constraints`` (Fourier–Motzkin can blow up doubly
     exponentially; callers choosing this engine accept small inputs).
     """
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK()
+    budget = current_budget()
+    if budget is not None:
+        budget.charge_solver_call()
     free = frozenset(free_variables)
     inequalities = _to_inequalities(system)
     for name in system.variables:
@@ -166,6 +177,8 @@ def fm_solve(
     current = _dedup(inequalities)
 
     for name in order:
+        if budget is not None:
+            budget.check()
         snapshots.append((name, current))
         uppers = [ineq for ineq in current if ineq.coefficient(name) > 0]
         lowers = [ineq for ineq in current if ineq.coefficient(name) < 0]
@@ -173,6 +186,8 @@ def fm_solve(
         combined = others
         for lower in lowers:
             for upper in uppers:
+                if budget is not None:
+                    budget.charge_pivots()
                 combined.append(_combine(lower, upper, name))
                 if len(combined) > max_constraints:
                     raise SolverError(

@@ -25,10 +25,16 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.errors import SolverError
+from repro.runtime.budget import current_budget
 from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation
 
 _ZERO = Fraction(0)
 _ONE = Fraction(1)
+
+_FAULT_HOOK = None
+"""Test seam: when set (by :mod:`repro.runtime.faults`), called with no
+arguments at the top of every :func:`solve_lp`; may raise to simulate a
+backend fault."""
 
 
 class SimplexStatus(enum.Enum):
@@ -148,7 +154,10 @@ class _Tableau:
         self.last_reduced = reduced
         degenerate_run = 0
         use_bland = False
+        budget = current_budget()
         while True:
+            if budget is not None:
+                budget.charge_pivots()
             if floor is not None and -reduced[-1] <= floor:
                 return SimplexStatus.OPTIMAL, -reduced[-1]
             entering = self._entering_column(reduced, use_bland)
@@ -336,6 +345,11 @@ def solve_lp(
         With status ``OPTIMAL`` (feasible, optimum attained),
         ``INFEASIBLE``, or ``UNBOUNDED``.
     """
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK()
+    budget = current_budget()
+    if budget is not None:
+        budget.charge_solver_call()
     if sense not in ("min", "max"):
         raise SolverError(f"sense must be 'min' or 'max', not {sense!r}")
     for constraint in system.constraints:

@@ -169,3 +169,89 @@ class TestRenderAndFmt:
         )
         assert main(["fmt", str(path), "--write"]) == 0
         assert path.read_text().startswith("schema S {\n  class A;")
+
+
+class TestExitCodes:
+    """The full matrix: 0 positive, 1 negative, 2 usage error, 3 exhaustion."""
+
+    def test_check_positive_is_zero(self, meeting_file):
+        assert main(["check", meeting_file]) == 0
+
+    def test_check_negative_is_one(self, figure1_file):
+        assert main(["check", figure1_file]) == 1
+
+    def test_implies_positive_is_zero(self, meeting_file):
+        assert main(["implies", meeting_file, "Speaker isa Discussant"]) == 0
+
+    def test_implies_negative_is_one(self, meeting_file):
+        assert main(["implies", meeting_file, "Talk isa Speaker"]) == 1
+
+    def test_model_negative_is_one(self, figure1_file):
+        assert main(["model", figure1_file, "--class", "D"]) == 1
+
+    def test_unknown_class_is_two(self, meeting_file, capsys):
+        assert main(["check", meeting_file, "--class", "Nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_is_two_with_position(self, tmp_path, capsys):
+        path = tmp_path / "broken.cr"
+        path.write_text("schema Bad {\n  class A;\n  garbage !!\n}\n")
+        assert main(["check", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "3:11" in err  # 1-based line:column of the offending token
+
+    def test_explain_on_satisfiable_is_two(self, meeting_file):
+        assert main(["explain", meeting_file, "--class", "Speaker"]) == 2
+
+    def test_budget_exhaustion_is_three(self, meeting_file, capsys):
+        code = main(["check", meeting_file, "--max-expansion", "1"])
+        assert code == 3
+        assert "UNKNOWN" in capsys.readouterr().out
+
+    def test_zero_timeout_is_three(self, meeting_file):
+        assert main(["check", meeting_file, "--timeout", "0"]) == 3
+
+    def test_single_class_budget_unknown(self, meeting_file, capsys):
+        code = main(
+            ["check", meeting_file, "--class", "Speaker", "--max-lp", "1"]
+        )
+        assert code == 3
+        assert "Speaker: UNKNOWN" in capsys.readouterr().out
+
+    def test_implies_budget_unknown_is_three(self, meeting_file, capsys):
+        code = main(
+            ["implies", meeting_file, "Speaker isa Discussant", "--max-lp", "1"]
+        )
+        assert code == 3
+        assert "unknown" in capsys.readouterr().out
+
+    def test_model_under_ambient_budget_is_three(self, meeting_file, capsys):
+        code = main(
+            ["model", meeting_file, "--class", "Speaker", "--max-expansion", "1"]
+        )
+        assert code == 3
+        assert "budget exhausted" in capsys.readouterr().err
+
+    def test_debug_under_ambient_budget_is_three(self, figure1_file, capsys):
+        code = main(
+            ["debug", figure1_file, "--class", "D", "--timeout", "0"]
+        )
+        assert code == 3
+        assert "budget exhausted" in capsys.readouterr().err
+
+    def test_explain_under_ambient_budget_is_three(self, figure1_file):
+        assert main(
+            ["explain", figure1_file, "--class", "D", "--timeout", "0"]
+        ) == 3
+
+    def test_generous_budget_does_not_change_the_answer(self, meeting_file):
+        assert main(["check", meeting_file, "--timeout", "60"]) == 0
+
+    def test_static_expansion_limit_is_three(self, tmp_path, capsys):
+        # Enough classes that the default ExpansionLimits guard fires
+        # (2^17 - 1 compound classes > the 2^16 cap) before any budget.
+        classes = "\n".join(f"  class C{i};" for i in range(17))
+        path = tmp_path / "wide.cr"
+        path.write_text(f"schema Wide {{\n{classes}\n}}\n")
+        assert main(["check", str(path)]) == 3
+        assert "compound classes" in capsys.readouterr().err

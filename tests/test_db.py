@@ -185,3 +185,63 @@ class TestReasonerIntegration:
         broken = Interpretation.build({"Novel": ["n"]})  # not a Book
         with pytest.raises(IntegrityError):
             Database.from_interpretation(schema, broken)
+
+
+class TestAbortAndViolationReporting:
+    def test_explicit_abort_leaves_store_untouched(self, schema):
+        database = Database(schema)
+        with database.transaction() as txn:
+            txn.insert_object("b", classes=["Book"])
+            txn.insert_object("a", classes=["Author"])
+            txn.insert_tuple("WrittenBy", {"work": "b", "writer": "a"})
+        before = database.snapshot()
+        txn = database.transaction()
+        txn.insert_object("ghost", classes=["Book"])
+        txn.delete_object("b")
+        txn.abort()
+        assert database.snapshot() == before
+        assert "ghost" not in database.domain
+        assert "b" in database.domain
+
+    def test_abort_inside_with_block_suppresses_the_commit(self, schema):
+        database = Database(schema)
+        with database.transaction() as txn:
+            txn.insert_object("ghost", classes=["Book"])
+            txn.abort()  # clean exit must NOT commit after an abort
+        assert "ghost" not in database.domain
+
+    def test_integrity_error_lists_few_violations_in_full(self, schema):
+        database = Database(schema)
+        txn = database.transaction()
+        for i in range(3):
+            txn.insert_object(f"b{i}", classes=["Book"])  # minc=1 unmet
+        with pytest.raises(IntegrityError) as excinfo:
+            txn.commit()
+        assert len(excinfo.value.violations) == 3
+        assert "more)" not in str(excinfo.value)
+
+    def test_integrity_error_truncates_at_five_violations(self, schema):
+        database = Database(schema)
+        txn = database.transaction()
+        for i in range(8):
+            txn.insert_object(f"b{i}", classes=["Book"])  # 8 minc violations
+        with pytest.raises(IntegrityError) as excinfo:
+            txn.commit()
+        error = excinfo.value
+        assert len(error.violations) == 8  # the full list is still carried
+        message = str(error)
+        assert message.startswith("commit rejected: ")
+        assert message.endswith("... (3 more)")
+        # Exactly five violations are spelled out before the ellipsis
+        # (each cardinality violation renders with one "appears" clause).
+        assert message.count("appears") == 5
+
+    def test_failed_commit_leaves_store_untouched(self, schema):
+        database = Database(schema)
+        before = database.snapshot()
+        txn = database.transaction()
+        for i in range(8):
+            txn.insert_object(f"b{i}", classes=["Book"])
+        with pytest.raises(IntegrityError):
+            txn.commit()
+        assert database.snapshot() == before

@@ -1,0 +1,178 @@
+"""Fault injection and the fixpoint → Fourier–Motzkin → naive chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.satisfiability import is_class_satisfiable, satisfiable_classes
+from repro.errors import BudgetExceededError, SolverError
+from repro.paper import figure1_schema, meeting_schema, refined_meeting_schema
+from repro.runtime.budget import Budget
+from repro.runtime.fallback import FallbackPolicy
+from repro.runtime.faults import (
+    FaultPlan,
+    InjectedSolverFault,
+    inject_solver_faults,
+)
+from repro.solver import fourier_motzkin, simplex
+
+# Fail every Fourier–Motzkin call a test could plausibly make; combined
+# with a simplex fault this forces the chain all the way to the naive
+# engine.
+_ALL_FM = range(1, 1000)
+
+
+class TestHarness:
+    def test_nth_call_fails_deterministically(self):
+        schema = meeting_schema()
+        with inject_solver_faults(simplex_failures={2}) as plan:
+            with pytest.raises(InjectedSolverFault):
+                is_class_satisfiable(schema, "Speaker", fallback=None)
+        assert plan.injected == [("simplex", 2)]
+        assert plan.calls["simplex"] == 2
+        assert plan.calls["fourier-motzkin"] == 0
+
+    def test_unscripted_runs_are_untouched_but_counted(self):
+        with inject_solver_faults() as plan:
+            result = is_class_satisfiable(meeting_schema(), "Speaker")
+        assert result.satisfiable
+        assert plan.calls["simplex"] > 0
+        assert plan.injected == []
+
+    def test_hooks_restored_on_exit(self):
+        assert simplex._FAULT_HOOK is None
+        assert fourier_motzkin._FAULT_HOOK is None
+        with inject_solver_faults(simplex_failures={1}):
+            assert simplex._FAULT_HOOK is not None
+        assert simplex._FAULT_HOOK is None
+        assert fourier_motzkin._FAULT_HOOK is None
+
+    def test_injections_nest(self):
+        with inject_solver_faults(simplex_failures={1}) as outer:
+            with inject_solver_faults() as inner:
+                result = is_class_satisfiable(meeting_schema(), "Speaker")
+        assert result.satisfiable
+        assert inner.calls["simplex"] > 0
+        assert outer.calls["simplex"] == 0  # shadowed by the inner plan
+
+    def test_error_factory_controls_the_exception(self):
+        class CustomFault(SolverError):
+            pass
+
+        with inject_solver_faults(
+            simplex_failures={1},
+            error_factory=lambda backend, index: CustomFault(
+                f"{backend}#{index}"
+            ),
+        ):
+            with pytest.raises(CustomFault):
+                is_class_satisfiable(
+                    meeting_schema(), "Speaker", fallback=None
+                )
+
+    def test_plan_records_multiple_injections(self):
+        plan = FaultPlan(simplex_failures=frozenset({1, 3}))
+        with pytest.raises(InjectedSolverFault):
+            plan.on_call("simplex")  # call 1: scripted to fail
+        plan.on_call("simplex")  # call 2: passes
+        with pytest.raises(InjectedSolverFault):
+            plan.on_call("simplex")  # call 3: scripted to fail
+        assert plan.injected == [("simplex", 1), ("simplex", 3)]
+
+
+class TestFallbackChain:
+    def test_simplex_fault_retries_on_fourier_motzkin(self):
+        schema = meeting_schema()
+        baseline = is_class_satisfiable(schema, "Speaker")
+        with inject_solver_faults(simplex_failures={1}) as plan:
+            degraded = is_class_satisfiable(schema, "Speaker")
+        assert degraded.satisfiable == baseline.satisfiable
+        assert plan.injected == [("simplex", 1)]
+        assert plan.calls["fourier-motzkin"] >= 1
+
+    def test_chain_reaches_naive_engine(self):
+        schema = meeting_schema()
+        baseline = is_class_satisfiable(schema, "Speaker")
+        with inject_solver_faults(
+            simplex_failures={1}, fm_failures=_ALL_FM
+        ) as plan:
+            degraded = is_class_satisfiable(schema, "Speaker")
+        assert degraded.satisfiable == baseline.satisfiable
+        # The FM retry itself faulted, proving the naive engine (which
+        # solves fresh LPs on later simplex calls) produced the verdict.
+        assert ("fourier-motzkin", 1) in plan.injected
+        assert plan.calls["simplex"] > 1
+
+    def test_fallback_none_disables_the_chain(self):
+        with inject_solver_faults(simplex_failures={1}):
+            with pytest.raises(InjectedSolverFault):
+                is_class_satisfiable(
+                    meeting_schema(), "Speaker", fallback=None
+                )
+
+    def test_policy_can_disable_naive_stage_only(self):
+        policy = FallbackPolicy(use_naive=False)
+        with inject_solver_faults(simplex_failures={1}, fm_failures=_ALL_FM):
+            with pytest.raises(SolverError):
+                is_class_satisfiable(
+                    meeting_schema(), "Speaker", fallback=policy
+                )
+
+    def test_naive_fallback_respects_naive_limit(self):
+        with inject_solver_faults(simplex_failures={1}, fm_failures=_ALL_FM):
+            with pytest.raises(SolverError):
+                is_class_satisfiable(
+                    meeting_schema(), "Speaker", naive_limit=1
+                )
+
+    def test_budget_exhaustion_is_never_absorbed_by_the_chain(self):
+        # A backend "fault" that is actually budget exhaustion must
+        # propagate, not trigger a retry that would overspend.
+        with inject_solver_faults(
+            simplex_failures={1},
+            error_factory=lambda backend, index: BudgetExceededError(
+                f"simulated exhaustion at {backend}#{index}"
+            ),
+        ) as plan:
+            with pytest.raises(BudgetExceededError):
+                is_class_satisfiable(meeting_schema(), "Speaker")
+        assert plan.calls["fourier-motzkin"] == 0
+
+
+class TestChainParityOnPaperSchemas:
+    """Acceptance: the degraded chain agrees with the unfaulted run."""
+
+    @pytest.fixture(
+        params=[figure1_schema, meeting_schema, refined_meeting_schema],
+        ids=["figure1", "meeting", "refined-meeting"],
+    )
+    def schema(self, request):
+        return request.param()
+
+    def test_fm_retry_parity(self, schema):
+        baseline = satisfiable_classes(schema)
+        with inject_solver_faults(simplex_failures={1}) as plan:
+            degraded = satisfiable_classes(schema)
+        assert degraded == baseline
+        assert plan.injected == [("simplex", 1)]
+
+    def test_full_chain_parity(self, schema):
+        baseline = satisfiable_classes(schema)
+        with inject_solver_faults(
+            simplex_failures={1}, fm_failures=_ALL_FM
+        ) as plan:
+            degraded = satisfiable_classes(schema)
+        assert degraded == baseline
+        assert ("simplex", 1) in plan.injected
+        assert ("fourier-motzkin", 1) in plan.injected
+
+    def test_intermittent_faults_parity_on_small_schema(self):
+        # Faults scattered through the run, not just at the first call.
+        # Only on Figure 1: its systems are small enough that *every*
+        # faulted LP can be retried on Fourier–Motzkin (on the larger
+        # schemas a mid-fixpoint FM retry exceeds the constraint cap,
+        # which is the documented boundary of the chain).
+        baseline = satisfiable_classes(figure1_schema())
+        with inject_solver_faults(simplex_failures={1, 2, 5}):
+            degraded = satisfiable_classes(figure1_schema())
+        assert degraded == baseline
