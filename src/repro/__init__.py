@@ -43,6 +43,8 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.kr``           frame/KR adapter (slots with number restrictions)
 ``repro.ext``          Section-5 extensions: disjointness, covering,
                        schema debugging (MUS extraction)
+``repro.session``      cached reasoning sessions: fingerprinted
+                       schemas, amortised expansions, batch queries
 ``repro.dsl``          textual schema language (parse / serialize)
 ``repro.render``       regenerate the paper's figures as text
 ``repro.paper``        the paper's running examples, ready-made
@@ -102,6 +104,12 @@ from repro.ext import (
 )
 from repro.kr import KnowledgeBase, kr_to_cr
 from repro.oo import OOModel, oo_to_cr
+from repro.session import (
+    ReasoningSession,
+    SessionCache,
+    SessionStats,
+    schema_fingerprint,
+)
 from repro.runtime import (
     Budget,
     FallbackPolicy,
@@ -174,6 +182,11 @@ __all__ = [
     # DSL
     "parse_schema",
     "serialize_schema",
+    # sessions and caching
+    "ReasoningSession",
+    "SessionCache",
+    "SessionStats",
+    "schema_fingerprint",
     # resource governance
     "Budget",
     "ProgressSnapshot",

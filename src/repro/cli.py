@@ -8,6 +8,9 @@ check     per-class finite satisfiability (optionally one class,
           optionally also the unrestricted verdict)
 implies   decide ``S ⊨ K`` for a statement like ``"A isa B"`` or
           ``"maxc(Speaker, Holds, U1) = 1"``
+batch     answer many queries (``sat <Class>`` lines and implication
+          statements) from ONE cached reasoning session, so the
+          exponential expansion is built once for the whole batch
 model     construct and print a witness database state for a class
 explain   print the verified infeasibility proof for an unsat class
 debug     print a minimal unsatisfiable constraint set for a class
@@ -157,6 +160,105 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if all(verdicts.values()) else 1
 
 
+def _parse_batch_query(text: str):
+    """One batch line: ``sat <Class>`` or a Figure-7 statement."""
+    stripped = text.strip()
+    sat_match = re.match(r"sat\s+(\w+)\s*$", stripped)
+    if sat_match:
+        return ("sat", sat_match.group(1))
+    return ("implies", parse_statement(stripped))
+
+
+def _read_batch_queries(args: argparse.Namespace) -> list:
+    """Queries from ``--query`` flags plus the query file (``-`` = stdin)."""
+    lines: list[str] = list(args.query or [])
+    if args.queries is not None:
+        source = (
+            sys.stdin.read()
+            if args.queries == "-"
+            else Path(args.queries).read_text()
+        )
+        lines.extend(source.splitlines())
+    queries = []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        queries.append(_parse_batch_query(stripped))
+    if not queries:
+        raise ReproError(
+            "batch needs at least one query (lines of 'sat <Class>', "
+            "'A isa B', 'minc(C, R, U) = n', 'maxc(C, R, U) = n', or "
+            "'disjoint(A, B, ...)')"
+        )
+    return queries
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.session import ReasoningSession
+
+    schema = _load_schema(args.schema)
+    queries = _read_batch_queries(args)
+    session = ReasoningSession(schema, budget=_budget_from(args))
+    records = []
+    any_unknown = False
+    all_positive = True
+    for kind, payload in queries:
+        if kind == "sat":
+            result = session.is_class_satisfiable(payload)
+            verdict = result.verdict
+            positive = bool(result.satisfiable)
+            unknown = verdict is Verdict.UNKNOWN
+            text = f"sat {payload}: {_verdict_word(verdict if unknown else positive)}"
+            records.append(
+                {
+                    "query": f"sat {payload}",
+                    "verdict": verdict.value,
+                    "unknown_reason": result.unknown_reason,
+                }
+            )
+        else:
+            result = session.implies(payload)
+            positive = bool(result.implied)
+            unknown = result.verdict is ImplicationVerdict.UNKNOWN
+            text = result.pretty()
+            records.append(
+                {
+                    "query": payload.pretty(),
+                    "verdict": result.verdict.value,
+                    "unknown_reason": result.unknown_reason,
+                }
+            )
+        any_unknown = any_unknown or unknown
+        all_positive = all_positive and positive
+        if not args.json:
+            print(text)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "schema": schema.name,
+                    "fingerprint": session.fingerprint,
+                    "results": records,
+                    "stats": session.stats.as_dict(),
+                },
+                indent=2,
+            )
+        )
+    elif args.stats:
+        stats = session.stats
+        print(
+            f"# session: {stats.queries} queries, "
+            f"{stats.expansion_builds} expansion build(s), "
+            f"{stats.fixpoint_runs} fixpoint run(s), {stats.hits} cache hit(s)"
+        )
+    if any_unknown:
+        return 3
+    return 0 if all_positive else 1
+
+
 def _cmd_implies(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
     statement = parse_statement(args.statement)
@@ -277,6 +379,37 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine(check)
     add_budget(check)
     check.set_defaults(run=_cmd_check)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="answer many queries from one cached reasoning session",
+    )
+    batch.add_argument("schema")
+    batch.add_argument(
+        "queries",
+        nargs="?",
+        default=None,
+        help="file of queries, one per line ('-' for stdin); lines are "
+        "'sat <Class>' or implication statements; '#' comments allowed",
+    )
+    batch.add_argument(
+        "--query",
+        action="append",
+        metavar="QUERY",
+        help="an inline query (repeatable, combined with the file)",
+    )
+    batch.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON report (results, fingerprint, session stats)",
+    )
+    batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="append a session cache-statistics line",
+    )
+    add_budget(batch)
+    batch.set_defaults(run=_cmd_batch)
 
     imp = subparsers.add_parser("implies", help="decide S |= K")
     imp.add_argument("schema")

@@ -138,13 +138,23 @@ class Expansion:
     full — inconsistent-including — enumerations are generators, used
     only by the literal Figure-4/Figure-5 renderings and the
     Lemma-3.2 checker.
+
+    ``build_count`` is a process-wide counter of ``Expansion``
+    constructions; the session layer's tests and benchmarks use it to
+    assert that warm cached queries never rebuild the expansion.
+    ``nodes_visited`` counts the search nodes entered by the pruned
+    enumeration (the E9/E13 cost metric).
     """
+
+    build_count: int = 0
 
     def __init__(
         self, schema: CRSchema, limits: ExpansionLimits | None = None
     ) -> None:
+        Expansion.build_count += 1
         self.schema = schema
         self.limits = limits or ExpansionLimits()
+        self.nodes_visited = 0
         self._class_position = {
             cls: index for index, cls in enumerate(schema.classes)
         }
@@ -170,85 +180,123 @@ class Expansion:
                 yield CompoundClass(frozenset(subset))
 
     def _enumerate_consistent_classes(self) -> tuple[CompoundClass, ...]:
-        """Depth-first generation of the consistent compound classes only.
+        """Closure-guided generation of the consistent compound classes.
 
-        Walks classes in declaration order deciding membership, pruning a
-        branch as soon as a constraint with fully-decided classes is
-        violated.  With disjointness constraints present this visits far
-        fewer nodes than the power set — the measurable claim of the
-        paper's conclusion (experiment E9).
+        A backtracking search over membership decisions with **unit
+        propagation** along the precomputed ``≼*`` closure: including a
+        class immediately forces all its (transitive) ancestors in and
+        its declared-disjoint partners out; excluding a class forces all
+        its descendants out.  A branch is abandoned the moment
+        propagation hits a contradiction, so the search never reaches a
+        completed assignment that is ISA-inconsistent — only consistent
+        compound classes are ever materialised.
+
+        On an ISA chain of ``n`` classes this enters ``O(n)`` search
+        nodes where the naive filter of the ``2^n`` power set is
+        exponential and a depth-first walk without propagation is
+        quadratic; on an ISA antichain the work stays proportional to
+        the output, which the paper proves is unavoidable.  The node
+        count is recorded in :attr:`nodes_visited` (experiments E9/E13).
         """
         schema = self.schema
         classes = schema.classes
         n = len(classes)
         position = self._class_position
 
-        # Constraints in a propagation-friendly form, each tagged with the
-        # highest class position it mentions — the branch point at which
-        # the constraint becomes fully decided.
-        isa_edges = [
-            (position[sub], position[sup]) for sub, sup in schema.isa_statements
+        ancestors = [
+            tuple(
+                sorted(
+                    position[sup]
+                    for sup in schema.ancestors(cls)
+                    if sup != cls
+                )
+            )
+            for cls in classes
         ]
-        disjoint_pairs: set[tuple[int, int]] = set()
+        descendants = [
+            tuple(
+                sorted(
+                    position[sub]
+                    for sub in schema.descendants(cls)
+                    if sub != cls
+                )
+            )
+            for cls in classes
+        ]
+        partners: list[tuple[int, ...]] = []
+        partner_sets: list[set[int]] = [set() for _ in range(n)]
         for group in schema.disjointness_groups:
-            indices = sorted(position[cls] for cls in group)
-            for i, first in enumerate(indices):
-                for second in indices[i + 1 :]:
-                    disjoint_pairs.add((first, second))
+            indices = [position[cls] for cls in group]
+            for index in indices:
+                partner_sets[index].update(
+                    other for other in indices if other != index
+                )
+        partners = [tuple(sorted(group)) for group in partner_sets]
         coverings = [
-            (position[covered], sorted(position[cls] for cls in coverers))
+            (position[covered], tuple(position[cls] for cls in coverers))
             for covered, coverers in schema.coverings
         ]
 
-        isa_by_depth: dict[int, list[tuple[int, int]]] = {}
-        for sub, sup in isa_edges:
-            isa_by_depth.setdefault(max(sub, sup), []).append((sub, sup))
-        disjoint_by_depth: dict[int, list[tuple[int, int]]] = {}
-        for first, second in disjoint_pairs:
-            disjoint_by_depth.setdefault(second, []).append((first, second))
-        covering_by_depth: dict[int, list[tuple[int, list[int]]]] = {}
-        for covered, coverers in coverings:
-            depth = max([covered] + coverers)
-            covering_by_depth.setdefault(depth, []).append((covered, coverers))
-
+        UNDECIDED, OUT, IN = -1, 0, 1
+        state = [UNDECIDED] * n
+        trail: list[int] = []
         results: list[frozenset[str]] = []
-        membership = [False] * n
         budget = current_budget()
 
-        def recurse(depth: int) -> None:
+        def assign(pos: int, value: int) -> bool:
+            """Set ``pos`` and propagate forced consequences; False on
+            contradiction (the trail records every change either way)."""
+            stack = [(pos, value)]
+            while stack:
+                current, wanted = stack.pop()
+                existing = state[current]
+                if existing != UNDECIDED:
+                    if existing != wanted:
+                        return False
+                    continue
+                state[current] = wanted
+                trail.append(current)
+                if wanted == IN:
+                    for sup in ancestors[current]:
+                        stack.append((sup, IN))
+                    for partner in partners[current]:
+                        stack.append((partner, OUT))
+                else:
+                    for sub in descendants[current]:
+                        stack.append((sub, OUT))
+            return True
+
+        def covering_violated() -> bool:
+            """A covering is certainly violated once its covered class is
+            in and every coverer is already out (complete at leaves)."""
+            for covered, coverers in coverings:
+                if state[covered] == IN and all(
+                    state[cls] == OUT for cls in coverers
+                ):
+                    return True
+            return False
+
+        def recurse(start: int) -> None:
+            self.nodes_visited += 1
             if budget is not None:
                 budget.charge_expansion()
-            if depth == n:
+            pos = start
+            while pos < n and state[pos] != UNDECIDED:
+                pos += 1
+            if pos == n:
                 selected = frozenset(
-                    classes[i] for i in range(n) if membership[i]
+                    classes[i] for i in range(n) if state[i] == IN
                 )
                 if selected:
                     results.append(selected)
                     self.limits.check_consistent_classes(len(results))
                 return
-            for include in (False, True):
-                membership[depth] = include
-                decided = depth + 1
-                ok = True
-                for sub, sup in isa_by_depth.get(depth, ()):
-                    if membership[sub] and not membership[sup]:
-                        ok = False
-                        break
-                if ok:
-                    for first, second in disjoint_by_depth.get(depth, ()):
-                        if membership[first] and membership[second]:
-                            ok = False
-                            break
-                if ok:
-                    for covered, coverers in covering_by_depth.get(depth, ()):
-                        if membership[covered] and not any(
-                            membership[i] for i in coverers
-                        ):
-                            ok = False
-                            break
-                if ok:
-                    recurse(decided)
-            membership[depth] = False
+            for value in (OUT, IN):
+                mark = len(trail)
+                if assign(pos, value) and not covering_violated():
+                    recurse(pos + 1)
+                while len(trail) > mark:
+                    state[trail.pop()] = UNDECIDED
 
         recurse(0)
         ordered = sorted(
@@ -402,6 +450,7 @@ class Expansion:
             "consistent_compound_relationships": len(
                 self._consistent_relationships
             ),
+            "expansion_nodes_visited": self.nodes_visited,
         }
 
     def __repr__(self) -> str:

@@ -184,7 +184,7 @@ def _enter_phase(name: str) -> None:
         active.enter_phase(name)
 
 
-def _exceptional_schema(
+def exceptional_schema(
     schema: CRSchema,
     cls: str,
     rel: str,
@@ -192,7 +192,13 @@ def _exceptional_schema(
     exceptional_card: Card,
 ) -> tuple[CRSchema, str]:
     """The schema ``S'`` of Section 4: ``S`` plus ``C_exc ≼ cls`` with the
-    given cardinality on ``(rel, role)``.  Returns ``(S', C_exc name)``."""
+    given cardinality on ``(rel, role)``.  Returns ``(S', C_exc name)``.
+
+    The fresh-name choice is deterministic, so the same query against
+    the same schema always yields the same extended schema — which is
+    what lets :class:`repro.session.ReasoningSession` cache cardinality
+    implications content-addressed by the extended schema's
+    fingerprint."""
     relationship: Relationship = schema.relationship(rel)
     primary = relationship.primary_class(role)
     if not schema.is_subclass(cls, primary):
@@ -217,7 +223,7 @@ def _exceptional_schema(
     return extended, exc
 
 
-def _strip_class(interpretation: Interpretation, cls: str) -> Interpretation:
+def strip_class(interpretation: Interpretation, cls: str) -> Interpretation:
     """Drop one class's extension (the reduct from ``S'`` back to ``S``)."""
     return Interpretation(
         domain=interpretation.domain,
@@ -240,7 +246,7 @@ def _cardinality_implication(
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> ImplicationResult:
-    extended, exc = _exceptional_schema(
+    extended, exc = exceptional_schema(
         schema, query.cls, query.rel, query.role, exceptional_card
     )
 
@@ -260,7 +266,7 @@ def _cardinality_implication(
         if not found:
             return ImplicationResult(query, True, engine, None)
         assert solution is not None
-        countermodel = _strip_class(construct_model(cr_system, solution), exc)
+        countermodel = strip_class(construct_model(cr_system, solution), exc)
         return ImplicationResult(query, False, engine, countermodel)
 
     return run_governed(

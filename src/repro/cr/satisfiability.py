@@ -155,6 +155,36 @@ def is_acceptable(
     return True
 
 
+def class_targets(cr_system: CRSystem, cls: str) -> frozenset[str]:
+    """Theorem 3.3 targets: unknowns of the consistent compound classes
+    containing ``cls``.
+
+    ``cls`` is satisfiable exactly when some acceptable solution makes
+    one of these unknowns positive — equivalently, when the set meets
+    the maximal acceptable support.  Shared by the satisfiability entry
+    points here and the cached :class:`repro.session.ReasoningSession`.
+    """
+    expansion = cr_system.expansion
+    return frozenset(
+        cr_system.class_var[compound]
+        for compound in expansion.consistent_classes_containing(cls)
+    )
+
+
+def support_verdicts(
+    cr_system: CRSystem, support: frozenset[str]
+) -> dict[str, bool]:
+    """Per-class verdicts read off a maximal acceptable support.
+
+    The support settles every class at once (module docstring): a class
+    is satisfiable iff its Theorem-3.3 target set meets the support.
+    """
+    return {
+        cls: bool(class_targets(cr_system, cls) & support)
+        for cls in cr_system.expansion.schema.classes
+    }
+
+
 # ---------------------------------------------------------------------------
 # Fixpoint engine
 # ---------------------------------------------------------------------------
@@ -375,10 +405,7 @@ def is_class_satisfiable(
         if active is not None:
             active.enter_phase("system")
         cr_system = build_system(local_expansion, mode="pruned")
-        targets = frozenset(
-            cr_system.class_var[compound]
-            for compound in local_expansion.consistent_classes_containing(cls)
-        )
+        targets = class_targets(cr_system, cls)
         if active is not None:
             active.enter_phase(f"decide:{engine}")
         satisfiable, solution, support = acceptable_with_positive(
@@ -448,24 +475,13 @@ def satisfiable_classes(
             return {
                 cls: _naive_with_positive(
                     cr_system,
-                    frozenset(
-                        cr_system.class_var[compound]
-                        for compound in local_expansion.consistent_classes_containing(
-                            cls
-                        )
-                    ),
+                    class_targets(cr_system, cls),
                     naive_limit,
                     fallback,
                 )[0]
                 for cls in schema.classes
             }
-        return {
-            cls: any(
-                cr_system.class_var[compound] in support
-                for compound in local_expansion.consistent_classes_containing(cls)
-            )
-            for cls in schema.classes
-        }
+        return support_verdicts(cr_system, support)
 
     return run_governed(
         budget,

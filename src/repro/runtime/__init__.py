@@ -34,6 +34,7 @@ from repro.runtime.budget import (
     activate,
     current_budget,
     run_governed,
+    scoped_phase,
 )
 from repro.runtime.outcome import ImplicationVerdict, Verdict
 
@@ -66,6 +67,7 @@ __all__ = [
     "activate",
     "current_budget",
     "run_governed",
+    "scoped_phase",
     "FallbackPolicy",
     "DEFAULT_FALLBACK",
     "fm_maximal_support",

@@ -1,0 +1,191 @@
+"""The fingerprint-keyed store behind :class:`ReasoningSession`.
+
+One :class:`SchemaArtifacts` entry per schema fingerprint holds the
+reasoning state that is expensive to build and endlessly reusable:
+
+* the consistent **expansion** ``S̄`` (the exponential step),
+* the derived disequation system **Ψ_S** in pruned mode,
+* the maximal acceptable **support** of ``Ψ_S`` with an integer
+  full-support **witness** (one fixpoint run, polynomially many LPs).
+
+The support settles *every* satisfiability question about the schema
+(Theorem 3.3: a class is satisfiable iff its target unknowns meet the
+support) and every ISA / disjointness implication (Section 4: implied
+iff the counterexample targets miss the support), so once an entry is
+warm those queries are dictionary lookups.  Cardinality implications
+reason over a Section-4 extended schema ``S' = S + C_exc``; those are
+cached as ordinary entries under *their own* fingerprint, so repeated
+cardinality queries warm up too.
+
+Entries build **staged**: the expansion/system stage and the fixpoint
+stage each complete atomically or leave the entry unchanged, so a
+budget that runs out mid-build never publishes half-built state — the
+next query (under a fresh budget) resumes from the last completed
+stage.  Eviction is LRU with a configurable entry cap, sized for a
+service juggling many schemas.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.cr.expansion import Expansion, ExpansionLimits
+from repro.cr.satisfiability import acceptable_support, support_verdicts
+from repro.cr.schema import CRSchema
+from repro.cr.system import CRSystem, build_system
+from repro.errors import ReproError
+from repro.runtime.budget import scoped_phase
+from repro.runtime.fallback import DEFAULT_FALLBACK, FallbackPolicy
+from repro.session.fingerprint import schema_fingerprint
+from repro.solver.homogeneous import integerize
+
+
+@dataclass
+class CacheStats:
+    """Observable counters for tests, benchmarks, and ops dashboards."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expansion_builds: int = 0
+    system_builds: int = 0
+    fixpoint_runs: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expansion_builds": self.expansion_builds,
+            "system_builds": self.system_builds,
+            "fixpoint_runs": self.fixpoint_runs,
+        }
+
+
+@dataclass
+class SchemaArtifacts:
+    """Cached reasoning state for one schema fingerprint.
+
+    ``support`` is the maximal acceptable support of ``Ψ_S`` and
+    ``witness`` an integer acceptable solution positive on exactly that
+    support; both are ``None`` until the fixpoint stage has run.
+    """
+
+    fingerprint: str
+    schema: CRSchema
+    stats: CacheStats
+    limits: ExpansionLimits | None = None
+    fallback: FallbackPolicy | None = DEFAULT_FALLBACK
+    expansion: Expansion | None = None
+    cr_system: CRSystem | None = None
+    support: frozenset[str] | None = None
+    witness: dict[str, int] | None = None
+    class_verdicts: dict[str, bool] | None = field(default=None, repr=False)
+
+    # -- staged construction ------------------------------------------------
+
+    def ensure_system(self) -> CRSystem:
+        """Build (once) the expansion and pruned system ``Ψ_S``."""
+        if self.cr_system is None:
+            if self.expansion is None:
+                with scoped_phase("session:expansion"):
+                    self.expansion = Expansion(self.schema, self.limits)
+                self.stats.expansion_builds += 1
+            with scoped_phase("session:system"):
+                self.cr_system = build_system(self.expansion, mode="pruned")
+            self.stats.system_builds += 1
+        return self.cr_system
+
+    def ensure_support(self) -> frozenset[str]:
+        """Run (once) the acceptability fixpoint; derive the witness and
+        the per-class verdict table."""
+        if self.support is None:
+            cr_system = self.ensure_system()
+            with scoped_phase("session:fixpoint"):
+                support, solution = acceptable_support(
+                    cr_system, self.fallback
+                )
+            self.stats.fixpoint_runs += 1
+            self.witness = integerize(solution)
+            self.class_verdicts = support_verdicts(cr_system, support)
+            self.support = support
+        return self.support
+
+    @property
+    def warm(self) -> bool:
+        """Whether every stage has been built."""
+        return self.support is not None
+
+
+class SessionCache:
+    """LRU cache of :class:`SchemaArtifacts`, shareable across sessions.
+
+    Thread-compatible rather than thread-safe: like the rest of the
+    library, concurrent use requires one cache per worker or external
+    locking.  A single cache passed to many
+    :class:`~repro.session.ReasoningSession` instances lets a service
+    amortise expansions across requests that mention the same schema.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ReproError(
+                f"max_entries must be positive, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, SchemaArtifacts] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def artifacts(
+        self,
+        schema: CRSchema,
+        fingerprint: str | None = None,
+        limits: ExpansionLimits | None = None,
+        fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+    ) -> SchemaArtifacts:
+        """The (possibly still cold) entry for ``schema``, creating and
+        LRU-promoting as needed.  Nothing expensive happens here; the
+        entry's ``ensure_*`` stages build on demand."""
+        key = fingerprint or schema_fingerprint(schema)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.stats.misses += 1
+        entry = SchemaArtifacts(
+            fingerprint=key,
+            schema=schema,
+            stats=self.stats,
+            limits=limits,
+            fallback=fallback,
+        )
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one entry (e.g. after an external edit of a stored
+        schema file); returns whether it was present."""
+        return self._entries.pop(fingerprint, None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionCache({len(self._entries)}/{self.max_entries} entries, "
+            f"{self.stats.hits} hits, {self.stats.misses} misses)"
+        )
+
+
+__all__ = ["CacheStats", "SchemaArtifacts", "SessionCache"]

@@ -1,0 +1,64 @@
+"""Content-addressed fingerprints of CR-schemas.
+
+A fingerprint is a SHA-256 digest of a canonical, order-normalised
+encoding of everything *semantically relevant* in a schema: classes,
+relationship signatures, ISA statements, cardinality declarations, and
+the Section-5 extension statements.  The schema's display ``name`` is
+deliberately excluded — relabelling a schema does not change any
+verdict, so it must not invalidate cached reasoning state.
+
+Collections that the data model treats as unordered (the cardinality
+map, disjointness groups, covering statements, the set of ISA edges)
+are sorted before hashing, so semantically identical declarations hash
+identically regardless of declaration order.  Class and relationship
+*declaration order* is kept: it pins the compound-class numbering used
+by every cached artifact, which keeps a cache entry's expansion,
+disequation system and witnesses directly reusable for any schema that
+fingerprints equal.
+
+Used by :class:`repro.session.ReasoningSession` to key its cache of
+expansions, derived systems ``Ψ_S`` and satisfiability state; any edit
+to a schema produces a new fingerprint and therefore a cold cache
+entry (invalidation is free because schemas are immutable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.cr.schema import CRSchema
+
+
+def canonical_form(schema: CRSchema) -> dict:
+    """The fingerprinted content, as a JSON-serialisable dictionary."""
+    return {
+        "classes": list(schema.classes),
+        "relationships": [
+            [rel.name, [[role, cls] for role, cls in rel.signature]]
+            for rel in schema.relationships
+        ],
+        "isa": sorted([sub, sup] for sub, sup in schema.isa_statements),
+        "cards": sorted(
+            [cls, rel, role, card.minc, card.maxc]
+            for (cls, rel, role), card in schema.declared_cards.items()
+        ),
+        "disjointness": sorted(
+            sorted(group) for group in set(schema.disjointness_groups)
+        ),
+        "coverings": sorted(
+            [covered, sorted(coverers)]
+            for covered, coverers in set(schema.coverings)
+        ),
+    }
+
+
+def schema_fingerprint(schema: CRSchema) -> str:
+    """Hex SHA-256 digest of the schema's canonical form."""
+    encoded = json.dumps(
+        canonical_form(schema), separators=(",", ":"), sort_keys=True
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+__all__ = ["canonical_form", "schema_fingerprint"]

@@ -1,10 +1,37 @@
-"""Shared fixtures: the paper's running examples."""
+"""Shared fixtures (the paper's running examples) and Hypothesis profiles.
+
+Two profiles are registered:
+
+* ``default`` — local runs; random seeds, no deadline (the fixpoint's
+  LP solves make per-example timing too noisy for one).
+* ``ci`` — deterministic (``derandomize=True``) so CI failures
+  reproduce exactly; selected by exporting ``HYPOTHESIS_PROFILE=ci``.
+  CI additionally shrinks the example budget of the oracle and
+  metamorphic suites via ``REPRO_PROPERTY_MAX_EXAMPLES`` (read by
+  :func:`tests.strategies.property_max_examples`).
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.cr.expansion import Expansion
+
+settings.register_profile("default", deadline=None)
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.filter_too_much,
+        HealthCheck.data_too_large,
+    ],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 from repro.cr.system import build_system
 from repro.paper import (
     figure1_schema,

@@ -13,14 +13,32 @@ The property tests lean on two generators:
 
 from __future__ import annotations
 
+import os
+
 from hypothesis import strategies as st
 
 from repro.cr.builder import SchemaBuilder
+from repro.cr.constraints import (
+    DisjointnessStatement,
+    IsaStatement,
+    MaxCardinalityStatement,
+    MinCardinalityStatement,
+)
 from repro.cr.interpretation import Interpretation
 from repro.cr.schema import CRSchema
 
 CLASS_NAMES = ["A", "B", "C", "D"]
 MAX_RELATIONSHIPS = 2
+
+
+def property_max_examples(default: int = 200) -> int:
+    """The example budget for the oracle and metamorphic suites.
+
+    Local runs use the ISSUE-2 floor of 200 examples; CI sets
+    ``REPRO_PROPERTY_MAX_EXAMPLES`` to a smaller value for a faster
+    deterministic pass (see the ``ci`` profile in ``conftest.py``).
+    """
+    return int(os.environ.get("REPRO_PROPERTY_MAX_EXAMPLES", default))
 
 
 @st.composite
@@ -30,6 +48,7 @@ def schemas(
     max_relationships: int = MAX_RELATIONSHIPS,
     allow_ternary: bool = False,
     allow_extensions: bool = False,
+    allow_isa: bool = True,
 ) -> CRSchema:
     """A random small CR-schema."""
     num_classes = draw(st.integers(min_value=2, max_value=max_classes))
@@ -40,10 +59,13 @@ def schemas(
 
     # A random ISA DAG: edges only from later to earlier classes, so no
     # cycles (cycles are legal but make shrunken failures harder to read).
-    for i, sub in enumerate(classes):
-        for sup in classes[:i]:
-            if draw(st.booleans()):
-                builder.isa(sub, sup)
+    # ``allow_isa=False`` yields ISA-free schemas, the fragment the
+    # Section-3 baseline handles without any expansion.
+    if allow_isa:
+        for i, sub in enumerate(classes):
+            for sup in classes[:i]:
+                if draw(st.booleans()):
+                    builder.isa(sub, sup)
 
     num_relationships = draw(
         st.integers(min_value=1, max_value=max_relationships)
@@ -107,6 +129,48 @@ def schemas(
             builder.cover(covered, *coverers)
 
     return builder.build()
+
+
+@st.composite
+def implication_queries_for(draw, schema: CRSchema):
+    """A random implication query over ``schema`` — any of the four
+    kinds :func:`repro.cr.implication.implies` decides.
+
+    Cardinality queries are only generated on legal ``(cls, rel,
+    role)`` triples, i.e. where ``cls`` is a subclass of the role's
+    primary class (Section 4's well-formedness condition).
+    """
+    classes = schema.classes
+    kinds = ["isa"]
+    if len(classes) >= 2:
+        kinds.append("disjoint")
+    card_slots = [
+        (cls, rel.name, role)
+        for rel in schema.relationships
+        for role, primary in rel.signature
+        for cls in classes
+        if schema.is_subclass(cls, primary)
+    ]
+    if card_slots:
+        kinds.extend(["minc", "maxc"])
+    kind = draw(st.sampled_from(kinds))
+    if kind == "isa":
+        return IsaStatement(
+            draw(st.sampled_from(classes)), draw(st.sampled_from(classes))
+        )
+    if kind == "disjoint":
+        pair = draw(
+            st.lists(
+                st.sampled_from(classes), min_size=2, max_size=2, unique=True
+            )
+        )
+        return DisjointnessStatement(pair)
+    cls, rel, role = draw(st.sampled_from(card_slots))
+    if kind == "minc":
+        value = draw(st.integers(min_value=0, max_value=3))
+        return MinCardinalityStatement(cls, rel, role, value)
+    value = draw(st.integers(min_value=1, max_value=3))
+    return MaxCardinalityStatement(cls, rel, role, value)
 
 
 @st.composite

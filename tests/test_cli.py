@@ -255,3 +255,83 @@ class TestExitCodes:
         path.write_text(f"schema Wide {{\n{classes}\n}}\n")
         assert main(["check", str(path)]) == 3
         assert "compound classes" in capsys.readouterr().err
+
+
+class TestBatch:
+    def test_inline_queries_share_one_expansion(self, meeting_file, capsys):
+        code = main(
+            [
+                "batch",
+                meeting_file,
+                "--query",
+                "sat Talk",
+                "--query",
+                "Talk isa Speaker",
+                "--stats",
+            ]
+        )
+        assert code == 1  # the ISA statement is not implied
+        out = capsys.readouterr().out
+        assert "sat Talk: satisfiable" in out
+        assert "S |/= Talk isa Speaker" in out
+        assert "1 expansion build(s)" in out
+
+    def test_query_file_with_comments(self, meeting_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "# positive-only batch\n"
+            "sat Speaker\n"
+            "\n"
+            "Discussant isa Speaker\n"
+            "maxc(Talk, Holds, U2) = 1\n"
+        )
+        assert main(["batch", meeting_file, str(queries)]) == 0
+        out = capsys.readouterr().out
+        assert "S |= Discussant isa Speaker" in out
+
+    def test_stdin_queries(self, meeting_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("sat Speaker\n"))
+        assert main(["batch", meeting_file, "-"]) == 0
+        assert "sat Speaker: satisfiable" in capsys.readouterr().out
+
+    def test_json_report(self, meeting_file, capsys):
+        import json
+
+        code = main(
+            [
+                "batch",
+                meeting_file,
+                "--query",
+                "sat Speaker",
+                "--query",
+                "Discussant isa Speaker",
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "Meeting"
+        assert len(report["fingerprint"]) == 64
+        assert [r["verdict"] for r in report["results"]] == [
+            "sat",
+            "implied",
+        ]
+        assert report["stats"]["expansion_builds"] == 1
+
+    def test_empty_batch_is_a_usage_error(self, meeting_file, capsys):
+        assert main(["batch", meeting_file]) == 2
+        assert "at least one query" in capsys.readouterr().err
+
+    def test_unsatisfiable_class_exits_one(self, figure1_file, capsys):
+        code = main(["batch", figure1_file, "--query", "sat D"])
+        assert code == 1
+        assert "sat D: UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_exhausted_budget_exits_three(self, meeting_file, capsys):
+        code = main(
+            ["batch", meeting_file, "--query", "sat Talk", "--timeout", "0"]
+        )
+        assert code == 3
+        assert "UNKNOWN" in capsys.readouterr().out

@@ -1,0 +1,158 @@
+"""Metamorphic properties of the decision procedure and session layer.
+
+Each test applies a meaning-preserving transformation to a random
+schema and asserts the reasoner cannot tell the difference:
+
+* **renaming** — class/relationship/role names are arbitrary labels;
+  verdicts must commute with any injective renaming;
+* **redundant ISA edge** — declaring an edge already in the
+  reflexive-transitive ISA closure changes no verdict;
+* **duplicate constraints** — re-declaring a disjointness group or a
+  covering is a no-op; the canonical form dedups them, so even the
+  schema *fingerprint* is unchanged and a shared session cache serves
+  the duplicate schema without building anything;
+* **cold vs. warm** — a fresh session, a warm session sharing its
+  cache, and the stateless API all return the same verdicts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cr.implication import implies
+from repro.cr.satisfiability import satisfiable_classes
+from repro.cr.schema import CRSchema, Relationship
+from repro.session import ReasoningSession, SessionCache, schema_fingerprint
+from tests.strategies import (
+    implication_queries_for,
+    property_max_examples,
+    schemas,
+)
+
+
+def _renamed(schema: CRSchema) -> tuple[CRSchema, dict[str, str]]:
+    """``schema`` with every class/relationship/role injectively renamed."""
+    cls_map = {cls: f"X{cls}" for cls in schema.classes}
+    relationships = [
+        Relationship(
+            f"X{rel.name}",
+            tuple((f"X{role}", cls_map[cls]) for role, cls in rel.signature),
+        )
+        for rel in schema.relationships
+    ]
+    cards = {
+        (cls_map[cls], f"X{rel}", f"X{role}"): card
+        for (cls, rel, role), card in schema.declared_cards.items()
+    }
+    renamed = CRSchema(
+        classes=[cls_map[cls] for cls in schema.classes],
+        relationships=relationships,
+        isa=[(cls_map[sub], cls_map[sup]) for sub, sup in schema.isa_statements],
+        cards=cards,
+        disjointness=[
+            frozenset(cls_map[cls] for cls in group)
+            for group in schema.disjointness_groups
+        ],
+        coverings=[
+            (cls_map[covered], frozenset(cls_map[c] for c in coverers))
+            for covered, coverers in schema.coverings
+        ],
+        name=f"{schema.name}Renamed",
+    )
+    return renamed, cls_map
+
+
+@settings(max_examples=property_max_examples())
+@given(data=st.data())
+def test_renaming_invariance(data):
+    schema = data.draw(schemas(allow_extensions=True))
+    renamed, cls_map = _renamed(schema)
+    original = satisfiable_classes(schema)
+    assert satisfiable_classes(renamed) == {
+        cls_map[cls]: verdict for cls, verdict in original.items()
+    }
+
+
+# Most random DAGs have no *undeclared* transitive edge, so this test
+# discards a large share of draws; that is inherent, not a strategy bug.
+@settings(
+    max_examples=property_max_examples(),
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_redundant_derivable_isa_edge_is_invisible(data):
+    schema = data.draw(schemas())
+    declared = set(schema.isa_statements)
+    derivable = [
+        (sub, sup)
+        for sub in schema.classes
+        for sup in schema.classes
+        if sub != sup
+        and schema.is_subclass(sub, sup)
+        and (sub, sup) not in declared
+    ]
+    assume(derivable)
+    edge = data.draw(st.sampled_from(derivable))
+    redundant = CRSchema(
+        classes=schema.classes,
+        relationships=schema.relationships,
+        isa=tuple(schema.isa_statements) + (edge,),
+        cards=schema.declared_cards,
+        disjointness=schema.disjointness_groups,
+        coverings=schema.coverings,
+        name=f"{schema.name}Redundant",
+    )
+    assert satisfiable_classes(redundant) == satisfiable_classes(schema)
+    query = data.draw(implication_queries_for(schema))
+    assert (
+        implies(redundant, query).implied == implies(schema, query).implied
+    )
+
+
+@settings(max_examples=property_max_examples())
+@given(data=st.data())
+def test_duplicate_constraints_share_a_fingerprint(data):
+    schema = data.draw(schemas(allow_extensions=True))
+    duplicated = CRSchema(
+        classes=schema.classes,
+        relationships=schema.relationships,
+        isa=schema.isa_statements,
+        cards=schema.declared_cards,
+        disjointness=tuple(schema.disjointness_groups) * 2,
+        coverings=tuple(schema.coverings) * 2,
+        name=f"{schema.name}Duplicated",
+    )
+    # The canonical form dedups constraint sets (and ignores the schema
+    # name), so the duplicate is literally the same cache key ...
+    assert schema_fingerprint(duplicated) == schema_fingerprint(schema)
+
+    # ... which means a shared cache answers it without building again.
+    cache = SessionCache()
+    first = ReasoningSession(schema, cache=cache)
+    verdicts = first.satisfiable_classes()
+    builds_before = cache.stats.expansion_builds
+    second = ReasoningSession(duplicated, cache=cache)
+    assert second.satisfiable_classes() == verdicts
+    assert cache.stats.expansion_builds == builds_before
+
+
+@settings(max_examples=property_max_examples())
+@given(data=st.data())
+def test_cold_and_warm_sessions_agree_with_stateless_api(data):
+    schema = data.draw(schemas(allow_extensions=True))
+    queries = data.draw(
+        st.lists(implication_queries_for(schema), min_size=1, max_size=3)
+    )
+    cache = SessionCache()
+    cold = ReasoningSession(schema, cache=cache)
+    cold_answers = [result.implied for result in cold.implies_all(queries)]
+    cold_verdicts = cold.satisfiable_classes()
+
+    warm = ReasoningSession(schema, cache=cache)
+    assert warm.warm
+    assert [r.implied for r in warm.implies_all(queries)] == cold_answers
+    assert warm.satisfiable_classes() == cold_verdicts
+
+    assert cold_answers == [implies(schema, q).implied for q in queries]
+    assert cold_verdicts == satisfiable_classes(schema)

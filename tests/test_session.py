@@ -1,0 +1,223 @@
+"""The session layer: cache reuse, pruned enumeration, fingerprints,
+budget degradation, and the ISSUE-2 acceptance scenario (a 50-query
+batch on a Figure-5-sized schema must build the expansion zero times
+once warm)."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cr.builder import SchemaBuilder
+from repro.cr.constraints import (
+    DisjointnessStatement,
+    IsaStatement,
+    MinCardinalityStatement,
+)
+from repro.cr.expansion import Expansion
+from repro.cr.schema import CRSchema
+from repro.runtime.budget import Budget
+from repro.runtime.outcome import Verdict
+from repro.session import ReasoningSession, SessionCache, schema_fingerprint
+from tests.strategies import property_max_examples, schemas
+
+
+def _chain(k: int) -> CRSchema:
+    builder = SchemaBuilder(f"Chain{k}")
+    for i in range(k):
+        builder.cls(f"K{i}")
+    for i in range(1, k):
+        builder.isa(f"K{i}", f"K{i-1}")
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# the acceptance scenario: 50 warm queries, zero expansion builds
+# ---------------------------------------------------------------------------
+
+
+def test_fifty_query_batch_builds_expansion_zero_times_warm(meeting):
+    session = ReasoningSession(meeting)
+    queries = [
+        ("sat", cls) for cls in meeting.classes
+    ] + [
+        ("implies", IsaStatement("Speaker", "Discussant")),
+        ("implies", IsaStatement("Discussant", "Speaker")),
+        ("implies", DisjointnessStatement(["Speaker", "Talk"])),
+        ("implies", MinCardinalityStatement("Speaker", "Holds", "U1", 1)),
+    ]
+
+    def run(query):
+        kind, payload = query
+        if kind == "sat":
+            return session.is_class_satisfiable(payload).satisfiable
+        return session.implies(payload).implied
+
+    # Warm-up pass: builds the schema's entry and the one extended
+    # schema the cardinality query needs.
+    warm_answers = [run(query) for query in queries]
+    assert session.warm
+
+    builds_before = Expansion.build_count
+    batch = [queries[i % len(queries)] for i in range(50)]
+    answers = [run(query) for query in batch]
+    assert Expansion.build_count == builds_before, (
+        "a warm 50-query batch must not rebuild the expansion"
+    )
+    assert answers == [warm_answers[i % len(queries)] for i in range(50)]
+    assert session.stats.expansion_builds == 2  # meeting + one extension
+
+
+def test_repeated_cardinality_queries_warm_up(meeting):
+    session = ReasoningSession(meeting)
+    query = MinCardinalityStatement("Discussant", "Holds", "U1", 1)
+    first = session.implies(query)
+    builds_before = Expansion.build_count
+    second = session.implies(query)
+    assert Expansion.build_count == builds_before
+    assert first.implied == second.implied
+
+
+# ---------------------------------------------------------------------------
+# pruned enumeration
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=property_max_examples())
+@given(data=st.data())
+def test_enumeration_is_exactly_the_consistent_compounds(data):
+    """The closure-guided search must generate the ISA-consistent
+    compounds and *only* those — compared against the brute-force
+    powerset filter it replaced."""
+    schema = data.draw(schemas(allow_extensions=True))
+    expansion = Expansion(schema)
+    generated = {
+        compound.members
+        for compound in expansion.consistent_compound_classes()
+    }
+    for members in generated:
+        assert schema.is_consistent_compound(members)
+    brute_force = {
+        frozenset(subset)
+        for size in range(1, len(schema.classes) + 1)
+        for subset in itertools.combinations(schema.classes, size)
+        if schema.is_consistent_compound(frozenset(subset))
+    }
+    assert generated == brute_force
+
+
+def test_enumeration_is_linear_on_isa_chains():
+    """On a k-chain the old powerset-and-filter walk visited O(2^k)
+    candidates; unit propagation decides every class on the spot, so
+    the search tree is one node per class plus the backtrack spine."""
+    k = 24
+    expansion = Expansion(_chain(k))
+    assert len(expansion.consistent_compound_classes()) == k
+    assert expansion.nodes_visited <= 2 * k + 2
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_ignores_name_but_tracks_semantics(meeting):
+    relabelled = CRSchema(
+        classes=meeting.classes,
+        relationships=meeting.relationships,
+        isa=meeting.isa_statements,
+        cards=meeting.declared_cards,
+        disjointness=meeting.disjointness_groups,
+        coverings=meeting.coverings,
+        name="SomethingElseEntirely",
+    )
+    assert schema_fingerprint(relabelled) == schema_fingerprint(meeting)
+
+    extra_isa = CRSchema(
+        classes=meeting.classes,
+        relationships=meeting.relationships,
+        isa=tuple(meeting.isa_statements) + (("Talk", "Speaker"),),
+        cards=meeting.declared_cards,
+        disjointness=meeting.disjointness_groups,
+        coverings=meeting.coverings,
+        name=meeting.name,
+    )
+    assert schema_fingerprint(extra_isa) != schema_fingerprint(meeting)
+
+
+def test_for_schema_sibling_is_warm_after_pure_relabel(meeting):
+    session = ReasoningSession(meeting)
+    session.satisfiable_classes()
+    relabelled = CRSchema(
+        classes=meeting.classes,
+        relationships=meeting.relationships,
+        isa=meeting.isa_statements,
+        cards=meeting.declared_cards,
+        disjointness=meeting.disjointness_groups,
+        coverings=meeting.coverings,
+        name="MeetingV2",
+    )
+    sibling = session.for_schema(relabelled)
+    assert sibling.warm
+    builds_before = Expansion.build_count
+    assert sibling.satisfiable_classes() == session.satisfiable_classes()
+    assert Expansion.build_count == builds_before
+
+
+# ---------------------------------------------------------------------------
+# budgets: degrade to UNKNOWN, then resume under a fresh budget
+# ---------------------------------------------------------------------------
+
+
+def test_budget_exhaustion_degrades_then_resumes(meeting):
+    session = ReasoningSession(meeting)
+    starved = Budget(max_expansion_nodes=2)
+    degraded = session.satisfiable_classes(budget=starved)
+    assert degraded == {cls: Verdict.UNKNOWN for cls in meeting.classes}
+    assert not session.warm  # exhaustion must not publish partial state
+
+    result = session.is_class_satisfiable("Speaker", budget=Budget(max_expansion_nodes=2))
+    assert result.verdict is Verdict.UNKNOWN
+    assert not result.satisfiable
+    assert result.unknown_reason
+
+    # A fresh (absent) budget resumes from whatever stage completed.
+    verdicts = session.satisfiable_classes()
+    assert verdicts == {cls: True for cls in meeting.classes}
+    assert session.warm
+
+
+# ---------------------------------------------------------------------------
+# shared caches
+# ---------------------------------------------------------------------------
+
+
+def test_shared_cache_is_hit_across_sessions(meeting):
+    cache = SessionCache()
+    first = ReasoningSession(meeting, cache=cache)
+    first.satisfiable_classes()
+    builds_before = Expansion.build_count
+    second = ReasoningSession(meeting, cache=cache)
+    assert second.warm
+    assert second.satisfiable_classes() == first.satisfiable_classes()
+    assert Expansion.build_count == builds_before
+    assert cache.stats.expansion_builds == 1
+
+
+def test_lru_eviction_and_invalidation(meeting, figure1):
+    cache = SessionCache(max_entries=1)
+    meeting_session = ReasoningSession(meeting, cache=cache)
+    meeting_session.satisfiable_classes()
+    assert len(cache) == 1
+
+    figure1_session = ReasoningSession(figure1, cache=cache)
+    figure1_session.satisfiable_classes()
+    assert len(cache) == 1
+    assert cache.stats.evictions == 1
+    assert not meeting_session.warm  # evicted
+
+    assert cache.invalidate(figure1_session.fingerprint)
+    assert not cache.invalidate(figure1_session.fingerprint)
+    assert len(cache) == 0
