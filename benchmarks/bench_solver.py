@@ -1,147 +1,448 @@
-"""E12 — solver ablation: exact simplex vs Fourier–Motzkin vs scipy.
+"""E12/E14 — solver-core ablations: dense vs sparse, exact vs float.
 
-The decision path of the library is float-free by design (Section 3.2's
-systems are decided exactly).  This benchmark measures what that
-exactness costs by comparing, on the paper's own systems:
+Two experiments share this module:
 
-* the exact rational simplex (the production engine),
-* Fourier–Motzkin elimination (exact, strictness-native, exponential),
-* scipy's HiGHS ``linprog`` (floating point; oracle only).
+**E14 (standalone runner, CI artifact).**  The interned sparse revised
+simplex (:mod:`repro.solver.core`) replaced the dense string-keyed
+tableau (:mod:`repro.solver.simplex`) as the production engine.  This
+runner times the *same* maximal-support computation — the LP at the
+heart of the acceptability fixpoint — through both engines, on the
+paper's figure schemas and on a deterministic random growing-schema
+family, and emits the perf-trajectory artifact::
 
-All engines must agree on feasibility; the timings quantify the gap.
+    PYTHONPATH=src python benchmarks/bench_solver.py --quick \
+        --output BENCH_solver.json
+
+``validate_report`` is the schema check CI runs against the JSON; it
+also enforces the engines *agree* on every support and that sparse is
+at parity or better on the figure schemas and ≥2× faster on the
+largest random instance (the refactor's acceptance bar).  The runner
+needs only the standard library and :mod:`repro`.
+
+**E12 (pytest-benchmark suite).**  The decision path of the library is
+float-free by design (Section 3.2's systems are decided exactly).  The
+benchmark tests below measure what that exactness costs by comparing,
+on the paper's own systems: the exact simplex engines, Fourier–Motzkin
+elimination (exact, strictness-native, exponential), and scipy's HiGHS
+``linprog`` (floating point; oracle only).  All engines must agree on
+feasibility; the timings quantify the gap.  Run with ``pytest
+benchmarks/bench_solver.py --benchmark-only`` (needs the ``dev``
+extras).
 """
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-from scipy.optimize import linprog
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
 
-from benchmarks.conftest import paper_row
+from repro.cr.builder import SchemaBuilder
 from repro.cr.expansion import Expansion
-from repro.cr.system import build_system
-from repro.ext.disjointness import with_disjointness
+from repro.cr.schema import CRSchema
+from repro.cr.system import CRSystem, build_system
 from repro.paper import figure1_schema, meeting_schema, refined_meeting_schema
-from repro.solver.fourier_motzkin import fm_feasible
-from repro.solver.linear import Constraint, LinearSystem, Relation, term
-from repro.solver.simplex import solve_lp
+from repro.solver.core import interned_maximal_support
+from repro.solver.homogeneous import maximal_support as dense_maximal_support
+
+try:  # the pytest-benchmark suite below needs the dev extras;
+    import pytest  # the standalone E14 runner must work without them.
+except ImportError:  # pragma: no cover - CI bench-smoke has no pytest
+    pytest = None  # type: ignore[assignment]
+
+FIGURE_REPEATS = 5
+"""Best-of-N repeats for the (microsecond-scale) figure schemas."""
 
 
-def _positivity_system(schema, cls) -> LinearSystem:
-    """Psi_S plus the Theorem-3.3 positivity row, with > sharpened to
-    >= 1 (sound for homogeneous systems by cone scaling)."""
-    cr_system = build_system(Expansion(schema), mode="pruned")
-    positivity = Constraint(
-        cr_system.class_population_expr(cls) - 1, Relation.GE
+# ---------------------------------------------------------------------------
+# E14: dense tableau vs interned sparse revised simplex
+# ---------------------------------------------------------------------------
+
+
+def random_schema(classes: int, relationships: int, seed: int) -> CRSchema:
+    """A deterministic pseudo-random CR-schema.
+
+    A sparse ISA forest (edge probability 0.6 keeps the consistent
+    expansion growing but tractable) plus binary relationships between
+    random classes with random min/max cardinalities.  The same
+    ``(classes, relationships, seed)`` always yields the same schema,
+    so report entries are comparable across runs and machines.
+    """
+    rng = random.Random(seed)
+    builder = SchemaBuilder(f"Random{classes}x{relationships}")
+    names = [f"K{i}" for i in range(classes)]
+    for name in names:
+        builder.cls(name)
+    for i in range(1, classes):
+        if rng.random() < 0.6:
+            builder.isa(names[i], names[rng.randrange(i)])
+    for j in range(relationships):
+        first, second = rng.sample(names, 2)
+        builder.relationship(f"R{j}", **{f"V{j}a": first, f"V{j}b": second})
+        builder.card(
+            first, f"R{j}", f"V{j}a", minc=rng.choice([0, 1, 1, 2])
+        )
+        builder.card(
+            second,
+            f"R{j}",
+            f"V{j}b",
+            minc=rng.choice([0, 1]),
+            maxc=rng.choice([2, 3]),
+        )
+    return builder.build()
+
+
+def _support_workload(
+    label: str, family: str, schema: CRSchema, repeats: int = 1
+) -> dict:
+    """Time one maximal-support LP through both engines.
+
+    The system is built once outside the timed region (system
+    generation is shared infrastructure, not under test) and both
+    engines probe the same candidate set — the class unknowns, exactly
+    what the satisfiability fixpoint probes.  ``repeats`` takes the
+    best of N to stabilise microsecond-scale figure workloads.
+    """
+    cr_system: CRSystem = build_system(Expansion(schema), mode="pruned")
+    dense_system = cr_system.system  # derive the string-keyed form now
+    candidates = list(cr_system.class_var.values())
+
+    dense_best = sparse_best = float("inf")
+    dense_support = sparse_support = frozenset()
+    for _ in range(repeats):
+        start = time.perf_counter()
+        dense_support, _ = dense_maximal_support(
+            dense_system, candidates=candidates
+        )
+        dense_best = min(dense_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        sparse_support, _ = interned_maximal_support(
+            cr_system.interned, candidates
+        )
+        sparse_best = min(sparse_best, time.perf_counter() - start)
+
+    return {
+        "workload": label,
+        "family": family,
+        "schema": schema.name,
+        "unknowns": len(dense_system.variables),
+        "rows": len(dense_system.constraints),
+        "nonzeros": cr_system.interned.nonzeros(),
+        "dense_s": dense_best,
+        "sparse_s": sparse_best,
+        "speedup": dense_best / sparse_best if sparse_best > 0 else float("inf"),
+        "support_size": len(sparse_support),
+        "agree": dense_support == sparse_support,
+    }
+
+
+def workloads(quick: bool) -> list[tuple[str, str, CRSchema, int]]:
+    """(label, family, schema, repeats) rows for the E14 ablation."""
+    entries: list[tuple[str, str, CRSchema, int]] = [
+        ("figure1", "figure", figure1_schema(), FIGURE_REPEATS),
+        ("figures3-5:meeting", "figure", meeting_schema(), FIGURE_REPEATS),
+        (
+            "figure6:refined-meeting",
+            "figure",
+            refined_meeting_schema(),
+            FIGURE_REPEATS,
+        ),
+    ]
+    sizes = (4, 5, 6) if quick else (4, 5, 6, 7)
+    entries.extend(
+        (
+            f"random:{k}classes",
+            "random",
+            random_schema(k, relationships=2, seed=7),
+            1,
+        )
+        for k in sizes
     )
-    return cr_system.system.with_constraints([positivity])
+    return entries
 
 
-def scipy_feasible(system: LinearSystem) -> bool:
-    variables = list(system.variables)
-    index = {name: i for i, name in enumerate(variables)}
-    a_ub, b_ub, a_eq, b_eq = [], [], [], []
-    for constraint in system.constraints:
-        row = [0.0] * len(variables)
-        for name, coeff in constraint.expr.coefficients.items():
-            row[index[name]] = float(coeff)
-        rhs = -float(constraint.expr.constant_term)
-        if constraint.relation is Relation.LE:
-            a_ub.append(row)
-            b_ub.append(rhs)
-        elif constraint.relation is Relation.GE:
-            a_ub.append([-v for v in row])
-            b_ub.append(-rhs)
-        else:
-            a_eq.append(row)
-            b_eq.append(rhs)
-    result = linprog(
-        c=np.zeros(len(variables)),
-        A_ub=np.array(a_ub) if a_ub else None,
-        b_ub=np.array(b_ub) if b_ub else None,
-        A_eq=np.array(a_eq) if a_eq else None,
-        b_eq=np.array(b_eq) if b_eq else None,
-        bounds=[(0, None)] * len(variables),
-        method="highs",
+def run_benchmarks(quick: bool = False) -> dict:
+    entries = [
+        _support_workload(label, family, schema, repeats)
+        for label, family, schema, repeats in workloads(quick)
+    ]
+    figure_speedups = [
+        entry["speedup"] for entry in entries if entry["family"] == "figure"
+    ]
+    random_entries = [
+        entry for entry in entries if entry["family"] == "random"
+    ]
+    largest = max(random_entries, key=lambda entry: entry["unknowns"])
+    return {
+        "benchmark": "solver",
+        "version": 1,
+        "quick": quick,
+        "entries": entries,
+        "summary": {
+            "workloads": len(entries),
+            "figure_min_speedup": min(figure_speedups),
+            "largest_random_workload": largest["workload"],
+            "largest_random_unknowns": largest["unknowns"],
+            "largest_random_speedup": largest["speedup"],
+        },
+    }
+
+
+_ENTRY_KEYS = {
+    "workload": str,
+    "family": str,
+    "schema": str,
+    "unknowns": int,
+    "rows": int,
+    "nonzeros": int,
+    "dense_s": float,
+    "sparse_s": float,
+    "speedup": float,
+    "support_size": int,
+    "agree": bool,
+}
+
+FIGURE_PARITY_FLOOR = 0.8
+"""Sparse must reach at least this fraction of dense speed on the tiny
+figure systems — "parity" with headroom for scheduler noise at the
+sub-millisecond scale (best-of-N already smooths most of it)."""
+
+RANDOM_SPEEDUP_FLOOR = 2.0
+"""Sparse must beat dense by at least this factor on the largest
+random-family instance (the refactor's acceptance criterion)."""
+
+
+def validate_report(report: dict) -> dict:
+    """Raise ``ValueError`` unless ``report`` is a well-formed
+    BENCH_solver.json payload meeting the acceptance bars; returns the
+    report for chaining."""
+    if not isinstance(report, dict):
+        raise ValueError("report must be a JSON object")
+    if report.get("benchmark") != "solver":
+        raise ValueError("report['benchmark'] must be 'solver'")
+    entries = report.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("report['entries'] must be a non-empty list")
+    for entry in entries:
+        for key, expected in _ENTRY_KEYS.items():
+            value = entry.get(key)
+            if expected is not bool and isinstance(value, bool):
+                raise ValueError(
+                    f"entry {entry.get('workload')!r}: field {key!r} must be "
+                    f"{expected.__name__}, got bool"
+                )
+            if not isinstance(value, expected):
+                raise ValueError(
+                    f"entry {entry.get('workload')!r}: field {key!r} must be "
+                    f"{expected.__name__}, got {value!r}"
+                )
+        if not entry["agree"]:
+            raise ValueError(
+                f"entry {entry['workload']!r}: dense and sparse engines "
+                "disagree on the maximal support"
+            )
+        if (
+            entry["family"] == "figure"
+            and entry["speedup"] < FIGURE_PARITY_FLOOR
+        ):
+            raise ValueError(
+                f"entry {entry['workload']!r}: sparse engine below parity "
+                f"({entry['speedup']:.2f}x < {FIGURE_PARITY_FLOOR}x)"
+            )
+    families = {entry["family"] for entry in entries}
+    if families != {"figure", "random"}:
+        raise ValueError(f"expected figure+random families, got {families}")
+    summary = report.get("summary")
+    if not isinstance(summary, dict):
+        raise ValueError("report['summary'] must be an object")
+    largest_speedup = summary.get("largest_random_speedup")
+    if not isinstance(largest_speedup, float):
+        raise ValueError("summary.largest_random_speedup must be a float")
+    if largest_speedup < RANDOM_SPEEDUP_FLOOR:
+        raise ValueError(
+            "sparse engine too slow on the largest random instance: "
+            f"{largest_speedup:.2f}x < {RANDOM_SPEEDUP_FLOOR}x"
+        )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="dense vs sparse simplex ablation; emits BENCH_solver.json"
     )
-    return bool(result.success)
-
-
-CASES = [
-    ("meeting/sat", meeting_schema, "Speaker", True),
-    ("refined/unsat", refined_meeting_schema, "Speaker", False),
-]
-
-
-@pytest.mark.parametrize("name,schema_factory,cls,expected", CASES)
-def test_exact_simplex(benchmark, name, schema_factory, cls, expected):
-    system = _positivity_system(schema_factory(), cls)
-    verdict = benchmark(lambda: solve_lp(system).is_feasible)
-    assert verdict == expected
-    paper_row(
-        "E12/simplex", f"{name} feasibility", f"exact simplex says {verdict}"
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller random sizes (CI)"
     )
-
-
-FM_CASES = [
-    # Fourier-Motzkin is doubly exponential in the eliminated variables:
-    # on the full 23-unknown meeting system it does not terminate in
-    # reasonable time (that blow-up IS the measurement — see
-    # EXPERIMENTS.md E12), so the FM rows use the small systems: the
-    # Figure-1 schema and the disjointness-pruned meeting schema of E9.
-    ("figure1/unsat", lambda: figure1_schema(), "D", False),
-    ("figure1-ratio1/sat", lambda: figure1_schema(1), "D", True),
-    (
-        "pruned-meeting/sat",
-        lambda: with_disjointness(meeting_schema(), ("Speaker", "Talk")),
-        "Speaker",
-        True,
-    ),
-]
-
-
-@pytest.mark.parametrize("name,schema_factory,cls,expected", FM_CASES)
-def test_fourier_motzkin(benchmark, name, schema_factory, cls, expected):
-    system = _positivity_system(schema_factory(), cls)
-    verdict = benchmark(
-        lambda: fm_feasible(system, max_constraints=2_000_000)
+    parser.add_argument(
+        "--output",
+        default="BENCH_solver.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: ./BENCH_solver.json)",
     )
-    assert verdict == expected
-    paper_row(
-        "E12/fourier-motzkin",
-        f"{name} feasibility (small systems only; FM blows up beyond)",
-        f"FM agrees: {verdict}",
+    args = parser.parse_args(argv)
+    report = run_benchmarks(quick=args.quick)
+    validate_report(report)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    for entry in report["entries"]:
+        print(
+            f"{entry['workload']:<24} {entry['unknowns']:>5} unknowns"
+            f"  dense {entry['dense_s']*1e3:9.2f} ms"
+            f"  sparse {entry['sparse_s']*1e3:8.2f} ms"
+            f"  speedup {entry['speedup']:6.1f}x"
+        )
+    summary = report["summary"]
+    print(
+        f"-> {args.output}: {summary['workloads']} workloads, "
+        f"figure floor {summary['figure_min_speedup']:.1f}x, largest random "
+        f"({summary['largest_random_workload']}, "
+        f"{summary['largest_random_unknowns']} unknowns) "
+        f"{summary['largest_random_speedup']:.1f}x"
     )
+    return 0
 
 
-@pytest.mark.parametrize("name,schema_factory,cls,expected", FM_CASES)
-def test_exact_simplex_on_fm_cases(benchmark, name, schema_factory, cls, expected):
-    """The same small systems through the simplex, for a direct ratio."""
-    system = _positivity_system(schema_factory(), cls)
-    verdict = benchmark(lambda: solve_lp(system).is_feasible)
-    assert verdict == expected
+# ---------------------------------------------------------------------------
+# E12: pytest-benchmark suite (exact engines vs scipy float oracle)
+# ---------------------------------------------------------------------------
+
+if pytest is not None:
+    from repro.ext.disjointness import with_disjointness
+    from repro.solver.fourier_motzkin import fm_feasible
+    from repro.solver.linear import Constraint, LinearSystem, Relation, term
+    from repro.solver.simplex import solve_lp
+
+    def _positivity_system(schema, cls) -> LinearSystem:
+        """Psi_S plus the Theorem-3.3 positivity row, with > sharpened to
+        >= 1 (sound for homogeneous systems by cone scaling)."""
+        cr_system = build_system(Expansion(schema), mode="pruned")
+        positivity = Constraint(
+            cr_system.class_population_expr(cls) - 1, Relation.GE
+        )
+        return cr_system.system.with_constraints([positivity])
+
+    def scipy_feasible(system: LinearSystem) -> bool:
+        np = pytest.importorskip("numpy")
+        linprog = pytest.importorskip("scipy.optimize").linprog
+        variables = list(system.variables)
+        index = {name: i for i, name in enumerate(variables)}
+        a_ub, b_ub, a_eq, b_eq = [], [], [], []
+        for constraint in system.constraints:
+            row = [0.0] * len(variables)
+            for name, coeff in constraint.expr.coefficients.items():
+                row[index[name]] = float(coeff)
+            rhs = -float(constraint.expr.constant_term)
+            if constraint.relation is Relation.LE:
+                a_ub.append(row)
+                b_ub.append(rhs)
+            elif constraint.relation is Relation.GE:
+                a_ub.append([-v for v in row])
+                b_ub.append(-rhs)
+            else:
+                a_eq.append(row)
+                b_eq.append(rhs)
+        result = linprog(
+            c=np.zeros(len(variables)),
+            A_ub=np.array(a_ub) if a_ub else None,
+            b_ub=np.array(b_ub) if b_ub else None,
+            A_eq=np.array(a_eq) if a_eq else None,
+            b_eq=np.array(b_eq) if b_eq else None,
+            bounds=[(0, None)] * len(variables),
+            method="highs",
+        )
+        return bool(result.success)
+
+    CASES = [
+        ("meeting/sat", meeting_schema, "Speaker", True),
+        ("refined/unsat", refined_meeting_schema, "Speaker", False),
+    ]
+
+    @pytest.mark.parametrize("name,schema_factory,cls,expected", CASES)
+    def test_exact_simplex(benchmark, name, schema_factory, cls, expected):
+        from benchmarks.conftest import paper_row
+
+        system = _positivity_system(schema_factory(), cls)
+        verdict = benchmark(lambda: solve_lp(system).is_feasible)
+        assert verdict == expected
+        paper_row(
+            "E12/simplex",
+            f"{name} feasibility",
+            f"exact simplex says {verdict}",
+        )
+
+    FM_CASES = [
+        # Fourier-Motzkin is doubly exponential in the eliminated
+        # variables: on the full 23-unknown meeting system it does not
+        # terminate in reasonable time (that blow-up IS the measurement
+        # — see EXPERIMENTS.md E12), so the FM rows use the small
+        # systems: the Figure-1 schema and the disjointness-pruned
+        # meeting schema of E9.
+        ("figure1/unsat", lambda: figure1_schema(), "D", False),
+        ("figure1-ratio1/sat", lambda: figure1_schema(1), "D", True),
+        (
+            "pruned-meeting/sat",
+            lambda: with_disjointness(meeting_schema(), ("Speaker", "Talk")),
+            "Speaker",
+            True,
+        ),
+    ]
+
+    @pytest.mark.parametrize("name,schema_factory,cls,expected", FM_CASES)
+    def test_fourier_motzkin(benchmark, name, schema_factory, cls, expected):
+        from benchmarks.conftest import paper_row
+
+        system = _positivity_system(schema_factory(), cls)
+        verdict = benchmark(
+            lambda: fm_feasible(system, max_constraints=2_000_000)
+        )
+        assert verdict == expected
+        paper_row(
+            "E12/fourier-motzkin",
+            f"{name} feasibility (small systems only; FM blows up beyond)",
+            f"FM agrees: {verdict}",
+        )
+
+    @pytest.mark.parametrize("name,schema_factory,cls,expected", FM_CASES)
+    def test_exact_simplex_on_fm_cases(
+        benchmark, name, schema_factory, cls, expected
+    ):
+        """The same small systems through the simplex, for a direct ratio."""
+        system = _positivity_system(schema_factory(), cls)
+        verdict = benchmark(lambda: solve_lp(system).is_feasible)
+        assert verdict == expected
+
+    @pytest.mark.parametrize("name,schema_factory,cls,expected", CASES)
+    def test_scipy_float_lp(benchmark, name, schema_factory, cls, expected):
+        from benchmarks.conftest import paper_row
+
+        system = _positivity_system(schema_factory(), cls)
+        verdict = benchmark(scipy_feasible, system)
+        assert verdict == expected
+        paper_row(
+            "E12/scipy",
+            f"{name} feasibility (float oracle)",
+            f"HiGHS agrees: {verdict}",
+        )
+
+    def test_exactness_guard(benchmark):
+        """A case where float tolerance would be dangerous: a cone that is
+        infeasible only by an exact rational margin."""
+        x, y = term("x"), term("y")
+        big = 10**14
+        system = LinearSystem([big * x <= (big - 1) * y, y <= x, x >= 1])
+        verdict = benchmark(lambda: solve_lp(system).is_feasible)
+        assert not verdict
+        assert not fm_feasible(system)
+
+    def test_solver_report_is_wellformed(benchmark):
+        """The E14 runner's artifact passes its own acceptance gate."""
+        report = benchmark.pedantic(
+            run_benchmarks, kwargs={"quick": True}, rounds=1, iterations=1
+        )
+        validate_report(report)
+        assert report["summary"]["largest_random_speedup"] >= 2.0
 
 
-@pytest.mark.parametrize("name,schema_factory,cls,expected", CASES)
-def test_scipy_float_lp(benchmark, name, schema_factory, cls, expected):
-    system = _positivity_system(schema_factory(), cls)
-    verdict = benchmark(scipy_feasible, system)
-    assert verdict == expected
-    paper_row(
-        "E12/scipy",
-        f"{name} feasibility (float oracle)",
-        f"HiGHS agrees: {verdict}",
-    )
-
-
-def test_exactness_guard(benchmark):
-    """A case where float tolerance would be dangerous: a cone that is
-    infeasible only by an exact rational margin."""
-    x, y = term("x"), term("y")
-    big = 10**14
-    system = LinearSystem(
-        [big * x <= (big - 1) * y, y <= x, x >= 1]
-    )
-    verdict = benchmark(lambda: solve_lp(system).is_feasible)
-    assert not verdict
-    assert not fm_feasible(system)
+if __name__ == "__main__":
+    sys.exit(main())

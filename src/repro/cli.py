@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+from contextlib import ExitStack
 from pathlib import Path
 
 from repro.cr.constraints import (
@@ -50,7 +51,9 @@ from repro.cr.system import build_system
 from repro.cr.unrestricted import unrestricted_satisfiable_classes
 from repro.dsl import parse_schema, serialize_schema
 from repro.errors import BudgetExceededError, LimitExceededError, ReproError
+from repro.pipeline import STAGE_NORMALIZE, PipelineRun, activate_run, stage
 from repro.runtime.budget import Budget, activate
+from repro.solver.registry import backend_names, pin_backend
 from repro.runtime.outcome import ImplicationVerdict, Verdict
 from repro.ext.debugging import (
     minimal_unsatisfiable_constraints,
@@ -103,7 +106,8 @@ def parse_statement(text: str):
 
 
 def _load_schema(path: str) -> CRSchema:
-    return parse_schema(Path(path).read_text())
+    with stage(STAGE_NORMALIZE):
+        return parse_schema(Path(path).read_text())
 
 
 def _budget_from(args: argparse.Namespace) -> Budget | None:
@@ -197,42 +201,47 @@ def _read_batch_queries(args: argparse.Namespace) -> list:
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.session import ReasoningSession
 
-    schema = _load_schema(args.schema)
-    queries = _read_batch_queries(args)
-    session = ReasoningSession(schema, budget=_budget_from(args))
-    records = []
-    any_unknown = False
-    all_positive = True
-    for kind, payload in queries:
-        if kind == "sat":
-            result = session.is_class_satisfiable(payload)
-            verdict = result.verdict
-            positive = bool(result.satisfiable)
-            unknown = verdict is Verdict.UNKNOWN
-            text = f"sat {payload}: {_verdict_word(verdict if unknown else positive)}"
-            records.append(
-                {
-                    "query": f"sat {payload}",
-                    "verdict": verdict.value,
-                    "unknown_reason": result.unknown_reason,
-                }
-            )
-        else:
-            result = session.implies(payload)
-            positive = bool(result.implied)
-            unknown = result.verdict is ImplicationVerdict.UNKNOWN
-            text = result.pretty()
-            records.append(
-                {
-                    "query": payload.pretty(),
-                    "verdict": result.verdict.value,
-                    "unknown_reason": result.unknown_reason,
-                }
-            )
-        any_unknown = any_unknown or unknown
-        all_positive = all_positive and positive
-        if not args.json:
-            print(text)
+    run = PipelineRun()
+    with activate_run(run):
+        schema = _load_schema(args.schema)
+        queries = _read_batch_queries(args)
+        session = ReasoningSession(schema, budget=_budget_from(args))
+        records = []
+        any_unknown = False
+        all_positive = True
+        for kind, payload in queries:
+            if kind == "sat":
+                result = session.is_class_satisfiable(payload)
+                verdict = result.verdict
+                positive = bool(result.satisfiable)
+                unknown = verdict is Verdict.UNKNOWN
+                text = (
+                    f"sat {payload}: "
+                    f"{_verdict_word(verdict if unknown else positive)}"
+                )
+                records.append(
+                    {
+                        "query": f"sat {payload}",
+                        "verdict": verdict.value,
+                        "unknown_reason": result.unknown_reason,
+                    }
+                )
+            else:
+                result = session.implies(payload)
+                positive = bool(result.implied)
+                unknown = result.verdict is ImplicationVerdict.UNKNOWN
+                text = result.pretty()
+                records.append(
+                    {
+                        "query": payload.pretty(),
+                        "verdict": result.verdict.value,
+                        "unknown_reason": result.unknown_reason,
+                    }
+                )
+            any_unknown = any_unknown or unknown
+            all_positive = all_positive and positive
+            if not args.json:
+                print(text)
     if args.json:
         import json
 
@@ -243,6 +252,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     "fingerprint": session.fingerprint,
                     "results": records,
                     "stats": session.stats.as_dict(),
+                    "stages": run.as_dict(),
                 },
                 indent=2,
             )
@@ -254,6 +264,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"{stats.expansion_builds} expansion build(s), "
             f"{stats.fixpoint_runs} fixpoint run(s), {stats.hits} cache hit(s)"
         )
+        for name, timing in run.as_dict().items():
+            print(
+                f"# stage {name}: {timing['runs']} run(s), "
+                f"{timing['seconds'] * 1000.0:.1f}ms"
+            )
     if any_unknown:
         return 3
     return 0 if all_positive else 1
@@ -345,6 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="satisfiability engine (default: fixpoint)",
         )
 
+    def add_backend(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--backend",
+            choices=backend_names(),
+            default=None,
+            help="pin the primary solver backend for this command "
+            "(default: REPRO_BACKEND env var, else sparse-simplex)",
+        )
+
     def add_budget(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--timeout",
@@ -377,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also report satisfiability over possibly-infinite models",
     )
     add_engine(check)
+    add_backend(check)
     add_budget(check)
     check.set_defaults(run=_cmd_check)
 
@@ -406,8 +431,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--stats",
         action="store_true",
-        help="append a session cache-statistics line",
+        help="append session cache statistics and per-stage pipeline "
+        "timings (normalize/expand/build-system/solve/verdict)",
     )
+    add_backend(batch)
     add_budget(batch)
     batch.set_defaults(run=_cmd_batch)
 
@@ -420,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the counter-model when not implied",
     )
     add_engine(imp)
+    add_backend(imp)
     add_budget(imp)
     imp.set_defaults(run=_cmd_implies)
 
@@ -427,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("schema")
     model.add_argument("--class", dest="cls", required=True)
     add_engine(model)
+    add_backend(model)
     add_budget(model)
     model.set_defaults(run=_cmd_model)
 
@@ -435,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument("schema")
     explain.add_argument("--class", dest="cls", required=True)
+    add_backend(explain)
     add_budget(explain)
     explain.set_defaults(run=_cmd_explain)
 
@@ -448,6 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["deletion", "quickxplain"],
         default="quickxplain",
     )
+    add_backend(debug)
     add_budget(debug)
     debug.set_defaults(run=_cmd_debug)
 
@@ -482,7 +513,11 @@ def main(argv: list[str] | None = None) -> int:
         # ``budget=`` parameters (for degraded UNKNOWN verdicts); the
         # remaining commands are governed ambiently and surface
         # exhaustion as exit code 3 below.
-        with activate(_budget_from(args)):
+        with ExitStack() as stack:
+            backend = getattr(args, "backend", None)
+            if backend is not None:
+                stack.enter_context(pin_backend(backend))
+            stack.enter_context(activate(_budget_from(args)))
             return args.run(args)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)

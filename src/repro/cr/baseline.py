@@ -27,7 +27,7 @@ from fractions import Fraction
 from repro.cr.schema import CRSchema
 from repro.errors import SchemaError
 from repro.solver.homogeneous import integerize, maximal_support
-from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation, term
+from repro.solver.linear import Constraint, LinearSystem, Relation, term
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ can be audited without trusting the simplex.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cr.expansion import Expansion, ExpansionLimits
 from repro.cr.schema import CRSchema

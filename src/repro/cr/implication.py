@@ -39,7 +39,14 @@ from repro.cr.satisfiability import DEFAULT_NAIVE_LIMIT, acceptable_with_positiv
 from repro.cr.schema import Card, CRSchema, Relationship, UNBOUNDED
 from repro.cr.system import build_system
 from repro.errors import BudgetExceededError, ReproError, SchemaError
-from repro.runtime.budget import Budget, ProgressSnapshot, current_budget, run_governed
+from repro.pipeline import (
+    STAGE_BUILD_SYSTEM,
+    STAGE_EXPAND,
+    STAGE_SOLVE,
+    STAGE_VERDICT,
+    stage,
+)
+from repro.runtime.budget import Budget, ProgressSnapshot, run_governed
 from repro.runtime.fallback import DEFAULT_FALLBACK, FallbackPolicy
 from repro.runtime.outcome import ImplicationVerdict
 from repro.utils.naming import FreshNames
@@ -153,35 +160,29 @@ def implies_isa(
     query = IsaStatement(sub, sup)
 
     def compute() -> ImplicationResult:
-        _enter_phase("expansion")
-        expansion = Expansion(schema, limits)
-        _enter_phase("system")
-        cr_system = build_system(expansion, mode="pruned")
-        targets = frozenset(
-            cr_system.class_var[compound]
-            for compound in expansion.consistent_classes_containing(sub)
-            if sup not in compound.members
-        )
-        _enter_phase(f"decide:{engine}")
-        found, solution, _support = acceptable_with_positive(
-            cr_system, targets, engine, naive_limit, fallback
-        )
-        if not found:
-            return ImplicationResult(query, True, engine, None)
-        assert solution is not None
-        countermodel = construct_model(cr_system, solution)
-        return ImplicationResult(query, False, engine, countermodel)
+        with stage(STAGE_EXPAND, phase="expansion"):
+            expansion = Expansion(schema, limits)
+        with stage(STAGE_BUILD_SYSTEM, phase="system"):
+            cr_system = build_system(expansion, mode="pruned")
+            targets = frozenset(
+                cr_system.class_var[compound]
+                for compound in expansion.consistent_classes_containing(sub)
+                if sup not in compound.members
+            )
+        with stage(STAGE_SOLVE, phase=f"decide:{engine}"):
+            found, solution, _support = acceptable_with_positive(
+                cr_system, targets, engine, naive_limit, fallback
+            )
+        with stage(STAGE_VERDICT):
+            if not found:
+                return ImplicationResult(query, True, engine, None)
+            assert solution is not None
+            countermodel = construct_model(cr_system, solution)
+            return ImplicationResult(query, False, engine, countermodel)
 
     return run_governed(
         budget, compute, lambda error: _unknown_implication(query, engine, error)
     )
-
-
-def _enter_phase(name: str) -> None:
-    """Record the pipeline stage on the ambient budget, if any."""
-    active = current_budget()
-    if active is not None:
-        active.enter_phase(name)
 
 
 def exceptional_schema(
@@ -251,23 +252,26 @@ def _cardinality_implication(
     )
 
     def compute() -> ImplicationResult:
-        _enter_phase("expansion")
-        expansion = Expansion(extended, limits)
-        _enter_phase("system")
-        cr_system = build_system(expansion, mode="pruned")
-        targets = frozenset(
-            cr_system.class_var[compound]
-            for compound in expansion.consistent_classes_containing(exc)
-        )
-        _enter_phase(f"decide:{engine}")
-        found, solution, _support = acceptable_with_positive(
-            cr_system, targets, engine, naive_limit, fallback
-        )
-        if not found:
-            return ImplicationResult(query, True, engine, None)
-        assert solution is not None
-        countermodel = strip_class(construct_model(cr_system, solution), exc)
-        return ImplicationResult(query, False, engine, countermodel)
+        with stage(STAGE_EXPAND, phase="expansion"):
+            expansion = Expansion(extended, limits)
+        with stage(STAGE_BUILD_SYSTEM, phase="system"):
+            cr_system = build_system(expansion, mode="pruned")
+            targets = frozenset(
+                cr_system.class_var[compound]
+                for compound in expansion.consistent_classes_containing(exc)
+            )
+        with stage(STAGE_SOLVE, phase=f"decide:{engine}"):
+            found, solution, _support = acceptable_with_positive(
+                cr_system, targets, engine, naive_limit, fallback
+            )
+        with stage(STAGE_VERDICT):
+            if not found:
+                return ImplicationResult(query, True, engine, None)
+            assert solution is not None
+            countermodel = strip_class(
+                construct_model(cr_system, solution), exc
+            )
+            return ImplicationResult(query, False, engine, countermodel)
 
     return run_governed(
         budget, compute, lambda error: _unknown_implication(query, engine, error)
@@ -347,25 +351,29 @@ def implies_disjointness(
     query = DisjointnessStatement(frozenset(class_list))
 
     def compute() -> ImplicationResult:
-        _enter_phase("expansion")
-        expansion = Expansion(schema, limits)
-        _enter_phase("system")
-        cr_system = build_system(expansion, mode="pruned")
-        targets = set()
-        for i, first in enumerate(class_list):
-            for second in class_list[i + 1 :]:
-                for compound in expansion.consistent_compound_classes():
-                    if first in compound.members and second in compound.members:
-                        targets.add(cr_system.class_var[compound])
-        _enter_phase(f"decide:{engine}")
-        found, solution, _support = acceptable_with_positive(
-            cr_system, frozenset(targets), engine, naive_limit, fallback
-        )
-        if not found:
-            return ImplicationResult(query, True, engine, None)
-        assert solution is not None
-        countermodel = construct_model(cr_system, solution)
-        return ImplicationResult(query, False, engine, countermodel)
+        with stage(STAGE_EXPAND, phase="expansion"):
+            expansion = Expansion(schema, limits)
+        with stage(STAGE_BUILD_SYSTEM, phase="system"):
+            cr_system = build_system(expansion, mode="pruned")
+            targets = set()
+            for i, first in enumerate(class_list):
+                for second in class_list[i + 1 :]:
+                    for compound in expansion.consistent_compound_classes():
+                        if (
+                            first in compound.members
+                            and second in compound.members
+                        ):
+                            targets.add(cr_system.class_var[compound])
+        with stage(STAGE_SOLVE, phase=f"decide:{engine}"):
+            found, solution, _support = acceptable_with_positive(
+                cr_system, frozenset(targets), engine, naive_limit, fallback
+            )
+        with stage(STAGE_VERDICT):
+            if not found:
+                return ImplicationResult(query, True, engine, None)
+            assert solution is not None
+            countermodel = construct_model(cr_system, solution)
+            return ImplicationResult(query, False, engine, countermodel)
 
     return run_governed(
         budget, compute, lambda error: _unknown_implication(query, engine, error)

@@ -52,32 +52,41 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 from fractions import Fraction
-from itertools import combinations
 
 from repro.cr.expansion import Expansion, ExpansionLimits
 from repro.cr.schema import CRSchema
 from repro.cr.system import CRSystem, build_system
 from repro.errors import (
     BudgetExceededError,
-    LimitExceededError,
     ReproError,
     SolverError,
 )
-from repro.runtime.budget import Budget, ProgressSnapshot, current_budget, run_governed
+from repro.pipeline import (
+    STAGE_BUILD_SYSTEM,
+    STAGE_EXPAND,
+    STAGE_SOLVE,
+    STAGE_VERDICT,
+    stage,
+)
+from repro.runtime.budget import (
+    Budget,
+    ProgressSnapshot,
+    run_governed,
+)
 from repro.runtime.fallback import (
     DEFAULT_FALLBACK,
     FallbackPolicy,
-    resilient_maximal_support,
-    resilient_positive_solution,
+    chain_for,
 )
 from repro.runtime.outcome import Verdict
 from repro.solver.homogeneous import integerize
-from repro.solver.linear import Constraint, LinearSystem, Relation, term
-
-DEFAULT_NAIVE_LIMIT = 16
-"""Default cap on class unknowns for the naive (Theorem 3.4) engine,
-which enumerates ``2^n`` zero-sets.  Override per call via the
-``naive_limit`` parameter."""
+from repro.solver.registry import (
+    DEFAULT_NAIVE_LIMIT,
+    AcceptabilityProblem,
+    active_backend_name,
+    fixpoint_support,
+    get_backend,
+)
 
 
 @dataclass(frozen=True)
@@ -190,6 +199,49 @@ def support_verdicts(
 # ---------------------------------------------------------------------------
 
 
+def _fixpoint_problem(
+    cr_system: CRSystem, targets: frozenset[str] = frozenset()
+) -> AcceptabilityProblem:
+    """The interned Theorem-3.3 decision input for the fixpoint engine.
+
+    Probing only the class unknowns suffices: the fixpoint forces out
+    every relationship unknown that depends on an unreachable class,
+    and at the fixpoint the witness is positive on every reachable
+    class unknown, which makes it acceptable regardless of which
+    relationship unknowns it happens to use.  Fewer probes mean a much
+    smaller LP (one shadow variable and two rows per probe).
+    """
+    return AcceptabilityProblem(
+        system=cr_system.interned,
+        class_unknowns=tuple(cr_system.class_var.values()),
+        dependencies=cr_system.dependencies,
+        targets=targets,
+    )
+
+
+def _naive_problem(
+    cr_system: CRSystem, targets: frozenset[str]
+) -> AcceptabilityProblem:
+    """The decision input for the naive engine, whose zero-set universe
+    is the *consistent* class unknowns."""
+    return AcceptabilityProblem(
+        system=cr_system.interned,
+        class_unknowns=cr_system.consistent_class_unknowns(),
+        dependencies=cr_system.dependencies,
+        targets=targets,
+    )
+
+
+def _resolve_engine(engine: str) -> str:
+    """Honour a pinned ``naive`` backend: pinning the Theorem-3.4
+    decision procedure via ``--backend`` / ``REPRO_BACKEND`` switches
+    the engine, since it is not an LP backend the fixpoint could run
+    on."""
+    if engine == "fixpoint" and active_backend_name() == "naive":
+        return "naive"
+    return engine
+
+
 def acceptable_support(
     cr_system: CRSystem,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
@@ -198,42 +250,17 @@ def acceptable_support(
 
     The witness is a single acceptable solution positive on exactly the
     returned support.  See the module docstring for why the fixpoint is
-    sound and complete.  Each support LP retries on the Fourier–Motzkin
-    backend when the simplex faults (per ``fallback``); the ambient
+    sound and complete.  Each support LP runs on the policy's backend
+    chain (:func:`repro.runtime.fallback.chain_for` — the active
+    primary backend with Fourier–Motzkin retry by default); the ambient
     budget is checked once per fixpoint iteration on top of the
     per-pivot charges inside the solvers.
     """
-    base = cr_system.system
-    dependencies = cr_system.dependencies
-    # Probing only the class unknowns suffices: the fixpoint forces out
-    # every relationship unknown that depends on an unreachable class,
-    # and at the fixpoint the witness is positive on every reachable
-    # class unknown, which makes it acceptable regardless of which
-    # relationship unknowns it happens to use.  Fewer probes mean a much
-    # smaller LP (one shadow variable and two rows per probe).
-    class_unknowns = list(cr_system.class_var.values())
-    forced_zero: set[str] = set()
-    budget = current_budget()
-    while True:
-        if budget is not None:
-            budget.check()
-        constrained = base.with_constraints(
-            Constraint(term(name), Relation.EQ, label=f"forced-zero:{name}")
-            for name in sorted(forced_zero)
-        )
-        support, solution = resilient_maximal_support(
-            constrained, class_unknowns, fallback
-        )
-        newly_forced = {
-            rel_unknown
-            for rel_unknown, class_unknowns_of_rel in dependencies.items()
-            if rel_unknown not in forced_zero
-            and any(c not in support for c in class_unknowns_of_rel)
-        }
-        if not newly_forced:
-            assert is_acceptable(solution, dependencies)
-            return support, solution
-        forced_zero |= newly_forced
+    support, solution = fixpoint_support(
+        _fixpoint_problem(cr_system), chain_for(fallback)
+    )
+    assert is_acceptable(solution, cr_system.dependencies)
+    return support, solution
 
 
 def acceptable_with_positive(
@@ -252,11 +279,12 @@ def acceptable_with_positive(
     ``(found, integer_witness, support)``.
 
     With a ``fallback`` policy, a fixpoint run whose solver faults even
-    after per-LP Fourier–Motzkin retries falls back to the naive engine
-    — but only when the system has at most ``naive_limit`` class
+    after per-LP down-chain retries falls back to the naive engine —
+    but only when the system has at most ``naive_limit`` class
     unknowns; otherwise the original fault propagates.  Budget
     exhaustion is never absorbed by the chain.
     """
+    engine = _resolve_engine(engine)
     if engine == "fixpoint":
         try:
             support, solution = acceptable_support(cr_system, fallback)
@@ -279,38 +307,8 @@ def acceptable_with_positive(
 
 
 # ---------------------------------------------------------------------------
-# Naive engine (Theorem 3.4 verbatim)
+# Naive engine (Theorem 3.4 verbatim, provided by the registry)
 # ---------------------------------------------------------------------------
-
-
-def _zero_set_system(
-    cr_system: CRSystem, zero_set: frozenset[str]
-) -> LinearSystem:
-    """The system ``Ψ_Z`` of Theorem 3.4.
-
-    Class unknowns in ``Z`` are pinned to 0, the others are required
-    strictly positive, and every relationship unknown depending on a
-    member of ``Z`` is pinned to 0 (non-negativity of the rest is
-    already part of ``Ψ_S``).
-    """
-    extra: list[Constraint] = []
-    for name in cr_system.consistent_class_unknowns():
-        if name in zero_set:
-            extra.append(
-                Constraint(term(name), Relation.EQ, label=f"Z-zero:{name}")
-            )
-        else:
-            extra.append(
-                Constraint(term(name), Relation.GT, label=f"Z-positive:{name}")
-            )
-    for rel_unknown, class_unknowns in cr_system.dependencies.items():
-        if any(c in zero_set for c in class_unknowns):
-            extra.append(
-                Constraint(
-                    term(rel_unknown), Relation.EQ, label=f"Z-dep:{rel_unknown}"
-                )
-            )
-    return cr_system.system.with_constraints(extra)
 
 
 def _naive_with_positive(
@@ -319,34 +317,14 @@ def _naive_with_positive(
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
-    class_unknowns = list(cr_system.consistent_class_unknowns())
-    if len(class_unknowns) > naive_limit:
-        raise LimitExceededError(
-            f"the naive (Theorem 3.4) engine enumerates 2^{len(class_unknowns)} "
-            f"zero-sets, above the configured naive_limit of {naive_limit}; "
-            "use engine='fixpoint' for schemas of this size or raise the limit"
-        )
-    universe = set(class_unknowns)
-    budget = current_budget()
-    # Smaller zero-sets first: solutions with rich support come out of
-    # the search earlier, and Z = {} alone settles most satisfiable cases.
-    for size in range(len(class_unknowns) + 1):
-        for zero_tuple in combinations(class_unknowns, size):
-            if budget is not None:
-                budget.check()
-            zero_set = frozenset(zero_tuple)
-            if targets <= zero_set:
-                continue  # the required positivity would be impossible
-            candidate = _zero_set_system(cr_system, zero_set)
-            witness = resilient_positive_solution(candidate, fallback)
-            if witness.feasible:
-                assert witness.integral is not None
-                support = frozenset(
-                    name for name, value in witness.integral.items() if value > 0
-                )
-                assert universe - zero_set <= support
-                return True, witness.integral, support
-    return False, None, frozenset()
+    """Run the registry's naive backend; per-zero-set strict probes run
+    on the policy's LP chain (the naivety is the enumeration strategy,
+    not the arithmetic)."""
+    return get_backend("naive").decide_acceptable(
+        _naive_problem(cr_system, targets),
+        chain=chain_for(fallback),
+        naive_limit=naive_limit,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -394,31 +372,29 @@ def is_class_satisfiable(
         Solver degradation policy (``None`` disables the chain).
     """
     schema.require_class(cls)
+    engine = _resolve_engine(engine)
 
     def compute() -> SatisfiabilityResult:
-        active = current_budget()
-        if active is not None:
-            active.enter_phase("expansion")
-        local_expansion = expansion
-        if local_expansion is None:
-            local_expansion = Expansion(schema, limits)
-        if active is not None:
-            active.enter_phase("system")
-        cr_system = build_system(local_expansion, mode="pruned")
-        targets = class_targets(cr_system, cls)
-        if active is not None:
-            active.enter_phase(f"decide:{engine}")
-        satisfiable, solution, support = acceptable_with_positive(
-            cr_system, targets, engine, naive_limit, fallback
-        )
-        return SatisfiabilityResult(
-            cls=cls,
-            satisfiable=satisfiable,
-            engine=engine,
-            cr_system=cr_system,
-            solution=solution,
-            support=support if satisfiable else frozenset(),
-        )
+        with stage(STAGE_EXPAND, phase="expansion"):
+            local_expansion = expansion
+            if local_expansion is None:
+                local_expansion = Expansion(schema, limits)
+        with stage(STAGE_BUILD_SYSTEM, phase="system"):
+            cr_system = build_system(local_expansion, mode="pruned")
+            targets = class_targets(cr_system, cls)
+        with stage(STAGE_SOLVE, phase=f"decide:{engine}"):
+            satisfiable, solution, support = acceptable_with_positive(
+                cr_system, targets, engine, naive_limit, fallback
+            )
+        with stage(STAGE_VERDICT):
+            return SatisfiabilityResult(
+                cls=cls,
+                satisfiable=satisfiable,
+                engine=engine,
+                cr_system=cr_system,
+                solution=solution,
+                support=support if satisfiable else frozenset(),
+            )
 
     return run_governed(
         budget, compute, lambda error: _unknown_result(cls, engine, error)
@@ -448,19 +424,15 @@ def satisfiable_classes(
     """
 
     def compute() -> dict[str, bool | Verdict]:
-        active = current_budget()
-        if active is not None:
-            active.enter_phase("expansion")
-        local_expansion = expansion
-        if local_expansion is None:
-            local_expansion = Expansion(schema, limits)
-        if active is not None:
-            active.enter_phase("system")
-        cr_system = build_system(local_expansion, mode="pruned")
-        if active is not None:
-            active.enter_phase("decide:fixpoint")
+        with stage(STAGE_EXPAND, phase="expansion"):
+            local_expansion = expansion
+            if local_expansion is None:
+                local_expansion = Expansion(schema, limits)
+        with stage(STAGE_BUILD_SYSTEM, phase="system"):
+            cr_system = build_system(local_expansion, mode="pruned")
         try:
-            support, _solution = acceptable_support(cr_system, fallback)
+            with stage(STAGE_SOLVE, phase="decide:fixpoint"):
+                support, _solution = acceptable_support(cr_system, fallback)
         except BudgetExceededError:
             raise
         except SolverError:
@@ -470,18 +442,18 @@ def satisfiable_classes(
                 or len(cr_system.consistent_class_unknowns()) > naive_limit
             ):
                 raise
-            if active is not None:
-                active.enter_phase("decide:naive")
-            return {
-                cls: _naive_with_positive(
-                    cr_system,
-                    class_targets(cr_system, cls),
-                    naive_limit,
-                    fallback,
-                )[0]
-                for cls in schema.classes
-            }
-        return support_verdicts(cr_system, support)
+            with stage(STAGE_SOLVE, phase="decide:naive"):
+                return {
+                    cls: _naive_with_positive(
+                        cr_system,
+                        class_targets(cr_system, cls),
+                        naive_limit,
+                        fallback,
+                    )[0]
+                    for cls in schema.classes
+                }
+        with stage(STAGE_VERDICT):
+            return support_verdicts(cr_system, support)
 
     return run_governed(
         budget,

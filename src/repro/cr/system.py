@@ -21,6 +21,14 @@ Two build modes:
 The generated system is homogeneous with integer coefficients
 (the paper's observation at the end of Section 3.2), which the solver
 layer exploits: rational feasibility equals integer feasibility.
+
+The generator emits the *interned sparse form*
+(:class:`repro.solver.core.InternedSystem`) directly — integer unknown
+indices and native-``int`` coefficients, the representation the solver
+backends consume.  The pretty string-keyed
+:class:`~repro.solver.linear.LinearSystem` (Figure-5 unknown names like
+``c3`` and ``h13``) is derived lazily via :attr:`CRSystem.system` and
+exists only at the render/explain boundary.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.cr.expansion import CompoundClass, CompoundRelationship, Expansion
 from repro.errors import ReproError
+from repro.solver.core import Coeff, InternedSystem, VariableTable
 from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation, term
 
 
@@ -56,20 +65,36 @@ class CRSystem:
     classes appearing in its roles.  Acceptability of a solution —
     relationship unknowns vanish whenever a class unknown they depend on
     does — is phrased entirely in terms of this map.
+
+    ``interned`` is the canonical sparse form the solver backends
+    consume; :attr:`system` projects it to the string-keyed
+    :class:`~repro.solver.linear.LinearSystem` on first access (the
+    render/explain boundary — row order, labels, and origins are
+    preserved, so Figure-5 output is byte-identical).
     """
 
     expansion: Expansion
-    system: LinearSystem
+    interned: InternedSystem
     mode: str
     class_var: dict[CompoundClass, str]
     rel_var: dict[CompoundRelationship, str]
     dependencies: dict[str, tuple[str, ...]]
     var_class: dict[str, CompoundClass] = field(init=False)
     var_rel: dict[str, CompoundRelationship] = field(init=False)
+    _linear: LinearSystem | None = field(
+        init=False, default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.var_class = {name: cc for cc, name in self.class_var.items()}
         self.var_rel = {name: cr for cr, name in self.rel_var.items()}
+
+    @property
+    def system(self) -> LinearSystem:
+        """The string-keyed ``Ψ_S`` (derived from ``interned`` on demand)."""
+        if self._linear is None:
+            self._linear = self.interned.to_linear()
+        return self._linear
 
     # -- unknown inventories ------------------------------------------------
 
@@ -182,92 +207,94 @@ def build_system(expansion: Expansion, mode: str = "pruned") -> CRSystem:
     if len(set(all_names)) != len(all_names):  # pragma: no cover - defensive
         raise ReproError("internal error: unknown names collide")
 
-    system = LinearSystem(variables=all_names)
+    table = VariableTable(all_names)
+    interned = InternedSystem(table)
+    class_index = {
+        compound: table.index(name) for compound, name in class_var.items()
+    }
+    rel_index = {
+        compound: table.index(name) for compound, name in rel_var.items()
+    }
 
     # Group 1 (literal mode only): inconsistent unknowns are zero.
     if mode == "literal":
         for compound in compound_classes:
             if not expansion.is_consistent_class(compound):
-                system.add(
-                    Constraint(
-                        term(class_var[compound]),
-                        Relation.EQ,
-                        label=f"zero-class:{class_var[compound]}",
-                        origin=compound,
-                    )
+                interned.add(
+                    {class_index[compound]: 1},
+                    Relation.EQ,
+                    label=f"zero-class:{class_var[compound]}",
+                    origin=compound,
                 )
         for compound in compound_relationships:
             if not expansion.is_consistent_relationship(compound):
-                system.add(
-                    Constraint(
-                        term(rel_var[compound]),
-                        Relation.EQ,
-                        label=f"zero-rel:{rel_var[compound]}",
-                        origin=compound,
-                    )
+                interned.add(
+                    {rel_index[compound]: 1},
+                    Relation.EQ,
+                    label=f"zero-rel:{rel_var[compound]}",
+                    origin=compound,
                 )
 
     # Index the consistent compound relationships by (rel, role, compound
     # class) for the sums of group 2.
-    tuples_with_component: dict[tuple[str, str, CompoundClass], list[str]] = {}
+    tuples_with_component: dict[tuple[str, str, CompoundClass], list[int]] = {}
     for compound in expansion.consistent_compound_relationships():
         for role, component in compound.signature:
             key = (compound.rel, role, component)
-            tuples_with_component.setdefault(key, []).append(rel_var[compound])
+            tuples_with_component.setdefault(key, []).append(
+                rel_index[compound]
+            )
 
-    # Group 2: lifted cardinality disequations.
+    # Group 2: lifted cardinality disequations —
+    # ``minc·Var(C̄) − Σ tuples ≤ 0`` and ``maxc·Var(C̄) − Σ tuples ≥ 0``.
     for rel in schema.relationships:
         for role, _primary in rel.signature:
             for compound in expansion.consistent_compound_classes():
                 if rel.primary_class(role) not in compound.members:
                     continue
                 lifted = expansion.lifted_card(compound, rel.name, role)
-                names = tuples_with_component.get(
+                columns = tuples_with_component.get(
                     (rel.name, role, compound), []
                 )
-                total = LinExpr()
-                for name in names:
-                    total = total + term(name)
-                class_term = term(class_var[compound])
                 index = expansion.class_index(compound)
                 if lifted.minc > 0:
-                    system.add(
-                        Constraint(
-                            lifted.minc * class_term - total,
-                            Relation.LE,
-                            label=f"min:{rel.name}:{role}:{index}",
-                            origin=(compound, rel.name, role, lifted),
-                        )
+                    entries: dict[int, Coeff] = {
+                        class_index[compound]: lifted.minc
+                    }
+                    for column in columns:
+                        entries[column] = entries.get(column, 0) - 1
+                    interned.add(
+                        entries,
+                        Relation.LE,
+                        label=f"min:{rel.name}:{role}:{index}",
+                        origin=(compound, rel.name, role, lifted),
                     )
                 if lifted.maxc is not None:
-                    system.add(
-                        Constraint(
-                            lifted.maxc * class_term - total,
-                            Relation.GE,
-                            label=f"max:{rel.name}:{role}:{index}",
-                            origin=(compound, rel.name, role, lifted),
-                        )
+                    entries = {class_index[compound]: lifted.maxc}
+                    for column in columns:
+                        entries[column] = entries.get(column, 0) - 1
+                    interned.add(
+                        entries,
+                        Relation.GE,
+                        label=f"max:{rel.name}:{role}:{index}",
+                        origin=(compound, rel.name, role, lifted),
                     )
 
     # Group 3: non-negativity of the consistent unknowns.  (In literal
     # mode the inconsistent ones are already pinned to zero.)
     for compound in compound_classes:
         if expansion.is_consistent_class(compound):
-            system.add(
-                Constraint(
-                    term(class_var[compound]),
-                    Relation.GE,
-                    label=f"nonneg:{class_var[compound]}",
-                )
+            interned.add(
+                {class_index[compound]: 1},
+                Relation.GE,
+                label=f"nonneg:{class_var[compound]}",
             )
     for compound in compound_relationships:
         if expansion.is_consistent_relationship(compound):
-            system.add(
-                Constraint(
-                    term(rel_var[compound]),
-                    Relation.GE,
-                    label=f"nonneg:{rel_var[compound]}",
-                )
+            interned.add(
+                {rel_index[compound]: 1},
+                Relation.GE,
+                label=f"nonneg:{rel_var[compound]}",
             )
 
     dependencies = {
@@ -280,7 +307,7 @@ def build_system(expansion: Expansion, mode: str = "pruned") -> CRSystem:
 
     return CRSystem(
         expansion=expansion,
-        system=system,
+        interned=interned,
         mode=mode,
         class_var=class_var,
         rel_var=rel_var,

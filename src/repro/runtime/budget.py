@@ -44,7 +44,7 @@ from collections.abc import Callable
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Any, Iterator, TypeVar
+from typing import Iterator, TypeVar
 
 from repro.errors import BudgetExceededError, CancelledError, ReproError
 

@@ -1,16 +1,20 @@
-"""Fault-tolerant solver fallback chain.
+"""Fault-tolerant solver fallback, composed from the backend registry.
 
-The satisfiability fixpoint normally runs every LP on the exact
-simplex.  If a solve *faults* (a :class:`~repro.errors.SolverError`,
+The satisfiability fixpoint normally runs every LP on the active
+primary backend (the interned sparse simplex unless ``--backend`` /
+``REPRO_BACKEND`` / :func:`repro.solver.registry.pin_backend` says
+otherwise).  If a solve *faults* (a :class:`~repro.errors.SolverError`,
 whether a genuine defect or one injected by
-:mod:`repro.runtime.faults`), the affected LP is retried on the
-completely independent Fourier–Motzkin backend before the failure is
-allowed to surface; if the whole fixpoint run still faults, the caller
+:mod:`repro.runtime.faults`), the affected LP is retried down the
+policy's backend chain — by default the completely independent
+Fourier–Motzkin backend — before the failure is allowed to surface; if
+the whole fixpoint run still faults, the caller
 (:func:`repro.cr.satisfiability.acceptable_with_positive`) falls back
 to the naive Theorem-3.4 engine when the system is small enough.  The
-chain is
+default chain is
 
-    fixpoint/simplex  →  per-LP Fourier–Motzkin retry  →  naive engine
+    fixpoint/primary LP backend  →  per-LP Fourier–Motzkin retry
+    →  naive engine
 
 and every link degrades, never silently changes the answer: each
 backend is sound and complete on the systems it accepts, so a verdict
@@ -20,6 +24,11 @@ produced.
 Budget exhaustion (:class:`~repro.errors.BudgetExceededError`) is
 deliberately *not* retried — running out of resources on one backend
 is not evidence the next, slower backend would do better.
+
+Historically this module hard-wired ``simplex → fourier_motzkin``
+calls; it is now a thin policy layer over
+:mod:`repro.solver.registry`, and :class:`FallbackPolicy` can name an
+arbitrary registered chain via ``chain=``.
 """
 
 from __future__ import annotations
@@ -28,17 +37,18 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 from fractions import Fraction
 
-from repro.errors import BudgetExceededError, SolverError
-from repro.solver.fourier_motzkin import fm_solve
-from repro.solver.homogeneous import (
-    HomogeneousWitness,
-    integerize,
-    find_positive_solution,
-    maximal_support,
+from repro.solver.core import InternedSystem
+from repro.solver.homogeneous import HomogeneousWitness
+from repro.solver.linear import LinearSystem
+from repro.solver.registry import (
+    DEFAULT_BACKEND,
+    FourierMotzkinBackend,
+    SolverBackend,
+    active_backend,
+    chain_maximal_support,
+    chain_positive_solution,
+    get_backend,
 )
-from repro.solver.linear import Constraint, LinearSystem, Relation, term
-
-_ZERO = Fraction(0)
 
 
 @dataclass(frozen=True)
@@ -52,101 +62,107 @@ class FallbackPolicy:
     ``use_naive`` gates the final fall-back to the naive Theorem-3.4
     engine, which is only attempted when the system has at most
     ``naive_limit`` class unknowns (checked by the caller).
+
+    ``chain`` overrides the derived chain with explicit registry
+    backend names, in retry order (``"fourier-motzkin"`` entries honour
+    ``fm_max_constraints``).  When ``None``, the chain is the active
+    primary backend followed — if ``use_fourier_motzkin`` — by
+    Fourier–Motzkin.
     """
 
     use_fourier_motzkin: bool = True
     use_naive: bool = True
     fm_max_constraints: int = 50_000
+    chain: tuple[str, ...] | None = None
+
+    def backends(self) -> tuple[SolverBackend, ...]:
+        """The LP retry chain this policy denotes, in order."""
+        if self.chain is not None:
+            return tuple(self._resolve(name) for name in self.chain)
+        primary = active_backend()
+        if primary.capabilities.exponential:
+            # The naive engine is a decision procedure, not an LP
+            # backend; individual LPs run on the default engine.
+            primary = get_backend(DEFAULT_BACKEND)
+        links: list[SolverBackend] = [primary]
+        if self.use_fourier_motzkin and primary.name != "fourier-motzkin":
+            links.append(FourierMotzkinBackend(self.fm_max_constraints))
+        return tuple(links)
+
+    def _resolve(self, name: str) -> SolverBackend:
+        if name == "fourier-motzkin":
+            return FourierMotzkinBackend(self.fm_max_constraints)
+        return get_backend(name)
 
 
 DEFAULT_FALLBACK = FallbackPolicy()
 
 
+def chain_for(policy: FallbackPolicy | None) -> tuple[SolverBackend, ...]:
+    """The LP backend chain a policy denotes (``None`` disables retries:
+    the active primary backend runs alone)."""
+    if policy is None:
+        primary = active_backend()
+        if primary.capabilities.exponential:
+            primary = get_backend(DEFAULT_BACKEND)
+        return (primary,)
+    return policy.backends()
+
+
 def resilient_maximal_support(
-    system: LinearSystem,
+    system: LinearSystem | InternedSystem,
     candidates: Iterable[str],
     policy: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> tuple[frozenset[str], dict[str, Fraction]]:
-    """:func:`~repro.solver.homogeneous.maximal_support`, with FM retry.
+    """Maximal support with down-chain retry.
 
-    On a simplex fault the same support is recomputed by per-unknown
-    Fourier–Motzkin probes (see :func:`fm_maximal_support`); budget
-    exhaustion always propagates.
+    On a primary-backend fault the same support is recomputed by the
+    next backend of the chain (per-unknown Fourier–Motzkin probes by
+    default); budget exhaustion always propagates.  Accepts either the
+    interned sparse form (the hot path) or a string-keyed system, which
+    is interned at the boundary.
     """
-    candidate_list = list(candidates)
-    try:
-        return maximal_support(system, candidates=candidate_list)
-    except BudgetExceededError:
-        raise
-    except SolverError:
-        if policy is None or not policy.use_fourier_motzkin:
-            raise
-        return fm_maximal_support(
-            system, candidate_list, max_constraints=policy.fm_max_constraints
-        )
+    if isinstance(system, LinearSystem):
+        system = InternedSystem.from_linear(system)
+    return chain_maximal_support(system, list(candidates), chain_for(policy))
 
 
 def fm_maximal_support(
-    system: LinearSystem,
+    system: LinearSystem | InternedSystem,
     candidates: Iterable[str],
     max_constraints: int = 50_000,
 ) -> tuple[frozenset[str], dict[str, Fraction]]:
     """Maximal support by one Fourier–Motzkin probe per candidate.
 
-    For each candidate unknown ``x`` the homogeneous system plus the
-    strict row ``x > 0`` (FM handles strictness natively) is decided;
-    an infeasible probe proves ``x`` is zero in every solution, and the
-    witnesses of the feasible probes are summed.  By the cone argument
-    of :mod:`repro.solver.homogeneous` the sum is itself a solution and
-    its support is the union of the probe supports — exactly the
-    contract of :func:`~repro.solver.homogeneous.maximal_support`,
-    definitive on the candidates.
+    Kept as a named entry point for tests and callers that want the FM
+    backend specifically; equivalent to
+    ``FourierMotzkinBackend(max_constraints).maximal_support``.
     """
-    totals: dict[str, Fraction] = {name: _ZERO for name in system.variables}
-    for name in candidates:
-        if totals.get(name, _ZERO) > 0:
-            continue  # already known positive via an earlier witness
-        probe = system.with_constraints(
-            [Constraint(term(name), Relation.GT, label=f"fm-probe:{name}")]
-        )
-        result = fm_solve(probe, max_constraints=max_constraints)
-        if result.feasible:
-            assert result.assignment is not None
-            for var, value in result.assignment.items():
-                totals[var] = totals.get(var, _ZERO) + value
-    solution = {name: totals[name] for name in system.variables}
-    support = frozenset(name for name, value in solution.items() if value > 0)
-    return support, solution
+    if isinstance(system, LinearSystem):
+        system = InternedSystem.from_linear(system)
+    backend = FourierMotzkinBackend(max_constraints)
+    return backend.maximal_support(system, list(candidates))
 
 
 def resilient_positive_solution(
-    system: LinearSystem,
+    system: LinearSystem | InternedSystem,
     policy: FallbackPolicy | None = DEFAULT_FALLBACK,
 ) -> HomogeneousWitness:
-    """:func:`~repro.solver.homogeneous.find_positive_solution`, with FM retry.
+    """Positive-solution decision with down-chain retry.
 
     Used by the naive engine's per-zero-set feasibility tests.  The
-    Fourier–Motzkin backend decides the strict system directly, so the
-    retry needs no cone sharpening.
+    Fourier–Motzkin backend decides strict systems directly; the
+    simplex backends sharpen them first (cone scaling).
     """
-    try:
-        return find_positive_solution(system)
-    except BudgetExceededError:
-        raise
-    except SolverError:
-        if policy is None or not policy.use_fourier_motzkin:
-            raise
-        result = fm_solve(system, max_constraints=policy.fm_max_constraints)
-        if not result.feasible:
-            return HomogeneousWitness(False, None, None)
-        assert result.assignment is not None
-        rational = dict(result.assignment)
-        return HomogeneousWitness(True, rational, integerize(rational))
+    if isinstance(system, LinearSystem):
+        system = InternedSystem.from_linear(system)
+    return chain_positive_solution(system, chain_for(policy))
 
 
 __all__ = [
     "DEFAULT_FALLBACK",
     "FallbackPolicy",
+    "chain_for",
     "fm_maximal_support",
     "resilient_maximal_support",
     "resilient_positive_solution",

@@ -11,7 +11,9 @@ chosen exception, deterministically::
     assert plan.injected == [("simplex", 1)]
 
 Backends expose a module-level ``_FAULT_HOOK`` seam
-(:mod:`repro.solver.simplex` and :mod:`repro.solver.fourier_motzkin`)
+(:mod:`repro.solver.simplex`, :mod:`repro.solver.core` — the interned
+sparse simplex, counted under the same ``"simplex"`` name since the two
+are drop-in replacements — and :mod:`repro.solver.fourier_motzkin`)
 called at the top of every solve; the harness installs a counting hook
 for the duration of the ``with`` block and restores the previous hook
 on exit, so injections nest and never leak.
@@ -30,7 +32,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import SolverError
-from repro.solver import fourier_motzkin, simplex
+from repro.solver import core, fourier_motzkin, simplex
 
 
 class InjectedSolverFault(SolverError):
@@ -96,13 +98,16 @@ def inject_solver_faults(
         error_factory=error_factory or _default_error,
     )
     previous_simplex = simplex._FAULT_HOOK
+    previous_core = core._FAULT_HOOK
     previous_fm = fourier_motzkin._FAULT_HOOK
     simplex._FAULT_HOOK = lambda: plan.on_call("simplex")
+    core._FAULT_HOOK = lambda: plan.on_call("simplex")
     fourier_motzkin._FAULT_HOOK = lambda: plan.on_call("fourier-motzkin")
     try:
         yield plan
     finally:
         simplex._FAULT_HOOK = previous_simplex
+        core._FAULT_HOOK = previous_core
         fourier_motzkin._FAULT_HOOK = previous_fm
 
 

@@ -35,7 +35,12 @@ from repro.cr.satisfiability import acceptable_support, support_verdicts
 from repro.cr.schema import CRSchema
 from repro.cr.system import CRSystem, build_system
 from repro.errors import ReproError
-from repro.runtime.budget import scoped_phase
+from repro.pipeline import (
+    STAGE_BUILD_SYSTEM,
+    STAGE_EXPAND,
+    STAGE_SOLVE,
+    stage,
+)
 from repro.runtime.fallback import DEFAULT_FALLBACK, FallbackPolicy
 from repro.session.fingerprint import schema_fingerprint
 from repro.solver.homogeneous import integerize
@@ -89,10 +94,10 @@ class SchemaArtifacts:
         """Build (once) the expansion and pruned system ``Ψ_S``."""
         if self.cr_system is None:
             if self.expansion is None:
-                with scoped_phase("session:expansion"):
+                with stage(STAGE_EXPAND, phase="session:expansion"):
                     self.expansion = Expansion(self.schema, self.limits)
                 self.stats.expansion_builds += 1
-            with scoped_phase("session:system"):
+            with stage(STAGE_BUILD_SYSTEM, phase="session:system"):
                 self.cr_system = build_system(self.expansion, mode="pruned")
             self.stats.system_builds += 1
         return self.cr_system
@@ -102,7 +107,7 @@ class SchemaArtifacts:
         the per-class verdict table."""
         if self.support is None:
             cr_system = self.ensure_system()
-            with scoped_phase("session:fixpoint"):
+            with stage(STAGE_SOLVE, phase="session:fixpoint"):
                 support, solution = acceptable_support(
                     cr_system, self.fallback
                 )

@@ -57,7 +57,8 @@ from repro.cr.satisfiability import (
 )
 from repro.cr.schema import Card, CRSchema, UNBOUNDED
 from repro.errors import ReproError, SchemaError
-from repro.runtime.budget import Budget, run_governed, scoped_phase
+from repro.pipeline import STAGE_VERDICT, stage
+from repro.runtime.budget import Budget, run_governed
 from repro.runtime.fallback import DEFAULT_FALLBACK, FallbackPolicy
 from repro.runtime.outcome import Verdict
 from repro.session.cache import SchemaArtifacts, SessionCache
@@ -205,7 +206,7 @@ class ReasoningSession:
         def compute() -> SatisfiabilityResult:
             artifacts = self._artifacts()
             support = artifacts.ensure_support()
-            with scoped_phase("session:lookup"):
+            with stage(STAGE_VERDICT, phase="session:lookup"):
                 targets = class_targets(artifacts.cr_system, cls)
                 satisfiable = bool(targets & support)
             return SatisfiabilityResult(
@@ -287,7 +288,7 @@ class ReasoningSession:
         artifacts: SchemaArtifacts,
         strip: str | None = None,
     ) -> ImplicationResult:
-        with scoped_phase("session:countermodel"):
+        with stage(STAGE_VERDICT, phase="session:countermodel"):
             model = construct_model(artifacts.cr_system, artifacts.witness)
             if strip is not None:
                 model = strip_class(model, strip)
@@ -304,7 +305,7 @@ class ReasoningSession:
         def compute() -> ImplicationResult:
             artifacts = self._artifacts()
             support = artifacts.ensure_support()
-            with scoped_phase("session:lookup"):
+            with stage(STAGE_VERDICT, phase="session:lookup"):
                 expansion = artifacts.expansion
                 cr_system = artifacts.cr_system
                 counterexamples = frozenset(
@@ -339,7 +340,7 @@ class ReasoningSession:
         def compute() -> ImplicationResult:
             artifacts = self._artifacts()
             support = artifacts.ensure_support()
-            with scoped_phase("session:lookup"):
+            with stage(STAGE_VERDICT, phase="session:lookup"):
                 cr_system = artifacts.cr_system
                 shared = frozenset(
                     cr_system.class_var[compound]
@@ -372,7 +373,7 @@ class ReasoningSession:
         def compute() -> ImplicationResult:
             artifacts = self._artifacts_for(extended)
             support = artifacts.ensure_support()
-            with scoped_phase("session:lookup"):
+            with stage(STAGE_VERDICT, phase="session:lookup"):
                 targets = class_targets(artifacts.cr_system, exc)
                 implied = not (targets & support)
             if implied:

@@ -30,7 +30,7 @@ from fractions import Fraction
 
 from repro.errors import SolverError
 from repro.runtime.budget import current_budget
-from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation
+from repro.solver.linear import LinearSystem, LinExpr, Relation
 from repro.solver.simplex import _Tableau
 
 _ZERO = Fraction(0)

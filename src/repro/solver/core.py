@@ -1,0 +1,890 @@
+"""Interned sparse solver core: the numeric engine behind ``Ψ_S``.
+
+The systems the paper generates (Section 3.2) are *homogeneous with
+integer coefficients*, and their unknowns explode with the expansion —
+thousands of columns of which each row touches a handful.  The original
+solver stack (:mod:`repro.solver.linear` + :mod:`repro.solver.simplex`)
+passes string-keyed dense ``Fraction`` dicts through a dense tableau;
+this module replaces that on the hot path with
+
+* a **variable interning table** (:class:`VariableTable`) mapping the
+  pretty string unknowns (``c3``, ``h13``) to dense integer indices —
+  strings exist only at the render/explain boundary;
+* a **sparse row representation** (:class:`SparseRow`,
+  :class:`InternedSystem`) holding ``(column, coefficient)`` pairs with
+  an **integer fast path**: coefficients stay native ``int`` (an order
+  of magnitude cheaper than :class:`~fractions.Fraction` arithmetic)
+  until a pivot genuinely forces a non-integral value, and collapse
+  back to ``int`` the moment a denominator cancels;
+* a **revised sparse simplex** (:func:`solve_interned`): rows are
+  column-indexed hash maps, a column→rows occupancy index restricts
+  every pivot to the rows actually containing the pivot column, and
+  reduced costs live in a sparse map so pricing scans only non-zero
+  entries instead of the full column range.
+
+The pivoting rules, presolve reductions, early-exit floor, budget
+charging and fault-injection seam all mirror
+:mod:`repro.solver.simplex`, so the two engines are exact drop-in
+replacements for each other — which the differential test-suite and the
+cross-backend parity property test exploit.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import SolverError
+from repro.runtime.budget import current_budget
+from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation
+
+Coeff = int | Fraction
+"""Exact coefficient: native ``int`` on the fast path, ``Fraction``
+only when a value is genuinely non-integral."""
+
+_FAULT_HOOK: Callable[[], None] | None = None
+"""Test seam: when set (by :mod:`repro.runtime.faults`), called with no
+arguments at the top of every :func:`solve_interned`; may raise to
+simulate a backend fault."""
+
+_DEGENERATE_PIVOT_LIMIT = 40
+"""Consecutive degenerate pivots tolerated under the Dantzig rule
+before switching to Bland's rule (same policy as the dense tableau)."""
+
+
+def _norm(value: Coeff) -> Coeff:
+    """Collapse an integral :class:`Fraction` back to ``int``.
+
+    This is the heart of the integer fast path: once a denominator
+    cancels, all further arithmetic on the value is native ``int``.
+    """
+    if value.__class__ is Fraction and value.denominator == 1:
+        return value.numerator
+    return value
+
+
+def _div(a: Coeff, b: Coeff) -> Coeff:
+    """Exact ``a / b`` staying on ``int`` when the division is exact."""
+    if a.__class__ is int and b.__class__ is int:
+        quotient, remainder = divmod(a, b)
+        if remainder == 0:
+            return quotient
+        return Fraction(a, b)
+    return _norm(Fraction(a) / Fraction(b))
+
+
+# ---------------------------------------------------------------------------
+# Interning
+# ---------------------------------------------------------------------------
+
+
+class VariableTable:
+    """A bijective string ↔ dense-integer interning table.
+
+    Indices are assigned in first-intern order, so a table built from a
+    system enumerates its unknowns in declaration order — which keeps
+    witnesses and supports deterministic.
+    """
+
+    __slots__ = ("_names", "_index")
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._names: list[str] = []
+        self._index: dict[str, int] = {}
+        for name in names:
+            self.intern(name)
+
+    def intern(self, name: str) -> int:
+        """Index of ``name``, assigning the next free index if new."""
+        index = self._index.get(name)
+        if index is None:
+            index = len(self._names)
+            self._index[name] = index
+            self._names.append(name)
+        return index
+
+    def index(self, name: str) -> int:
+        """Index of an already-interned ``name`` (raises if unknown)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SolverError(f"unknown variable {name!r}") from None
+
+    def name(self, index: int) -> str:
+        return self._names[index]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def copy(self) -> VariableTable:
+        clone = VariableTable.__new__(VariableTable)
+        clone._names = list(self._names)
+        clone._index = dict(self._index)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"VariableTable({len(self._names)} variables)"
+
+
+@dataclass(frozen=True)
+class SparseRow:
+    """One constraint ``Σ coeffs[k] · x[cols[k]] + const REL 0``.
+
+    ``cols`` is strictly increasing and parallel to ``coeffs``; zero
+    coefficients are never stored.
+    """
+
+    cols: tuple[int, ...]
+    coeffs: tuple[Coeff, ...]
+    relation: Relation
+    const: Coeff = 0
+    label: str | None = None
+    origin: object = None
+
+    @classmethod
+    def make(
+        cls,
+        entries: Mapping[int, Coeff],
+        relation: Relation,
+        const: Coeff = 0,
+        label: str | None = None,
+        origin: object = None,
+    ) -> SparseRow:
+        cleaned = sorted(
+            (col, _norm(value)) for col, value in entries.items() if value != 0
+        )
+        return cls(
+            cols=tuple(col for col, _ in cleaned),
+            coeffs=tuple(value for _, value in cleaned),
+            relation=relation,
+            const=_norm(const),
+            label=label,
+            origin=origin,
+        )
+
+    def items(self) -> Iterable[tuple[int, Coeff]]:
+        return zip(self.cols, self.coeffs)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return self.const == 0
+
+
+class InternedSystem:
+    """A linear system over interned integer unknowns.
+
+    The canonical internal currency of the solver layer: generated
+    directly by :func:`repro.cr.system.build_system`, consumed by the
+    sparse simplex and the backend registry, convertible to and from the
+    string-keyed :class:`~repro.solver.linear.LinearSystem` at the
+    render/explain boundary.
+    """
+
+    __slots__ = ("table", "rows")
+
+    def __init__(
+        self,
+        table: VariableTable | None = None,
+        rows: Iterable[SparseRow] = (),
+    ) -> None:
+        self.table = table if table is not None else VariableTable()
+        self.rows: list[SparseRow] = list(rows)
+
+    # -- construction --------------------------------------------------
+
+    def add(
+        self,
+        entries: Mapping[int, Coeff],
+        relation: Relation,
+        const: Coeff = 0,
+        label: str | None = None,
+        origin: object = None,
+    ) -> None:
+        self.rows.append(SparseRow.make(entries, relation, const, label, origin))
+
+    def add_named(
+        self,
+        entries: Mapping[str, Coeff],
+        relation: Relation,
+        const: Coeff = 0,
+        label: str | None = None,
+        origin: object = None,
+    ) -> None:
+        """Add a row given by variable *names*, interning as needed."""
+        self.add(
+            {self.table.intern(name): value for name, value in entries.items()},
+            relation,
+            const,
+            label,
+            origin,
+        )
+
+    def with_rows(self, extra: Iterable[SparseRow]) -> InternedSystem:
+        """A copy with ``extra`` appended; the table is shared (indices
+        in ``extra`` must already be interned)."""
+        return InternedSystem(self.table, [*self.rows, *extra])
+
+    @classmethod
+    def from_linear(
+        cls, system: LinearSystem, table: VariableTable | None = None
+    ) -> InternedSystem:
+        """Intern a string-keyed system (declaration order preserved)."""
+        interned = cls(table)
+        for name in system.variables:
+            interned.table.intern(name)
+        for constraint in system.constraints:
+            interned.add_named(
+                {
+                    name: _norm(coeff)
+                    for name, coeff in constraint.expr.coefficients.items()
+                },
+                constraint.relation,
+                _norm(constraint.expr.constant_term),
+                constraint.label,
+                constraint.origin,
+            )
+        return interned
+
+    def to_linear(self) -> LinearSystem:
+        """Project back to the string-keyed form (render/explain only)."""
+        system = LinearSystem(variables=self.table.names())
+        for row in self.rows:
+            system.add(
+                Constraint(
+                    LinExpr(
+                        {
+                            self.table.name(col): Fraction(value)
+                            for col, value in row.items()
+                        },
+                        Fraction(row.const),
+                    ),
+                    row.relation,
+                    row.label,
+                    row.origin,
+                )
+            )
+        return system
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.table)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def is_homogeneous(self) -> bool:
+        return all(row.is_homogeneous for row in self.rows)
+
+    def has_strict_rows(self) -> bool:
+        return any(row.relation.is_strict for row in self.rows)
+
+    def nonzeros(self) -> int:
+        """Total stored coefficients (the sparsity measure)."""
+        return sum(len(row.cols) for row in self.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"InternedSystem({len(self.rows)} rows, "
+            f"{len(self.table)} variables, {self.nonzeros()} nonzeros)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sparse revised simplex
+# ---------------------------------------------------------------------------
+
+
+class SparseStatus(enum.Enum):
+    """Outcome of a sparse simplex run (mirrors ``SimplexStatus``)."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class SparseResult:
+    """Solution report of :func:`solve_interned`.
+
+    ``values`` maps every variable index of the input system to its
+    value in the found vertex (``None`` unless ``OPTIMAL``).
+    """
+
+    status: SparseStatus
+    objective_value: Coeff | None
+    values: dict[int, Coeff] | None
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.status is SparseStatus.OPTIMAL
+
+    def named_values(self, table: VariableTable) -> dict[str, Fraction]:
+        """The assignment keyed by pretty names (boundary helper)."""
+        assert self.values is not None
+        return {
+            table.name(index): Fraction(value)
+            for index, value in self.values.items()
+        }
+
+
+class _SparseTableau:
+    """Simplex state on hash-map rows with a column occupancy index.
+
+    ``rows[i]`` maps column → non-zero coefficient; ``rhs[i]`` is the
+    right-hand side; ``col_rows[j]`` is the set of row indices with a
+    non-zero entry in column ``j``.  A pivot touches only the rows in
+    ``col_rows[pivot_column]`` and, within each, only the support of the
+    pivot row — on the paper's systems that is a small constant fraction
+    of the dense ``m × n`` work.
+    """
+
+    __slots__ = (
+        "rows",
+        "rhs",
+        "basis",
+        "num_columns",
+        "col_rows",
+        "blocked",
+        "reduced",
+        "neg_obj",
+    )
+
+    def __init__(
+        self,
+        rows: list[dict[int, Coeff]],
+        rhs: list[Coeff],
+        basis: list[int],
+        num_columns: int,
+    ) -> None:
+        self.rows = rows
+        self.rhs = rhs
+        self.basis = basis
+        self.num_columns = num_columns
+        self.col_rows: dict[int, set[int]] = {}
+        for i, row in enumerate(rows):
+            for j in row:
+                self.col_rows.setdefault(j, set()).add(i)
+        self.blocked: set[int] = set()
+        self.reduced: dict[int, Coeff] = {}
+        self.neg_obj: Coeff = 0
+
+    # -- pivoting ------------------------------------------------------
+
+    def pivot(self, row_index: int, col_index: int) -> None:
+        """Make ``col_index`` basic in ``row_index``; update rows, the
+        occupancy index, and the sparse reduced costs."""
+        pivot_row = self.rows[row_index]
+        pivot_value = pivot_row[col_index]
+        if pivot_value == 0:  # pragma: no cover - defensive
+            raise SolverError("internal error: pivot on a zero entry")
+        if pivot_value != 1:
+            for j, value in pivot_row.items():
+                pivot_row[j] = _div(value, pivot_value)
+            self.rhs[row_index] = _div(self.rhs[row_index], pivot_value)
+        pivot_rhs = self.rhs[row_index]
+        col_rows = self.col_rows
+        occupants = col_rows.get(col_index, set())
+        for i in list(occupants):
+            if i == row_index:
+                continue
+            target = self.rows[i]
+            factor = target[col_index]
+            for j, value in pivot_row.items():
+                current = target.get(j)
+                if current is None:
+                    product = factor * value
+                    if product != 0:
+                        target[j] = _norm(-product)
+                        col_rows.setdefault(j, set()).add(i)
+                else:
+                    updated = current - factor * value
+                    if updated == 0:
+                        del target[j]
+                        col_rows[j].discard(i)
+                    else:
+                        target[j] = _norm(updated)
+            if pivot_rhs != 0:
+                self.rhs[i] = _norm(self.rhs[i] - factor * pivot_rhs)
+        factor = self.reduced.get(col_index)
+        if factor:
+            reduced = self.reduced
+            for j, value in pivot_row.items():
+                updated = reduced.get(j, 0) - factor * value
+                if updated == 0:
+                    reduced.pop(j, None)
+                else:
+                    reduced[j] = _norm(updated)
+            self.neg_obj = _norm(self.neg_obj - factor * pivot_rhs)
+        self.basis[row_index] = col_index
+
+    def set_costs(self, cost: Mapping[int, Coeff]) -> None:
+        """Initialise the sparse reduced-cost map for ``min cost · x``."""
+        reduced: dict[int, Coeff] = dict(cost)
+        neg_obj: Coeff = 0
+        for row, rhs, basic in zip(self.rows, self.rhs, self.basis):
+            basic_cost = cost.get(basic, 0)
+            if basic_cost:
+                for j, value in row.items():
+                    updated = reduced.get(j, 0) - basic_cost * value
+                    if updated == 0:
+                        reduced.pop(j, None)
+                    else:
+                        reduced[j] = _norm(updated)
+                neg_obj -= basic_cost * rhs
+        self.reduced = reduced
+        self.neg_obj = _norm(neg_obj)
+
+    def minimize(
+        self, cost: Mapping[int, Coeff], floor: Coeff | None = None
+    ) -> tuple[SparseStatus, Coeff]:
+        """Simplex iterations minimising ``cost · x`` (see the dense
+        :meth:`~repro.solver.simplex._Tableau.minimize` for the floor
+        early-exit rationale)."""
+        self.set_costs(cost)
+        degenerate_run = 0
+        use_bland = False
+        budget = current_budget()
+        while True:
+            if budget is not None:
+                budget.charge_pivots()
+            objective = -self.neg_obj
+            if floor is not None and objective <= floor:
+                return SparseStatus.OPTIMAL, objective
+            entering = self._entering_column(use_bland)
+            if entering is None:
+                return SparseStatus.OPTIMAL, objective
+            leaving: int | None = None
+            best_ratio: Coeff | None = None
+            for i in self.col_rows.get(entering, ()):
+                coeff = self.rows[i][entering]
+                if coeff > 0:
+                    ratio = _div(self.rhs[i], coeff)
+                    better = best_ratio is None or ratio < best_ratio
+                    tie = best_ratio is not None and ratio == best_ratio
+                    if better or (
+                        tie
+                        and leaving is not None
+                        and self.basis[i] < self.basis[leaving]
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving is None:
+                return SparseStatus.UNBOUNDED, objective
+            if best_ratio == 0:
+                degenerate_run += 1
+                if degenerate_run >= _DEGENERATE_PIVOT_LIMIT:
+                    use_bland = True
+            else:
+                degenerate_run = 0
+            self.pivot(leaving, entering)
+
+    def _entering_column(self, use_bland: bool) -> int | None:
+        blocked = self.blocked
+        if use_bland:
+            best: int | None = None
+            for j, value in self.reduced.items():
+                if value < 0 and j not in blocked:
+                    if best is None or j < best:
+                        best = j
+            return best
+        best = None
+        best_value: Coeff = 0
+        for j, value in self.reduced.items():
+            if j in blocked:
+                continue
+            if value < best_value or (value == best_value != 0 and (best is None or j < best)):
+                best = j
+                best_value = value
+        return best
+
+    def basic_values(self) -> dict[int, Coeff]:
+        return {basic: rhs for basic, rhs in zip(self.basis, self.rhs)}
+
+
+# ---------------------------------------------------------------------------
+# Presolve (interned port of repro.solver.simplex._presolve)
+# ---------------------------------------------------------------------------
+
+
+def _presolve_interned(
+    rows: Sequence[SparseRow], free: frozenset[int]
+) -> tuple[list[SparseRow], set[int]]:
+    """Pinning + triviality reductions, iterated to a fixpoint.
+
+    Same two sound rules as the dense presolve: a constraint forcing a
+    single non-negative variable to zero removes the variable; a
+    constraint non-negativity alone guarantees is dropped.
+    """
+    constraints = list(rows)
+    pinned: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        remaining: list[SparseRow] = []
+        for row in constraints:
+            if pinned and any(col in pinned for col in row.cols):
+                entries = {
+                    col: value
+                    for col, value in row.items()
+                    if col not in pinned
+                }
+                row = SparseRow.make(
+                    entries, row.relation, row.const, row.label, row.origin
+                )
+            relation = row.relation
+            if len(row.cols) == 1 and row.const == 0:
+                col = row.cols[0]
+                coeff = row.coeffs[0]
+                if col not in free and (
+                    relation is Relation.EQ
+                    or (relation is Relation.LE and coeff > 0)
+                    or (relation is Relation.GE and coeff < 0)
+                ):
+                    pinned.add(col)
+                    changed = True
+                    continue
+            if not any(col in free for col in row.cols):
+                if (
+                    relation is Relation.GE
+                    and row.const >= 0
+                    and all(value >= 0 for value in row.coeffs)
+                ):
+                    continue
+                if (
+                    relation is Relation.LE
+                    and row.const <= 0
+                    and all(value <= 0 for value in row.coeffs)
+                ):
+                    continue
+            if relation is Relation.EQ and not row.cols and row.const == 0:
+                continue
+            remaining.append(row)
+        constraints = remaining
+    return constraints, pinned
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def solve_interned(
+    system: InternedSystem,
+    objective: Mapping[int, Coeff] | None = None,
+    sense: str = "min",
+    free_variables: Iterable[int] = (),
+    known_bound: Coeff | None = None,
+) -> SparseResult:
+    """Solve ``optimise objective subject to system`` exactly, sparsely.
+
+    The contract mirrors :func:`repro.solver.simplex.solve_lp` — strict
+    rows rejected, variables non-negative unless listed in
+    ``free_variables``, ``known_bound`` an early-exit floor/ceiling the
+    caller can prove — but unknowns are interned integer indices and
+    all arithmetic runs on the int-first sparse representation.
+    """
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK()
+    budget = current_budget()
+    if budget is not None:
+        budget.charge_solver_call()
+    if sense not in ("min", "max"):
+        raise SolverError(f"sense must be 'min' or 'max', not {sense!r}")
+    for row in system.rows:
+        if row.relation.is_strict:
+            raise SolverError(
+                "strict inequalities are not LP constraints; sharpen them "
+                "first (repro.solver.core cone helpers)"
+            )
+    num_vars = system.num_variables
+    free = frozenset(free_variables)
+    if objective is not None:
+        unknown = [index for index in objective if not 0 <= index < num_vars]
+        if unknown:
+            raise SolverError(
+                f"objective uses undeclared variable indices: {sorted(unknown)}"
+            )
+
+    presolved, pinned = _presolve_interned(system.rows, free)
+    if objective is not None and pinned:
+        objective = {
+            index: value
+            for index, value in objective.items()
+            if index not in pinned
+        }
+
+    # Assign compact internal columns: one per active non-free variable,
+    # a (pos, neg) pair per active free variable.
+    column_of: dict[int, int] = {}
+    neg_column_of: dict[int, int] = {}
+    cursor = 0
+    for index in range(num_vars):
+        if index in pinned:
+            continue
+        column_of[index] = cursor
+        cursor += 1
+        if index in free:
+            neg_column_of[index] = cursor
+            cursor += 1
+    num_structural = cursor
+
+    # Standard-form rows with non-negative right-hand sides.
+    raw_rows: list[tuple[dict[int, Coeff], Relation, Coeff]] = []
+    for row in presolved:
+        entries: dict[int, Coeff] = {}
+        for index, coeff in row.items():
+            entries[column_of[index]] = _norm(
+                entries.get(column_of[index], 0) + coeff
+            )
+            if index in free:
+                neg_col = neg_column_of[index]
+                entries[neg_col] = _norm(entries.get(neg_col, 0) - coeff)
+        entries = {col: value for col, value in entries.items() if value != 0}
+        rhs = _norm(-row.const)
+        relation = row.relation
+        if rhs < 0:
+            entries = {col: -value for col, value in entries.items()}
+            rhs = -rhs
+            relation = relation.flipped()
+        raw_rows.append((entries, relation, rhs))
+
+    num_slacks = sum(
+        1 for _, relation, _ in raw_rows if relation is not Relation.EQ
+    )
+    num_artificials = sum(
+        1 for _, relation, _ in raw_rows if relation is not Relation.LE
+    )
+    total_columns = num_structural + num_slacks + num_artificials
+
+    rows: list[dict[int, Coeff]] = []
+    rhs_values: list[Coeff] = []
+    basis: list[int] = []
+    artificial_columns: list[int] = []
+    slack_cursor = num_structural
+    artificial_cursor = num_structural + num_slacks
+    for entries, relation, rhs in raw_rows:
+        row_map = dict(entries)
+        if relation is Relation.LE:
+            row_map[slack_cursor] = 1
+            basis.append(slack_cursor)
+            slack_cursor += 1
+        elif relation is Relation.GE:
+            row_map[slack_cursor] = -1
+            slack_cursor += 1
+            row_map[artificial_cursor] = 1
+            basis.append(artificial_cursor)
+            artificial_columns.append(artificial_cursor)
+            artificial_cursor += 1
+        else:  # EQ
+            row_map[artificial_cursor] = 1
+            basis.append(artificial_cursor)
+            artificial_columns.append(artificial_cursor)
+            artificial_cursor += 1
+        rows.append(row_map)
+        rhs_values.append(rhs)
+
+    tableau = _SparseTableau(rows, rhs_values, basis, total_columns)
+
+    # ---- Phase 1: drive artificials to zero. -------------------------
+    if artificial_columns:
+        phase1_cost = {col: 1 for col in artificial_columns}
+        status, value = tableau.minimize(phase1_cost, floor=0)
+        if status is not SparseStatus.OPTIMAL or value > 0:
+            return SparseResult(SparseStatus.INFEASIBLE, None, None)
+        _evict_basic_artificials(
+            tableau, set(artificial_columns), num_structural + num_slacks
+        )
+        tableau.blocked.update(artificial_columns)
+
+    # ---- Phase 2: optimise the real objective. ------------------------
+    if objective is None:
+        cost: dict[int, Coeff] = {}
+        objective_constant: Coeff = 0
+        flip = False
+        floor: Coeff | None = 0  # feasibility only: nothing to improve
+    else:
+        flip = sense == "max"
+        cost = {}
+        for index, coeff in objective.items():
+            signed = -coeff if flip else coeff
+            col = column_of[index]
+            cost[col] = _norm(cost.get(col, 0) + signed)
+            if index in free:
+                neg_col = neg_column_of[index]
+                cost[neg_col] = _norm(cost.get(neg_col, 0) - signed)
+        cost = {col: value for col, value in cost.items() if value != 0}
+        objective_constant = 0
+        if known_bound is None:
+            floor = None
+        else:
+            floor = _norm(known_bound)
+            if flip:
+                floor = -floor
+
+    status, value = tableau.minimize(cost, floor=floor)
+    if status is SparseStatus.UNBOUNDED:
+        return SparseResult(SparseStatus.UNBOUNDED, None, None)
+
+    basic = tableau.basic_values()
+    values: dict[int, Coeff] = {}
+    for index in range(num_vars):
+        if index in pinned:
+            values[index] = 0
+        elif index in free:
+            positive = basic.get(column_of[index], 0)
+            negative = basic.get(neg_column_of[index], 0)
+            values[index] = _norm(positive - negative)
+        else:
+            values[index] = basic.get(column_of[index], 0)
+
+    objective_value = _norm((-value if flip else value) + objective_constant)
+    return SparseResult(SparseStatus.OPTIMAL, objective_value, values)
+
+
+def _evict_basic_artificials(
+    tableau: _SparseTableau, artificial_columns: set[int], num_real_columns: int
+) -> None:
+    """Pivot zero-valued artificials out of the basis (degenerate rows);
+    see the dense counterpart for why leaving a fully-zero row basic is
+    sound once the column is blocked."""
+    tableau.reduced = {}
+    tableau.neg_obj = 0
+    for i in range(len(tableau.rows)):
+        if tableau.basis[i] not in artificial_columns:
+            continue
+        replacement = min(
+            (j for j in tableau.rows[i] if j < num_real_columns),
+            default=None,
+        )
+        if replacement is not None:
+            tableau.pivot(i, replacement)
+
+
+# ---------------------------------------------------------------------------
+# Homogeneous helpers on the interned form (cone scaling, supports)
+# ---------------------------------------------------------------------------
+
+
+def _require_homogeneous(system: InternedSystem) -> None:
+    if not system.is_homogeneous():
+        raise SolverError(
+            "this routine requires a homogeneous system; some row has a "
+            "non-zero constant term"
+        )
+
+
+def sharpened_rows(system: InternedSystem) -> list[SparseRow]:
+    """Strict homogeneous rows rewritten as non-strict LP rows.
+
+    ``e > 0`` becomes ``e ≥ 1`` and ``e < 0`` becomes ``e ≤ −1``;
+    sound for homogeneous systems by cone scaling (see
+    :mod:`repro.solver.homogeneous`).
+    """
+    result: list[SparseRow] = []
+    for row in system.rows:
+        if row.relation is Relation.GT:
+            result.append(
+                SparseRow(
+                    row.cols, row.coeffs, Relation.GE, -1, row.label, row.origin
+                )
+            )
+        elif row.relation is Relation.LT:
+            result.append(
+                SparseRow(
+                    row.cols, row.coeffs, Relation.LE, 1, row.label, row.origin
+                )
+            )
+        else:
+            result.append(row)
+    return result
+
+
+def interned_positive_solution(
+    system: InternedSystem,
+) -> dict[str, Fraction] | None:
+    """Decide a homogeneous interned system that may contain strict rows.
+
+    Returns a string-keyed rational witness (the boundary form), or
+    ``None`` when infeasible.
+    """
+    _require_homogeneous(system)
+    sharpened = InternedSystem(system.table, sharpened_rows(system))
+    result = solve_interned(sharpened)
+    if not result.is_feasible:
+        return None
+    return result.named_values(system.table)
+
+
+def interned_maximal_support(
+    system: InternedSystem,
+    candidates: Iterable[str],
+) -> tuple[frozenset[str], dict[str, Fraction]]:
+    """Maximal-support computation on the interned form.
+
+    Same one-LP shadow-variable construction (and the same definitive
+    contract on the candidates) as
+    :func:`repro.solver.homogeneous.maximal_support`, without ever
+    materialising string-keyed dicts: shadows are fresh interned
+    columns, the probe rows are sparse, and the witness is translated
+    back to names only on return.
+    """
+    _require_homogeneous(system)
+    if system.has_strict_rows():
+        raise SolverError(
+            "maximal support expects a non-strict system; express "
+            "positivity requirements through the probe instead"
+        )
+    table = system.table.copy()
+    probe_indices = [table.index(name) for name in candidates]
+    capped = InternedSystem(table, list(system.rows))
+    objective: dict[int, Coeff] = {}
+    for index in probe_indices:
+        shadow = table.intern(f"t#{table.name(index)}")
+        capped.add({shadow: 1, index: -1}, Relation.LE)
+        capped.add({shadow: 1}, Relation.LE, -1)
+        objective[shadow] = 1
+    result = solve_interned(
+        capped, objective=objective, sense="max", known_bound=len(probe_indices)
+    )
+    if not result.is_feasible:  # pragma: no cover - x = 0 is always feasible
+        raise SolverError(
+            "internal error: homogeneous system reported infeasible"
+        )
+    assert result.values is not None
+    num_original = system.num_variables
+    solution = {
+        system.table.name(index): Fraction(result.values[index])
+        for index in range(num_original)
+    }
+    support = frozenset(
+        name for name, value in solution.items() if value > 0
+    )
+    return support, solution
+
+
+__all__ = [
+    "Coeff",
+    "InternedSystem",
+    "SparseResult",
+    "SparseRow",
+    "SparseStatus",
+    "VariableTable",
+    "interned_maximal_support",
+    "interned_positive_solution",
+    "sharpened_rows",
+    "solve_interned",
+    "_SparseTableau",
+]

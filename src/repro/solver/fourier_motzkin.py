@@ -20,7 +20,7 @@ from fractions import Fraction
 
 from repro.errors import SolverError
 from repro.runtime.budget import current_budget
-from repro.solver.linear import Constraint, LinearSystem, Relation
+from repro.solver.linear import LinearSystem, Relation
 
 _ZERO = Fraction(0)
 

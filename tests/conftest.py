@@ -19,6 +19,12 @@ import pytest
 from hypothesis import HealthCheck, settings
 
 from repro.cr.expansion import Expansion
+from repro.cr.system import build_system
+from repro.paper import (
+    figure1_schema,
+    meeting_schema,
+    refined_meeting_schema,
+)
 
 settings.register_profile("default", deadline=None)
 settings.register_profile(
@@ -32,12 +38,6 @@ settings.register_profile(
     ],
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
-from repro.cr.system import build_system
-from repro.paper import (
-    figure1_schema,
-    meeting_schema,
-    refined_meeting_schema,
-)
 
 
 @pytest.fixture(scope="session")

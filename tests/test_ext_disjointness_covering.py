@@ -10,7 +10,6 @@ from repro.ext.covering import (
     with_total_generalization,
 )
 from repro.ext.disjointness import pruning_report, with_disjointness
-from repro.paper import meeting_schema
 
 
 class TestWithDisjointness:

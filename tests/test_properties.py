@@ -202,3 +202,39 @@ def test_literal_and_pruned_systems_have_the_same_acceptable_verdicts(data):
             for cc in expansion.consistent_classes_containing(cls)
         )
     assert verdict(pruned, support_pruned) == verdict(literal, support_literal)
+
+
+@MEDIUM
+@given(data=st.data())
+def test_literal_and_pruned_builds_agree_on_shared_unknowns(data):
+    """The sharper form of the mode equivalence: the maximal acceptable
+    supports agree *unknown by unknown* on the shared (consistent)
+    unknowns, and the literal build keeps every inconsistent unknown
+    identically zero."""
+    from repro.cr.satisfiability import acceptable_support
+
+    schema = data.draw(schemas(max_classes=3))
+    expansion = Expansion(schema)
+    pruned = build_system(expansion, mode="pruned")
+    literal = build_system(expansion, mode="literal")
+    support_pruned, witness_pruned = acceptable_support(pruned)
+    support_literal, witness_literal = acceptable_support(literal)
+    shared = set(pruned.class_unknowns()) | set(
+        pruned.relationship_unknowns()
+    )
+    assert support_pruned <= shared
+    assert support_pruned == support_literal & shared
+    # Inconsistent unknowns exist only in the literal build and are
+    # pinned to zero there, so its support never leaves the shared set.
+    assert support_literal <= shared
+    for name in set(literal.class_unknowns()) - shared:
+        assert witness_literal[name] == 0
+    # Each witness solves the *other* build's system on the shared
+    # unknowns (extended by zero on the extra literal unknowns).
+    extended = dict(witness_pruned)
+    for name in literal.system.variables:
+        extended.setdefault(name, Fraction(0))
+    assert literal.system.is_satisfied_by(extended)
+    assert pruned.system.is_satisfied_by(
+        {name: witness_literal[name] for name in pruned.system.variables}
+    )

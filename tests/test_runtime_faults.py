@@ -7,7 +7,6 @@ import pytest
 from repro.cr.satisfiability import is_class_satisfiable, satisfiable_classes
 from repro.errors import BudgetExceededError, SolverError
 from repro.paper import figure1_schema, meeting_schema, refined_meeting_schema
-from repro.runtime.budget import Budget
 from repro.runtime.fallback import FallbackPolicy
 from repro.runtime.faults import (
     FaultPlan,

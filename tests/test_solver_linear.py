@@ -9,7 +9,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import SolverError
-from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation, term
+from repro.solver.linear import LinearSystem, LinExpr, Relation, term
 
 
 class TestLinExpr:

@@ -12,7 +12,7 @@ from repro.cr.unrestricted import (
     is_class_unrestricted_satisfiable,
     unrestricted_satisfiable_classes,
 )
-from repro.paper import figure1_schema, refined_meeting_schema
+from repro.paper import figure1_schema
 
 from tests.strategies import schemas
 
