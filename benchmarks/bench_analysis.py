@@ -1,0 +1,277 @@
+"""E14 — static analysis short-circuit: analyzer vs. full pipeline.
+
+Paper context: deciding finite satisfiability via Theorem 3.3 pays the
+Section-3.1 expansion, which is exponential in the class set.  The
+static analyzer (:mod:`repro.analysis`) is polynomial and sound: when
+one of its ``error`` diagnostics proves a class empty in every model,
+the pipeline can serve the UNSAT verdict without expanding at all.
+
+This module measures exactly that trade on precheck-resolvable
+workloads — schemas whose unsatisfiability the analyzer proves
+statically — comparing the full expansion-based decision against the
+``precheck=True`` short-circuit.  It is both a pytest-benchmark suite
+(``pytest benchmarks/bench_analysis.py --benchmark-only``) and a
+standalone runner that emits the repo's perf-trajectory artifact::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py --quick \
+        --output BENCH_analysis.json
+
+``validate_report`` is the schema check CI runs against the emitted
+JSON; it enforces the acceptance bar (every workload short-circuits,
+verdicts agree with the full procedure, and the analyzer is at least
+5x faster).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import analyze
+from repro.cr.builder import SchemaBuilder
+from repro.cr.satisfiability import ANALYSIS_ENGINE, is_class_satisfiable
+from repro.cr.schema import CRSchema
+
+REPEATS = 3
+"""Timed repetitions per path; the minimum is reported."""
+
+SPEEDUP_BAR = 5.0
+"""Acceptance bar: the analyzer must beat the full pipeline by this."""
+
+
+def conflict_antichain(k: int) -> tuple[CRSchema, str]:
+    """``k`` ISA-unrelated classes (expansion ``2^k - 1``) plus one
+    subclass whose refinement contradicts its inherited maxc — the
+    statically provable emptiness the analyzer is built to catch."""
+    builder = SchemaBuilder(f"ConflictAntichain{k}")
+    for i in range(k):
+        builder.cls(f"K{i}")
+    builder.cls("Bad")
+    builder.relationship("R", U1="K0", U2="K1")
+    builder.isa("Bad", "K0")
+    builder.card("K0", "R", "U1", minc=0, maxc=1)
+    builder.card("Bad", "R", "U1", minc=2)
+    return builder.build(), "Bad"
+
+
+def disjoint_antichain(k: int) -> tuple[CRSchema, str]:
+    """``k`` ISA-unrelated classes plus a class inheriting from two
+    declared-disjoint roots — the other statically provable emptiness
+    seed (``isa-disjoint-conflict``)."""
+    builder = SchemaBuilder(f"DisjointAntichain{k}")
+    for i in range(k):
+        builder.cls(f"K{i}")
+    builder.classes("D1", "D2", "Bad")
+    builder.relationship("R", U1="K0", U2="K1")
+    builder.isa("Bad", "D1")
+    builder.isa("Bad", "D2")
+    builder.disjoint("D1", "D2")
+    return builder.build(), "Bad"
+
+
+def _timed(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_workload(label: str, schema: CRSchema, cls: str) -> dict:
+    """Full-pipeline vs. analyzer-short-circuit latency for one query."""
+    full = is_class_satisfiable(schema, cls)
+    fast = is_class_satisfiable(schema, cls, precheck=True)
+    report = analyze(schema)
+
+    full_s = _timed(lambda: is_class_satisfiable(schema, cls))
+    analysis_s = _timed(
+        lambda: is_class_satisfiable(schema, cls, precheck=True)
+    )
+    return {
+        "workload": label,
+        "schema": schema.name,
+        "classes": len(schema.classes),
+        "query_class": cls,
+        "full_s": full_s,
+        "analysis_s": analysis_s,
+        "speedup": full_s / analysis_s if analysis_s > 0 else float("inf"),
+        "short_circuited": fast.engine == ANALYSIS_ENGINE,
+        "verdicts_agree": bool(fast.satisfiable == full.satisfiable),
+        "diagnostic_code": (
+            fast.diagnostic.code if fast.diagnostic is not None else None
+        ),
+        "witness_verified": bool(report.verify(schema)),
+    }
+
+
+def workloads(quick: bool) -> list[tuple[str, CRSchema, str]]:
+    conflict_sizes = (6, 7) if quick else (6, 7, 8)
+    # K0/K1 pair with two free disjointness roots: the compound-
+    # relationship count clears the default ExpansionLimits only up to 7.
+    disjoint_sizes = (6, 7)
+    entries = [
+        (f"conflict-antichain{k}", *conflict_antichain(k))
+        for k in conflict_sizes
+    ]
+    entries.extend(
+        (f"disjoint-antichain{k}", *disjoint_antichain(k))
+        for k in disjoint_sizes
+    )
+    return entries
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    entries = [
+        run_workload(label, schema, cls)
+        for label, schema, cls in workloads(quick)
+    ]
+    speedups = [entry["speedup"] for entry in entries]
+    return {
+        "benchmark": "analysis",
+        "version": 1,
+        "quick": quick,
+        "speedup_bar": SPEEDUP_BAR,
+        "entries": entries,
+        "summary": {
+            "workloads": len(entries),
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+        },
+    }
+
+
+_ENTRY_KEYS = {
+    "workload": str,
+    "schema": str,
+    "classes": int,
+    "query_class": str,
+    "full_s": float,
+    "analysis_s": float,
+    "speedup": float,
+    "short_circuited": bool,
+    "verdicts_agree": bool,
+    "diagnostic_code": str,
+    "witness_verified": bool,
+}
+
+
+def validate_report(report: dict) -> dict:
+    """Raise ``ValueError`` unless ``report`` is a well-formed
+    BENCH_analysis.json payload; returns the report for chaining."""
+    if not isinstance(report, dict):
+        raise ValueError("report must be a JSON object")
+    if report.get("benchmark") != "analysis":
+        raise ValueError("report['benchmark'] must be 'analysis'")
+    entries = report.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("report['entries'] must be a non-empty list")
+    for entry in entries:
+        for key, expected in _ENTRY_KEYS.items():
+            value = entry.get(key)
+            if expected is not bool and isinstance(value, bool):
+                raise ValueError(
+                    f"entry {entry.get('workload')!r}: field {key!r} must be "
+                    f"{expected.__name__}, got bool"
+                )
+            if not isinstance(value, expected):
+                raise ValueError(
+                    f"entry {entry.get('workload')!r}: field {key!r} must be "
+                    f"{expected.__name__}, got {value!r}"
+                )
+        if not entry["short_circuited"]:
+            raise ValueError(
+                f"entry {entry.get('workload')!r}: the analyzer failed to "
+                "short-circuit a precheck-resolvable schema"
+            )
+        if not entry["verdicts_agree"]:
+            raise ValueError(
+                f"entry {entry.get('workload')!r}: short-circuit verdict "
+                "disagrees with the full decision procedure"
+            )
+        if not entry["witness_verified"]:
+            raise ValueError(
+                f"entry {entry.get('workload')!r}: a carried witness failed "
+                "re-verification"
+            )
+    summary = report.get("summary")
+    if not isinstance(summary, dict):
+        raise ValueError("report['summary'] must be an object")
+    min_speedup = summary.get("min_speedup")
+    if not isinstance(min_speedup, float):
+        raise ValueError("summary.min_speedup must be a float")
+    if min_speedup < SPEEDUP_BAR:
+        raise ValueError(
+            f"acceptance bar missed: min speedup {min_speedup:.1f}x is "
+            f"below {SPEEDUP_BAR:.0f}x"
+        )
+    return report
+
+
+# -- pytest-benchmark entry points (pytest benchmarks/ --benchmark-only) ----
+
+
+def test_short_circuit_skips_the_expansion(benchmark):
+    from benchmarks.conftest import paper_row
+
+    schema, cls = conflict_antichain(8)
+    result = benchmark(
+        lambda: is_class_satisfiable(schema, cls, precheck=True)
+    )
+    assert result.engine == ANALYSIS_ENGINE
+    assert result.cr_system is None
+    paper_row(
+        "E14/analysis",
+        "polynomial static proof replaces the exponential expansion",
+        f"UNSAT({cls}) served from a {result.diagnostic.code} diagnostic",
+    )
+
+
+def test_report_is_wellformed(benchmark):
+    report = benchmark.pedantic(
+        run_benchmarks, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    validate_report(report)
+    assert report["summary"]["min_speedup"] >= SPEEDUP_BAR
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "analyzer vs full pipeline; emits BENCH_analysis.json"
+        )
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller antichain sizes (CI)"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_analysis.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: ./BENCH_analysis.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(quick=args.quick)
+    validate_report(report)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    for entry in report["entries"]:
+        print(
+            f"{entry['workload']:<24} full {entry['full_s']*1e3:9.2f} ms"
+            f"  analysis {entry['analysis_s']*1e3:8.3f} ms"
+            f"  speedup {entry['speedup']:9.1f}x"
+            f"  [{entry['diagnostic_code']}]"
+        )
+    print(
+        f"-> {args.output}: {report['summary']['workloads']} workloads, "
+        f"speedup {report['summary']['min_speedup']:.1f}x–"
+        f"{report['summary']['max_speedup']:.1f}x "
+        f"(bar: {SPEEDUP_BAR:.0f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

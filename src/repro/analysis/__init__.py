@@ -1,0 +1,60 @@
+"""Polynomial-time static analysis of CR schemas.
+
+The analyzer runs a battery of sound-but-incomplete checks over the
+*declared* schema statements — ISA graph structure, cardinality
+refinement chains, disjointness/covering interactions — before any
+Section-3.1 expansion is attempted.  Its ``error`` diagnostics carry
+machine-checkable witnesses proving their subject classes empty in
+every model, so the pipeline can serve an UNSAT verdict without paying
+the exponential expansion; warnings and infos surface modelling smells
+(cycles, dead relationships, redundant edges, duplicates).
+
+Entry points:
+
+:func:`analyze`
+    ``analyze(schema) -> AnalysisReport`` — the full battery.
+:func:`static_empty_classes`
+    Just the emptiness fixpoint, as witness trees.
+
+See the "Static schema analysis" sections of README.md and DESIGN.md
+for the diagnostic catalogue and the soundness argument relative to
+the paper's Theorem 3.3.
+"""
+
+from repro.analysis.analyzer import DEFAULT_CHECKS, Check, analyze
+from repro.analysis.checks import static_empty_classes
+from repro.analysis.diagnostics import SEVERITIES, AnalysisReport, Diagnostic
+from repro.analysis.witness import (
+    CardConflict,
+    DisjointAncestors,
+    EmptinessWitness,
+    EmptyRelationship,
+    EmptySuper,
+    IsaCycle,
+    IsaPath,
+    RedundantEdge,
+    RequiredParticipation,
+    UncoveredClass,
+    Witness,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CardConflict",
+    "Check",
+    "DEFAULT_CHECKS",
+    "Diagnostic",
+    "DisjointAncestors",
+    "EmptinessWitness",
+    "EmptyRelationship",
+    "EmptySuper",
+    "IsaCycle",
+    "IsaPath",
+    "RedundantEdge",
+    "RequiredParticipation",
+    "SEVERITIES",
+    "UncoveredClass",
+    "Witness",
+    "analyze",
+    "static_empty_classes",
+]

@@ -1,0 +1,65 @@
+"""The analyzer entry point: run the check battery, build the report.
+
+:func:`analyze` executes every registered check under the pipeline's
+``analyze`` stage (so ``batch --stats`` and budget snapshots see it)
+and assembles an :class:`~repro.analysis.diagnostics.AnalysisReport`.
+The battery is polynomial in the schema size — it never expands, never
+builds a disequation system, never solves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.analysis.checks import (
+    check_cover_typing,
+    check_duplicate_definitions,
+    check_emptiness,
+    check_isa_cycles,
+    check_redundant_isa,
+    check_unreferenced,
+)
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, ordered
+from repro.cr.schema import CRSchema
+from repro.pipeline import STAGE_ANALYZE, stage
+
+Check = Callable[[CRSchema], list[Diagnostic]]
+
+DEFAULT_CHECKS: tuple[Check, ...] = (
+    check_emptiness,
+    check_isa_cycles,
+    check_cover_typing,
+    check_redundant_isa,
+    check_unreferenced,
+    check_duplicate_definitions,
+)
+"""The standard battery, in emission order (errors naturally first)."""
+
+
+def analyze(
+    schema: CRSchema, checks: Sequence[Check] = DEFAULT_CHECKS
+) -> AnalysisReport:
+    """Run the static battery over ``schema`` and return the report.
+
+    Sound but incomplete: every ``error`` diagnostic carries a witness
+    proving its first subject class empty in every model (hence
+    finitely unsatisfiable, agreeing with Theorem 3.3); the absence of
+    errors proves nothing.
+    """
+    with stage(STAGE_ANALYZE, phase="analysis"):
+        diagnostics: list[Diagnostic] = []
+        for check in checks:
+            diagnostics.extend(check(schema))
+        report = AnalysisReport(
+            schema_name=schema.name,
+            diagnostics=ordered(diagnostics),
+            unsat_classes=frozenset(
+                diagnostic.classes[0]
+                for diagnostic in diagnostics
+                if diagnostic.severity == "error" and diagnostic.classes
+            ),
+        )
+    return report
+
+
+__all__ = ["Check", "DEFAULT_CHECKS", "analyze"]

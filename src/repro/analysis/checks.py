@@ -1,0 +1,519 @@
+"""The polynomial-time check battery of the schema static analyzer.
+
+Each ``check_*`` function inspects declared schema structure only — no
+expansion, no compound classes — and returns :class:`Diagnostic`
+objects.  All checks are sound but incomplete: an ``error`` is a proof
+(carried as a witness) that its subject class is empty in every model,
+which implies the finite-unsatisfiability verdict of the paper's
+Theorem 3.3; the converse direction is *not* attempted, so schemas like
+Figure 1 (finitely unsatisfiable for arithmetic reasons, yet satisfied
+by an infinite model) pass the static battery and proceed to the full
+expansion.
+
+The emptiness core is :func:`static_empty_classes`: a fixpoint over
+
+seeds
+    effective (inherited) cardinality conflicts ``minc > maxc``
+    (Definition 3.1's lifting applied along declared ISA paths) and
+    inheritance from two declared-disjoint ancestors;
+rules
+    an empty primary class empties its relationship (the typing
+    condition of Definition 2.2); an empty relationship empties every
+    class with an inherited ``minc >= 1`` on one of its roles; a
+    covered class with all coverers empty is empty; a class below an
+    empty ancestor is empty.
+
+Every derivation is materialised as a witness tree
+(:mod:`repro.analysis.witness`) so the claim can be re-verified
+independently of this module's code.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.graph import (
+    cycle_path,
+    redundant_isa_edges,
+    strongly_connected_components,
+)
+from repro.analysis.witness import (
+    CardConflict,
+    DisjointAncestors,
+    EmptinessWitness,
+    EmptyRelationship,
+    EmptySuper,
+    IsaCycle,
+    RedundantEdge,
+    RequiredParticipation,
+    UncoveredClass,
+)
+from repro.cr.schema import Card, CRSchema
+
+
+def _slots(schema: CRSchema) -> list[tuple[str, str]]:
+    """All ``(relationship, role)`` slots in declaration order."""
+    return [
+        (rel.name, role)
+        for rel in schema.relationships
+        for role in rel.roles
+    ]
+
+
+def _card_conflict(schema: CRSchema, cls: str) -> CardConflict | None:
+    """A witnessed inherited ``minc > maxc`` on some slot of ``cls``."""
+    for rel, role in _slots(schema):
+        sources = schema.effective_card_sources(cls, rel, role)
+        if not sources:
+            continue
+        minc = max(card.minc for _, card in sources)
+        bounded = [card.maxc for _, card in sources if card.maxc is not None]
+        if not bounded:
+            continue
+        maxc = min(bounded)
+        if minc <= maxc:
+            continue
+        min_class = next(
+            ancestor for ancestor, card in sources if card.minc == minc
+        )
+        max_class = next(
+            ancestor for ancestor, card in sources if card.maxc == maxc
+        )
+        min_path = schema.isa_path(cls, min_class)
+        max_path = schema.isa_path(cls, max_class)
+        assert min_path is not None and max_path is not None
+        return CardConflict(
+            cls=cls,
+            rel=rel,
+            role=role,
+            min_class=min_class,
+            min_path=min_path,
+            minc=minc,
+            max_class=max_class,
+            max_path=max_path,
+            maxc=maxc,
+        )
+    return None
+
+
+def _disjoint_ancestors(schema: CRSchema, cls: str) -> DisjointAncestors | None:
+    """A witnessed pair of declared-disjoint ancestors of ``cls``."""
+    position = {name: i for i, name in enumerate(schema.classes)}
+    ancestors = schema.ancestors(cls)
+    for group in schema.disjointness_groups:
+        clashing = sorted(group & ancestors, key=position.__getitem__)
+        if len(clashing) < 2:
+            continue
+        first, second = clashing[0], clashing[1]
+        first_path = schema.isa_path(cls, first)
+        second_path = schema.isa_path(cls, second)
+        assert first_path is not None and second_path is not None
+        return DisjointAncestors(
+            cls=cls,
+            first=first,
+            first_path=first_path,
+            second=second,
+            second_path=second_path,
+            group=group,
+        )
+    return None
+
+
+def _required_participation(
+    schema: CRSchema, cls: str, empty_rels: dict[str, EmptyRelationship]
+) -> RequiredParticipation | None:
+    """A witnessed inherited ``minc >= 1`` on an empty relationship."""
+    for rel, role in _slots(schema):
+        if rel not in empty_rels:
+            continue
+        for ancestor, card in schema.effective_card_sources(cls, rel, role):
+            if card.minc < 1:
+                continue
+            min_path = schema.isa_path(cls, ancestor)
+            assert min_path is not None
+            return RequiredParticipation(
+                cls=cls,
+                rel=rel,
+                role=role,
+                min_class=ancestor,
+                min_path=min_path,
+                minc=card.minc,
+                rel_cause=empty_rels[rel],
+            )
+    return None
+
+
+def static_empty_classes(
+    schema: CRSchema,
+) -> tuple[dict[str, EmptinessWitness], dict[str, EmptyRelationship]]:
+    """Classes (and relationships) provably empty in every model.
+
+    A monotone fixpoint — each round scans classes, relationships, and
+    coverings in declaration order, so at most ``|C| + |R|`` rounds of
+    polynomial work; the result maps each empty symbol to the witness
+    tree proving it.
+    """
+    empty: dict[str, EmptinessWitness] = {}
+    empty_rels: dict[str, EmptyRelationship] = {}
+
+    for cls in schema.classes:
+        seed = _card_conflict(schema, cls) or _disjoint_ancestors(schema, cls)
+        if seed is not None:
+            empty[cls] = seed
+
+    changed = True
+    while changed:
+        changed = False
+        for rel in schema.relationships:
+            if rel.name in empty_rels:
+                continue
+            for role, primary in rel.signature:
+                if primary in empty:
+                    empty_rels[rel.name] = EmptyRelationship(
+                        rel=rel.name,
+                        role=role,
+                        primary=primary,
+                        cause=empty[primary],
+                    )
+                    changed = True
+                    break
+        for cls in schema.classes:
+            if cls in empty:
+                continue
+            required = _required_participation(schema, cls, empty_rels)
+            if required is not None:
+                empty[cls] = required
+                changed = True
+        for covered, coverers in schema.coverings:
+            if covered in empty:
+                continue
+            if coverers and all(coverer in empty for coverer in coverers):
+                empty[covered] = UncoveredClass(
+                    cls=covered,
+                    coverers=coverers,
+                    causes=tuple(
+                        empty[coverer] for coverer in sorted(coverers)
+                    ),
+                )
+                changed = True
+        for cls in schema.classes:
+            if cls in empty:
+                continue
+            for ancestor in schema.classes:
+                if ancestor == cls or ancestor not in empty:
+                    continue
+                path = schema.isa_path(cls, ancestor)
+                if path is None:
+                    continue
+                empty[cls] = EmptySuper(
+                    cls=cls, path=path, cause=empty[ancestor]
+                )
+                changed = True
+                break
+    return empty, empty_rels
+
+
+_EMPTINESS_CODES = {
+    "card-conflict": "card-refinement-conflict",
+    "disjoint-ancestors": "isa-disjoint-conflict",
+    "required-participation": "card-required-empty",
+    "uncovered-class": "cover-empty",
+    "empty-super": "isa-empty-super",
+}
+
+
+def _emptiness_diagnostic(witness: EmptinessWitness) -> Diagnostic:
+    cls = witness.subject_class()
+    if isinstance(witness, CardConflict):
+        card = Card(witness.minc, witness.maxc)
+        if witness.min_class == cls and witness.max_class == cls:
+            return Diagnostic(
+                code="card-inversion",
+                severity="error",
+                message=(
+                    f"declared cardinality {card.pretty()} on role "
+                    f"{witness.role!r} of {witness.rel!r} has minc > maxc; "
+                    f"{cls!r} is empty in every model"
+                ),
+                classes=(cls,),
+                relationships=(witness.rel,),
+                witness=witness,
+            )
+        return Diagnostic(
+            code=_EMPTINESS_CODES[witness.kind],
+            severity="error",
+            message=(
+                f"inherited cardinalities on role {witness.role!r} of "
+                f"{witness.rel!r} conflict: minc {witness.minc} (from "
+                f"{witness.min_class!r}) exceeds maxc {witness.maxc} (from "
+                f"{witness.max_class!r}); {cls!r} is empty in every model"
+            ),
+            classes=(cls,),
+            relationships=(witness.rel,),
+            witness=witness,
+        )
+    if isinstance(witness, DisjointAncestors):
+        return Diagnostic(
+            code=_EMPTINESS_CODES[witness.kind],
+            severity="error",
+            message=(
+                f"{cls!r} inherits from both {witness.first!r} and "
+                f"{witness.second!r}, which are declared disjoint; "
+                f"{cls!r} is empty in every model"
+            ),
+            classes=(cls,),
+            witness=witness,
+        )
+    if isinstance(witness, RequiredParticipation):
+        return Diagnostic(
+            code=_EMPTINESS_CODES[witness.kind],
+            severity="error",
+            message=(
+                f"{cls!r} must participate in {witness.rel!r} (minc "
+                f"{witness.minc} from {witness.min_class!r}) but "
+                f"{witness.rel!r} can never be populated; {cls!r} is empty "
+                "in every model"
+            ),
+            classes=(cls,),
+            relationships=(witness.rel,),
+            witness=witness,
+        )
+    if isinstance(witness, UncoveredClass):
+        coverers = ", ".join(repr(c) for c in sorted(witness.coverers))
+        return Diagnostic(
+            code=_EMPTINESS_CODES[witness.kind],
+            severity="error",
+            message=(
+                f"{cls!r} is covered by {coverers}, all empty in every "
+                f"model; {cls!r} is empty in every model"
+            ),
+            classes=(cls,),
+            witness=witness,
+        )
+    assert isinstance(witness, EmptySuper)
+    return Diagnostic(
+        code=_EMPTINESS_CODES[witness.kind],
+        severity="error",
+        message=(
+            f"{cls!r} is a subclass of {witness.path[-1]!r}, which is "
+            f"empty in every model; {cls!r} is empty in every model"
+        ),
+        classes=(cls,),
+        witness=witness,
+    )
+
+
+def check_emptiness(schema: CRSchema) -> list[Diagnostic]:
+    """Errors for statically-empty classes, warnings for dead relationships."""
+    empty, empty_rels = static_empty_classes(schema)
+    diagnostics = [
+        _emptiness_diagnostic(empty[cls])
+        for cls in schema.classes
+        if cls in empty
+    ]
+    for rel in schema.relationships:
+        witness = empty_rels.get(rel.name)
+        if witness is None:
+            continue
+        diagnostics.append(
+            Diagnostic(
+                code="rel-unsatisfiable",
+                severity="warning",
+                message=(
+                    f"relationship {rel.name!r} can never be populated: the "
+                    f"primary class {witness.primary!r} of role "
+                    f"{witness.role!r} is empty in every model"
+                ),
+                relationships=(rel.name,),
+                witness=witness,
+            )
+        )
+    return diagnostics
+
+
+def check_isa_cycles(schema: CRSchema) -> list[Diagnostic]:
+    """Warnings for non-trivial SCCs of the declared ISA graph.
+
+    Cycles are legal in CR — they make their members extensionally
+    equivalent in every model — but almost always indicate a modelling
+    mistake, and collapsing the SCC to one class is a safe rewrite.
+    """
+    diagnostics = []
+    for component in strongly_connected_components(schema):
+        if len(component) < 2:
+            continue
+        path = cycle_path(schema, component)
+        members = ", ".join(repr(cls) for cls in component)
+        diagnostics.append(
+            Diagnostic(
+                code="isa-cycle",
+                severity="warning",
+                message=(
+                    f"ISA cycle through {members}: these classes are "
+                    "extensionally equivalent in every model and can be "
+                    "collapsed into one"
+                ),
+                classes=component,
+                witness=IsaCycle(path),
+            )
+        )
+    return diagnostics
+
+
+def check_redundant_isa(schema: CRSchema) -> list[Diagnostic]:
+    """Infos for declared ISA edges implied by the rest of the graph."""
+    diagnostics = []
+    for sub, sup, alternative in redundant_isa_edges(schema):
+        if sub == sup:
+            message = (
+                f"ISA statement {sub!r} ISA {sup!r} is a self-loop; it is "
+                "implied by reflexivity and can be removed"
+            )
+        else:
+            via = " -> ".join(alternative)
+            message = (
+                f"ISA statement {sub!r} ISA {sup!r} is implied by the "
+                f"declared path {via} and can be removed"
+            )
+        diagnostics.append(
+            Diagnostic(
+                code="isa-redundant",
+                severity="info",
+                message=message,
+                classes=(sub,) if sub == sup else (sub, sup),
+                witness=RedundantEdge(sub, sup, alternative),
+            )
+        )
+    return diagnostics
+
+
+def check_cover_typing(schema: CRSchema) -> list[Diagnostic]:
+    """Warnings for coverers that are not subclasses of the covered class.
+
+    Legal in the Section-5 extension, but a covering is normally a
+    partition of the covered class into its own subclasses; a foreign
+    coverer usually means a reversed or misspelt statement.
+    """
+    diagnostics = []
+    for covered, coverers in schema.coverings:
+        position = {name: i for i, name in enumerate(schema.classes)}
+        foreign = sorted(
+            (c for c in coverers if not schema.is_subclass(c, covered)),
+            key=position.__getitem__,
+        )
+        if not foreign:
+            continue
+        names = ", ".join(repr(c) for c in foreign)
+        diagnostics.append(
+            Diagnostic(
+                code="cover-foreign",
+                severity="warning",
+                message=(
+                    f"covering of {covered!r} uses coverer(s) {names} that "
+                    f"are not declared subclasses of {covered!r}"
+                ),
+                classes=(covered, *foreign),
+            )
+        )
+    return diagnostics
+
+
+def _referenced_classes(schema: CRSchema) -> set[str]:
+    referenced: set[str] = set()
+    for rel in schema.relationships:
+        referenced.update(cls for _, cls in rel.signature)
+    for sub, sup in schema.isa_statements:
+        if sub != sup:
+            referenced.update((sub, sup))
+    referenced.update(cls for cls, _, _ in schema.declared_cards)
+    for group in schema.disjointness_groups:
+        referenced.update(group)
+    for covered, coverers in schema.coverings:
+        referenced.add(covered)
+        referenced.update(coverers)
+    return referenced
+
+
+def check_unreferenced(schema: CRSchema) -> list[Diagnostic]:
+    """Infos for classes no statement mentions (trivially satisfiable)."""
+    referenced = _referenced_classes(schema)
+    return [
+        Diagnostic(
+            code="class-unreferenced",
+            severity="info",
+            message=(
+                f"class {cls!r} is not mentioned by any relationship, ISA, "
+                "cardinality, disjointness, or covering statement"
+            ),
+            classes=(cls,),
+        )
+        for cls in schema.classes
+        if cls not in referenced
+    ]
+
+
+def check_duplicate_definitions(schema: CRSchema) -> list[Diagnostic]:
+    """Infos for classes with identical declared constraint surfaces.
+
+    Two classes with the same direct superclasses and the same declared
+    cardinality triples (and no other distinguishing statement) are
+    interchangeable in every declared constraint — usually a
+    copy-paste artifact.  Only non-trivial surfaces are reported.
+    """
+    declared = schema.declared_cards
+    mentioned_elsewhere: set[str] = set()
+    for rel in schema.relationships:
+        mentioned_elsewhere.update(cls for _, cls in rel.signature)
+    for group in schema.disjointness_groups:
+        mentioned_elsewhere.update(group)
+    for covered, coverers in schema.coverings:
+        mentioned_elsewhere.add(covered)
+        mentioned_elsewhere.update(coverers)
+    for _, sup in schema.isa_statements:
+        mentioned_elsewhere.add(sup)
+
+    surfaces: dict[tuple, list[str]] = {}
+    for cls in schema.classes:
+        if cls in mentioned_elsewhere:
+            # A class that anchors other statements is not a duplicate
+            # candidate: swapping it would change those statements.
+            continue
+        supers = frozenset(
+            sup for sub, sup in schema.isa_statements if sub == cls
+        )
+        cards = frozenset(
+            (rel, role, card.minc, card.maxc)
+            for (owner, rel, role), card in declared.items()
+            if owner == cls
+        )
+        if not supers and not cards:
+            continue  # trivial surface; covered by class-unreferenced
+        surfaces.setdefault((supers, cards), []).append(cls)
+
+    diagnostics = []
+    for group_classes in surfaces.values():
+        if len(group_classes) < 2:
+            continue
+        names = ", ".join(repr(cls) for cls in group_classes)
+        diagnostics.append(
+            Diagnostic(
+                code="class-duplicate",
+                severity="info",
+                message=(
+                    f"classes {names} declare identical superclasses and "
+                    "cardinalities; they are interchangeable duplicates"
+                ),
+                classes=tuple(group_classes),
+            )
+        )
+    return diagnostics
+
+
+__all__ = [
+    "check_cover_typing",
+    "check_duplicate_definitions",
+    "check_emptiness",
+    "check_isa_cycles",
+    "check_redundant_isa",
+    "check_unreferenced",
+    "static_empty_classes",
+]

@@ -1,0 +1,181 @@
+"""Polynomial-time ISA-graph structure used by the static analyzer.
+
+The declared ISA statements form a directed graph on the class symbols
+(an edge ``sub → sup`` per statement).  The checks in
+:mod:`repro.analysis.checks` need three classic computations on it, all
+polynomial:
+
+* the strongly connected components (Tarjan, iterative — cycles are
+  legal in CR and make their members extensionally equivalent),
+* shortest declared paths (witnesses for ``≼*`` facts), and
+* the redundant declared edges (edges implied by the rest of the
+  graph — the transitive-reduction complement).
+"""
+
+from __future__ import annotations
+
+from repro.cr.schema import CRSchema
+
+
+def isa_adjacency(schema: CRSchema) -> dict[str, list[str]]:
+    """Declared-edge adjacency: class → direct declared superclasses."""
+    adjacency: dict[str, list[str]] = {cls: [] for cls in schema.classes}
+    for sub, sup in schema.isa_statements:
+        adjacency[sub].append(sup)
+    return adjacency
+
+
+def strongly_connected_components(
+    schema: CRSchema,
+) -> list[tuple[str, ...]]:
+    """The SCCs of the declared ISA graph, iteratively (Tarjan).
+
+    Components are returned in reverse topological order (as Tarjan
+    emits them) with members in class-declaration order; singleton
+    components without a self-loop are included, so callers filter for
+    ``len(scc) > 1`` to find genuine cycles.
+    """
+    adjacency = isa_adjacency(schema)
+    position = {cls: i for i, cls in enumerate(schema.classes)}
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[tuple[str, ...]] = []
+    counter = 0
+
+    for root in schema.classes:
+        if root in index_of:
+            continue
+        # Explicit DFS stack of (node, iterator position) frames.
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, edge_index = work.pop()
+            if edge_index == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recursed = False
+            successors = adjacency[node]
+            while edge_index < len(successors):
+                succ = successors[edge_index]
+                edge_index += 1
+                if succ not in index_of:
+                    work.append((node, edge_index))
+                    work.append((succ, 0))
+                    recursed = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if recursed:
+                continue
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(
+                    tuple(sorted(component, key=position.__getitem__))
+                )
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def cycle_path(schema: CRSchema, component: tuple[str, ...]) -> tuple[str, ...]:
+    """A closed declared-edge path through ``component``'s first member.
+
+    The witness for an ISA cycle: a shortest declared path from the
+    member back to itself, BFS within the component.  ``component``
+    must be a non-trivial SCC of the declared graph.
+    """
+    start = component[0]
+    members = set(component)
+    adjacency = {
+        cls: [succ for succ in succs if succ in members and succ != cls]
+        for cls, succs in isa_adjacency(schema).items()
+        if cls in members
+    }
+    previous: dict[str, str] = {}
+    queue = [start]
+    head = 0
+    while head < len(queue):
+        node = queue[head]
+        head += 1
+        for succ in adjacency[node]:
+            if succ == start:
+                path = [node]
+                while path[-1] != start:
+                    path.append(previous[path[-1]])
+                return tuple(reversed(path)) + (start,)
+            if succ not in previous:
+                previous[succ] = node
+                queue.append(succ)
+    raise AssertionError(  # pragma: no cover - callers pass genuine SCCs
+        f"no cycle through {start!r}; not a non-trivial SCC"
+    )
+
+
+def _declared_path_avoiding(
+    adjacency: dict[str, list[str]], src: str, dst: str
+) -> tuple[str, ...] | None:
+    """Shortest declared path ``src → ... → dst`` that does not take the
+    direct edge ``src → dst`` as its first step (BFS)."""
+    previous: dict[str, str] = {}
+    queue = [src]
+    head = 0
+    while head < len(queue):
+        node = queue[head]
+        head += 1
+        for succ in adjacency[node]:
+            if node == src and succ == dst:
+                continue  # the direct edge is not an alternative
+            if succ in previous or succ == src:
+                continue
+            previous[succ] = node
+            if succ == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(previous[path[-1]])
+                return tuple(reversed(path))
+            queue.append(succ)
+    return None
+
+
+def redundant_isa_edges(
+    schema: CRSchema,
+) -> list[tuple[str, str, tuple[str, ...]]]:
+    """Declared edges implied by the rest of the declared ISA graph.
+
+    For each declared statement ``sub ≼ sup``, search for a declared
+    path from ``sub`` to ``sup`` that does not start with the direct
+    edge (one BFS per edge — ``O(E·(V+E))``, polynomial).  A declared
+    self-loop ``A ≼ A`` is redundant outright (reflexivity), with the
+    trivial path ``(A,)`` as its witness.  Returns ``(sub, sup,
+    alternative_path)`` triples in declaration order; such statements
+    can be removed without changing any ``≼*`` fact, so every verdict
+    of the decision procedure is invariant under the removal.
+    """
+    adjacency = isa_adjacency(schema)
+    redundant: list[tuple[str, str, tuple[str, ...]]] = []
+    for sub, sup in schema.isa_statements:
+        if sub == sup:
+            redundant.append((sub, sup, (sub,)))
+            continue
+        alternative = _declared_path_avoiding(adjacency, sub, sup)
+        if alternative is not None:
+            redundant.append((sub, sup, alternative))
+    return redundant
+
+
+__all__ = [
+    "cycle_path",
+    "isa_adjacency",
+    "redundant_isa_edges",
+    "strongly_connected_components",
+]

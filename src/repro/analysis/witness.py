@@ -1,0 +1,434 @@
+"""Machine-checkable witnesses for static-analysis diagnostics.
+
+Every ``error``-level diagnostic emitted by :mod:`repro.analysis`
+carries a witness object that *proves* its claim from the declared
+schema statements alone — an ISA path, a refinement chain, a
+disjointness clash, or a derivation tree for propagated emptiness.
+Each witness exposes
+
+``verify(schema) -> bool``
+    Re-check the claim directly against the schema's declared
+    statements (not against any cached analysis state).  The
+    differential property suite runs this on every diagnostic before
+    comparing verdicts with the full decision procedure, so a bug in a
+    check cannot hide behind a bug in its witness.
+
+``as_dict() -> dict``
+    A stable JSON encoding for ``repro lint --json``.
+
+The soundness argument shared by all *emptiness* witnesses: each
+variant proves its subject class empty in **every** interpretation
+(finite or not), which implies finite unsatisfiability — the verdict of
+the paper's Theorem-3.3 decision procedure.  See the "Static schema
+analysis" sections of README.md and DESIGN.md for the per-variant
+arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cr.schema import CRSchema
+
+
+def _is_declared_path(schema: CRSchema, path: tuple[str, ...]) -> bool:
+    """Whether ``path`` walks declared ISA edges from front to back."""
+    if not path:
+        return False
+    if any(not schema.has_class(cls) for cls in path):
+        return False
+    declared = set(schema.isa_statements)
+    return all(
+        (path[i], path[i + 1]) in declared for i in range(len(path) - 1)
+    )
+
+
+@dataclass(frozen=True)
+class IsaPath:
+    """A chain of declared ISA edges: ``classes[0] ≼* classes[-1]``."""
+
+    classes: tuple[str, ...]
+
+    kind = "isa-path"
+
+    def verify(self, schema: CRSchema) -> bool:
+        return _is_declared_path(schema, self.classes)
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "classes": list(self.classes)}
+
+
+@dataclass(frozen=True)
+class IsaCycle:
+    """A closed chain of declared ISA edges (``path[0] == path[-1]``).
+
+    Witnesses that every class on the path has every other as both
+    ancestor and descendant — the classes are extensionally equivalent
+    in every model.
+    """
+
+    path: tuple[str, ...]
+
+    kind = "isa-cycle"
+
+    def verify(self, schema: CRSchema) -> bool:
+        return (
+            len(self.path) >= 3
+            and self.path[0] == self.path[-1]
+            and _is_declared_path(schema, self.path)
+        )
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "path": list(self.path)}
+
+
+@dataclass(frozen=True)
+class RedundantEdge:
+    """A declared ISA edge implied by the rest of the ISA graph.
+
+    ``alternative`` is a declared path from ``sub`` to ``sup`` that does
+    not use the direct edge, so removing the declaration changes no
+    ``≼*`` fact.
+    """
+
+    sub: str
+    sup: str
+    alternative: tuple[str, ...]
+
+    kind = "isa-redundant-edge"
+
+    def verify(self, schema: CRSchema) -> bool:
+        if (self.sub, self.sup) not in schema.isa_statements:
+            return False
+        path = self.alternative
+        if path[:1] != (self.sub,) or path[-1:] != (self.sup,):
+            return False
+        if self.sub == self.sup:
+            # A declared self-loop is vacuous by reflexivity of ``≼*``;
+            # its witness is the trivial path.
+            return path == (self.sub,)
+        if len(path) < 3:  # the direct edge itself is not an alternative
+            return False
+        return _is_declared_path(schema, path)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "sub": self.sub,
+            "sup": self.sup,
+            "alternative": list(self.alternative),
+        }
+
+
+@dataclass(frozen=True)
+class CardConflict:
+    """Emptiness by an inherited ``minc > maxc`` on one role slot.
+
+    ``cls`` inherits ``minc`` from its ancestor ``min_class`` (via the
+    declared path ``min_path``) and ``maxc`` from ``max_class`` (via
+    ``max_path``) on the same ``(rel, role)`` slot.  Since every
+    instance of ``cls`` is an instance of both ancestors, it would have
+    to participate at least ``minc`` and at most ``maxc < minc`` times —
+    impossible, so ``cls`` is empty in every model.  A *local inversion*
+    is the special case ``min_class == max_class == cls``.
+    """
+
+    cls: str
+    rel: str
+    role: str
+    min_class: str
+    min_path: tuple[str, ...]
+    minc: int
+    max_class: str
+    max_path: tuple[str, ...]
+    maxc: int
+
+    kind = "card-conflict"
+
+    def subject_class(self) -> str:
+        return self.cls
+
+    def verify(self, schema: CRSchema) -> bool:
+        if self.minc <= self.maxc:
+            return False
+        if self.min_path[:1] != (self.cls,) or self.max_path[:1] != (self.cls,):
+            return False
+        if self.min_path[-1:] != (self.min_class,):
+            return False
+        if self.max_path[-1:] != (self.max_class,):
+            return False
+        if not _is_declared_path(schema, self.min_path):
+            return False
+        if not _is_declared_path(schema, self.max_path):
+            return False
+        declared = schema.declared_cards
+        min_card = declared.get((self.min_class, self.rel, self.role))
+        max_card = declared.get((self.max_class, self.rel, self.role))
+        if min_card is None or max_card is None:
+            return False
+        return min_card.minc == self.minc and max_card.maxc == self.maxc
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "class": self.cls,
+            "relationship": self.rel,
+            "role": self.role,
+            "min": {
+                "class": self.min_class,
+                "path": list(self.min_path),
+                "minc": self.minc,
+            },
+            "max": {
+                "class": self.max_class,
+                "path": list(self.max_path),
+                "maxc": self.maxc,
+            },
+        }
+
+
+@dataclass(frozen=True)
+class DisjointAncestors:
+    """Emptiness by inheriting from two declared-disjoint classes.
+
+    Every instance of ``cls`` is an instance of both ``first`` (via
+    ``first_path``) and ``second`` (via ``second_path``), yet a
+    disjointness statement forbids any individual from being in both —
+    so ``cls`` is empty in every model.
+    """
+
+    cls: str
+    first: str
+    first_path: tuple[str, ...]
+    second: str
+    second_path: tuple[str, ...]
+    group: frozenset[str]
+
+    kind = "disjoint-ancestors"
+
+    def subject_class(self) -> str:
+        return self.cls
+
+    def verify(self, schema: CRSchema) -> bool:
+        if self.first == self.second:
+            return False
+        if {self.first, self.second} - self.group:
+            return False
+        if self.group not in set(schema.disjointness_groups):
+            return False
+        if self.first_path[:1] != (self.cls,) or self.first_path[-1:] != (
+            self.first,
+        ):
+            return False
+        if self.second_path[:1] != (self.cls,) or self.second_path[-1:] != (
+            self.second,
+        ):
+            return False
+        return _is_declared_path(schema, self.first_path) and _is_declared_path(
+            schema, self.second_path
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "class": self.cls,
+            "first": {"class": self.first, "path": list(self.first_path)},
+            "second": {"class": self.second, "path": list(self.second_path)},
+            "group": sorted(self.group),
+        }
+
+
+@dataclass(frozen=True)
+class EmptySuper:
+    """Emptiness inherited from an empty ancestor along a declared path."""
+
+    cls: str
+    path: tuple[str, ...]
+    cause: "EmptinessWitness"
+
+    kind = "empty-super"
+
+    def subject_class(self) -> str:
+        return self.cls
+
+    def verify(self, schema: CRSchema) -> bool:
+        if self.path[:1] != (self.cls,):
+            return False
+        if self.path[-1:] != (self.cause.subject_class(),):
+            return False
+        return _is_declared_path(schema, self.path) and self.cause.verify(
+            schema
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "class": self.cls,
+            "path": list(self.path),
+            "cause": self.cause.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class EmptyRelationship:
+    """A relationship forced empty: some role's primary class is empty.
+
+    Every tuple of ``rel`` carries, in role ``role``, an instance of the
+    role's primary class (the typing condition of Definition 2.2); with
+    that class empty in every model, no tuple can exist.
+    """
+
+    rel: str
+    role: str
+    primary: str
+    cause: "EmptinessWitness"
+
+    kind = "empty-relationship"
+
+    def verify(self, schema: CRSchema) -> bool:
+        relationship = schema.relationship(self.rel)
+        if self.role not in relationship.roles:
+            return False
+        if relationship.primary_class(self.role) != self.primary:
+            return False
+        if self.cause.subject_class() != self.primary:
+            return False
+        return self.cause.verify(schema)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "relationship": self.rel,
+            "role": self.role,
+            "primary": self.primary,
+            "cause": self.cause.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class RequiredParticipation:
+    """Emptiness by mandatory participation in an empty relationship.
+
+    ``cls`` inherits ``minc >= 1`` on ``(rel, role)`` from its ancestor
+    ``min_class`` (via ``min_path``), so every instance of ``cls`` must
+    appear in at least one tuple of ``rel`` — but ``rel`` is empty in
+    every model (``rel_cause``), so ``cls`` is empty too.
+    """
+
+    cls: str
+    rel: str
+    role: str
+    min_class: str
+    min_path: tuple[str, ...]
+    minc: int
+    rel_cause: EmptyRelationship
+
+    kind = "required-participation"
+
+    def subject_class(self) -> str:
+        return self.cls
+
+    def verify(self, schema: CRSchema) -> bool:
+        if self.minc < 1:
+            return False
+        if self.min_path[:1] != (self.cls,) or self.min_path[-1:] != (
+            self.min_class,
+        ):
+            return False
+        if not _is_declared_path(schema, self.min_path):
+            return False
+        declared = schema.declared_cards.get(
+            (self.min_class, self.rel, self.role)
+        )
+        if declared is None or declared.minc != self.minc:
+            return False
+        if self.rel_cause.rel != self.rel:
+            return False
+        return self.rel_cause.verify(schema)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "class": self.cls,
+            "relationship": self.rel,
+            "role": self.role,
+            "min": {
+                "class": self.min_class,
+                "path": list(self.min_path),
+                "minc": self.minc,
+            },
+            "cause": self.rel_cause.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class UncoveredClass:
+    """Emptiness of a covered class whose coverers are all empty.
+
+    A covering statement makes every instance of ``cls`` an instance of
+    some coverer; with each coverer empty in every model, ``cls`` is
+    empty too.
+    """
+
+    cls: str
+    coverers: frozenset[str]
+    causes: tuple["EmptinessWitness", ...]
+
+    kind = "uncovered-class"
+
+    def subject_class(self) -> str:
+        return self.cls
+
+    def verify(self, schema: CRSchema) -> bool:
+        if (self.cls, self.coverers) not in set(schema.coverings):
+            return False
+        proven = {cause.subject_class() for cause in self.causes}
+        if proven != set(self.coverers):
+            return False
+        return all(cause.verify(schema) for cause in self.causes)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "class": self.cls,
+            "coverers": sorted(self.coverers),
+            "causes": [cause.as_dict() for cause in self.causes],
+        }
+
+
+# The closed set of witness variants that prove a class empty in every
+# model.  Each carries ``cls`` — the class the proof is about — exposed
+# uniformly through ``subject_class()`` so derivation trees can be
+# composed and re-verified structurally.
+EmptinessWitness = (
+    CardConflict
+    | DisjointAncestors
+    | EmptySuper
+    | RequiredParticipation
+    | UncoveredClass
+)
+
+
+Witness = (
+    IsaPath
+    | IsaCycle
+    | RedundantEdge
+    | EmptyRelationship
+    | EmptinessWitness
+)
+"""Any witness a :class:`repro.analysis.Diagnostic` may carry."""
+
+
+__all__ = [
+    "CardConflict",
+    "DisjointAncestors",
+    "EmptinessWitness",
+    "EmptyRelationship",
+    "EmptySuper",
+    "IsaCycle",
+    "IsaPath",
+    "RedundantEdge",
+    "RequiredParticipation",
+    "UncoveredClass",
+    "Witness",
+]

@@ -5,7 +5,13 @@ Brings the reasoner to the shell for schemas written in the DSL
 
 ========  =============================================================
 check     per-class finite satisfiability (optionally one class,
-          optionally also the unrestricted verdict)
+          optionally also the unrestricted verdict); runs the static
+          analyzer first and serves statically-settled verdicts
+          without expanding
+lint      the polynomial-time static analyzer alone: structured
+          diagnostics (errors / warnings / infos) with machine-checked
+          witnesses, ``--json`` for tooling, ``--strict`` to fail on
+          warnings
 implies   decide ``S ⊨ K`` for a statement like ``"A isa B"`` or
           ``"maxc(Speaker, Holds, U1) = 1"``
 batch     answer many queries (``sat <Class>`` lines and implication
@@ -36,6 +42,7 @@ import sys
 from contextlib import ExitStack
 from pathlib import Path
 
+from repro.analysis import analyze
 from repro.cr.constraints import (
     DisjointnessStatement,
     IsaStatement,
@@ -139,15 +146,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
     budget = _budget_from(args)
     if args.cls:
         result = is_class_satisfiable(
-            schema, args.cls, engine=args.engine, budget=budget
+            schema, args.cls, engine=args.engine, budget=budget, precheck=True
         )
         if result.verdict is Verdict.UNKNOWN:
             print(f"{args.cls}: UNKNOWN ({result.unknown_reason})")
             return 3
         verdict = "satisfiable" if result.satisfiable else "UNSATISFIABLE"
         print(f"{args.cls}: {verdict} (finite models)")
+        if result.diagnostic is not None:
+            print(f"  {result.diagnostic.pretty()}")
         return 0 if result.satisfiable else 1
-    verdicts = satisfiable_classes(schema, budget=budget)
+    verdicts = satisfiable_classes(schema, budget=budget, precheck=True)
     unrestricted = (
         unrestricted_satisfiable_classes(schema) if args.unrestricted else None
     )
@@ -162,6 +171,27 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if any(value is Verdict.UNKNOWN for value in verdicts.values()):
         return 3
     return 0 if all(verdicts.values()) else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analyzer alone and report its diagnostics.
+
+    Exit codes: 0 when the report has no error (and, under
+    ``--strict``, no warning), 1 when it does, 2 for unreadable or
+    unparsable input (via :func:`main`'s error mapping).  Infos never
+    affect the exit code.
+    """
+    schema = _load_schema(args.schema)
+    report = analyze(schema)
+    assert report.verify(schema), "analysis witness failed verification"
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.pretty())
+    failing = bool(report.errors) or (args.strict and bool(report.warnings))
+    return 1 if failing else 0
 
 
 def _parse_batch_query(text: str):
@@ -263,6 +293,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"# session: {stats.queries} queries, "
             f"{stats.expansion_builds} expansion build(s), "
             f"{stats.fixpoint_runs} fixpoint run(s), {stats.hits} cache hit(s)"
+        )
+        print(
+            f"# analyze: {stats.analysis_runs} run(s), "
+            f"{stats.analysis_short_circuits} short-circuit(s)"
         )
         for name, timing in run.as_dict().items():
             print(
@@ -404,6 +438,23 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend(check)
     add_budget(check)
     check.set_defaults(run=_cmd_check)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static schema diagnostics (no expansion, polynomial time)",
+    )
+    lint.add_argument("schema")
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the diagnostic report as JSON",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (exit 1)",
+    )
+    lint.set_defaults(run=_cmd_lint)
 
     batch = subparsers.add_parser(
         "batch",

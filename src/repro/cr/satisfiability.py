@@ -53,6 +53,8 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.analysis.analyzer import analyze
+from repro.analysis.diagnostics import Diagnostic
 from repro.cr.expansion import Expansion, ExpansionLimits
 from repro.cr.schema import CRSchema
 from repro.cr.system import CRSystem, build_system
@@ -105,6 +107,12 @@ class SatisfiabilityResult:
     finite model.  ``support`` is the set of unknowns the witness makes
     positive.  On an UNKNOWN verdict ``cr_system`` may be ``None`` (the
     budget can run out before the system is even built).
+
+    ``diagnostic`` is set when the verdict was served by the static
+    analyzer's precheck (engine :data:`ANALYSIS_ENGINE`): the
+    ``error``-level :class:`repro.analysis.Diagnostic` whose witness
+    proves the class empty in every model — no expansion was built, so
+    ``cr_system``/``solution`` are ``None``.
     """
 
     cls: str
@@ -116,6 +124,7 @@ class SatisfiabilityResult:
     verdict: Verdict | None = None
     unknown_reason: str | None = None
     snapshot: ProgressSnapshot | None = None
+    diagnostic: Diagnostic | None = None
 
     def __post_init__(self) -> None:
         if self.verdict is None:
@@ -128,6 +137,29 @@ class SatisfiabilityResult:
         if self.solution is None:
             raise ReproError("no witness: the class is unsatisfiable")
         return self.solution.get(unknown, 0)
+
+
+ANALYSIS_ENGINE = "analysis"
+"""Engine tag on results short-circuited by the static analyzer."""
+
+
+def diagnostic_result(cls: str, diagnostic: Diagnostic) -> SatisfiabilityResult:
+    """An UNSAT verdict served from a static-analysis error diagnostic.
+
+    Sound by the witness contract of :mod:`repro.analysis`: the carried
+    witness proves ``cls`` empty in every model, so the Theorem-3.3
+    procedure would answer UNSAT too — without us paying for the
+    expansion (``cr_system`` stays ``None``).
+    """
+    return SatisfiabilityResult(
+        cls=cls,
+        satisfiable=False,
+        engine=ANALYSIS_ENGINE,
+        cr_system=None,
+        solution=None,
+        support=frozenset(),
+        diagnostic=diagnostic,
+    )
 
 
 def _unknown_result(
@@ -341,6 +373,7 @@ def is_class_satisfiable(
     budget: Budget | None = None,
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+    precheck: bool = False,
 ) -> SatisfiabilityResult:
     """Decide whether ``cls`` can be populated in some finite model.
 
@@ -370,11 +403,22 @@ def is_class_satisfiable(
         ``2^n`` zero-sets); also bounds the fixpoint→naive fallback.
     fallback:
         Solver degradation policy (``None`` disables the chain).
+    precheck:
+        Run the polynomial-time static analyzer first and serve the
+        verdict from an ``error`` diagnostic when one proves ``cls``
+        empty — skipping the exponential expansion entirely.  Off by
+        default so this function remains the analyzer-free oracle the
+        differential soundness suite compares against.
     """
     schema.require_class(cls)
     engine = _resolve_engine(engine)
 
     def compute() -> SatisfiabilityResult:
+        if precheck:
+            diagnostic = analyze(schema).unsat_witness(cls)
+            if diagnostic is not None:
+                with stage(STAGE_VERDICT):
+                    return diagnostic_result(cls, diagnostic)
         with stage(STAGE_EXPAND, phase="expansion"):
             local_expansion = expansion
             if local_expansion is None:
@@ -408,6 +452,7 @@ def satisfiable_classes(
     budget: Budget | None = None,
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+    precheck: bool = False,
 ) -> dict[str, bool | Verdict]:
     """Satisfiability of every class with a single fixpoint run.
 
@@ -421,9 +466,20 @@ def satisfiable_classes(
     aggregate truthiness checks stay conservative).  A solver fault
     that survives the per-LP Fourier–Motzkin retries re-runs the whole
     question on the naive engine when the system is small enough.
+
+    With ``precheck=True`` the static analyzer runs first; when it
+    proves *every* class empty the whole table is served from the
+    diagnostics and the expansion is skipped (a partial precheck cannot
+    skip the expansion — the remaining classes need it — and by
+    soundness the full run agrees on the statically-settled ones).
     """
 
     def compute() -> dict[str, bool | Verdict]:
+        if precheck:
+            report = analyze(schema)
+            if set(schema.classes) <= report.unsat_classes:
+                with stage(STAGE_VERDICT):
+                    return {cls: False for cls in schema.classes}
         with stage(STAGE_EXPAND, phase="expansion"):
             local_expansion = expansion
             if local_expansion is None:

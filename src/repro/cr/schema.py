@@ -341,6 +341,41 @@ class CRSchema:
         self.require_class(sup)
         return sup in self._ancestors[sub]
 
+    def isa_path(self, sub: str, sup: str) -> tuple[str, ...] | None:
+        """A shortest chain of *declared* ISA edges witnessing ``sub ≼* sup``.
+
+        Returns ``(sub, ..., sup)`` where every consecutive pair is a
+        declared statement, ``(sub,)`` when ``sub == sup``, and ``None``
+        when ``sub ≼* sup`` does not hold.  This is the machine-checkable
+        form of :meth:`is_subclass` used by the static analyzer's
+        witnesses (:mod:`repro.analysis`): a checker needs only walk the
+        returned path and look each edge up in :attr:`isa_statements`.
+        """
+        self.require_class(sub)
+        self.require_class(sup)
+        if sub == sup:
+            return (sub,)
+        parents: dict[str, list[str]] = {cls: [] for cls in self._classes}
+        for lower, upper in self._isa:
+            parents[lower].append(upper)
+        previous: dict[str, str] = {}
+        frontier = [sub]
+        while frontier:
+            next_frontier: list[str] = []
+            for current in frontier:
+                for parent in parents[current]:
+                    if parent in previous or parent == sub:
+                        continue
+                    previous[parent] = current
+                    if parent == sup:
+                        path = [sup]
+                        while path[-1] != sub:
+                            path.append(previous[path[-1]])
+                        return tuple(reversed(path))
+                    next_frontier.append(parent)
+            frontier = next_frontier
+        return None
+
     # -- cardinalities -----------------------------------------------------
 
     @property
@@ -363,6 +398,41 @@ class CRSchema:
                 f"{cls!r} is not a subclass of the primary class {primary!r}"
             )
         return self._cards.get((cls, rel, role), Card.default())
+
+    def effective_card_sources(
+        self, cls: str, rel: str, role: str
+    ) -> tuple[tuple[str, Card], ...]:
+        """The declarations *inherited* by ``cls`` on ``(rel, role)``.
+
+        Every instance of ``cls`` is an instance of each of its
+        ``≼*``-ancestors, so any cardinality declared on an ancestor for
+        the same (relationship, role) slot constrains the instance too.
+        Returns the contributing ``(ancestor, declared_card)`` pairs in
+        class-declaration order — the refinement chain the static
+        analyzer cites as a witness.  Empty when no ancestor declares a
+        constraint on the slot.
+        """
+        self.relationship(rel).primary_class(role)
+        ancestors = self.ancestors(cls)
+        return tuple(
+            (ancestor, self._cards[(ancestor, rel, role)])
+            for ancestor in self._classes
+            if ancestor in ancestors and (ancestor, rel, role) in self._cards
+        )
+
+    def effective_card(self, cls: str, rel: str, role: str) -> Card:
+        """The tightest constraint ``cls`` inherits on ``(rel, role)``.
+
+        Intersection (Definition 3.1's lifting rule) of every declared
+        card in :meth:`effective_card_sources`, starting from the
+        default ``(0, ∞)``.  An effective ``minc > maxc`` forces ``cls``
+        empty in every model — the polynomial-time unsatisfiability
+        precheck of :mod:`repro.analysis`.
+        """
+        effective = Card.default()
+        for _, declared in self.effective_card_sources(cls, rel, role):
+            effective = effective.intersect(declared)
+        return effective
 
     # -- consistency of compound classes (Sections 3.1 and 5) -------------
 

@@ -1,4 +1,4 @@
-"""The staged pipeline IR: Normalize → Expand → BuildSystem → Solve → Verdict.
+"""The staged pipeline IR: Normalize → Analyze → Expand → BuildSystem → Solve → Verdict.
 
 Every decision procedure in the library runs the same conceptual
 pipeline:
@@ -6,6 +6,8 @@ pipeline:
 ==============  ==========================================================
 ``normalize``   parse / validate the input schema (the CLI's DSL front
                 door; programmatic callers usually arrive normalized)
+``analyze``     the polynomial-time static battery (:mod:`repro.analysis`);
+                an ``error`` diagnostic short-circuits everything below
 ``expand``      the Section-3.1 expansion ``S̄`` (the exponential step)
 ``build-system``  generate the interned disequation system ``Ψ_S``
 ``solve``       the acceptability fixpoint / naive enumeration — all LP
@@ -49,6 +51,7 @@ from dataclasses import dataclass
 from repro.runtime.budget import current_budget
 
 STAGE_NORMALIZE = "normalize"
+STAGE_ANALYZE = "analyze"
 STAGE_EXPAND = "expand"
 STAGE_BUILD_SYSTEM = "build-system"
 STAGE_SOLVE = "solve"
@@ -56,6 +59,7 @@ STAGE_VERDICT = "verdict"
 
 CANONICAL_STAGES: tuple[str, ...] = (
     STAGE_NORMALIZE,
+    STAGE_ANALYZE,
     STAGE_EXPAND,
     STAGE_BUILD_SYSTEM,
     STAGE_SOLVE,
@@ -201,6 +205,7 @@ def stage(name: str, phase: str | None = None) -> Iterator[None]:
 __all__ = [
     "CANONICAL_STAGES",
     "PipelineRun",
+    "STAGE_ANALYZE",
     "STAGE_BUILD_SYSTEM",
     "STAGE_EXPAND",
     "STAGE_NORMALIZE",

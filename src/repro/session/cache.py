@@ -3,6 +3,8 @@
 One :class:`SchemaArtifacts` entry per schema fingerprint holds the
 reasoning state that is expensive to build and endlessly reusable:
 
+* the static **analysis** report (polynomial — built eagerly; its
+  ``error`` diagnostics let queries skip every stage below),
 * the consistent **expansion** ``S̄`` (the exponential step),
 * the derived disequation system **Ψ_S** in pruned mode,
 * the maximal acceptable **support** of ``Ψ_S`` with an integer
@@ -30,6 +32,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.analysis.analyzer import analyze
+from repro.analysis.diagnostics import AnalysisReport
 from repro.cr.expansion import Expansion, ExpansionLimits
 from repro.cr.satisfiability import acceptable_support, support_verdicts
 from repro.cr.schema import CRSchema
@@ -53,6 +57,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    analysis_runs: int = 0
+    analysis_short_circuits: int = 0
     expansion_builds: int = 0
     system_builds: int = 0
     fixpoint_runs: int = 0
@@ -62,6 +68,8 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "analysis_runs": self.analysis_runs,
+            "analysis_short_circuits": self.analysis_short_circuits,
             "expansion_builds": self.expansion_builds,
             "system_builds": self.system_builds,
             "fixpoint_runs": self.fixpoint_runs,
@@ -82,6 +90,7 @@ class SchemaArtifacts:
     stats: CacheStats
     limits: ExpansionLimits | None = None
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK
+    analysis: AnalysisReport | None = None
     expansion: Expansion | None = None
     cr_system: CRSystem | None = None
     support: frozenset[str] | None = None
@@ -89,6 +98,18 @@ class SchemaArtifacts:
     class_verdicts: dict[str, bool] | None = field(default=None, repr=False)
 
     # -- staged construction ------------------------------------------------
+
+    def ensure_analysis(self) -> AnalysisReport:
+        """Run (once) the polynomial static battery over the schema.
+
+        Orders of magnitude cheaper than :meth:`ensure_system`, so it
+        runs eagerly on the cold path: when one of its ``error``
+        diagnostics settles a query, the expensive stages never build.
+        """
+        if self.analysis is None:
+            self.analysis = analyze(self.schema)
+            self.stats.analysis_runs += 1
+        return self.analysis
 
     def ensure_system(self) -> CRSystem:
         """Build (once) the expansion and pruned system ``Ψ_S``."""

@@ -33,6 +33,7 @@ the next query resumes from the last completed stage.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.cr.constraints import (
@@ -54,6 +55,7 @@ from repro.cr.satisfiability import (
     SatisfiabilityResult,
     _unknown_result,
     class_targets,
+    diagnostic_result,
 )
 from repro.cr.schema import Card, CRSchema, UNBOUNDED
 from repro.errors import ReproError, SchemaError
@@ -76,6 +78,8 @@ class SessionStats:
     hits: int
     misses: int
     evictions: int
+    analysis_runs: int
+    analysis_short_circuits: int
     expansion_builds: int
     system_builds: int
     fixpoint_runs: int
@@ -86,6 +90,8 @@ class SessionStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "analysis_runs": self.analysis_runs,
+            "analysis_short_circuits": self.analysis_short_circuits,
             "expansion_builds": self.expansion_builds,
             "system_builds": self.system_builds,
             "fixpoint_runs": self.fixpoint_runs,
@@ -151,11 +157,8 @@ class ReasoningSession:
     @property
     def warm(self) -> bool:
         """Whether this schema's artifacts are fully built."""
-        return (
-            self.fingerprint in self.cache
-            and self._peek() is not None
-            and self._peek().warm
-        )
+        entry = self._peek()
+        return entry is not None and entry.warm
 
     def _peek(self) -> SchemaArtifacts | None:
         if self.fingerprint not in self.cache:
@@ -205,16 +208,26 @@ class ReasoningSession:
 
         def compute() -> SatisfiabilityResult:
             artifacts = self._artifacts()
+            diagnostic = artifacts.ensure_analysis().unsat_witness(cls)
+            if diagnostic is not None:
+                # The witness proves `cls` empty in every model, so the
+                # Theorem-3.3 verdict is settled without the expansion.
+                self.cache.stats.analysis_short_circuits += 1
+                with stage(STAGE_VERDICT, phase="session:lookup"):
+                    return diagnostic_result(cls, diagnostic)
             support = artifacts.ensure_support()
+            cr_system = artifacts.ensure_system()
+            witness = artifacts.witness
+            assert witness is not None  # set alongside the support
             with stage(STAGE_VERDICT, phase="session:lookup"):
-                targets = class_targets(artifacts.cr_system, cls)
+                targets = class_targets(cr_system, cls)
                 satisfiable = bool(targets & support)
             return SatisfiabilityResult(
                 cls=cls,
                 satisfiable=satisfiable,
                 engine=ENGINE,
-                cr_system=artifacts.cr_system,
-                solution=dict(artifacts.witness) if satisfiable else None,
+                cr_system=cr_system,
+                solution=dict(witness) if satisfiable else None,
                 support=support if satisfiable else frozenset(),
             )
 
@@ -231,7 +244,14 @@ class ReasoningSession:
 
         def compute() -> dict[str, bool | Verdict]:
             artifacts = self._artifacts()
+            report = artifacts.ensure_analysis()
+            if set(self.schema.classes) <= report.unsat_classes:
+                # Every class is statically settled; skip the expansion.
+                self.cache.stats.analysis_short_circuits += 1
+                with stage(STAGE_VERDICT, phase="session:lookup"):
+                    return {cls: False for cls in self.schema.classes}
             artifacts.ensure_support()
+            assert artifacts.class_verdicts is not None
             return dict(artifacts.class_verdicts)
 
         return run_governed(
@@ -267,7 +287,7 @@ class ReasoningSession:
 
     def implies_all(
         self,
-        queries,
+        queries: Iterable[ImplicationQuery],
         budget: Budget | None = None,
     ) -> list[ImplicationResult]:
         """Batch form of :meth:`implies` over one warm cache entry.
@@ -288,8 +308,10 @@ class ReasoningSession:
         artifacts: SchemaArtifacts,
         strip: str | None = None,
     ) -> ImplicationResult:
+        witness = artifacts.witness
+        assert witness is not None  # callers run ensure_support() first
         with stage(STAGE_VERDICT, phase="session:countermodel"):
-            model = construct_model(artifacts.cr_system, artifacts.witness)
+            model = construct_model(artifacts.ensure_system(), witness)
             if strip is not None:
                 model = strip_class(model, strip)
         return ImplicationResult(query, False, ENGINE, model)
@@ -305,9 +327,10 @@ class ReasoningSession:
         def compute() -> ImplicationResult:
             artifacts = self._artifacts()
             support = artifacts.ensure_support()
+            cr_system = artifacts.ensure_system()
+            expansion = artifacts.expansion
+            assert expansion is not None  # built by ensure_system()
             with stage(STAGE_VERDICT, phase="session:lookup"):
-                expansion = artifacts.expansion
-                cr_system = artifacts.cr_system
                 counterexamples = frozenset(
                     cr_system.class_var[compound]
                     for compound in expansion.consistent_classes_containing(
@@ -340,11 +363,13 @@ class ReasoningSession:
         def compute() -> ImplicationResult:
             artifacts = self._artifacts()
             support = artifacts.ensure_support()
+            cr_system = artifacts.ensure_system()
+            expansion = artifacts.expansion
+            assert expansion is not None  # built by ensure_system()
             with stage(STAGE_VERDICT, phase="session:lookup"):
-                cr_system = artifacts.cr_system
                 shared = frozenset(
                     cr_system.class_var[compound]
-                    for compound in artifacts.expansion.consistent_compound_classes()
+                    for compound in expansion.consistent_compound_classes()
                     if sum(cls in compound.members for cls in class_list) >= 2
                 )
                 implied = not (shared & support)

@@ -49,8 +49,16 @@ def schemas(
     allow_ternary: bool = False,
     allow_extensions: bool = False,
     allow_isa: bool = True,
+    allow_inversions: bool = False,
 ) -> CRSchema:
-    """A random small CR-schema."""
+    """A random small CR-schema.
+
+    ``allow_inversions=True`` lets a declared cardinality have
+    ``minc > maxc`` — legal per the paper (it forces the class empty)
+    and exactly what the static analyzer's ``card-inversion`` check
+    targets; off by default because most suites want schemas whose
+    unsatisfiability, if any, is *interesting*.
+    """
     num_classes = draw(st.integers(min_value=2, max_value=max_classes))
     classes = CLASS_NAMES[:num_classes]
     builder = SchemaBuilder("Random")
@@ -104,9 +112,10 @@ def schemas(
                 if not draw(st.booleans()):
                     continue
                 minimum = draw(st.integers(min_value=0, max_value=2))
+                max_floor = 0 if allow_inversions else minimum
                 maximum = draw(
                     st.one_of(
-                        st.none(), st.integers(min_value=minimum, max_value=3)
+                        st.none(), st.integers(min_value=max_floor, max_value=3)
                     )
                 )
                 builder.card(cls, name, role, minimum, maximum)

@@ -1,0 +1,416 @@
+"""Unit tests for the schema static analyzer (:mod:`repro.analysis`):
+graph structure, the emptiness fixpoint with its witness trees, the
+diagnostic battery, and the pipeline/session short-circuit wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    CardConflict,
+    Diagnostic,
+    analyze,
+    static_empty_classes,
+)
+from repro.analysis.graph import (
+    cycle_path,
+    redundant_isa_edges,
+    strongly_connected_components,
+)
+from repro.cr.builder import SchemaBuilder
+from repro.cr.satisfiability import is_class_satisfiable
+from repro.cr.schema import Card
+from repro.errors import ReproError
+from repro.paper import figure1_schema, meeting_schema, refined_meeting_schema
+from repro.pipeline import STAGE_ANALYZE, PipelineRun, activate_run
+from repro.session import ReasoningSession
+
+
+def conflict_schema():
+    """B refines (0,1) inherited from A up to (2,∞): B is empty."""
+    return (
+        SchemaBuilder("Conflict")
+        .classes("A", "B", "C")
+        .relationship("R", r1="A", r2="C")
+        .isa("B", "A")
+        .card("A", "R", "r1", 0, 1)
+        .card("B", "R", "r1", 2, None)
+        .build()
+    )
+
+
+def inversion_schema():
+    """A single declaration with minc > maxc (legal; forces emptiness)."""
+    return (
+        SchemaBuilder("Inversion")
+        .classes("A", "B")
+        .relationship("R", r1="A", r2="B")
+        .card("A", "R", "r1", 3, 1)
+        .build()
+    )
+
+
+# ---------------------------------------------------------------------------
+# ISA graph structure
+# ---------------------------------------------------------------------------
+
+
+class TestGraph:
+    def test_sccs_find_the_cycle_members(self):
+        schema = (
+            SchemaBuilder("Cycle")
+            .classes("A", "B", "C", "D")
+            .relationship("R", r1="A", r2="D")
+            .isa("A", "B")
+            .isa("B", "C")
+            .isa("C", "A")
+            .build()
+        )
+        nontrivial = [
+            scc
+            for scc in strongly_connected_components(schema)
+            if len(scc) > 1
+        ]
+        assert nontrivial == [("A", "B", "C")]
+
+    def test_cycle_path_is_a_closed_declared_walk(self):
+        schema = (
+            SchemaBuilder("Cycle")
+            .classes("A", "B", "C")
+            .relationship("R", r1="A", r2="C")
+            .isa("A", "B")
+            .isa("B", "A")
+            .build()
+        )
+        (component,) = [
+            scc
+            for scc in strongly_connected_components(schema)
+            if len(scc) > 1
+        ]
+        path = cycle_path(schema, component)
+        assert path[0] == path[-1]
+        declared = set(schema.isa_statements)
+        assert all(
+            (path[i], path[i + 1]) in declared for i in range(len(path) - 1)
+        )
+
+    def test_acyclic_graph_has_only_singleton_sccs(self):
+        schema = meeting_schema()
+        assert all(
+            len(scc) == 1 for scc in strongly_connected_components(schema)
+        )
+
+    def test_redundant_edge_detection(self):
+        schema = (
+            SchemaBuilder("Redundant")
+            .classes("A", "B", "C")
+            .relationship("R", r1="A", r2="C")
+            .isa("A", "B")
+            .isa("B", "C")
+            .isa("A", "C")  # implied by A -> B -> C
+            .build()
+        )
+        assert redundant_isa_edges(schema) == [("A", "C", ("A", "B", "C"))]
+
+    def test_transitive_reduction_of_a_chain_is_clean(self):
+        schema = (
+            SchemaBuilder("Chain")
+            .classes("A", "B", "C")
+            .relationship("R", r1="A", r2="C")
+            .isa("A", "B")
+            .isa("B", "C")
+            .build()
+        )
+        assert redundant_isa_edges(schema) == []
+
+
+# ---------------------------------------------------------------------------
+# the emptiness fixpoint and its witnesses
+# ---------------------------------------------------------------------------
+
+
+class TestStaticEmptiness:
+    def test_local_inversion_is_seeded(self):
+        schema = inversion_schema()
+        empty, _ = static_empty_classes(schema)
+        witness = empty["A"]
+        assert isinstance(witness, CardConflict)
+        assert witness.min_class == witness.max_class == "A"
+        assert witness.verify(schema)
+
+    def test_refinement_conflict_cites_both_declarations(self):
+        schema = conflict_schema()
+        empty, _ = static_empty_classes(schema)
+        witness = empty["B"]
+        assert isinstance(witness, CardConflict)
+        assert (witness.min_class, witness.minc) == ("B", 2)
+        assert (witness.max_class, witness.maxc) == ("A", 1)
+        assert witness.min_path == ("B",)
+        assert witness.max_path == ("B", "A")
+        assert witness.verify(schema)
+
+    def test_disjoint_ancestors_seed(self):
+        schema = (
+            SchemaBuilder("Disjoint")
+            .classes("A", "B", "C")
+            .relationship("R", r1="A", r2="B")
+            .isa("C", "A")
+            .isa("C", "B")
+            .disjoint("A", "B")
+            .build()
+        )
+        empty, _ = static_empty_classes(schema)
+        assert set(empty) == {"C"}
+        assert empty["C"].verify(schema)
+
+    def test_emptiness_propagates_through_relationships(self):
+        # A is inverted-empty; R's r1 role is primary on A, so R can
+        # never be populated; D has an inherited minc>=1 on R.r2 — wait,
+        # r2's primary is D itself, so D must participate and is empty.
+        schema = (
+            SchemaBuilder("Propagate")
+            .classes("A", "D")
+            .relationship("R", r1="A", r2="D")
+            .card("A", "R", "r1", 2, 1)
+            .card("D", "R", "r2", 1, None)
+            .build()
+        )
+        empty, empty_rels = static_empty_classes(schema)
+        assert set(empty) == {"A", "D"}
+        assert set(empty_rels) == {"R"}
+        assert empty["D"].kind == "required-participation"
+        assert empty["D"].verify(schema)
+        assert empty_rels["R"].verify(schema)
+
+    def test_emptiness_propagates_down_isa_and_through_coverings(self):
+        schema = (
+            SchemaBuilder("Cascade")
+            .classes("A", "B", "C", "G")
+            .relationship("R", r1="A", r2="G")
+            .card("A", "R", "r1", 3, 2)
+            .isa("B", "A")
+            .cover("C", "B")
+            .build()
+        )
+        empty, _ = static_empty_classes(schema)
+        assert set(empty) == {"A", "B", "C"}
+        assert empty["B"].kind in {"empty-super", "card-conflict"}
+        assert empty["C"].kind == "uncovered-class"
+        assert all(witness.verify(schema) for witness in empty.values())
+
+    def test_satisfiable_paper_schemas_are_statically_clean(self):
+        for schema in (meeting_schema(), refined_meeting_schema()):
+            empty, empty_rels = static_empty_classes(schema)
+            assert empty == {}
+            assert empty_rels == {}
+
+    def test_figure1_is_beyond_static_reach(self):
+        # Figure 1 is finitely unsatisfiable for arithmetic reasons but
+        # satisfiable over infinite models — no all-model emptiness
+        # proof exists, so the sound static battery must stay silent.
+        empty, _ = static_empty_classes(figure1_schema())
+        assert empty == {}
+
+
+# ---------------------------------------------------------------------------
+# diagnostics and the analyzer battery
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyze:
+    def test_clean_schema_has_no_diagnostics(self):
+        report = analyze(meeting_schema())
+        assert report.clean
+        assert report.unsat_classes == frozenset()
+        assert report.pretty() == "no diagnostics"
+
+    def test_error_diagnostics_carry_verified_witnesses(self):
+        schema = conflict_schema()
+        report = analyze(schema)
+        assert [d.code for d in report.errors] == ["card-refinement-conflict"]
+        assert report.unsat_classes == frozenset({"B"})
+        assert report.verify(schema)
+        assert report.unsat_witness("B") is report.errors[0]
+        assert report.unsat_witness("A") is None
+
+    def test_local_inversion_gets_its_own_code(self):
+        report = analyze(inversion_schema())
+        assert [d.code for d in report.errors] == ["card-inversion"]
+
+    def test_severity_ordering_errors_first(self):
+        schema = (
+            SchemaBuilder("Mixed")
+            .classes("A", "B", "C", "D")
+            .relationship("R", r1="A", r2="D")
+            .card("A", "R", "r1", 2, 0)
+            .isa("B", "C")
+            .isa("C", "B")
+            .build()
+        )
+        report = analyze(schema)
+        severities = [d.severity for d in report.diagnostics]
+        assert severities == sorted(
+            severities, key=["error", "warning", "info"].index
+        )
+        assert report.warnings  # the cycle
+        assert report.errors  # the inversion
+
+    def test_unreferenced_and_duplicate_infos(self):
+        schema = (
+            SchemaBuilder("Dupes")
+            .classes("A", "B", "C", "D", "E")
+            .relationship("R", r1="A", r2="A")
+            .isa("B", "A")
+            .isa("C", "A")
+            .build()
+        )
+        report = analyze(schema)
+        codes = {d.code for d in report.infos}
+        assert "class-unreferenced" in codes  # D, E
+        assert "class-duplicate" in codes  # B and C
+        unreferenced = {
+            d.classes[0]
+            for d in report.infos
+            if d.code == "class-unreferenced"
+        }
+        assert unreferenced == {"D", "E"}
+
+    def test_dead_relationship_warning(self):
+        schema = (
+            SchemaBuilder("Dead")
+            .classes("A", "B")
+            .relationship("R", r1="A", r2="B")
+            .card("A", "R", "r1", 2, 1)
+            .build()
+        )
+        report = analyze(schema)
+        assert any(d.code == "rel-unsatisfiable" for d in report.warnings)
+        rel_warning = next(
+            d for d in report.warnings if d.code == "rel-unsatisfiable"
+        )
+        assert rel_warning.relationships == ("R",)
+        assert rel_warning.classes == ()
+
+    def test_json_encoding_is_stable(self):
+        report = analyze(conflict_schema())
+        payload = report.as_dict()
+        assert set(payload) == {"schema", "diagnostics", "summary"}
+        assert payload["summary"]["error"] == 1
+        assert payload["summary"]["unsat_classes"] == ["B"]
+        (diagnostic,) = payload["diagnostics"]
+        assert set(diagnostic) == {
+            "code",
+            "severity",
+            "message",
+            "classes",
+            "relationships",
+            "witness",
+        }
+        assert diagnostic["witness"]["kind"] == "card-conflict"
+
+    def test_report_runs_under_the_analyze_stage(self):
+        run = PipelineRun(clock=iter(range(100)).__next__)
+        with activate_run(run):
+            analyze(meeting_schema())
+        assert run.stages[STAGE_ANALYZE].runs == 1
+
+    def test_error_diagnostic_requires_a_witness(self):
+        with pytest.raises(ReproError):
+            Diagnostic(
+                code="bogus", severity="error", message="m", classes=("A",)
+            )
+
+    def test_report_rejects_inconsistent_unsat_classes(self):
+        with pytest.raises(ReproError):
+            AnalysisReport(
+                schema_name="S",
+                diagnostics=(),
+                unsat_classes=frozenset({"A"}),
+            )
+
+
+# ---------------------------------------------------------------------------
+# effective-card accessors on the schema (witness surface)
+# ---------------------------------------------------------------------------
+
+
+class TestWitnessAccessors:
+    def test_isa_path_walks_declared_edges(self):
+        schema = conflict_schema()
+        assert schema.isa_path("B", "A") == ("B", "A")
+        assert schema.isa_path("B", "B") == ("B",)
+        assert schema.isa_path("A", "B") is None
+
+    def test_effective_card_intersects_the_chain(self):
+        schema = conflict_schema()
+        assert schema.effective_card("B", "R", "r1") == Card(2, 1)
+        assert schema.effective_card("A", "R", "r1") == Card(0, 1)
+        sources = schema.effective_card_sources("B", "R", "r1")
+        assert [cls for cls, _ in sources] == ["A", "B"]
+
+
+# ---------------------------------------------------------------------------
+# pipeline short-circuit: stateless API and sessions
+# ---------------------------------------------------------------------------
+
+
+class TestShortCircuit:
+    def test_stateless_precheck_serves_the_diagnostic(self):
+        schema = conflict_schema()
+        result = is_class_satisfiable(schema, "B", precheck=True)
+        assert not result.satisfiable
+        assert result.engine == "analysis"
+        assert result.diagnostic is not None
+        assert result.diagnostic.code == "card-refinement-conflict"
+        assert result.cr_system is None  # no expansion was built
+
+    def test_stateless_precheck_agrees_with_the_oracle(self):
+        schema = conflict_schema()
+        oracle = is_class_satisfiable(schema, "B")
+        assert oracle.satisfiable is False
+        assert oracle.diagnostic is None  # precheck off by default
+
+    def test_session_short_circuit_skips_the_expansion(self):
+        schema = conflict_schema()
+        session = ReasoningSession(schema)
+        result = session.is_class_satisfiable("B")
+        assert not result.satisfiable
+        assert result.engine == "analysis"
+        stats = session.stats
+        assert stats.analysis_runs == 1
+        assert stats.analysis_short_circuits == 1
+        assert stats.expansion_builds == 0  # never expanded
+
+    def test_session_satisfiable_class_still_runs_the_pipeline(self):
+        schema = conflict_schema()
+        session = ReasoningSession(schema)
+        result = session.is_class_satisfiable("A")
+        assert result.satisfiable
+        assert result.engine == "session"
+        stats = session.stats
+        assert stats.expansion_builds == 1
+        assert stats.analysis_runs == 1  # report cached, not re-run
+
+    def test_session_report_is_cached_across_queries(self):
+        schema = conflict_schema()
+        session = ReasoningSession(schema)
+        session.is_class_satisfiable("B")
+        session.is_class_satisfiable("B")
+        stats = session.stats
+        assert stats.analysis_runs == 1
+        assert stats.analysis_short_circuits == 2
+
+    def test_session_verdict_table_agrees(self):
+        schema = conflict_schema()
+        verdicts = ReasoningSession(schema).satisfiable_classes()
+        assert verdicts == {"A": True, "B": False, "C": True}
+
+    def test_figure1_never_short_circuits(self):
+        # Finite-only unsatisfiability is invisible to the analyzer;
+        # the session must fall through to the full procedure.
+        schema = figure1_schema()
+        session = ReasoningSession(schema)
+        result = session.is_class_satisfiable(schema.classes[0])
+        assert result.engine == "session"
+        assert session.stats.analysis_short_circuits == 0

@@ -1,0 +1,85 @@
+"""Differential soundness of the static analyzer.
+
+The analyzer is allowed to miss (Figure 1 is deliberately beyond its
+reach) but never to lie: every ``error`` diagnostic claims its subject
+class is empty in *every* model, which implies finite unsatisfiability,
+so the full Theorem-3.3/3.4 decision procedure must agree on each one.
+These properties pin that contract on random schemas drawn with
+inversions, refinements, disjointness and coverings enabled — the full
+surface the emptiness fixpoint reasons over.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze
+from repro.cr.satisfiability import is_class_satisfiable, satisfiable_classes
+
+from tests.strategies import property_max_examples, schemas
+
+DIFFERENTIAL = settings(
+    max_examples=property_max_examples(),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+FAST = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def adversarial_schemas():
+    """Schemas drawn from the analyzer's whole input surface."""
+    return schemas(allow_inversions=True, allow_extensions=True)
+
+
+@DIFFERENTIAL
+@given(data=st.data())
+def test_every_error_diagnostic_agrees_with_the_oracle(data):
+    schema = data.draw(adversarial_schemas())
+    report = analyze(schema)
+    # The witnesses must re-verify against the declared statements…
+    assert report.verify(schema)
+    # …and every emptiness claim must match the full decision procedure
+    # (precheck off: this is the independent expansion-based oracle).
+    for cls in sorted(report.unsat_classes):
+        oracle = is_class_satisfiable(schema, cls)
+        assert oracle.satisfiable is False, (
+            f"analyzer claimed {cls} empty but the oracle disagrees"
+        )
+
+
+@DIFFERENTIAL
+@given(data=st.data())
+def test_precheck_never_changes_a_verdict(data):
+    schema = data.draw(adversarial_schemas())
+    reference = satisfiable_classes(schema)
+    checked = satisfiable_classes(schema, precheck=True)
+    assert checked == reference
+
+
+@FAST
+@given(data=st.data())
+def test_precheck_single_class_parity(data):
+    schema = data.draw(adversarial_schemas())
+    cls = data.draw(st.sampled_from(schema.classes))
+    reference = is_class_satisfiable(schema, cls)
+    checked = is_class_satisfiable(schema, cls, precheck=True)
+    assert checked.satisfiable == reference.satisfiable
+    if checked.engine == "analysis":
+        # A short-circuit must carry its proof.
+        assert checked.diagnostic is not None
+        assert checked.diagnostic.verify(schema)
+
+
+@FAST
+@given(data=st.data())
+def test_analysis_is_deterministic(data):
+    schema = data.draw(adversarial_schemas())
+    first = analyze(schema)
+    second = analyze(schema)
+    assert first.as_dict() == second.as_dict()

@@ -47,8 +47,16 @@ def test_every_backend_yields_the_same_satisfiability_verdicts(data):
     reference = satisfiable_classes(schema, expansion=expansion)
     assert all(isinstance(v, bool) for v in reference.values())
     for name in backend_names():
-        with pin_backend(name):
-            verdicts = satisfiable_classes(schema, expansion=expansion)
+        try:
+            with pin_backend(name):
+                verdicts = satisfiable_classes(schema, expansion=expansion)
+        except SolverError:
+            # Declared degradation, not disagreement: a size-gated
+            # backend (Fourier–Motzkin blowing its constraint budget)
+            # may refuse a hard draw outright — pinning it leaves the
+            # chain nowhere to degrade to.  It must never *answer*
+            # differently, which is what the assertion below pins.
+            continue
         assert verdicts == reference, f"backend {name} disagrees"
 
 

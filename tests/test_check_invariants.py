@@ -1,0 +1,115 @@
+"""Unit tests for ``tools/check_invariants.py``, the repo-wide AST
+lint that keeps the exact-arithmetic kernel honest."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+import textwrap
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "check_invariants", ROOT / "tools" / "check_invariants.py"
+)
+assert _SPEC is not None and _SPEC.loader is not None
+check_invariants = importlib.util.module_from_spec(_SPEC)
+sys.modules["check_invariants"] = check_invariants
+_SPEC.loader.exec_module(check_invariants)
+
+KERNEL_PATH = "repro/solver/core.py"
+
+
+def violations(source, path=KERNEL_PATH):
+    return check_invariants.check_source(textwrap.dedent(source), path)
+
+
+def rules(source, path=KERNEL_PATH):
+    return [violation.rule for violation in violations(source, path)]
+
+
+class TestFloatBan:
+    def test_float_literal_flagged(self):
+        assert rules("x = 0.5\n") == ["R1"]
+
+    def test_float_call_flagged(self):
+        assert rules("y = float(3)\n") == ["R1"]
+
+    def test_math_module_flagged(self):
+        assert rules("import math\nz = math.sqrt(2)\n") == ["R1"]
+
+    def test_fractions_are_fine(self):
+        assert rules(
+            """
+            from fractions import Fraction
+
+            half = Fraction(1, 2)
+            """
+        ) == []
+
+    def test_rule_only_applies_to_the_exact_kernel(self):
+        assert rules("x = 0.5\n", path="repro/cli.py") == []
+        assert rules("x = 0.5\n", path="repro/linalg/gauss.py") == ["R1"]
+
+
+class TestUnbudgetedLoops:
+    def test_bare_while_true_flagged(self):
+        assert rules(
+            """
+            def spin():
+                while True:
+                    pass
+            """
+        ) == ["R2"]
+
+    def test_budget_charged_loop_is_fine(self):
+        assert rules(
+            """
+            def pivot(budget):
+                while True:
+                    budget.charge(1)
+            """
+        ) == []
+
+    def test_bounded_loops_are_fine(self):
+        assert rules(
+            """
+            def scan(rows):
+                for row in rows:
+                    while row:
+                        row = row.tail
+            """
+        ) == []
+
+
+class TestPopitemBan:
+    def test_popitem_flagged_in_kernel_modules(self):
+        source = "state.popitem()\n"
+        assert rules(source, path="repro/solver/simplex.py") == ["R3"]
+        assert rules(source, path="repro/linalg/gauss.py") == ["R3"]
+
+    def test_popitem_allowed_outside_the_kernel(self):
+        assert rules("cache.popitem(last=False)\n", path="repro/session/cache.py") == []
+
+
+class TestDiagnostics:
+    def test_violations_render_file_line_rule(self):
+        (violation,) = violations("x = 0.5\n")
+        rendered = violation.render()
+        assert rendered.startswith(f"{KERNEL_PATH}:1: R1")
+
+    def test_line_numbers_point_at_the_offence(self):
+        (violation,) = violations("a = 1\nb = 2\nc = 3.0\n")
+        assert violation.line == 3
+
+
+class TestRepoIsClean:
+    def test_the_shipped_kernel_passes(self):
+        checked = list(check_invariants.iter_checked_files())
+        assert checked, "invariant scope resolved to no files"
+        problems = [
+            violation
+            for path in checked
+            for violation in check_invariants.check_file(path)
+        ]
+        assert problems == [], [v.render() for v in problems]

@@ -1,0 +1,162 @@
+"""End-to-end tests for ``repro lint`` and the analyzer's surfacing in
+``check``/``batch``: exit codes, ``--json`` schema stability, and the
+short-circuit counters in ``batch --stats``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cr.builder import SchemaBuilder
+from repro.dsl import serialize_schema
+from repro.paper import figure1_schema, meeting_schema
+
+
+def _write(tmp_path, name, schema):
+    path = tmp_path / f"{name}.cr"
+    path.write_text(serialize_schema(schema))
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    return _write(tmp_path, "meeting", meeting_schema())
+
+
+@pytest.fixture
+def warning_file(tmp_path):
+    # An ISA cycle: legal (the classes are merely forced equal), so a
+    # warning, not an error.
+    schema = (
+        SchemaBuilder("Warn")
+        .classes("A", "B")
+        .relationship("R", r1="A", r2="B")
+        .isa("A", "B")
+        .isa("B", "A")
+        .build()
+    )
+    return _write(tmp_path, "warn", schema)
+
+
+@pytest.fixture
+def error_file(tmp_path):
+    schema = (
+        SchemaBuilder("Broken")
+        .classes("A", "B", "C")
+        .relationship("R", r1="A", r2="C")
+        .isa("B", "A")
+        .card("A", "R", "r1", 0, 1)
+        .card("B", "R", "r1", 2, None)
+        .build()
+    )
+    return _write(tmp_path, "broken", schema)
+
+
+class TestExitCodes:
+    def test_clean_schema_exits_zero(self, clean_file, capsys):
+        assert main(["lint", clean_file]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_warnings_exit_zero_by_default(self, warning_file, capsys):
+        assert main(["lint", warning_file]) == 0
+        assert "isa-cycle" in capsys.readouterr().out
+
+    def test_warnings_exit_one_under_strict(self, warning_file, capsys):
+        assert main(["lint", warning_file, "--strict"]) == 1
+        assert "isa-cycle" in capsys.readouterr().out
+
+    def test_errors_exit_one(self, error_file, capsys):
+        assert main(["lint", error_file]) == 1
+        out = capsys.readouterr().out
+        assert "card-refinement-conflict" in out
+        assert "B" in out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.cr")]) == 2
+        assert capsys.readouterr().err
+
+    def test_unparsable_schema_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "garbage.cr"
+        path.write_text("schema Oops { this is not CR }\n")
+        assert main(["lint", str(path)]) == 2
+        assert capsys.readouterr().err
+
+    def test_figure1_lints_clean(self, tmp_path, capsys):
+        # Finite-only unsatisfiability is out of static reach — lint
+        # must not claim otherwise (soundness over completeness).
+        path = _write(tmp_path, "figure1", figure1_schema())
+        assert main(["lint", path, "--strict"]) == 0
+        capsys.readouterr()
+
+
+class TestJsonReport:
+    def test_payload_shape_is_stable(self, error_file, capsys):
+        assert main(["lint", error_file, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"schema", "diagnostics", "summary"}
+        assert payload["schema"] == "Broken"
+        assert set(payload["summary"]) == {
+            "error",
+            "warning",
+            "info",
+            "unsat_classes",
+        }
+        assert payload["summary"]["unsat_classes"] == ["B"]
+        for diagnostic in payload["diagnostics"]:
+            assert set(diagnostic) == {
+                "code",
+                "severity",
+                "message",
+                "classes",
+                "relationships",
+                "witness",
+            }
+
+    def test_clean_json_has_empty_diagnostics(self, clean_file, capsys):
+        assert main(["lint", clean_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"] == []
+        assert payload["summary"]["error"] == 0
+
+    def test_json_is_deterministic(self, error_file, capsys):
+        main(["lint", error_file, "--json"])
+        first = capsys.readouterr().out
+        main(["lint", error_file, "--json"])
+        assert capsys.readouterr().out == first
+
+
+class TestShortCircuitSurfacing:
+    def test_check_prints_the_diagnostic(self, error_file, capsys):
+        assert main(["check", error_file, "--class", "B"]) == 1
+        out = capsys.readouterr().out
+        assert "B: UNSATISFIABLE" in out
+        assert "card-refinement-conflict" in out
+
+    def test_batch_stats_count_short_circuits(self, error_file, capsys):
+        code = main(
+            [
+                "batch",
+                error_file,
+                "--query",
+                "sat B",
+                "--query",
+                "sat B",
+                "--stats",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "# analyze: 1 run(s), 2 short-circuit(s)" in out
+        # The static proof settled both queries: no expansion was built.
+        assert "0 expansion build(s)" in out
+
+    def test_batch_stats_on_clean_schema(self, clean_file, capsys):
+        code = main(
+            ["batch", clean_file, "--query", "sat Speaker", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# analyze: 1 run(s), 0 short-circuit(s)" in out
+        assert "1 expansion build(s)" in out

@@ -150,7 +150,13 @@ def test_cold_and_warm_sessions_agree_with_stateless_api(data):
     cold_verdicts = cold.satisfiable_classes()
 
     warm = ReasoningSession(schema, cache=cache)
-    assert warm.warm
+    if cache.stats.analysis_short_circuits == 0:
+        assert warm.warm
+    else:
+        # The static analyzer proved every class empty, so the verdict
+        # table was served without ever building the expansion — the
+        # entry staying cold is the short-circuit working as intended.
+        assert cold_verdicts == {cls: False for cls in schema.classes}
     assert [r.implied for r in warm.implies_all(queries)] == cold_answers
     assert warm.satisfiable_classes() == cold_verdicts
 

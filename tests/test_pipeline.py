@@ -70,6 +70,7 @@ class TestPipelineRun:
     def test_canonical_order_matches_the_pipeline(self):
         assert CANONICAL_STAGES == (
             "normalize",
+            "analyze",
             "expand",
             "build-system",
             "solve",

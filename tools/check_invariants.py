@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Repo-specific invariant lint for the exact-arithmetic kernel.
+
+The solver kernel (``repro/solver/core.py`` and ``repro/linalg/``)
+promises exact rational arithmetic and budget-governed termination, and
+the kernel modules at large (``repro/solver/``, ``repro/linalg/``)
+promise deterministic iteration.  ruff and mypy cannot express these
+invariants, so this AST-based checker enforces them in CI:
+
+R1  no ``float`` arithmetic in the exact kernel: float literals,
+    ``float(...)`` conversions, and ``math.``-module arithmetic are
+    banned in ``repro/solver/core.py`` and ``repro/linalg/``
+    (``Fraction`` everywhere — one float poisons exactness silently).
+R2  no un-budgeted ``while True:`` loop in the same scope: every
+    unbounded loop must charge or check the ambient budget somewhere in
+    its body, so a pathological input degrades to a clean
+    ``BudgetExceededError`` instead of a hang.
+R3  no ``popitem`` in any kernel module (``repro/solver/``,
+    ``repro/linalg/``): the kernels guarantee run-to-run deterministic
+    iteration, and ``popitem`` is the classic way an incidental dict
+    ordering assumption sneaks in.
+
+Failures print ``file:line: RULE message`` diagnostics and exit 1.
+Run from the repository root: ``python tools/check_invariants.py``.
+
+The module is import-safe for unit tests: :func:`check_source` lints a
+source string, :func:`check_file` a path, :func:`main` the whole tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+EXACT_KERNEL = ("repro/solver/core.py", "repro/linalg/")
+"""Scope of R1 (float ban) and R2 (budgeted-loop rule), repo-relative."""
+
+KERNEL_MODULES = ("repro/solver/", "repro/linalg/")
+"""Scope of R3 (popitem ban)."""
+
+# Identifiers that mark a loop as budget-governed when they appear
+# anywhere in its body (`budget.charge_pivots()`, `budget.check()`,
+# `current_budget()` re-reads, ...).
+_BUDGET_MARKERS = ("budget", "charge")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, formatted ``file:line: RULE message``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _in_scope(relative: str, scope: tuple[str, ...]) -> bool:
+    normalized = relative.replace("\\", "/")
+    return any(
+        normalized == entry or normalized.startswith(entry)
+        for entry in scope
+    )
+
+
+def _is_true_constant(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is True
+
+
+def _mentions_budget(loop: ast.While) -> bool:
+    for node in ast.walk(loop):
+        name: str | None = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is None:
+            continue
+        lowered = name.lower()
+        if any(marker in lowered for marker in _BUDGET_MARKERS):
+            return True
+    return False
+
+
+def _check_floats(tree: ast.AST, path: str) -> list[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            violations.append(
+                Violation(
+                    path,
+                    node.lineno,
+                    "R1",
+                    f"float literal {node.value!r} in the exact-arithmetic "
+                    "kernel; use Fraction",
+                )
+            )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "float":
+                violations.append(
+                    Violation(
+                        path,
+                        node.lineno,
+                        "R1",
+                        "float() conversion in the exact-arithmetic kernel; "
+                        "use Fraction",
+                    )
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "math"
+            ):
+                violations.append(
+                    Violation(
+                        path,
+                        node.lineno,
+                        "R1",
+                        f"math.{func.attr}() in the exact-arithmetic kernel; "
+                        "math operates on floats",
+                    )
+                )
+    return violations
+
+
+def _check_unbudgeted_loops(tree: ast.AST, path: str) -> list[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.While):
+            continue
+        if not _is_true_constant(node.test):
+            continue
+        if _mentions_budget(node):
+            continue
+        violations.append(
+            Violation(
+                path,
+                node.lineno,
+                "R2",
+                "'while True:' without a budget charge/check in its body; "
+                "unbounded kernel loops must be budget-governed",
+            )
+        )
+    return violations
+
+
+def _check_popitem(tree: ast.AST, path: str) -> list[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr == "popitem":
+            violations.append(
+                Violation(
+                    path,
+                    node.lineno,
+                    "R3",
+                    "popitem in a kernel module; kernels promise "
+                    "deterministic iteration — pop an explicit key instead",
+                )
+            )
+    return violations
+
+
+def check_source(source: str, relative_path: str) -> list[Violation]:
+    """Lint one module's source against every rule whose scope covers
+    ``relative_path`` (a path relative to ``src/``, e.g.
+    ``repro/solver/core.py``)."""
+    tree = ast.parse(source, filename=relative_path)
+    violations: list[Violation] = []
+    if _in_scope(relative_path, EXACT_KERNEL):
+        violations.extend(_check_floats(tree, relative_path))
+        violations.extend(_check_unbudgeted_loops(tree, relative_path))
+    if _in_scope(relative_path, KERNEL_MODULES):
+        violations.extend(_check_popitem(tree, relative_path))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+
+
+def check_file(path: Path, src_root: Path = SRC) -> list[Violation]:
+    relative = path.resolve().relative_to(src_root.resolve()).as_posix()
+    return check_source(path.read_text(), relative)
+
+
+def iter_checked_files(src_root: Path = SRC) -> list[Path]:
+    """Every file any rule applies to, sorted for stable output."""
+    scoped: set[Path] = set()
+    for entry in EXACT_KERNEL + KERNEL_MODULES:
+        target = src_root / entry
+        if target.is_file():
+            scoped.add(target)
+        elif target.is_dir():
+            scoped.update(target.rglob("*.py"))
+    return sorted(scoped)
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = [Path(arg) for arg in (argv or [])] or iter_checked_files()
+    violations: list[Violation] = []
+    for path in paths:
+        violations.extend(check_file(path))
+    for violation in violations:
+        print(violation.render(), file=sys.stderr)
+    if violations:
+        print(
+            f"check_invariants: {len(violations)} violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_invariants: {len(paths)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
