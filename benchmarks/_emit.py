@@ -1,0 +1,125 @@
+"""Shared BENCH_*.json emission and validation plumbing.
+
+Every perf-trajectory runner in this directory follows the same
+contract: a ``run_benchmarks`` that returns a JSON-safe report, a
+``validate_report`` that CI imports and re-runs against the emitted
+artifact, and a ``main`` that parses ``--quick``/``--output``, runs,
+validates, writes the report, and prints a per-entry summary.  The
+helpers here hold the parts that were copy-pasted between
+``bench_solver.py``, ``bench_session.py``, and ``bench_analysis.py``:
+the typed-field entry check (with the ``bool``-is-an-``int`` pitfall
+handled once), the report-shape preamble, and the write/print harness.
+
+Each module keeps its own acceptance bars and message formats in its
+``validate_report`` — only the mechanical shape checks live here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+
+def check_entry_fields(
+    entry: Mapping[str, Any],
+    keys: Mapping[str, type],
+    label_key: str = "workload",
+) -> None:
+    """Raise ``ValueError`` unless every field in ``keys`` is present in
+    ``entry`` with the expected type.
+
+    ``bool`` is a subclass of ``int``, so a plain ``isinstance`` check
+    would let ``True`` pass for an ``int``-typed field (and vice versa
+    silently coerce); a bool value only satisfies a field whose expected
+    type is exactly ``bool``.
+    """
+    label = entry.get(label_key)
+    for key, expected in keys.items():
+        value = entry.get(key)
+        if expected is not bool and isinstance(value, bool):
+            raise ValueError(
+                f"entry {label!r}: field {key!r} must be "
+                f"{expected.__name__}, got bool"
+            )
+        if not isinstance(value, expected):
+            raise ValueError(
+                f"entry {label!r}: field {key!r} must be "
+                f"{expected.__name__}, got {value!r}"
+            )
+
+
+def check_report_shape(report: Any, benchmark: str) -> list[dict]:
+    """The preamble every ``validate_report`` starts with: the report is
+    an object, names the right benchmark, and carries a non-empty
+    ``entries`` list (returned for the caller's per-entry checks)."""
+    if not isinstance(report, dict):
+        raise ValueError("report must be a JSON object")
+    if report.get("benchmark") != benchmark:
+        raise ValueError(f"report['benchmark'] must be {benchmark!r}")
+    entries = report.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("report['entries'] must be a non-empty list")
+    return entries
+
+
+def check_summary(report: Mapping[str, Any]) -> dict:
+    """Raise unless ``report['summary']`` is an object; return it."""
+    summary = report.get("summary")
+    if not isinstance(summary, dict):
+        raise ValueError("report['summary'] must be an object")
+    return summary
+
+
+def write_report(report: Mapping[str, Any], output: str) -> None:
+    """Write the validated report where CI's bench-smoke picks it up."""
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
+
+
+def run_emit_main(
+    argv: Sequence[str] | None,
+    *,
+    description: str,
+    default_output: str,
+    run: Callable[[argparse.Namespace], dict],
+    validate: Callable[[dict], dict],
+    entry_line: Callable[[dict], str],
+    summary_line: Callable[[dict, str], str],
+    quick_help: str = "smaller workload sizes (CI)",
+    add_arguments: Callable[[argparse.ArgumentParser], None] | None = None,
+) -> int:
+    """The standalone-runner harness shared by every BENCH_* module.
+
+    Parses ``--quick`` / ``--output`` (plus whatever ``add_arguments``
+    registers), builds the report via ``run``, gates it through
+    ``validate`` *before* writing, then prints one ``entry_line`` per
+    entry and the ``summary_line``.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--quick", action="store_true", help=quick_help)
+    if add_arguments is not None:
+        add_arguments(parser)
+    parser.add_argument(
+        "--output",
+        default=default_output,
+        metavar="PATH",
+        help=f"where to write the JSON report (default: ./{default_output})",
+    )
+    args = parser.parse_args(argv)
+    report = run(args)
+    validate(report)
+    write_report(report, args.output)
+    for entry in report["entries"]:
+        print(entry_line(entry))
+    print(summary_line(report, args.output))
+    return 0
+
+
+__all__ = [
+    "check_entry_fields",
+    "check_report_shape",
+    "check_summary",
+    "run_emit_main",
+    "write_report",
+]

@@ -24,12 +24,15 @@ verdicts agree with the full procedure, and the analyzer is at least
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 import time
-from pathlib import Path
 
+from benchmarks._emit import (
+    check_entry_fields,
+    check_report_shape,
+    check_summary,
+    run_emit_main,
+)
 from repro.analysis import analyze
 from repro.cr.builder import SchemaBuilder
 from repro.cr.satisfiability import ANALYSIS_ENGINE, is_class_satisfiable
@@ -162,26 +165,9 @@ _ENTRY_KEYS = {
 def validate_report(report: dict) -> dict:
     """Raise ``ValueError`` unless ``report`` is a well-formed
     BENCH_analysis.json payload; returns the report for chaining."""
-    if not isinstance(report, dict):
-        raise ValueError("report must be a JSON object")
-    if report.get("benchmark") != "analysis":
-        raise ValueError("report['benchmark'] must be 'analysis'")
-    entries = report.get("entries")
-    if not isinstance(entries, list) or not entries:
-        raise ValueError("report['entries'] must be a non-empty list")
+    entries = check_report_shape(report, "analysis")
     for entry in entries:
-        for key, expected in _ENTRY_KEYS.items():
-            value = entry.get(key)
-            if expected is not bool and isinstance(value, bool):
-                raise ValueError(
-                    f"entry {entry.get('workload')!r}: field {key!r} must be "
-                    f"{expected.__name__}, got bool"
-                )
-            if not isinstance(value, expected):
-                raise ValueError(
-                    f"entry {entry.get('workload')!r}: field {key!r} must be "
-                    f"{expected.__name__}, got {value!r}"
-                )
+        check_entry_fields(entry, _ENTRY_KEYS)
         if not entry["short_circuited"]:
             raise ValueError(
                 f"entry {entry.get('workload')!r}: the analyzer failed to "
@@ -197,9 +183,7 @@ def validate_report(report: dict) -> dict:
                 f"entry {entry.get('workload')!r}: a carried witness failed "
                 "re-verification"
             )
-    summary = report.get("summary")
-    if not isinstance(summary, dict):
-        raise ValueError("report['summary'] must be an object")
+    summary = check_summary(report)
     min_speedup = summary.get("min_speedup")
     if not isinstance(min_speedup, float):
         raise ValueError("summary.min_speedup must be a float")
@@ -239,38 +223,26 @@ def test_report_is_wellformed(benchmark):
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        description=(
-            "analyzer vs full pipeline; emits BENCH_analysis.json"
-        )
-    )
-    parser.add_argument(
-        "--quick", action="store_true", help="smaller antichain sizes (CI)"
-    )
-    parser.add_argument(
-        "--output",
-        default="BENCH_analysis.json",
-        metavar="PATH",
-        help="where to write the JSON report (default: ./BENCH_analysis.json)",
-    )
-    args = parser.parse_args(argv)
-    report = run_benchmarks(quick=args.quick)
-    validate_report(report)
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    for entry in report["entries"]:
-        print(
+    return run_emit_main(
+        argv,
+        description="analyzer vs full pipeline; emits BENCH_analysis.json",
+        default_output="BENCH_analysis.json",
+        quick_help="smaller antichain sizes (CI)",
+        run=lambda args: run_benchmarks(quick=args.quick),
+        validate=validate_report,
+        entry_line=lambda entry: (
             f"{entry['workload']:<24} full {entry['full_s']*1e3:9.2f} ms"
             f"  analysis {entry['analysis_s']*1e3:8.3f} ms"
             f"  speedup {entry['speedup']:9.1f}x"
             f"  [{entry['diagnostic_code']}]"
-        )
-    print(
-        f"-> {args.output}: {report['summary']['workloads']} workloads, "
-        f"speedup {report['summary']['min_speedup']:.1f}x–"
-        f"{report['summary']['max_speedup']:.1f}x "
-        f"(bar: {SPEEDUP_BAR:.0f}x)"
+        ),
+        summary_line=lambda report, output: (
+            f"-> {output}: {report['summary']['workloads']} workloads, "
+            f"speedup {report['summary']['min_speedup']:.1f}x–"
+            f"{report['summary']['max_speedup']:.1f}x "
+            f"(bar: {SPEEDUP_BAR:.0f}x)"
+        ),
     )
-    return 0
 
 
 if __name__ == "__main__":

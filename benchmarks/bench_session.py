@@ -23,12 +23,15 @@ schema check CI runs against the emitted JSON.
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 import time
-from pathlib import Path
 
+from benchmarks._emit import (
+    check_entry_fields,
+    check_report_shape,
+    check_summary,
+    run_emit_main,
+)
 from repro.cr.builder import SchemaBuilder
 from repro.cr.constraints import IsaStatement
 from repro.cr.expansion import Expansion
@@ -194,21 +197,9 @@ _ENTRY_KEYS = {
 def validate_report(report: dict) -> dict:
     """Raise ``ValueError`` unless ``report`` is a well-formed
     BENCH_session.json payload; returns the report for chaining."""
-    if not isinstance(report, dict):
-        raise ValueError("report must be a JSON object")
-    if report.get("benchmark") != "session":
-        raise ValueError("report['benchmark'] must be 'session'")
-    entries = report.get("entries")
-    if not isinstance(entries, list) or not entries:
-        raise ValueError("report['entries'] must be a non-empty list")
+    entries = check_report_shape(report, "session")
     for entry in entries:
-        for key, expected in _ENTRY_KEYS.items():
-            value = entry.get(key)
-            if not isinstance(value, expected) or isinstance(value, bool):
-                raise ValueError(
-                    f"entry {entry.get('workload')!r}: field {key!r} must be "
-                    f"{expected.__name__}, got {value!r}"
-                )
+        check_entry_fields(entry, _ENTRY_KEYS)
         if entry["warm_expansion_builds"] != 0:
             raise ValueError(
                 f"entry {entry.get('workload')!r}: warm batch rebuilt the "
@@ -219,9 +210,7 @@ def validate_report(report: dict) -> dict:
                 f"entry {entry.get('workload')!r}: cold batch should build "
                 "at least one expansion per query"
             )
-    summary = report.get("summary")
-    if not isinstance(summary, dict):
-        raise ValueError("report['summary'] must be an object")
+    summary = check_summary(report)
     if not isinstance(summary.get("min_speedup"), float):
         raise ValueError("summary.min_speedup must be a float")
     return report
@@ -262,38 +251,30 @@ def test_report_is_wellformed(benchmark):
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        description="cold vs warm session benchmark; emits BENCH_session.json"
-    )
-    parser.add_argument(
-        "--quick", action="store_true", help="smaller synthetic sizes (CI)"
-    )
-    parser.add_argument(
-        "--batch-size", type=int, default=BATCH_SIZE, metavar="N"
-    )
-    parser.add_argument(
-        "--output",
-        default="BENCH_session.json",
-        metavar="PATH",
-        help="where to write the JSON report (default: ./BENCH_session.json)",
-    )
-    args = parser.parse_args(argv)
-    report = run_benchmarks(quick=args.quick, size=args.batch_size)
-    validate_report(report)
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    for entry in report["entries"]:
-        print(
+    return run_emit_main(
+        argv,
+        description="cold vs warm session benchmark; emits BENCH_session.json",
+        default_output="BENCH_session.json",
+        quick_help="smaller synthetic sizes (CI)",
+        add_arguments=lambda parser: parser.add_argument(
+            "--batch-size", type=int, default=BATCH_SIZE, metavar="N"
+        ),
+        run=lambda args: run_benchmarks(
+            quick=args.quick, size=args.batch_size
+        ),
+        validate=validate_report,
+        entry_line=lambda entry: (
             f"{entry['workload']:<24} cold {entry['cold_total_s']*1e3:9.1f} ms"
             f"  warm {entry['warm_total_s']*1e3:8.1f} ms"
             f"  speedup {entry['speedup']:7.1f}x"
             f"  nodes {entry['expansion_nodes_visited']}"
-        )
-    print(
-        f"-> {args.output}: {report['summary']['workloads']} workloads, "
-        f"speedup {report['summary']['min_speedup']:.1f}x–"
-        f"{report['summary']['max_speedup']:.1f}x"
+        ),
+        summary_line=lambda report, output: (
+            f"-> {output}: {report['summary']['workloads']} workloads, "
+            f"speedup {report['summary']['min_speedup']:.1f}x–"
+            f"{report['summary']['max_speedup']:.1f}x"
+        ),
     )
-    return 0
 
 
 if __name__ == "__main__":

@@ -32,13 +32,16 @@ extras).
 
 from __future__ import annotations
 
-import argparse
-import json
 import random
 import sys
 import time
-from pathlib import Path
 
+from benchmarks._emit import (
+    check_entry_fields,
+    check_report_shape,
+    check_summary,
+    run_emit_main,
+)
 from repro.cr.builder import SchemaBuilder
 from repro.cr.expansion import Expansion
 from repro.cr.schema import CRSchema
@@ -218,26 +221,9 @@ def validate_report(report: dict) -> dict:
     """Raise ``ValueError`` unless ``report`` is a well-formed
     BENCH_solver.json payload meeting the acceptance bars; returns the
     report for chaining."""
-    if not isinstance(report, dict):
-        raise ValueError("report must be a JSON object")
-    if report.get("benchmark") != "solver":
-        raise ValueError("report['benchmark'] must be 'solver'")
-    entries = report.get("entries")
-    if not isinstance(entries, list) or not entries:
-        raise ValueError("report['entries'] must be a non-empty list")
+    entries = check_report_shape(report, "solver")
     for entry in entries:
-        for key, expected in _ENTRY_KEYS.items():
-            value = entry.get(key)
-            if expected is not bool and isinstance(value, bool):
-                raise ValueError(
-                    f"entry {entry.get('workload')!r}: field {key!r} must be "
-                    f"{expected.__name__}, got bool"
-                )
-            if not isinstance(value, expected):
-                raise ValueError(
-                    f"entry {entry.get('workload')!r}: field {key!r} must be "
-                    f"{expected.__name__}, got {value!r}"
-                )
+        check_entry_fields(entry, _ENTRY_KEYS)
         if not entry["agree"]:
             raise ValueError(
                 f"entry {entry['workload']!r}: dense and sparse engines "
@@ -254,9 +240,7 @@ def validate_report(report: dict) -> dict:
     families = {entry["family"] for entry in entries}
     if families != {"figure", "random"}:
         raise ValueError(f"expected figure+random families, got {families}")
-    summary = report.get("summary")
-    if not isinstance(summary, dict):
-        raise ValueError("report['summary'] must be an object")
+    summary = check_summary(report)
     largest_speedup = summary.get("largest_random_speedup")
     if not isinstance(largest_speedup, float):
         raise ValueError("summary.largest_random_speedup must be a float")
@@ -268,39 +252,35 @@ def validate_report(report: dict) -> dict:
     return report
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        description="dense vs sparse simplex ablation; emits BENCH_solver.json"
-    )
-    parser.add_argument(
-        "--quick", action="store_true", help="smaller random sizes (CI)"
-    )
-    parser.add_argument(
-        "--output",
-        default="BENCH_solver.json",
-        metavar="PATH",
-        help="where to write the JSON report (default: ./BENCH_solver.json)",
-    )
-    args = parser.parse_args(argv)
-    report = run_benchmarks(quick=args.quick)
-    validate_report(report)
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    for entry in report["entries"]:
-        print(
-            f"{entry['workload']:<24} {entry['unknowns']:>5} unknowns"
-            f"  dense {entry['dense_s']*1e3:9.2f} ms"
-            f"  sparse {entry['sparse_s']*1e3:8.2f} ms"
-            f"  speedup {entry['speedup']:6.1f}x"
-        )
+def _summary_line(report: dict, output: str) -> str:
     summary = report["summary"]
-    print(
-        f"-> {args.output}: {summary['workloads']} workloads, "
+    return (
+        f"-> {output}: {summary['workloads']} workloads, "
         f"figure floor {summary['figure_min_speedup']:.1f}x, largest random "
         f"({summary['largest_random_workload']}, "
         f"{summary['largest_random_unknowns']} unknowns) "
         f"{summary['largest_random_speedup']:.1f}x"
     )
-    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run_emit_main(
+        argv,
+        description=(
+            "dense vs sparse simplex ablation; emits BENCH_solver.json"
+        ),
+        default_output="BENCH_solver.json",
+        quick_help="smaller random sizes (CI)",
+        run=lambda args: run_benchmarks(quick=args.quick),
+        validate=validate_report,
+        entry_line=lambda entry: (
+            f"{entry['workload']:<24} {entry['unknowns']:>5} unknowns"
+            f"  dense {entry['dense_s']*1e3:9.2f} ms"
+            f"  sparse {entry['sparse_s']*1e3:8.2f} ms"
+            f"  speedup {entry['speedup']:6.1f}x"
+        ),
+        summary_line=_summary_line,
+    )
 
 
 # ---------------------------------------------------------------------------

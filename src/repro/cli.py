@@ -39,6 +39,7 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+import time
 from contextlib import ExitStack
 from pathlib import Path
 
@@ -58,6 +59,7 @@ from repro.cr.system import build_system
 from repro.cr.unrestricted import unrestricted_satisfiable_classes
 from repro.dsl import parse_schema, serialize_schema
 from repro.errors import BudgetExceededError, LimitExceededError, ReproError
+from repro.parallel import resolve_jobs
 from repro.pipeline import STAGE_NORMALIZE, PipelineRun, activate_run, stage
 from repro.runtime.budget import Budget, activate
 from repro.solver.registry import backend_names, pin_backend
@@ -144,9 +146,15 @@ def _verdict_word(value) -> str:
 def _cmd_check(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
     budget = _budget_from(args)
+    jobs = resolve_jobs(getattr(args, "jobs", None))
     if args.cls:
         result = is_class_satisfiable(
-            schema, args.cls, engine=args.engine, budget=budget, precheck=True
+            schema,
+            args.cls,
+            engine=args.engine,
+            budget=budget,
+            precheck=True,
+            jobs=jobs,
         )
         if result.verdict is Verdict.UNKNOWN:
             print(f"{args.cls}: UNKNOWN ({result.unknown_reason})")
@@ -156,7 +164,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if result.diagnostic is not None:
             print(f"  {result.diagnostic.pretty()}")
         return 0 if result.satisfiable else 1
-    verdicts = satisfiable_classes(schema, budget=budget, precheck=True)
+    verdicts = satisfiable_classes(
+        schema, budget=budget, precheck=True, jobs=jobs
+    )
     unrestricted = (
         unrestricted_satisfiable_classes(schema) if args.unrestricted else None
     )
@@ -229,49 +239,57 @@ def _read_batch_queries(args: argparse.Namespace) -> list:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.session import ReasoningSession
+    from repro.parallel.worker import answer_query
 
+    jobs = resolve_jobs(getattr(args, "jobs", None))
     run = PipelineRun()
+    wall_start = time.perf_counter()
     with activate_run(run):
         schema = _load_schema(args.schema)
         queries = _read_batch_queries(args)
-        session = ReasoningSession(schema, budget=_budget_from(args))
-        records = []
-        any_unknown = False
-        all_positive = True
-        for kind, payload in queries:
-            if kind == "sat":
-                result = session.is_class_satisfiable(payload)
-                verdict = result.verdict
-                positive = bool(result.satisfiable)
-                unknown = verdict is Verdict.UNKNOWN
-                text = (
-                    f"sat {payload}: "
-                    f"{_verdict_word(verdict if unknown else positive)}"
-                )
-                records.append(
-                    {
-                        "query": f"sat {payload}",
-                        "verdict": verdict.value,
-                        "unknown_reason": result.unknown_reason,
-                    }
-                )
-            else:
-                result = session.implies(payload)
-                positive = bool(result.implied)
-                unknown = result.verdict is ImplicationVerdict.UNKNOWN
-                text = result.pretty()
-                records.append(
-                    {
-                        "query": payload.pretty(),
-                        "verdict": result.verdict.value,
-                        "unknown_reason": result.unknown_reason,
-                    }
-                )
-            any_unknown = any_unknown or unknown
-            all_positive = all_positive and positive
+        budget = _budget_from(args)
+        if jobs > 1 and len(queries) > 1:
+            # Fan out across worker processes.  Stage timings under this
+            # branch come from the workers' own PipelineRuns (merged by
+            # the pool as chunks land) — the parent's wait time belongs
+            # to no stage, so ``run`` never double-counts it.
+            from repro.parallel.fanout import run_parallel_batch
+            from repro.session.fingerprint import schema_fingerprint
+
+            outcome = run_parallel_batch(
+                schema,
+                queries,
+                jobs,
+                backend=getattr(args, "backend", None),
+                budget=budget,
+            )
+            records = outcome.records
+            any_unknown = outcome.any_unknown
+            all_positive = outcome.all_positive
+            stats_dict = outcome.session_stats
+            fingerprint = schema_fingerprint(schema)
             if not args.json:
-                print(text)
+                for text in outcome.texts:
+                    print(text)
+        else:
+            from repro.session import ReasoningSession
+
+            session = ReasoningSession(schema, budget=budget)
+            records = []
+            any_unknown = False
+            all_positive = True
+            for kind, payload in queries:
+                record, text, positive, unknown = answer_query(
+                    session, kind, payload
+                )
+                records.append(record)
+                any_unknown = any_unknown or unknown
+                all_positive = all_positive and positive
+                if not args.json:
+                    print(text)
+            stats_dict = session.stats.as_dict()
+            fingerprint = session.fingerprint
+    wall_seconds = time.perf_counter() - wall_start
     if args.json:
         import json
 
@@ -279,30 +297,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             json.dumps(
                 {
                     "schema": schema.name,
-                    "fingerprint": session.fingerprint,
+                    "fingerprint": fingerprint,
+                    "jobs": jobs,
                     "results": records,
-                    "stats": session.stats.as_dict(),
+                    "stats": stats_dict,
                     "stages": run.as_dict(),
+                    "wall_seconds": wall_seconds,
                 },
                 indent=2,
             )
         )
     elif args.stats:
-        stats = session.stats
         print(
-            f"# session: {stats.queries} queries, "
-            f"{stats.expansion_builds} expansion build(s), "
-            f"{stats.fixpoint_runs} fixpoint run(s), {stats.hits} cache hit(s)"
+            f"# session: {stats_dict.get('queries', 0)} queries, "
+            f"{stats_dict.get('expansion_builds', 0)} expansion build(s), "
+            f"{stats_dict.get('fixpoint_runs', 0)} fixpoint run(s), "
+            f"{stats_dict.get('hits', 0)} cache hit(s)"
         )
         print(
-            f"# analyze: {stats.analysis_runs} run(s), "
-            f"{stats.analysis_short_circuits} short-circuit(s)"
+            f"# analyze: {stats_dict.get('analysis_runs', 0)} run(s), "
+            f"{stats_dict.get('analysis_short_circuits', 0)} short-circuit(s)"
         )
         for name, timing in run.as_dict().items():
             print(
                 f"# stage {name}: {timing['runs']} run(s), "
                 f"{timing['seconds'] * 1000.0:.1f}ms"
             )
+        print(
+            f"# wall-clock: {wall_seconds * 1000.0:.1f}ms ({jobs} job(s))"
+        )
     if any_unknown:
         return 3
     return 0 if all_positive else 1
@@ -312,7 +335,11 @@ def _cmd_implies(args: argparse.Namespace) -> int:
     schema = _load_schema(args.schema)
     statement = parse_statement(args.statement)
     result = implies(
-        schema, statement, engine=args.engine, budget=_budget_from(args)
+        schema,
+        statement,
+        engine=args.engine,
+        budget=_budget_from(args),
+        jobs=resolve_jobs(getattr(args, "jobs", None)),
     )
     print(result.pretty())
     if result.verdict is ImplicationVerdict.UNKNOWN:
@@ -403,6 +430,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: REPRO_BACKEND env var, else sparse-simplex)",
         )
 
+    def add_jobs(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes for parallelisable work "
+            "(default: the REPRO_JOBS env var, else 1 = serial; "
+            "results are identical at any job count)",
+        )
+
     def add_budget(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--timeout",
@@ -437,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine(check)
     add_backend(check)
     add_budget(check)
+    add_jobs(check)
     check.set_defaults(run=_cmd_check)
 
     lint = subparsers.add_parser(
@@ -487,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_backend(batch)
     add_budget(batch)
+    add_jobs(batch)
     batch.set_defaults(run=_cmd_batch)
 
     imp = subparsers.add_parser("implies", help="decide S |= K")
@@ -500,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine(imp)
     add_backend(imp)
     add_budget(imp)
+    add_jobs(imp)
     imp.set_defaults(run=_cmd_implies)
 
     model = subparsers.add_parser("model", help="construct a witness state")

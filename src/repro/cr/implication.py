@@ -114,32 +114,37 @@ def implies(
     budget: Budget | None = None,
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+    jobs: int = 1,
 ) -> ImplicationResult:
     """Dispatch an implication query to the matching decision routine.
 
     ``budget`` governs the whole check and degrades it to an UNKNOWN
     verdict on exhaustion; ``naive_limit`` and ``fallback`` configure
     the solver degradation chain (see
-    :func:`repro.cr.satisfiability.acceptable_with_positive`).
+    :func:`repro.cr.satisfiability.acceptable_with_positive`), and
+    ``jobs`` its parallelism (only the naive engine fans out — the
+    fixpoint path stays serial so countermodels remain bit-identical).
     """
     if isinstance(query, IsaStatement):
         return implies_isa(
-            schema, query.sub, query.sup, engine, limits, budget, naive_limit, fallback
+            schema, query.sub, query.sup, engine, limits, budget,
+            naive_limit, fallback, jobs,
         )
     if isinstance(query, MinCardinalityStatement):
         return implies_min_cardinality(
             schema, query.cls, query.rel, query.role, query.value, engine,
-            limits, budget, naive_limit, fallback,
+            limits, budget, naive_limit, fallback, jobs,
         )
     if isinstance(query, MaxCardinalityStatement):
         return implies_max_cardinality(
             schema, query.cls, query.rel, query.role, query.value, engine,
-            limits, budget, naive_limit, fallback,
+            limits, budget, naive_limit, fallback, jobs,
         )
     if isinstance(query, DisjointnessStatement):
         classes = sorted(query.classes)
         return implies_disjointness(
-            schema, classes, engine, limits, budget, naive_limit, fallback
+            schema, classes, engine, limits, budget, naive_limit, fallback,
+            jobs,
         )
     raise ReproError(f"unsupported implication query {query!r}")
 
@@ -153,6 +158,7 @@ def implies_isa(
     budget: Budget | None = None,
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+    jobs: int = 1,
 ) -> ImplicationResult:
     """Decide ``S ⊨ sub ≼ sup``."""
     schema.require_class(sub)
@@ -171,7 +177,7 @@ def implies_isa(
             )
         with stage(STAGE_SOLVE, phase=f"decide:{engine}"):
             found, solution, _support = acceptable_with_positive(
-                cr_system, targets, engine, naive_limit, fallback
+                cr_system, targets, engine, naive_limit, fallback, jobs
             )
         with stage(STAGE_VERDICT):
             if not found:
@@ -246,6 +252,7 @@ def _cardinality_implication(
     budget: Budget | None = None,
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+    jobs: int = 1,
 ) -> ImplicationResult:
     extended, exc = exceptional_schema(
         schema, query.cls, query.rel, query.role, exceptional_card
@@ -262,7 +269,7 @@ def _cardinality_implication(
             )
         with stage(STAGE_SOLVE, phase=f"decide:{engine}"):
             found, solution, _support = acceptable_with_positive(
-                cr_system, targets, engine, naive_limit, fallback
+                cr_system, targets, engine, naive_limit, fallback, jobs
             )
         with stage(STAGE_VERDICT):
             if not found:
@@ -289,6 +296,7 @@ def implies_min_cardinality(
     budget: Budget | None = None,
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+    jobs: int = 1,
 ) -> ImplicationResult:
     """Decide ``S ⊨ minc(cls, rel, role) = value``.
 
@@ -301,7 +309,7 @@ def implies_min_cardinality(
         return ImplicationResult(query, True, engine, None)
     return _cardinality_implication(
         schema, query, Card(0, value - 1), engine, limits, budget,
-        naive_limit, fallback,
+        naive_limit, fallback, jobs,
     )
 
 
@@ -316,6 +324,7 @@ def implies_max_cardinality(
     budget: Budget | None = None,
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+    jobs: int = 1,
 ) -> ImplicationResult:
     """Decide ``S ⊨ maxc(cls, rel, role) = value``.
 
@@ -325,7 +334,7 @@ def implies_max_cardinality(
     query = MaxCardinalityStatement(cls, rel, role, value)
     return _cardinality_implication(
         schema, query, Card(value + 1, UNBOUNDED), engine, limits, budget,
-        naive_limit, fallback,
+        naive_limit, fallback, jobs,
     )
 
 
@@ -337,6 +346,7 @@ def implies_disjointness(
     budget: Budget | None = None,
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+    jobs: int = 1,
 ) -> ImplicationResult:
     """Decide whether the given classes are pairwise disjoint in all models.
 
@@ -366,7 +376,8 @@ def implies_disjointness(
                             targets.add(cr_system.class_var[compound])
         with stage(STAGE_SOLVE, phase=f"decide:{engine}"):
             found, solution, _support = acceptable_with_positive(
-                cr_system, frozenset(targets), engine, naive_limit, fallback
+                cr_system, frozenset(targets), engine, naive_limit, fallback,
+                jobs,
             )
         with stage(STAGE_VERDICT):
             if not found:

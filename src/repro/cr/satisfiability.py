@@ -301,6 +301,7 @@ def acceptable_with_positive(
     engine: str = "fixpoint",
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+    jobs: int = 1,
 ) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
     """Is there an acceptable solution making some ``targets`` unknown positive?
 
@@ -315,6 +316,14 @@ def acceptable_with_positive(
     but only when the system has at most ``naive_limit`` class
     unknowns; otherwise the original fault propagates.  Budget
     exhaustion is never absorbed by the chain.
+
+    ``jobs > 1`` parallelises the naive engine's zero-set enumeration
+    (bit-identical results including the witness, see
+    :mod:`repro.parallel.fanout`).  The fixpoint path ignores ``jobs``:
+    its witness comes out of one shadow LP, and the parallel probe
+    union — while provably the same *support* — would be a different
+    (equally valid) solution, so the witness-returning path stays
+    serial to remain the oracle.
     """
     engine = _resolve_engine(engine)
     if engine == "fixpoint":
@@ -329,12 +338,16 @@ def acceptable_with_positive(
                 or len(cr_system.consistent_class_unknowns()) > naive_limit
             ):
                 raise
-            return _naive_with_positive(cr_system, targets, naive_limit, fallback)
+            return _naive_with_positive(
+                cr_system, targets, naive_limit, fallback, jobs
+            )
         if not (targets & support):
             return False, None, support
         return True, integerize(solution), support
     if engine == "naive":
-        return _naive_with_positive(cr_system, targets, naive_limit, fallback)
+        return _naive_with_positive(
+            cr_system, targets, naive_limit, fallback, jobs
+        )
     raise ReproError(f"unknown engine {engine!r}")
 
 
@@ -348,6 +361,7 @@ def _naive_with_positive(
     targets: frozenset[str],
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
+    jobs: int = 1,
 ) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
     """Run the registry's naive backend; per-zero-set strict probes run
     on the policy's LP chain (the naivety is the enumeration strategy,
@@ -356,6 +370,7 @@ def _naive_with_positive(
         _naive_problem(cr_system, targets),
         chain=chain_for(fallback),
         naive_limit=naive_limit,
+        jobs=jobs,
     )
 
 
@@ -374,6 +389,7 @@ def is_class_satisfiable(
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
     precheck: bool = False,
+    jobs: int = 1,
 ) -> SatisfiabilityResult:
     """Decide whether ``cls`` can be populated in some finite model.
 
@@ -409,6 +425,11 @@ def is_class_satisfiable(
         empty — skipping the exponential expansion entirely.  Off by
         default so this function remains the analyzer-free oracle the
         differential soundness suite compares against.
+    jobs:
+        Worker processes for the naive engine's zero-set enumeration
+        (:mod:`repro.parallel`); 1 (the default) stays serial, and the
+        fixpoint engine always does — see
+        :func:`acceptable_with_positive`.
     """
     schema.require_class(cls)
     engine = _resolve_engine(engine)
@@ -428,7 +449,7 @@ def is_class_satisfiable(
             targets = class_targets(cr_system, cls)
         with stage(STAGE_SOLVE, phase=f"decide:{engine}"):
             satisfiable, solution, support = acceptable_with_positive(
-                cr_system, targets, engine, naive_limit, fallback
+                cr_system, targets, engine, naive_limit, fallback, jobs
             )
         with stage(STAGE_VERDICT):
             return SatisfiabilityResult(
@@ -453,6 +474,7 @@ def satisfiable_classes(
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
     precheck: bool = False,
+    jobs: int = 1,
 ) -> dict[str, bool | Verdict]:
     """Satisfiability of every class with a single fixpoint run.
 
@@ -472,6 +494,12 @@ def satisfiable_classes(
     diagnostics and the expansion is skipped (a partial precheck cannot
     skip the expansion — the remaining classes need it — and by
     soundness the full run agrees on the statically-settled ones).
+
+    ``jobs > 1`` fans each fixpoint iteration's per-class strict probes
+    across worker processes (:mod:`repro.parallel`).  This sweep only
+    reports verdicts — never a witness solution — so the probe-union
+    support is observably identical to the serial shadow-LP support,
+    and the verdict map is bit-identical at any job count.
     """
 
     def compute() -> dict[str, bool | Verdict]:
@@ -487,8 +515,20 @@ def satisfiable_classes(
         with stage(STAGE_BUILD_SYSTEM, phase="system"):
             cr_system = build_system(local_expansion, mode="pruned")
         try:
-            with stage(STAGE_SOLVE, phase="decide:fixpoint"):
-                support, _solution = acceptable_support(cr_system, fallback)
+            if jobs > 1:
+                from repro.parallel.fanout import parallel_fixpoint_support
+
+                with stage(STAGE_SOLVE, phase="decide:fixpoint"):
+                    support = parallel_fixpoint_support(
+                        _fixpoint_problem(cr_system),
+                        chain_for(fallback),
+                        jobs,
+                    )
+            else:
+                with stage(STAGE_SOLVE, phase="decide:fixpoint"):
+                    support, _solution = acceptable_support(
+                        cr_system, fallback
+                    )
         except BudgetExceededError:
             raise
         except SolverError:
@@ -505,6 +545,7 @@ def satisfiable_classes(
                         class_targets(cr_system, cls),
                         naive_limit,
                         fallback,
+                        jobs,
                     )[0]
                     for cls in schema.classes
                 }

@@ -1,0 +1,301 @@
+"""The three fan-out sites of the parallel decision fabric.
+
+Each site decomposes a serial computation into independent chunks over
+one shared immutable input, dispatches them through
+:class:`~repro.parallel.pool.WorkerPool`, and merges deterministically:
+
+:func:`run_parallel_batch`
+    ``repro batch --jobs N``.  Queries are partitioned by the schema
+    fingerprint their answer is cached under — cardinality implications
+    reason over the Section-4 extended schema, so two queries sharing
+    an extended fingerprint land on the same worker and hit its warm
+    artifacts — then fingerprint groups are packed onto the least-
+    loaded worker.  Answers merge by input index; a budget exhaustion
+    anywhere degrades every unanswered query to UNKNOWN.
+
+:func:`parallel_fixpoint_support`
+    ``satisfiable_classes``.  Each acceptability-fixpoint iteration
+    fans the per-class strict probes of the maximal-support LP across
+    workers (the forced-zero set is broadcast; candidates are chunked).
+    The union of probe supports equals the serial shadow-LP support on
+    every class unknown — candidate ``c`` is in either exactly when
+    ``Ψ_S`` plus the forced zeros admits a solution positive on ``c``
+    — so the forced-zero iteration, and hence the verdict map, is
+    identical to serial.  Only the *witness solution* would differ,
+    which is why this site serves the verdict-only sweep and the
+    witness-returning entry points stay serial.
+
+:func:`parallel_zero_set_search`
+    The naive backend.  The parent materialises the zero-sets in the
+    serial enumeration order (size-ascending ``itertools.combinations``)
+    and splits them into contiguous chunks, so chunk *k* holds strictly
+    earlier candidates than chunk *k+1*; the first-hit short-circuit
+    keeps every chunk *before* the lowest hit alive, guaranteeing the
+    reported witness is the serial one regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any, Sequence
+
+from repro.cr.constraints import (
+    MaxCardinalityStatement,
+    MinCardinalityStatement,
+)
+from repro.cr.implication import exceptional_schema
+from repro.cr.schema import Card, CRSchema, UNBOUNDED
+from repro.errors import BudgetExceededError, ReproError
+from repro.parallel.pool import WorkerPool, chunk_evenly, worker_caps
+from repro.parallel.worker import (
+    chain_spec,
+    run_batch_chunk,
+    run_probe_chunk,
+    run_zero_chunk,
+    unknown_record,
+)
+from repro.runtime.budget import Budget, activate, current_budget
+from repro.session.fingerprint import schema_fingerprint
+from repro.solver.registry import AcceptabilityProblem, SolverBackend
+
+ZERO_CHUNK_FACTOR = 4
+"""Zero-set chunks per worker: small enough that a first hit cancels
+most of the remaining lattice, large enough to amortise dispatch."""
+
+_STATS_KEYS = (
+    "queries",
+    "hits",
+    "misses",
+    "evictions",
+    "analysis_runs",
+    "analysis_short_circuits",
+    "expansion_builds",
+    "system_builds",
+    "fixpoint_runs",
+)
+"""The :class:`~repro.session.SessionStats` fields, summed per worker
+so the parallel batch report keeps the serial report's shape."""
+
+
+# ---------------------------------------------------------------------------
+# Site 1: batch queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchOutcome:
+    """What ``repro batch`` needs back from a parallel run, in input
+    order — the same observables the serial loop accumulates."""
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+    texts: list[str] = field(default_factory=list)
+    any_unknown: bool = False
+    all_positive: bool = True
+    session_stats: dict[str, int] = field(default_factory=dict)
+
+
+def partition_queries(
+    schema: CRSchema, queries: Sequence[tuple[str, Any]], jobs: int
+) -> list[list[tuple[int, str, Any]]]:
+    """Group queries by the fingerprint their artifacts live under,
+    then pack groups onto the least-loaded of ``jobs`` bins.
+
+    ``sat``, ISA, and disjointness queries read the base schema's
+    artifacts; a cardinality query reads the Section-4 extended
+    schema's (mirroring :class:`~repro.session.ReasoningSession`), so
+    its group key is that extended fingerprint.  A query whose extended
+    schema cannot be built keeps the base key — the worker will surface
+    the real error at answer time.  Packing is deterministic (groups in
+    first-occurrence order, ties to the lowest bin) and each query
+    keeps its input index for the ordered merge.
+    """
+    base = schema_fingerprint(schema)
+    groups: dict[str, list[tuple[int, str, Any]]] = {}
+    for index, (kind, query) in enumerate(queries):
+        key = base
+        if kind == "implies":
+            try:
+                if (
+                    isinstance(query, MinCardinalityStatement)
+                    and query.value > 0
+                ):
+                    extended, _exc = exceptional_schema(
+                        schema,
+                        query.cls,
+                        query.rel,
+                        query.role,
+                        Card(0, query.value - 1),
+                    )
+                    key = schema_fingerprint(extended)
+                elif isinstance(query, MaxCardinalityStatement):
+                    extended, _exc = exceptional_schema(
+                        schema,
+                        query.cls,
+                        query.rel,
+                        query.role,
+                        Card(query.value + 1, UNBOUNDED),
+                    )
+                    key = schema_fingerprint(extended)
+            except ReproError:
+                key = base
+        groups.setdefault(key, []).append((index, kind, query))
+    bins: list[list[tuple[int, str, Any]]] = [[] for _ in range(jobs)]
+    for group in groups.values():
+        target = min(range(jobs), key=lambda i: (len(bins[i]), i))
+        bins[target].extend(group)
+    return [partition for partition in bins if partition]
+
+
+def run_parallel_batch(
+    schema: CRSchema,
+    queries: Sequence[tuple[str, Any]],
+    jobs: int,
+    backend: str | None = None,
+    budget: Budget | None = None,
+) -> BatchOutcome:
+    """Answer a batch across ``jobs`` workers; observables match serial.
+
+    With an explicit ``budget``, exhaustion anywhere (a worker's own
+    caps, the aggregate account crossing a cap as charges merge, or the
+    parent's wall-clock deadline) cancels the outstanding workers and
+    degrades every still-unanswered query to UNKNOWN — the batch
+    completes with exit-code-3 semantics instead of raising, exactly
+    like the serial session loop.
+    """
+    partitions = partition_queries(schema, queries, jobs)
+    payload = {"schema": schema, "backend": backend}
+    answered: dict[int, tuple[dict[str, Any], str, bool, bool]] = {}
+    stats: dict[str, int] = {key: 0 for key in _STATS_KEYS}
+    failure: str | None = None
+    with activate(budget):
+        try:
+            with WorkerPool(payload, jobs) as pool:
+                calls = [
+                    (worker_caps(budget), tuple(partition))
+                    for partition in partitions
+                ]
+                results = pool.map_ordered(run_batch_chunk, calls)
+        except BudgetExceededError as error:
+            if budget is None:
+                raise
+            failure = str(error)
+            results = []
+    for chunk in results:
+        if chunk is None:
+            continue
+        for index, record, text, positive, unknown in chunk["answers"]:
+            answered[index] = (record, text, positive, unknown)
+        for key, value in chunk["session_stats"].items():
+            stats[key] = stats.get(key, 0) + value
+    outcome = BatchOutcome(session_stats=stats)
+    for index, (kind, query) in enumerate(queries):
+        entry = answered.get(index)
+        if entry is None:
+            assert failure is not None, "a completed pool lost a query"
+            record, text = unknown_record(kind, query, failure)
+            entry = (record, text, False, True)
+        record, text, positive, unknown = entry
+        outcome.records.append(record)
+        outcome.texts.append(text)
+        outcome.any_unknown = outcome.any_unknown or unknown
+        outcome.all_positive = outcome.all_positive and positive
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Site 2: per-class probes of the acceptability fixpoint
+# ---------------------------------------------------------------------------
+
+
+def parallel_fixpoint_support(
+    problem: AcceptabilityProblem,
+    chain: Sequence[SolverBackend],
+    jobs: int,
+) -> frozenset[str]:
+    """The acceptability fixpoint with its probe loop fanned out.
+
+    Verdict-identical to :func:`repro.solver.registry.fixpoint_support`:
+    each iteration's support, restricted to class unknowns, is the same
+    set (probe feasibility does not depend on which worker asks), so
+    the forced-zero sets agree iteration by iteration.  Returns the
+    converged support only — no witness solution, see module docstring.
+    """
+    payload = {"system": problem.system, "chain": chain_spec(chain)}
+    budget = current_budget()
+    forced_zero: set[str] = set()
+    with WorkerPool(payload, jobs) as pool:
+        while True:
+            if budget is not None:
+                budget.check()
+            chunks = chunk_evenly(problem.class_unknowns, jobs)
+            frozen = tuple(sorted(forced_zero))
+            calls = [
+                (worker_caps(budget), frozen, tuple(chunk))
+                for chunk in chunks
+            ]
+            supports = pool.map_ordered(run_probe_chunk, calls)
+            support: set[str] = set()
+            for chunk_support in supports:
+                support.update(chunk_support or ())
+            newly_forced = {
+                rel_unknown
+                for rel_unknown, class_unknowns in problem.dependencies.items()
+                if rel_unknown not in forced_zero
+                and any(c not in support for c in class_unknowns)
+            }
+            if not newly_forced:
+                return frozenset(support)
+            forced_zero |= newly_forced
+
+
+# ---------------------------------------------------------------------------
+# Site 3: the naive backend's zero-set lattice
+# ---------------------------------------------------------------------------
+
+
+def parallel_zero_set_search(
+    problem: AcceptabilityProblem,
+    chain: Sequence[SolverBackend],
+    jobs: int,
+) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
+    """Theorem 3.4's enumeration, chunked in serial order with a
+    first-hit short-circuit; bit-identical to the serial naive engine
+    including the witness (see module docstring)."""
+    class_unknowns = list(problem.class_unknowns)
+    ordered = [
+        zero_tuple
+        for size in range(len(class_unknowns) + 1)
+        for zero_tuple in combinations(class_unknowns, size)
+        if not problem.targets <= frozenset(zero_tuple)
+    ]
+    if not ordered:
+        return False, None, frozenset()
+    payload = {
+        "system": problem.system,
+        "class_unknowns": tuple(problem.class_unknowns),
+        "dependencies": dict(problem.dependencies),
+        "targets": problem.targets,
+        "chain": chain_spec(chain),
+    }
+    budget = current_budget()
+    chunks = chunk_evenly(ordered, jobs * ZERO_CHUNK_FACTOR)
+    with WorkerPool(payload, jobs) as pool:
+        calls = [(worker_caps(budget), tuple(chunk)) for chunk in chunks]
+        hits = pool.map_ordered(
+            run_zero_chunk, calls, short_circuit=lambda hit: hit is not None
+        )
+    for hit in hits:
+        if hit is not None:
+            return True, hit["witness"], frozenset(hit["support"])
+    return False, None, frozenset()
+
+
+__all__ = [
+    "BatchOutcome",
+    "ZERO_CHUNK_FACTOR",
+    "parallel_fixpoint_support",
+    "parallel_zero_set_search",
+    "partition_queries",
+    "run_parallel_batch",
+]

@@ -1,0 +1,370 @@
+"""Worker-process side of the parallel decision fabric.
+
+Everything here must be importable at module top level: the pool uses
+the ``spawn`` start method, so workers pickle task functions by
+qualified name and re-import this module from scratch.  The shared
+inputs arrive exactly once per worker through :func:`bootstrap` (the
+pool initializer) as a compact pickled payload — an interned system
+plus a backend-chain spec for the probe tasks, a schema for the batch
+task — and each dispatched chunk then carries only its private
+arguments.
+
+Every task runs under its own :class:`~repro.runtime.budget.Budget`
+(built from the caps the parent had left at dispatch time) and its own
+:class:`~repro.pipeline.PipelineRun`, and returns an *envelope*::
+
+    {"result": ..., "charges": {...}, "stages": {...}}     # success
+    {"budget": {"message", "snapshot"}, "charges", "stages"}  # exhausted
+
+The budget-marker form exists because exception pickling only preserves
+``args`` — a :class:`~repro.errors.BudgetExceededError` raised across
+the process boundary would lose its structured snapshot — and because
+the parent wants the partial charges and stage timings of a failed
+chunk too.
+"""
+
+from __future__ import annotations
+
+import pickle
+from contextlib import ExitStack
+from fractions import Fraction
+from typing import Any, Callable, Sequence
+
+from repro.errors import BudgetExceededError
+from repro.pipeline import PipelineRun, activate_run
+from repro.runtime.budget import Budget, ProgressSnapshot, activate
+from repro.runtime.outcome import ImplicationVerdict, Verdict
+from repro.solver.core import SparseRow
+from repro.solver.linear import Relation
+from repro.solver.registry import (
+    AcceptabilityProblem,
+    FourierMotzkinBackend,
+    SolverBackend,
+    chain_positive_solution,
+    get_backend,
+    pin_backend,
+    zero_set_rows,
+)
+
+_PAYLOAD: dict[str, Any] | None = None
+"""The shared inputs, reconstructed once per worker by :func:`bootstrap`."""
+
+_STATE: dict[str, Any] = {}
+"""Warm per-worker derivatives of the payload (session, problem, chain)."""
+
+
+def bootstrap(blob: bytes) -> None:
+    """Pool initializer: unpickle the shared payload, once per worker."""
+    global _PAYLOAD
+    _PAYLOAD = pickle.loads(blob)
+    _STATE.clear()
+
+
+def _payload() -> dict[str, Any]:
+    assert _PAYLOAD is not None, "worker used before bootstrap ran"
+    return _PAYLOAD
+
+
+# ---------------------------------------------------------------------------
+# Backend chains across the process boundary
+# ---------------------------------------------------------------------------
+
+
+def chain_spec(
+    chain: Sequence[SolverBackend],
+) -> tuple[tuple[str, int | None], ...]:
+    """A picklable description of a backend chain.
+
+    Backends are registry singletons identified by name; the one
+    configurable backend (Fourier–Motzkin's ``max_constraints``) ships
+    its setting alongside so a tightened fallback policy survives the
+    crossing.
+    """
+    return tuple(
+        (backend.name, backend.max_constraints)
+        if isinstance(backend, FourierMotzkinBackend)
+        else (backend.name, None)
+        for backend in chain
+    )
+
+
+def resolve_chain(
+    spec: Sequence[tuple[str, int | None]],
+) -> tuple[SolverBackend, ...]:
+    """Rebuild a backend chain from :func:`chain_spec` output."""
+    chain: list[SolverBackend] = []
+    for name, fm_max in spec:
+        if name == "fourier-motzkin" and fm_max is not None:
+            chain.append(FourierMotzkinBackend(fm_max))
+        else:
+            chain.append(get_backend(name))
+    return tuple(chain)
+
+
+def _cached_chain() -> tuple[SolverBackend, ...]:
+    chain = _STATE.get("chain")
+    if chain is None:
+        chain = _STATE["chain"] = resolve_chain(_payload()["chain"])
+    return chain
+
+
+# ---------------------------------------------------------------------------
+# The envelope harness
+# ---------------------------------------------------------------------------
+
+
+def _charges(budget: Budget) -> dict[str, int]:
+    return {
+        "expansion_nodes": budget.expansion_nodes,
+        "solver_calls": budget.solver_calls,
+        "pivots": budget.pivots,
+    }
+
+
+def _run_task(
+    caps: dict[str, float | int] | None,
+    body: Callable[[Budget], Any],
+) -> dict[str, Any]:
+    """Run ``body`` under a fresh budget and pipeline run; envelope it.
+
+    With no caps the budget is unlimited — it still exists so the
+    counters (and hence the parent's aggregate account) stay honest.
+    """
+    budget = Budget(**caps) if caps else Budget()
+    run = PipelineRun()
+    try:
+        with activate(budget), activate_run(run):
+            result = body(budget)
+        return {
+            "result": result,
+            "charges": _charges(budget),
+            "stages": run.as_dict(),
+        }
+    except BudgetExceededError as error:
+        snapshot = error.snapshot
+        if not isinstance(snapshot, ProgressSnapshot):
+            snapshot = budget.snapshot("exhausted")
+        return {
+            "budget": {"message": str(error), "snapshot": snapshot},
+            "charges": _charges(budget),
+            "stages": run.as_dict(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Fan-out site 2: per-class strict probes of the maximal-support LP
+# ---------------------------------------------------------------------------
+
+
+def run_probe_chunk(args: tuple[Any, ...]) -> dict[str, Any]:
+    """One fixpoint iteration's probes for a chunk of candidates.
+
+    Payload: ``{"system": InternedSystem, "chain": chain_spec}``.
+    Args: ``(caps, forced_zero_names, candidate_names)``.  Returns the
+    names (class *and* relationship unknowns) positive in the summed
+    probe witnesses — a cone member, so the union over chunks is again
+    the support of a single acceptable-at-convergence solution.
+    """
+    caps, forced_zero, candidates = args
+
+    def body(budget: Budget) -> tuple[str, ...]:
+        del budget  # charged ambiently by the solver hot loops
+        system = _payload()["system"]
+        chain = _cached_chain()
+        table = system.table
+        constrained = system.with_rows(
+            SparseRow.make(
+                {table.index(name): 1},
+                Relation.EQ,
+                label=f"forced-zero:{name}",
+            )
+            for name in forced_zero
+        )
+        totals: dict[str, Fraction] = {}
+        zero = Fraction(0)
+        for name in candidates:
+            if totals.get(name, zero) > 0:
+                continue  # already positive via an earlier probe's witness
+            probe = constrained.with_rows(
+                [
+                    SparseRow.make(
+                        {table.index(name): 1},
+                        Relation.GT,
+                        label=f"probe:{name}",
+                    )
+                ]
+            )
+            witness = chain_positive_solution(probe, chain)
+            if witness.feasible:
+                assert witness.rational is not None
+                for var, value in witness.rational.items():
+                    totals[var] = totals.get(var, zero) + value
+        return tuple(
+            sorted(var for var, value in totals.items() if value > 0)
+        )
+
+    return _run_task(caps, body)
+
+
+# ---------------------------------------------------------------------------
+# Fan-out site 3: the naive backend's zero-set enumeration
+# ---------------------------------------------------------------------------
+
+
+def run_zero_chunk(args: tuple[Any, ...]) -> dict[str, Any]:
+    """Test a contiguous chunk of zero-sets; first feasible one wins.
+
+    Payload: ``{"system", "class_unknowns", "dependencies", "targets",
+    "chain"}``.  Args: ``(caps, zero_sets)`` where ``zero_sets`` is a
+    tuple of tuples in the *serial* enumeration order.  Returns ``None``
+    (chunk exhausted, no hit) or ``{"witness", "support"}`` for the
+    earliest feasible zero-set in the chunk.
+    """
+    caps, zero_sets = args
+
+    def body(budget: Budget) -> dict[str, Any] | None:
+        payload = _payload()
+        problem = _STATE.get("problem")
+        if problem is None:
+            problem = _STATE["problem"] = AcceptabilityProblem(
+                system=payload["system"],
+                class_unknowns=payload["class_unknowns"],
+                dependencies=payload["dependencies"],
+                targets=payload["targets"],
+            )
+        chain = _cached_chain()
+        universe = set(problem.class_unknowns)
+        for zero_tuple in zero_sets:
+            budget.check()
+            zero_set = frozenset(zero_tuple)
+            candidate = problem.system.with_rows(
+                zero_set_rows(problem, zero_set)
+            )
+            witness = chain_positive_solution(candidate, chain)
+            if witness.feasible:
+                assert witness.integral is not None
+                support = frozenset(
+                    name
+                    for name, value in witness.integral.items()
+                    if value > 0
+                )
+                assert universe - zero_set <= support
+                return {
+                    "witness": witness.integral,
+                    "support": tuple(sorted(support)),
+                }
+        return None
+
+    return _run_task(caps, body)
+
+
+# ---------------------------------------------------------------------------
+# Fan-out site 1: batch queries over warm per-worker sessions
+# ---------------------------------------------------------------------------
+
+
+def answer_query(
+    session: Any, kind: str, query: Any
+) -> tuple[dict[str, Any], str, bool, bool]:
+    """Answer one batch query: ``(record, text, positive, unknown)``.
+
+    This is the *single* formatting path for batch output — the CLI's
+    serial loop and the workers both call it, which is what makes
+    ``--jobs N`` output byte-identical to serial by construction.
+    """
+    if kind == "sat":
+        result = session.is_class_satisfiable(query)
+        verdict = result.verdict
+        positive = bool(result.satisfiable)
+        unknown = verdict is Verdict.UNKNOWN
+        word = (
+            "UNKNOWN"
+            if unknown
+            else ("satisfiable" if positive else "UNSATISFIABLE")
+        )
+        record = {
+            "query": f"sat {query}",
+            "verdict": verdict.value,
+            "unknown_reason": result.unknown_reason,
+        }
+        return record, f"sat {query}: {word}", positive, unknown
+    result = session.implies(query)
+    positive = bool(result.implied)
+    unknown = result.verdict is ImplicationVerdict.UNKNOWN
+    record = {
+        "query": query.pretty(),
+        "verdict": result.verdict.value,
+        "unknown_reason": result.unknown_reason,
+    }
+    return record, result.pretty(), positive, unknown
+
+
+def unknown_record(
+    kind: str, query: Any, reason: str
+) -> tuple[dict[str, Any], str]:
+    """The degraded ``(record, text)`` for a query no worker answered
+    (its worker exhausted the budget, or a sibling's exhaustion
+    cancelled it) — same shape :func:`answer_query` gives a query that
+    degrades locally."""
+    if kind == "sat":
+        record = {
+            "query": f"sat {query}",
+            "verdict": Verdict.UNKNOWN.value,
+            "unknown_reason": reason,
+        }
+        return record, f"sat {query}: UNKNOWN"
+    record = {
+        "query": query.pretty(),
+        "verdict": ImplicationVerdict.UNKNOWN.value,
+        "unknown_reason": reason,
+    }
+    return record, f"S |? {query.pretty()}  (unknown: {reason})"
+
+
+def run_batch_chunk(args: tuple[Any, ...]) -> dict[str, Any]:
+    """Answer a chunk of batch queries on this worker's warm session.
+
+    Payload: ``{"schema": CRSchema, "backend": str | None}``.  Args:
+    ``(caps, items)`` with ``items`` a tuple of ``(index, kind,
+    query)``.  The chunk shares one :class:`ReasoningSession` — the
+    parent partitions queries by schema fingerprint so cardinality
+    queries against the same extended schema land on the same worker
+    and hit its warm artifacts.
+    """
+    caps, items = args
+
+    def body(budget: Budget) -> dict[str, Any]:
+        del budget  # the ambient budget governs the session's queries
+        from repro.session import ReasoningSession
+
+        payload = _payload()
+        session = _STATE.get("session")
+        if session is None:
+            session = _STATE["session"] = ReasoningSession(payload["schema"])
+        answers = []
+        with ExitStack() as stack:
+            if payload.get("backend"):
+                stack.enter_context(pin_backend(payload["backend"]))
+            for index, kind, query in items:
+                record, text, positive, unknown = answer_query(
+                    session, kind, query
+                )
+                answers.append((index, record, text, positive, unknown))
+        return {
+            "answers": answers,
+            "session_stats": session.stats.as_dict(),
+        }
+
+    return _run_task(caps, body)
+
+
+__all__ = [
+    "answer_query",
+    "bootstrap",
+    "chain_spec",
+    "resolve_chain",
+    "run_batch_chunk",
+    "run_probe_chunk",
+    "run_zero_chunk",
+    "unknown_record",
+]

@@ -144,6 +144,7 @@ class SolverBackend(abc.ABC):
         problem: AcceptabilityProblem,
         chain: Sequence[SolverBackend] | None = None,
         naive_limit: int = DEFAULT_NAIVE_LIMIT,
+        jobs: int = 1,
     ) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
         """Is some acceptable solution positive on a target unknown?
 
@@ -151,9 +152,12 @@ class SolverBackend(abc.ABC):
         implementation is the acceptability fixpoint of
         :mod:`repro.cr.satisfiability` run on ``chain`` (defaulting to
         this backend alone) — each support LP is retried down the chain
-        on a :class:`~repro.errors.SolverError`.
+        on a :class:`~repro.errors.SolverError`.  ``jobs`` is ignored
+        here: the fixpoint's witness solution comes out of one shadow
+        LP, and keeping that witness bit-identical means keeping the
+        serial path; only the naive backend fans out.
         """
-        del naive_limit  # only the exponential backend is size-gated
+        del naive_limit, jobs  # only the exponential backend uses these
         support, solution = fixpoint_support(problem, chain or (self,))
         if not (problem.targets & support):
             return False, None, support
@@ -387,6 +391,7 @@ class NaiveBackend(SolverBackend):
         problem: AcceptabilityProblem,
         chain: Sequence[SolverBackend] | None = None,
         naive_limit: int = DEFAULT_NAIVE_LIMIT,
+        jobs: int = 1,
     ) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
         class_unknowns = list(problem.class_unknowns)
         if len(class_unknowns) > naive_limit:
@@ -397,6 +402,13 @@ class NaiveBackend(SolverBackend):
                 "schemas of this size or raise the limit"
             )
         probes = chain or (get_backend(DEFAULT_BACKEND),)
+        if jobs > 1:
+            # Deferred import: repro.parallel sits above the solver
+            # layer (its workers answer whole queries), so the registry
+            # only reaches for it when a fan-out was requested.
+            from repro.parallel.fanout import parallel_zero_set_search
+
+            return parallel_zero_set_search(problem, probes, jobs)
         universe = set(class_unknowns)
         budget = current_budget()
         # Smaller zero-sets first: solutions with rich support come out
@@ -409,7 +421,7 @@ class NaiveBackend(SolverBackend):
                 if problem.targets <= zero_set:
                     continue  # the required positivity would be impossible
                 candidate = problem.system.with_rows(
-                    _zero_set_rows(problem, zero_set)
+                    zero_set_rows(problem, zero_set)
                 )
                 witness = chain_positive_solution(candidate, probes)
                 if witness.feasible:
@@ -424,7 +436,7 @@ class NaiveBackend(SolverBackend):
         return False, None, frozenset()
 
 
-def _zero_set_rows(
+def zero_set_rows(
     problem: AcceptabilityProblem, zero_set: frozenset[str]
 ) -> list[SparseRow]:
     """The extra rows of ``Ψ_Z`` (Theorem 3.4), interned.
@@ -558,4 +570,5 @@ __all__ = [
     "get_backend",
     "pin_backend",
     "register_backend",
+    "zero_set_rows",
 ]

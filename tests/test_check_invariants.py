@@ -92,6 +92,70 @@ class TestPopitemBan:
         assert rules("cache.popitem(last=False)\n", path="repro/session/cache.py") == []
 
 
+PARALLEL_PATH = "repro/parallel/pool.py"
+
+
+class TestStartMethodBan:
+    def test_fork_context_flagged(self):
+        source = 'ctx = multiprocessing.get_context("fork")\n'
+        assert rules(source, path=PARALLEL_PATH) == ["R4"]
+
+    def test_forkserver_flagged(self):
+        source = 'multiprocessing.set_start_method("forkserver")\n'
+        assert rules(source, path=PARALLEL_PATH) == ["R4"]
+
+    def test_default_context_flagged(self):
+        # A bare get_context() inherits the platform default, which is
+        # fork on Linux — the start method must be spelled out.
+        source = "ctx = multiprocessing.get_context()\n"
+        assert rules(source, path=PARALLEL_PATH) == ["R4"]
+
+    def test_method_keyword_checked(self):
+        source = 'multiprocessing.set_start_method(method="fork")\n'
+        assert rules(source, path=PARALLEL_PATH) == ["R4"]
+
+    def test_spawn_is_fine(self):
+        source = 'ctx = multiprocessing.get_context("spawn")\n'
+        assert rules(source, path=PARALLEL_PATH) == []
+
+    def test_rule_scoped_to_the_parallel_package(self):
+        source = 'ctx = multiprocessing.get_context("fork")\n'
+        assert rules(source, path="repro/cli.py") == []
+
+
+class TestUndeadlinedWaits:
+    def test_bare_result_flagged(self):
+        assert rules("value = future.result()\n", path=PARALLEL_PATH) == [
+            "R5"
+        ]
+
+    def test_bare_wait_flagged(self):
+        source = "done, pending = wait(futures)\n"
+        assert rules(source, path=PARALLEL_PATH) == ["R5"]
+
+    def test_bare_as_completed_flagged(self):
+        source = "for future in as_completed(futures):\n    pass\n"
+        assert rules(source, path=PARALLEL_PATH) == ["R5"]
+
+    def test_bare_pool_map_flagged(self):
+        source = "results = pool.map(task, items)\n"
+        assert rules(source, path=PARALLEL_PATH) == ["R5"]
+
+    def test_timeout_keyword_satisfies_the_rule(self):
+        source = """
+            value = future.result(timeout=0.05)
+            done, pending = wait(futures, timeout=0.05)
+            """
+        assert rules(source, path=PARALLEL_PATH) == []
+
+    def test_shutdown_wait_keyword_is_not_a_wait_call(self):
+        source = "executor.shutdown(wait=True, cancel_futures=True)\n"
+        assert rules(source, path=PARALLEL_PATH) == []
+
+    def test_rule_scoped_to_the_parallel_package(self):
+        assert rules("value = future.result()\n", path="repro/cli.py") == []
+
+
 class TestDiagnostics:
     def test_violations_render_file_line_rule(self):
         (violation,) = violations("x = 0.5\n")

@@ -1,0 +1,300 @@
+"""Unit tests for the parallel decision fabric (:mod:`repro.parallel`).
+
+The pure plumbing — job resolution, chunking, budget splitting and
+aggregation, stage-timing merges, batch partitioning — is tested
+directly.  The spawn-pool paths are covered by a small number of
+end-to-end parity checks against the serial oracle (each one pays a
+real process-pool spawn, so they are few and shared where possible);
+the broader randomized parity evidence lives in
+``test_parallel_properties.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.cr.constraints import (
+    IsaStatement,
+    MaxCardinalityStatement,
+    MinCardinalityStatement,
+)
+from repro.cr.satisfiability import is_class_satisfiable, satisfiable_classes
+from repro.dsl import serialize_schema
+from repro.errors import BudgetExceededError, ReproError
+from repro.paper import meeting_schema
+from repro.parallel import chunk_evenly, resolve_jobs, worker_caps
+from repro.parallel.fanout import partition_queries, run_parallel_batch
+from repro.pipeline import PipelineRun
+from repro.runtime.budget import Budget
+from repro.runtime.outcome import Verdict
+
+
+class TestResolveJobs:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_var_consulted_without_a_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs() == 4
+
+    def test_blank_env_var_means_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "  ")
+        assert resolve_jobs() == 1
+
+    def test_garbage_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ReproError, match="REPRO_JOBS"):
+            resolve_jobs()
+
+    def test_nonpositive_jobs_rejected(self):
+        with pytest.raises(ReproError, match="jobs"):
+            resolve_jobs(0)
+
+
+class TestChunkEvenly:
+    def test_contiguous_and_complete(self):
+        chunks = chunk_evenly(list(range(10)), 3)
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_earlier_chunks_take_the_extras(self):
+        sizes = [len(chunk) for chunk in chunk_evenly(list(range(7)), 3)]
+        assert sizes == [3, 2, 2]
+
+    def test_more_chunks_than_items(self):
+        assert chunk_evenly([1, 2], 5) == [[1], [2]]
+
+    def test_empty_input(self):
+        assert chunk_evenly([], 4) == []
+
+
+class TestBudgetSplitting:
+    def test_worker_caps_without_a_budget(self):
+        assert worker_caps(None) is None
+
+    def test_remaining_caps_reflect_spend(self):
+        budget = Budget(max_solver_calls=10, max_pivots=100)
+        budget.charge_solver_call()
+        caps = budget.remaining_caps()
+        assert caps["max_solver_calls"] == 9
+        assert caps["max_pivots"] == 100
+        assert "max_expansion_nodes" not in caps
+        assert "timeout" not in caps
+
+    def test_remaining_caps_include_the_deadline(self):
+        caps = Budget(timeout=60.0).remaining_caps()
+        assert 0 < caps["timeout"] <= 60.0
+
+    def test_merge_charges_aggregates(self):
+        budget = Budget(max_solver_calls=10)
+        budget.merge_charges(expansion_nodes=3, solver_calls=4, pivots=7)
+        budget.merge_charges(solver_calls=2)
+        snapshot = budget.snapshot("test")
+        assert snapshot.expansion_nodes == 3
+        assert snapshot.solver_calls == 6
+        assert snapshot.pivots == 7
+
+    def test_merge_crossing_a_cap_raises(self):
+        budget = Budget(max_solver_calls=5)
+        budget.merge_charges(solver_calls=3)
+        with pytest.raises(BudgetExceededError):
+            budget.merge_charges(solver_calls=3)
+
+
+class TestPipelineRunMerge:
+    def test_merge_folds_worker_stage_timings(self):
+        parent = PipelineRun()
+        parent.merge(
+            {
+                "solve": {"runs": 2, "seconds": 0.5},
+                "verdict": {"runs": 1, "seconds": 0.1},
+            }
+        )
+        parent.merge({"solve": {"runs": 1, "seconds": 0.25}})
+        exported = parent.as_dict()
+        assert exported["solve"]["runs"] == 3
+        assert exported["solve"]["seconds"] == pytest.approx(0.75)
+        assert exported["verdict"]["runs"] == 1
+
+
+class TestPartitionQueries:
+    def test_indices_and_membership_preserved(self):
+        schema = meeting_schema()
+        queries = [
+            ("sat", "Speaker"),
+            ("implies", IsaStatement("Discussant", "Speaker")),
+            ("implies", MaxCardinalityStatement("Talk", "Holds", "U2", 1)),
+            ("sat", "Talk"),
+        ]
+        partitions = partition_queries(schema, queries, jobs=2)
+        seen = sorted(
+            index for partition in partitions for index, _, _ in partition
+        )
+        assert seen == [0, 1, 2, 3]
+        for partition in partitions:
+            for index, kind, query in partition:
+                assert (kind, query) == queries[index]
+
+    def test_base_schema_queries_share_a_partition(self):
+        # sat + ISA + disjointness all read the base fingerprint's
+        # artifacts, so they must land together for warm reuse.
+        schema = meeting_schema()
+        queries = [
+            ("sat", "Speaker"),
+            ("implies", IsaStatement("Discussant", "Speaker")),
+            ("sat", "Talk"),
+        ]
+        partitions = partition_queries(schema, queries, jobs=2)
+        assert len(partitions) == 1
+        assert len(partitions[0]) == 3
+
+    def test_cardinality_queries_split_by_extended_fingerprint(self):
+        schema = meeting_schema()
+        queries = [
+            ("implies", MinCardinalityStatement("Speaker", "Holds", "U1", 1)),
+            ("implies", MaxCardinalityStatement("Talk", "Holds", "U2", 1)),
+        ]
+        partitions = partition_queries(schema, queries, jobs=2)
+        assert len(partitions) == 2
+
+    def test_partitioning_is_deterministic(self):
+        schema = meeting_schema()
+        queries = [
+            ("sat", cls) for cls in schema.classes
+        ] + [
+            ("implies", MaxCardinalityStatement("Talk", "Holds", "U2", 1)),
+        ]
+        first = partition_queries(schema, queries, jobs=3)
+        second = partition_queries(schema, queries, jobs=3)
+        assert first == second
+
+
+@pytest.fixture(scope="module")
+def meeting():
+    return meeting_schema()
+
+
+class TestParallelParity:
+    """End-to-end parity against the serial oracle (spawns real pools)."""
+
+    def test_satisfiable_classes_matches_serial(self, meeting):
+        assert satisfiable_classes(meeting, jobs=2) == satisfiable_classes(
+            meeting
+        )
+
+    def test_naive_engine_witness_is_bit_identical(self, meeting):
+        serial = is_class_satisfiable(meeting, "Speaker", engine="naive")
+        fanned = is_class_satisfiable(
+            meeting, "Speaker", engine="naive", jobs=2
+        )
+        assert fanned.satisfiable == serial.satisfiable
+        assert fanned.solution == serial.solution
+        assert fanned.support == serial.support
+
+    def test_budget_degrades_the_parallel_sweep(self, meeting):
+        verdicts = satisfiable_classes(
+            meeting, budget=Budget(timeout=0), jobs=2
+        )
+        assert verdicts
+        assert all(v is Verdict.UNKNOWN for v in verdicts.values())
+
+    def test_parallel_batch_degrades_to_unknown_on_exhaustion(self, meeting):
+        queries = [
+            ("sat", "Speaker"),
+            ("implies", IsaStatement("Talk", "Speaker")),
+        ]
+        outcome = run_parallel_batch(
+            meeting, queries, jobs=2, budget=Budget(timeout=0)
+        )
+        assert len(outcome.records) == len(queries)
+        assert outcome.any_unknown
+        assert not outcome.all_positive
+        assert all(
+            record["verdict"] == "unknown" for record in outcome.records
+        )
+
+    def test_the_pool_refuses_serial_job_counts(self, meeting):
+        # jobs=1 must bypass the pool at the call site; reaching the
+        # pool with it is a programming error, not a degenerate pool.
+        with pytest.raises(ReproError, match="bypass"):
+            run_parallel_batch(meeting, [("sat", "Speaker")], jobs=1)
+
+
+class TestCliJobs:
+    @pytest.fixture
+    def meeting_file(self, tmp_path):
+        path = tmp_path / "meeting.cr"
+        path.write_text(serialize_schema(meeting_schema()))
+        return str(path)
+
+    @pytest.fixture
+    def queries_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text(
+            "sat Speaker\n"
+            "Discussant isa Speaker\n"
+            "Talk isa Speaker\n"
+            "maxc(Talk, Holds, U2) = 1\n"
+        )
+        return str(path)
+
+    def test_batch_jobs_output_is_identical_to_serial(
+        self, meeting_file, queries_file, capsys
+    ):
+        serial_rc = main(["batch", meeting_file, queries_file])
+        serial_out = capsys.readouterr().out
+        parallel_rc = main(
+            ["batch", meeting_file, queries_file, "--jobs", "2"]
+        )
+        parallel_out = capsys.readouterr().out
+        assert parallel_rc == serial_rc
+        assert parallel_out == serial_out
+
+    def test_batch_stats_report_worker_stage_timings(
+        self, meeting_file, queries_file, capsys
+    ):
+        main(["batch", meeting_file, queries_file, "--jobs", "2", "--stats"])
+        out = capsys.readouterr().out
+        assert "(2 job(s))" in out
+        assert "# wall-clock:" in out
+        # The Solve stage ran inside workers; its timings must still
+        # appear in the parent's report (satellite-6 regression guard).
+        assert "solve" in out
+
+    def test_batch_jobs_with_exhausted_budget_exits_three(
+        self, meeting_file, queries_file, capsys
+    ):
+        rc = main(
+            [
+                "batch",
+                meeting_file,
+                queries_file,
+                "--jobs",
+                "2",
+                "--timeout",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "UNKNOWN" in out
+
+    def test_check_accepts_jobs_flag(self, meeting_file, capsys):
+        assert main(["check", meeting_file, "--jobs", "2"]) == 0
+        assert "Speaker: satisfiable" in capsys.readouterr().out
+
+    def test_env_var_drives_the_pool(
+        self, meeting_file, queries_file, capsys, monkeypatch
+    ):
+        serial_rc = main(["batch", meeting_file, queries_file])
+        serial_out = capsys.readouterr().out
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        env_rc = main(["batch", meeting_file, queries_file])
+        env_out = capsys.readouterr().out
+        assert env_rc == serial_rc
+        assert env_out == serial_out

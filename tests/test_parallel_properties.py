@@ -1,0 +1,114 @@
+"""Randomized parity evidence for the parallel decision fabric.
+
+The determinism contract says nothing observable may depend on the
+worker count: ``repro batch --jobs 2`` must produce the same records,
+texts, and exit semantics as the serial session loop, and the fanned-out
+verdict sweep must agree with the serial fixpoint on every class.
+These properties drive random schemas and query batches from
+:mod:`tests.strategies` through both paths and compare.
+
+Example counts are deliberately tiny: every example pays a real
+two-worker spawn-pool startup (each worker re-imports :mod:`repro`),
+so the suite buys breadth per example, not example volume — the cheap
+exhaustive checks live in ``test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cr.satisfiability import satisfiable_classes
+from repro.parallel.fanout import run_parallel_batch
+from repro.parallel.worker import answer_query
+from repro.runtime.budget import Budget
+from repro.session import ReasoningSession
+
+from tests.strategies import implication_queries_for, schemas
+
+POOLED = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+UNKNOWN_VERDICT = "unknown"
+
+
+@st.composite
+def batches_for(draw, schema):
+    """A mixed batch of 1–5 ``(kind, query)`` pairs over ``schema``."""
+    size = draw(st.integers(min_value=1, max_value=5))
+    queries = []
+    for _ in range(size):
+        if draw(st.booleans()):
+            queries.append(("sat", draw(st.sampled_from(schema.classes))))
+        else:
+            queries.append(
+                ("implies", draw(implication_queries_for(schema)))
+            )
+    return queries
+
+
+def serial_answers(schema, queries):
+    """The serial oracle: one warm session, the same formatting path
+    the workers use."""
+    session = ReasoningSession(schema)
+    return [answer_query(session, kind, query) for kind, query in queries]
+
+
+@POOLED
+@given(data=st.data())
+def test_parallel_batch_matches_the_serial_session(data):
+    schema = data.draw(schemas(max_classes=3, max_relationships=1))
+    queries = data.draw(batches_for(schema))
+    expected = serial_answers(schema, queries)
+
+    outcome = run_parallel_batch(schema, queries, jobs=2)
+
+    assert outcome.records == [record for record, _, _, _ in expected]
+    assert outcome.texts == [text for _, text, _, _ in expected]
+    assert outcome.all_positive == all(
+        positive for _, _, positive, _ in expected
+    )
+    assert outcome.any_unknown == any(
+        unknown for _, _, _, unknown in expected
+    )
+
+
+@POOLED
+@given(data=st.data())
+def test_parallel_verdict_sweep_matches_the_serial_fixpoint(data):
+    schema = data.draw(schemas(max_classes=3, max_relationships=1))
+    assert satisfiable_classes(schema, jobs=2) == satisfiable_classes(schema)
+
+
+@POOLED
+@given(data=st.data())
+def test_budget_faults_mid_batch_degrade_not_diverge(data):
+    """Fault injection: a cap small enough that some worker exhausts it
+    mid-chunk.  Every parallel record must either equal the un-budgeted
+    serial answer or be an honest UNKNOWN — never a wrong verdict — and
+    the exhaustion must be reflected in the exit semantics."""
+    schema = data.draw(schemas(max_classes=3, max_relationships=1))
+    queries = data.draw(batches_for(schema))
+    expected = serial_answers(schema, queries)
+    cap = data.draw(st.integers(min_value=1, max_value=3))
+
+    outcome = run_parallel_batch(
+        schema, queries, jobs=2, budget=Budget(max_solver_calls=cap)
+    )
+
+    assert len(outcome.records) == len(queries)
+    degraded = 0
+    for record, (serial_record, _, _, serial_unknown) in zip(
+        outcome.records, expected
+    ):
+        if record["verdict"] == UNKNOWN_VERDICT and not serial_unknown:
+            degraded += 1
+            assert record["query"] == serial_record["query"]
+        else:
+            assert record == serial_record
+    if degraded:
+        assert outcome.any_unknown
+        assert not outcome.all_positive

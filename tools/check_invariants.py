@@ -19,6 +19,16 @@ R3  no ``popitem`` in any kernel module (``repro/solver/``,
     ``repro/linalg/``): the kernels guarantee run-to-run deterministic
     iteration, and ``popitem`` is the classic way an incidental dict
     ordering assumption sneaks in.
+R4  spawn-only multiprocessing in ``repro/parallel/``: every
+    ``get_context(...)`` / ``set_start_method(...)`` call must pass the
+    literal ``"spawn"``.  ``fork`` would copy the parent's ambient
+    budgets, contextvars, and lock state into workers — the exact
+    aliasing the worker-initializer protocol exists to prevent.
+R5  deadlined waits in ``repro/parallel/``: every pool wait —
+    ``Future.result()``, ``concurrent.futures.wait()``,
+    ``as_completed()``, ``pool.map()`` — must pass ``timeout=`` so a
+    stuck worker degrades to a budget check instead of hanging the
+    parent forever.
 
 Failures print ``file:line: RULE message`` diagnostics and exit 1.
 Run from the repository root: ``python tools/check_invariants.py``.
@@ -42,6 +52,14 @@ EXACT_KERNEL = ("repro/solver/core.py", "repro/linalg/")
 
 KERNEL_MODULES = ("repro/solver/", "repro/linalg/")
 """Scope of R3 (popitem ban)."""
+
+PARALLEL_MODULES = ("repro/parallel/",)
+"""Scope of R4 (spawn-only start method) and R5 (deadlined waits)."""
+
+_START_METHOD_CALLS = ("get_context", "set_start_method")
+
+_WAIT_CALLS = ("result", "wait", "as_completed", "map")
+"""Call names R5 treats as pool waits needing a ``timeout=``."""
 
 # Identifiers that mark a loop as budget-governed when they appear
 # anywhere in its body (`budget.charge_pivots()`, `budget.check()`,
@@ -168,6 +186,65 @@ def _check_popitem(tree: ast.AST, path: str) -> list[Violation]:
     return violations
 
 
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _check_start_method(tree: ast.AST, path: str) -> list[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(node) not in _START_METHOD_CALLS:
+            continue
+        method: ast.expr | None = node.args[0] if node.args else None
+        if method is None:
+            for keyword in node.keywords:
+                if keyword.arg == "method":
+                    method = keyword.value
+        if isinstance(method, ast.Constant) and method.value == "spawn":
+            continue
+        violations.append(
+            Violation(
+                path,
+                node.lineno,
+                "R4",
+                "multiprocessing start method must be the literal 'spawn'; "
+                "fork copies ambient budgets, contextvars, and locks into "
+                "workers",
+            )
+        )
+    return violations
+
+
+def _check_undeadlined_waits(tree: ast.AST, path: str) -> list[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in _WAIT_CALLS:
+            continue
+        if any(keyword.arg == "timeout" for keyword in node.keywords):
+            continue
+        violations.append(
+            Violation(
+                path,
+                node.lineno,
+                "R5",
+                f"{name}() without timeout= in repro.parallel; every pool "
+                "wait must carry a deadline so a stuck worker cannot hang "
+                "the parent",
+            )
+        )
+    return violations
+
+
 def check_source(source: str, relative_path: str) -> list[Violation]:
     """Lint one module's source against every rule whose scope covers
     ``relative_path`` (a path relative to ``src/``, e.g.
@@ -179,6 +256,9 @@ def check_source(source: str, relative_path: str) -> list[Violation]:
         violations.extend(_check_unbudgeted_loops(tree, relative_path))
     if _in_scope(relative_path, KERNEL_MODULES):
         violations.extend(_check_popitem(tree, relative_path))
+    if _in_scope(relative_path, PARALLEL_MODULES):
+        violations.extend(_check_start_method(tree, relative_path))
+        violations.extend(_check_undeadlined_waits(tree, relative_path))
     return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
 
 
@@ -190,7 +270,7 @@ def check_file(path: Path, src_root: Path = SRC) -> list[Violation]:
 def iter_checked_files(src_root: Path = SRC) -> list[Path]:
     """Every file any rule applies to, sorted for stable output."""
     scoped: set[Path] = set()
-    for entry in EXACT_KERNEL + KERNEL_MODULES:
+    for entry in EXACT_KERNEL + KERNEL_MODULES + PARALLEL_MODULES:
         target = src_root / entry
         if target.is_file():
             scoped.add(target)
