@@ -16,7 +16,13 @@ implies   decide ``S ⊨ K`` for a statement like ``"A isa B"`` or
           ``"maxc(Speaker, Holds, U1) = 1"``
 batch     answer many queries (``sat <Class>`` lines and implication
           statements) from ONE cached reasoning session, so the
-          exponential expansion is built once for the whole batch
+          exponential expansion is built once for the whole batch;
+          ``--cache-dir`` (or ``REPRO_CACHE_DIR``) adds the crash-safe
+          persistent artifact store so later runs — and ``--jobs`` pool
+          workers — start warm
+cache     maintenance surface of the persistent store: ``stats``,
+          ``verify`` (checksum every entry, quarantining damage),
+          ``clear``, ``quarantine list``; ``--json`` for tooling
 model     construct and print a witness database state for a class
 explain   print the verified infeasibility proof for an unsat class
 debug     print a minimal unsatisfiable constraint set for a class
@@ -240,8 +246,12 @@ def _read_batch_queries(args: argparse.Namespace) -> list:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.parallel.worker import answer_query
+    from repro.store import resolve_cache_dir
 
     jobs = resolve_jobs(getattr(args, "jobs", None))
+    cache_dir = resolve_cache_dir(
+        getattr(args, "cache_dir", None), getattr(args, "no_cache", False)
+    )
     run = PipelineRun()
     wall_start = time.perf_counter()
     with activate_run(run):
@@ -262,6 +272,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 jobs,
                 backend=getattr(args, "backend", None),
                 budget=budget,
+                cache_dir=cache_dir,
             )
             records = outcome.records
             any_unknown = outcome.any_unknown
@@ -272,9 +283,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 for text in outcome.texts:
                     print(text)
         else:
-            from repro.session import ReasoningSession
+            from repro.session import ReasoningSession, SessionCache
 
-            session = ReasoningSession(schema, budget=budget)
+            cache = None
+            if cache_dir is not None:
+                from repro.store import ArtifactStore
+
+                cache = SessionCache(store=ArtifactStore(cache_dir))
+            session = ReasoningSession(schema, cache=cache, budget=budget)
             records = []
             any_unknown = False
             all_positive = True
@@ -318,6 +334,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"# analyze: {stats_dict.get('analysis_runs', 0)} run(s), "
             f"{stats_dict.get('analysis_short_circuits', 0)} short-circuit(s)"
         )
+        if cache_dir is not None:
+            print(
+                f"# store: {stats_dict.get('store_hits', 0)} hit(s), "
+                f"{stats_dict.get('store_misses', 0)} miss(es), "
+                f"{stats_dict.get('store_writes', 0)} write(s), "
+                f"{stats_dict.get('store_write_failures', 0)} "
+                "write failure(s)"
+            )
         for name, timing in run.as_dict().items():
             print(
                 f"# stage {name}: {timing['runs']} run(s), "
@@ -329,6 +353,99 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if any_unknown:
         return 3
     return 0 if all_positive else 1
+
+
+def _require_store(args: argparse.Namespace):
+    """The store the ``cache`` subcommand operates on (flag or env)."""
+    from repro.store import ArtifactStore, ENV_CACHE_DIR, resolve_cache_dir
+
+    cache_dir = resolve_cache_dir(getattr(args, "cache_dir", None))
+    if cache_dir is None:
+        raise ReproError(
+            f"no cache directory: pass --cache-dir or set {ENV_CACHE_DIR}"
+        )
+    return ArtifactStore(cache_dir)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Maintenance surface of the persistent artifact store.
+
+    ``stats`` and ``quarantine list`` report and exit 0; ``verify``
+    exits 0 when every entry validates and 1 when any was damaged (the
+    damage is quarantined, so a follow-up run is clean); ``clear``
+    removes entries (and locks) and exits 0.
+    """
+    import json
+
+    store = _require_store(args)
+    if args.cache_command == "stats":
+        summary = store.summary()
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(f"store: {summary['root']}")
+            print(
+                f"  format v{summary['format_version']}, "
+                f"artifacts v{summary['artifact_version']}"
+            )
+            print(
+                f"  {summary['entries']} entr(ies), {summary['bytes']} bytes, "
+                f"{summary['quarantined']} quarantined"
+            )
+        return 0
+    if args.cache_command == "verify":
+        outcome = store.verify()
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "checked": outcome.checked,
+                        "valid": outcome.valid,
+                        "quarantined": outcome.quarantined,
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"verified {outcome.checked} entr(ies): {outcome.valid} valid, "
+                f"{len(outcome.quarantined)} quarantined"
+            )
+            for item in outcome.quarantined:
+                print(
+                    f"  quarantined {item['fingerprint']}.{item['kind']} "
+                    f"({item['reason']})"
+                )
+        return 0 if outcome.clean else 1
+    if args.cache_command == "clear":
+        removed = store.clear(include_quarantine=args.include_quarantine)
+        if args.json:
+            print(json.dumps({"removed": removed}, indent=2))
+        else:
+            print(f"removed {removed} entr(ies)")
+        return 0
+    assert args.cache_command == "quarantine"
+    infos = store.quarantined()
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": info.name,
+                        "reason": info.reason,
+                        "bytes": info.size,
+                    }
+                    for info in infos
+                ],
+                indent=2,
+            )
+        )
+    else:
+        if not infos:
+            print("quarantine is empty")
+        for info in infos:
+            print(f"{info.name}  ({info.reason}, {info.size} bytes)")
+    return 0
 
 
 def _cmd_implies(args: argparse.Namespace) -> int:
@@ -524,10 +641,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="append session cache statistics and per-stage pipeline "
         "timings (normalize/expand/build-system/solve/verdict)",
     )
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent artifact store shared across runs and --jobs "
+        "workers (default: the REPRO_CACHE_DIR env var, else no "
+        "persistence; output is byte-identical either way)",
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and REPRO_CACHE_DIR for this run",
+    )
     add_backend(batch)
     add_budget(batch)
     add_jobs(batch)
     batch.set_defaults(run=_cmd_batch)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and maintain the persistent artifact store",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="store root (default: the REPRO_CACHE_DIR env var)",
+        )
+        sub.add_argument(
+            "--json", action="store_true", help="emit JSON for tooling"
+        )
+        sub.set_defaults(run=_cmd_cache)
+
+    cache_stats = cache_sub.add_parser(
+        "stats", help="on-disk entry/byte/quarantine counts"
+    )
+    add_cache_common(cache_stats)
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="checksum every entry, quarantining damage (exit 1 if any)",
+    )
+    add_cache_common(cache_verify)
+    cache_clear = cache_sub.add_parser(
+        "clear", help="remove all entries (and stale locks)"
+    )
+    cache_clear.add_argument(
+        "--include-quarantine",
+        action="store_true",
+        help="also empty the quarantine directory",
+    )
+    add_cache_common(cache_clear)
+    cache_quarantine = cache_sub.add_parser(
+        "quarantine", help="quarantine maintenance"
+    )
+    cache_quarantine.add_argument(
+        "action", choices=["list"], help="what to do with the quarantine"
+    )
+    add_cache_common(cache_quarantine)
 
     imp = subparsers.add_parser("implies", help="decide S |= K")
     imp.add_argument("schema")

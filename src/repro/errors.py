@@ -89,6 +89,42 @@ class CancelledError(BudgetExceededError):
     """The computation was cooperatively cancelled via ``Budget.cancel()``."""
 
 
+class StoreError(ReproError):
+    """The persistent artifact store was used incorrectly.
+
+    Examples: a fingerprint or kind containing path separators, a store
+    root that is a regular file.  *Damaged data* is never reported this
+    way to callers — corrupt entries are quarantined and read as misses
+    (see :class:`StoreIntegrityError`, which the store raises and
+    catches internally).
+    """
+
+
+class StoreIntegrityError(StoreError):
+    """A stored entry failed validation on read.
+
+    ``reason`` is a stable machine-readable tag (``"truncated-header"``,
+    ``"magic"``, ``"format-version"``, ``"artifact-version"``,
+    ``"truncated-payload"``, ``"trailing-garbage"``, ``"checksum"``,
+    ``"unpickleable"``, ``"key-mismatch"``) — it becomes part of the
+    quarantined file's name so ``repro cache quarantine list`` can
+    report why each entry was pulled.
+    """
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class StoreLockTimeout(StoreError):
+    """An advisory store lock stayed contended past the bounded retry.
+
+    Writers treat this as a degraded no-op (the cache write is skipped
+    and counted, never fatal); it is a distinct type so tests can
+    assert the contention path specifically.
+    """
+
+
 class ParseError(ReproError):
     """The schema DSL text could not be parsed.
 

@@ -73,6 +73,10 @@ _STATS_KEYS = (
     "expansion_builds",
     "system_builds",
     "fixpoint_runs",
+    "store_hits",
+    "store_misses",
+    "store_writes",
+    "store_write_failures",
 )
 """The :class:`~repro.session.SessionStats` fields, summed per worker
 so the parallel batch report keeps the serial report's shape."""
@@ -153,6 +157,7 @@ def run_parallel_batch(
     jobs: int,
     backend: str | None = None,
     budget: Budget | None = None,
+    cache_dir: str | None = None,
 ) -> BatchOutcome:
     """Answer a batch across ``jobs`` workers; observables match serial.
 
@@ -162,9 +167,15 @@ def run_parallel_batch(
     degrades every still-unanswered query to UNKNOWN — the batch
     completes with exit-code-3 semantics instead of raising, exactly
     like the serial session loop.
+
+    With a ``cache_dir``, each worker fronts its session cache with a
+    persistent :class:`~repro.store.ArtifactStore` on that directory.
+    Because queries are partitioned by fingerprint, a fingerprint's
+    artifacts are built (and persisted) by exactly one worker per cold
+    run, and the aggregated ``store_*`` counters equal the serial run's.
     """
     partitions = partition_queries(schema, queries, jobs)
-    payload = {"schema": schema, "backend": backend}
+    payload = {"schema": schema, "backend": backend, "cache_dir": cache_dir}
     answered: dict[int, tuple[dict[str, Any], str, bool, bool]] = {}
     stats: dict[str, int] = {key: 0 for key in _STATS_KEYS}
     failure: str | None = None

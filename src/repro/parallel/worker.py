@@ -324,23 +324,34 @@ def unknown_record(
 def run_batch_chunk(args: tuple[Any, ...]) -> dict[str, Any]:
     """Answer a chunk of batch queries on this worker's warm session.
 
-    Payload: ``{"schema": CRSchema, "backend": str | None}``.  Args:
-    ``(caps, items)`` with ``items`` a tuple of ``(index, kind,
-    query)``.  The chunk shares one :class:`ReasoningSession` — the
-    parent partitions queries by schema fingerprint so cardinality
-    queries against the same extended schema land on the same worker
-    and hit its warm artifacts.
+    Payload: ``{"schema": CRSchema, "backend": str | None, "cache_dir":
+    str | None}``.  Args: ``(caps, items)`` with ``items`` a tuple of
+    ``(index, kind, query)``.  The chunk shares one
+    :class:`ReasoningSession` — the parent partitions queries by schema
+    fingerprint so cardinality queries against the same extended schema
+    land on the same worker and hit its warm artifacts.  A ``cache_dir``
+    adds the cross-process persistent tier: every worker opens its own
+    :class:`~repro.store.ArtifactStore` on the shared directory.
     """
     caps, items = args
 
     def body(budget: Budget) -> dict[str, Any]:
         del budget  # the ambient budget governs the session's queries
-        from repro.session import ReasoningSession
+        from repro.session import ReasoningSession, SessionCache
 
         payload = _payload()
         session = _STATE.get("session")
         if session is None:
-            session = _STATE["session"] = ReasoningSession(payload["schema"])
+            cache = None
+            if payload.get("cache_dir"):
+                from repro.store import ArtifactStore
+
+                cache = SessionCache(
+                    store=ArtifactStore(payload["cache_dir"])
+                )
+            session = _STATE["session"] = ReasoningSession(
+                payload["schema"], cache=cache
+            )
         answers = []
         with ExitStack() as stack:
             if payload.get("backend"):

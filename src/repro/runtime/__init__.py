@@ -14,9 +14,10 @@ procedures:
 * **engine fallback** (:mod:`repro.runtime.fallback`) — per-LP retry on
   the Fourier–Motzkin backend and last-resort fall-back to the naive
   Theorem-3.4 engine when a solver faults mid-run;
-* **fault injection** (:mod:`repro.runtime.faults`) — a deterministic
-  harness that fails the N-th solver call, so the degradation paths are
-  themselves under test.
+* **fault injection** (:mod:`repro.runtime.faults`) — one deterministic
+  registry that fails the N-th solver call or the N-th firing of a disk
+  fault point in the persistent artifact store's write protocol, so the
+  degradation paths are themselves under test.
 
 Only the dependency-free modules are imported eagerly; ``fallback`` and
 ``faults`` (which import the solver layer) load lazily on first
@@ -46,6 +47,8 @@ _LAZY = {
     "resilient_positive_solution": "repro.runtime.fallback",
     "FaultPlan": "repro.runtime.faults",
     "InjectedSolverFault": "repro.runtime.faults",
+    "SimulatedCrash": "repro.runtime.faults",
+    "inject_faults": "repro.runtime.faults",
     "inject_solver_faults": "repro.runtime.faults",
 }
 
@@ -75,5 +78,7 @@ __all__ = [
     "resilient_positive_solution",
     "FaultPlan",
     "InjectedSolverFault",
+    "SimulatedCrash",
+    "inject_faults",
     "inject_solver_faults",
 ]

@@ -25,12 +25,24 @@ budget that runs out mid-build never publishes half-built state — the
 next query (under a fresh budget) resumes from the last completed
 stage.  Eviction is LRU with a configurable entry cap, sized for a
 service juggling many schemas.
+
+The cache optionally fronts a **persistent second tier** — a
+:class:`~repro.store.ArtifactStore` shared across processes and
+``--jobs`` pool workers.  A memory miss consults the store before
+building: a valid persisted bundle restores the entry fully warm
+(``store_hits``), and an entry that completes its fixpoint stage
+writes through (``store_writes``) so the *next* process starts warm.
+The store's absent-or-valid contract means this tier can only ever
+return artifacts byte-equivalent to a fresh build or nothing at all;
+persistence failures (contention, full disk, corruption) degrade to
+counted no-ops and the reasoning path proceeds from source.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.analysis.analyzer import analyze
 from repro.analysis.diagnostics import AnalysisReport
@@ -48,6 +60,20 @@ from repro.pipeline import (
 from repro.runtime.fallback import DEFAULT_FALLBACK, FallbackPolicy
 from repro.session.fingerprint import schema_fingerprint
 from repro.solver.homogeneous import integerize
+from repro.store.store import ArtifactStore
+
+_BUNDLE_FIELDS = (
+    "analysis",
+    "expansion",
+    "cr_system",
+    "support",
+    "witness",
+    "class_verdicts",
+)
+"""The persisted slice of :class:`SchemaArtifacts` — exactly the fields
+needed to answer every warm query.  Changing this tuple (or the shape
+of any field) is an artifact-codec change: bump
+:data:`repro.store.ARTIFACT_VERSION` alongside."""
 
 
 @dataclass
@@ -62,6 +88,10 @@ class CacheStats:
     expansion_builds: int = 0
     system_builds: int = 0
     fixpoint_runs: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
+    store_write_failures: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -73,6 +103,10 @@ class CacheStats:
             "expansion_builds": self.expansion_builds,
             "system_builds": self.system_builds,
             "fixpoint_runs": self.fixpoint_runs,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "store_writes": self.store_writes,
+            "store_write_failures": self.store_write_failures,
         }
 
 
@@ -90,6 +124,7 @@ class SchemaArtifacts:
     stats: CacheStats
     limits: ExpansionLimits | None = None
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK
+    store: ArtifactStore | None = field(default=None, repr=False)
     analysis: AnalysisReport | None = None
     expansion: Expansion | None = None
     cr_system: CRSystem | None = None
@@ -136,12 +171,46 @@ class SchemaArtifacts:
             self.witness = integerize(solution)
             self.class_verdicts = support_verdicts(cr_system, support)
             self.support = support
+            self._persist()
         return self.support
 
     @property
     def warm(self) -> bool:
         """Whether every stage has been built."""
         return self.support is not None
+
+    # -- the persistent tier -------------------------------------------------
+
+    def _persist(self) -> None:
+        """Write the now-warm entry through to the store (best-effort:
+        a skipped write is counted, never surfaced to the query)."""
+        if self.store is None:
+            return
+        bundle = {name: getattr(self, name) for name in _BUNDLE_FIELDS}
+        if self.store.put(self.fingerprint, bundle):
+            self.stats.store_writes += 1
+        else:
+            self.stats.store_write_failures += 1
+
+    def adopt_bundle(self, bundle: Any) -> bool:
+        """Restore a persisted bundle into this (cold) entry; ``False``
+        leaves the entry untouched for a normal cold build.
+
+        The store already verified the envelope checksum and artifact
+        version; this is the last line of shape validation before the
+        fields go live.  Only fully-warm bundles are adopted — partial
+        state would reintroduce exactly the half-built hazards the
+        staged build exists to prevent.
+        """
+        if not isinstance(bundle, dict):
+            return False
+        if any(name not in bundle for name in _BUNDLE_FIELDS):
+            return False
+        if bundle["support"] is None or bundle["witness"] is None:
+            return False
+        for name in _BUNDLE_FIELDS:
+            setattr(self, name, bundle[name])
+        return True
 
 
 class SessionCache:
@@ -152,14 +221,24 @@ class SessionCache:
     locking.  A single cache passed to many
     :class:`~repro.session.ReasoningSession` instances lets a service
     amortise expansions across requests that mention the same schema.
+
+    With a ``store``, the cache gains a persistent second tier: memory
+    misses consult the store (restoring fully-warm entries), and entries
+    that finish their fixpoint stage write through.  The store object is
+    per-process; the *directory* is what processes share.
     """
 
-    def __init__(self, max_entries: int = 64) -> None:
+    def __init__(
+        self,
+        max_entries: int = 64,
+        store: ArtifactStore | None = None,
+    ) -> None:
         if max_entries < 1:
             raise ReproError(
                 f"max_entries must be positive, got {max_entries}"
             )
         self.max_entries = max_entries
+        self.store = store
         self.stats = CacheStats()
         self._entries: OrderedDict[str, SchemaArtifacts] = OrderedDict()
 
@@ -192,7 +271,14 @@ class SessionCache:
             stats=self.stats,
             limits=limits,
             fallback=fallback,
+            store=self.store,
         )
+        if self.store is not None:
+            bundle = self.store.get(key)
+            if bundle is not None and entry.adopt_bundle(bundle):
+                self.stats.store_hits += 1
+            else:
+                self.stats.store_misses += 1
         self._entries[key] = entry
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)

@@ -83,6 +83,10 @@ class SessionStats:
     expansion_builds: int
     system_builds: int
     fixpoint_runs: int
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
+    store_write_failures: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -95,6 +99,10 @@ class SessionStats:
             "expansion_builds": self.expansion_builds,
             "system_builds": self.system_builds,
             "fixpoint_runs": self.fixpoint_runs,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "store_writes": self.store_writes,
+            "store_write_failures": self.store_write_failures,
         }
 
 

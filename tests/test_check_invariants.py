@@ -156,6 +156,53 @@ class TestUndeadlinedWaits:
         assert rules("value = future.result()\n", path="repro/cli.py") == []
 
 
+STORE_PATH = "repro/store/store.py"
+
+
+class TestNonatomicWriteBan:
+    def test_write_mode_open_flagged(self):
+        source = 'handle = open(path, "w")\n'
+        assert rules(source, path=STORE_PATH) == ["R6"]
+
+    def test_binary_append_and_exclusive_modes_flagged(self):
+        assert rules('open(path, "wb")\n', path=STORE_PATH) == ["R6"]
+        assert rules('open(path, "a")\n', path=STORE_PATH) == ["R6"]
+        assert rules('open(path, "x")\n', path=STORE_PATH) == ["R6"]
+        assert rules('open(path, "r+")\n', path=STORE_PATH) == ["R6"]
+
+    def test_mode_keyword_checked(self):
+        source = 'open(path, mode="w")\n'
+        assert rules(source, path=STORE_PATH) == ["R6"]
+
+    def test_computed_mode_flagged(self):
+        # A mode the AST cannot prove read-only counts as a write.
+        source = "open(path, mode)\n"
+        assert rules(source, path=STORE_PATH) == ["R6"]
+
+    def test_path_write_helpers_flagged(self):
+        assert rules('path.write_text("x")\n', path=STORE_PATH) == ["R6"]
+        assert rules('path.write_bytes(b"x")\n', path=STORE_PATH) == ["R6"]
+
+    def test_reads_are_fine(self):
+        source = """
+            blob = path.read_bytes()
+            with open(path) as handle:
+                handle.read()
+            with open(path, "rb") as handle:
+                handle.read()
+            """
+        assert rules(source, path=STORE_PATH) == []
+
+    def test_the_atomic_helper_is_exempt(self):
+        source = 'open(path, "wb")\n'
+        assert rules(source, path="repro/store/atomic.py") == []
+
+    def test_rule_scoped_to_the_store_package(self):
+        source = 'open(path, "w")\n'
+        assert rules(source, path="repro/cli.py") == []
+        assert rules(source, path="repro/store/locks.py") == ["R6"]
+
+
 class TestDiagnostics:
     def test_violations_render_file_line_rule(self):
         (violation,) = violations("x = 0.5\n")

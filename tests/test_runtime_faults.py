@@ -9,8 +9,11 @@ from repro.errors import BudgetExceededError, SolverError
 from repro.paper import figure1_schema, meeting_schema, refined_meeting_schema
 from repro.runtime.fallback import FallbackPolicy
 from repro.runtime.faults import (
+    DISK_WRITE_POINTS,
     FaultPlan,
     InjectedSolverFault,
+    SimulatedCrash,
+    inject_faults,
     inject_solver_faults,
 )
 from repro.solver import fourier_motzkin, simplex
@@ -136,6 +139,59 @@ class TestFallbackChain:
             with pytest.raises(BudgetExceededError):
                 is_class_satisfiable(meeting_schema(), "Speaker")
         assert plan.calls["fourier-motzkin"] == 0
+
+
+class TestUnifiedRegistry:
+    """Solver and disk faults script onto ONE plan with ONE history."""
+
+    def test_solver_and_disk_faults_compose_in_one_plan(self, tmp_path):
+        from repro.session import ReasoningSession, SessionCache
+        from repro.store import ArtifactStore
+
+        # Figure 1: small enough that the faulted LP retries cleanly on
+        # Fourier–Motzkin (the chain's cap would fire on the larger
+        # schemas — the boundary the parity tests below document).
+        schema = figure1_schema()
+        store = ArtifactStore(tmp_path, stale_lock_after=0.0)
+        with inject_faults(
+            simplex_failures={1},
+            disk_failures={"store:write:pre-rename": {1}},
+        ) as plan:
+            session = ReasoningSession(
+                schema, cache=SessionCache(store=store)
+            )
+            # The solver fault degrades to the FM retry inside the
+            # fixpoint; the disk fault then kills the write-through.
+            with pytest.raises(SimulatedCrash):
+                session.satisfiable_classes()
+        assert plan.injected[0] == ("simplex", 1)
+        assert plan.injected[-1] == ("store:write:pre-rename", 1)
+        assert plan.calls["fourier-motzkin"] >= 1
+        # The crash left no entry behind — absent, not torn.
+        assert ArtifactStore(tmp_path, stale_lock_after=0.0).get(
+            session.fingerprint
+        ) is None
+
+    def test_disk_counters_are_per_point_and_one_based(self, tmp_path):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path)
+        with inject_faults(
+            disk_failures={"store:write:pre-fsync": {2}}
+        ) as plan:
+            assert store.put("a" * 64, {"v": 1})  # call #1 untouched
+            with pytest.raises(SimulatedCrash):
+                store.put("b" * 64, {"v": 2})  # call #2 crashes
+        assert plan.injected == [("store:write:pre-fsync", 2)]
+        for point in DISK_WRITE_POINTS:
+            assert plan.calls[point] >= 1
+
+    def test_disk_points_are_silent_without_a_plan(self, tmp_path):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path)
+        assert store.put("a" * 64, {"v": 1})
+        assert store.get("a" * 64) == {"v": 1}
 
 
 class TestChainParityOnPaperSchemas:

@@ -29,6 +29,14 @@ R5  deadlined waits in ``repro/parallel/``: every pool wait —
     ``as_completed()``, ``pool.map()`` — must pass ``timeout=`` so a
     stuck worker degrades to a budget check instead of hanging the
     parent forever.
+R6  atomic writes only in ``repro/store/``: the store's crash-safety
+    contract ("absent or valid" after a kill at any instant) holds only
+    if every byte reaches disk through the temp+fsync+rename helper in
+    ``repro/store/atomic.py``.  Writable ``open(...)`` modes and
+    ``Path.write_text`` / ``Path.write_bytes`` are banned everywhere
+    else under ``repro/store/`` — a bare ``open(path, "w")`` truncates
+    in place and a crash mid-write leaves a torn entry that *reads* as
+    present.
 
 Failures print ``file:line: RULE message`` diagnostics and exit 1.
 Run from the repository root: ``python tools/check_invariants.py``.
@@ -55,6 +63,18 @@ KERNEL_MODULES = ("repro/solver/", "repro/linalg/")
 
 PARALLEL_MODULES = ("repro/parallel/",)
 """Scope of R4 (spawn-only start method) and R5 (deadlined waits)."""
+
+STORE_MODULES = ("repro/store/",)
+"""Scope of R6 (atomic writes only)."""
+
+STORE_WRITE_HELPER = "repro/store/atomic.py"
+"""The one module allowed to open files for writing inside the store."""
+
+_WRITE_MODE_CHARS = frozenset("wax+")
+"""``open()`` mode characters that make a handle writable."""
+
+_WRITE_METHODS = ("write_text", "write_bytes")
+"""``Path`` convenience writers R6 bans alongside ``open``."""
 
 _START_METHOD_CALLS = ("get_context", "set_start_method")
 
@@ -245,6 +265,55 @@ def _check_undeadlined_waits(tree: ast.AST, path: str) -> list[Violation]:
     return violations
 
 
+def _open_mode(node: ast.Call) -> ast.expr | None:
+    if len(node.args) >= 2:
+        return node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    return None
+
+
+def _check_nonatomic_writes(tree: ast.AST, path: str) -> list[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _open_mode(node)
+            if mode is None:
+                continue  # bare open(path) reads; reads are lock-free
+            if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+                if not _WRITE_MODE_CHARS & set(mode.value):
+                    continue
+                detail = f"open(..., {mode.value!r})"
+            else:
+                detail = "open() with a computed mode"
+            violations.append(
+                Violation(
+                    path,
+                    node.lineno,
+                    "R6",
+                    f"{detail} in the store; all writes must go through "
+                    "the atomic temp+fsync+rename helper "
+                    "(repro.store.atomic.atomic_write_bytes)",
+                )
+            )
+        elif isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+            violations.append(
+                Violation(
+                    path,
+                    node.lineno,
+                    "R6",
+                    f".{func.attr}() in the store; all writes must go "
+                    "through the atomic temp+fsync+rename helper "
+                    "(repro.store.atomic.atomic_write_bytes)",
+                )
+            )
+    return violations
+
+
 def check_source(source: str, relative_path: str) -> list[Violation]:
     """Lint one module's source against every rule whose scope covers
     ``relative_path`` (a path relative to ``src/``, e.g.
@@ -259,6 +328,11 @@ def check_source(source: str, relative_path: str) -> list[Violation]:
     if _in_scope(relative_path, PARALLEL_MODULES):
         violations.extend(_check_start_method(tree, relative_path))
         violations.extend(_check_undeadlined_waits(tree, relative_path))
+    if (
+        _in_scope(relative_path, STORE_MODULES)
+        and relative_path.replace("\\", "/") != STORE_WRITE_HELPER
+    ):
+        violations.extend(_check_nonatomic_writes(tree, relative_path))
     return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
 
 
@@ -270,7 +344,9 @@ def check_file(path: Path, src_root: Path = SRC) -> list[Violation]:
 def iter_checked_files(src_root: Path = SRC) -> list[Path]:
     """Every file any rule applies to, sorted for stable output."""
     scoped: set[Path] = set()
-    for entry in EXACT_KERNEL + KERNEL_MODULES + PARALLEL_MODULES:
+    for entry in (
+        EXACT_KERNEL + KERNEL_MODULES + PARALLEL_MODULES + STORE_MODULES
+    ):
         target = src_root / entry
         if target.is_file():
             scoped.add(target)
