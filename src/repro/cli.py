@@ -210,8 +210,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
-def _parse_batch_query(text: str):
-    """One batch line: ``sat <Class>`` or a Figure-7 statement."""
+def parse_batch_query(text: str):
+    """One batch line: ``sat <Class>`` or a Figure-7 statement.
+
+    Public because the serve daemon parses its request queries through
+    this exact function — the surface syntax accepted over HTTP is the
+    batch file syntax, by construction.
+    """
     stripped = text.strip()
     sat_match = re.match(r"sat\s+(\w+)\s*$", stripped)
     if sat_match:
@@ -234,7 +239,7 @@ def _read_batch_queries(args: argparse.Namespace) -> list:
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
-        queries.append(_parse_batch_query(stripped))
+        queries.append(parse_batch_query(stripped))
     if not queries:
         raise ReproError(
             "batch needs at least one query (lines of 'sat <Class>', "
@@ -353,6 +358,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if any_unknown:
         return 3
     return 0 if all_positive else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio reasoning daemon until SIGTERM/SIGINT drains it.
+
+    The import is lazy in both directions: this module never imports
+    :mod:`repro.serve` at the top level, and the serve package imports
+    this module's parsers — so the daemon speaks exactly the CLI's
+    surface syntax without an import cycle.
+    """
+    from repro.serve import ReasoningServer, ServeConfig
+    from repro.store import resolve_cache_dir
+
+    cache_dir = resolve_cache_dir(
+        getattr(args, "cache_dir", None), getattr(args, "no_cache", False)
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=cache_dir,
+        memory_entries=args.memory_entries,
+        max_inflight=args.max_inflight,
+        workers=args.workers,
+        request_timeout=args.request_timeout,
+        backend=getattr(args, "backend", None),
+        log_json=args.log_json,
+        ready_file=args.ready_file,
+    )
+    return ReasoningServer(config).run()
 
 
 def _require_store(args: argparse.Namespace):
@@ -658,6 +692,81 @@ def build_parser() -> argparse.ArgumentParser:
     add_budget(batch)
     add_jobs(batch)
     batch.set_defaults(run=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="HTTP reasoning daemon over the shared session cache",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default: 0 = kernel-assigned; the daemon "
+        "announces the bound port on stderr and in --ready-file)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent artifact store backing the memory tier "
+        "(default: the REPRO_CACHE_DIR env var, else memory-only)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and REPRO_CACHE_DIR; memory tier only",
+    )
+    serve.add_argument(
+        "--memory-entries",
+        type=int,
+        default=64,
+        metavar="N",
+        help="memory-tier LRU capacity in schema entries (default: 64); "
+        "evicted entries re-warm from the store on next touch",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent reasoning requests before answering 503 + "
+        "Retry-After (default: 8)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reasoning worker threads (default: --max-inflight)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request wall-clock budget; requests degrade "
+        "to UNKNOWN records at the deadline (requests may override "
+        "via their own budget caps)",
+    )
+    add_backend(serve)
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON access-log line per request on stderr",
+    )
+    serve.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help="write a JSON readiness file (base_url, port, pid) once "
+        "the socket is bound",
+    )
+    serve.set_defaults(run=_cmd_serve)
 
     cache = subparsers.add_parser(
         "cache",

@@ -57,29 +57,18 @@ from repro.parallel.worker import (
 )
 from repro.runtime.budget import Budget, activate, current_budget
 from repro.session.fingerprint import schema_fingerprint
+from repro.session.session import SESSION_STATS_KEYS
 from repro.solver.registry import AcceptabilityProblem, SolverBackend
 
 ZERO_CHUNK_FACTOR = 4
 """Zero-set chunks per worker: small enough that a first hit cancels
 most of the remaining lattice, large enough to amortise dispatch."""
 
-_STATS_KEYS = (
-    "queries",
-    "hits",
-    "misses",
-    "evictions",
-    "analysis_runs",
-    "analysis_short_circuits",
-    "expansion_builds",
-    "system_builds",
-    "fixpoint_runs",
-    "store_hits",
-    "store_misses",
-    "store_writes",
-    "store_write_failures",
-)
+_STATS_KEYS = SESSION_STATS_KEYS
 """The :class:`~repro.session.SessionStats` fields, summed per worker
-so the parallel batch report keeps the serial report's shape."""
+so the parallel batch report keeps the serial report's shape.  The
+canonical key list lives beside :class:`SessionStats` itself and is
+shared with the serve daemon's per-request stats aggregation."""
 
 
 # ---------------------------------------------------------------------------

@@ -40,11 +40,11 @@ cancellation flag is a bool read, and the clock is consulted only every
 from __future__ import annotations
 
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Iterator, TypeVar
+from typing import Any, Iterator, TypeVar
 
 from repro.errors import BudgetExceededError, CancelledError, ReproError
 
@@ -302,6 +302,62 @@ class Budget:
         return f"Budget({caps or 'unlimited'}; {self.snapshot().pretty()})"
 
 
+BUDGET_CAP_KEYS: dict[str, str] = {
+    "timeout": "timeout",
+    "max_expansion": "max_expansion_nodes",
+    "max_lp": "max_solver_calls",
+    "max_pivots": "max_pivots",
+}
+"""The externally-visible cap names (matching the CLI's ``--timeout`` /
+``--max-expansion`` / ``--max-lp`` flags) mapped to :class:`Budget`
+constructor keywords.  :func:`budget_from_caps` validates against this
+table; the serve daemon uses it to turn a request's ``budget`` object
+into the same governance the CLI flags produce."""
+
+
+def budget_from_caps(caps: Mapping[str, Any] | None) -> Budget | None:
+    """A :class:`Budget` from a mapping of CLI-named caps, or ``None``.
+
+    ``caps`` uses the surface names of :data:`BUDGET_CAP_KEYS` — exactly
+    the vocabulary of the CLI resource flags — so a JSON request body
+    like ``{"timeout": 5, "max_lp": 100}`` maps onto the same
+    degrade-to-UNKNOWN governance ``repro batch --timeout 5 --max-lp
+    100`` gets.  ``None``-valued and absent caps are unlimited; an
+    empty or ``None`` mapping yields no budget at all.  Unknown keys and
+    non-numeric values raise :class:`~repro.errors.ReproError` (the
+    usage-error class, exit code 2 / HTTP 400), as does a negative cap
+    via the :class:`Budget` constructor.
+    """
+    if caps is None:
+        return None
+    if not isinstance(caps, Mapping):
+        raise ReproError(
+            f"budget must be an object of caps, got {caps!r}"
+        )
+    kwargs: dict[str, float | int] = {}
+    for key, value in caps.items():
+        target = BUDGET_CAP_KEYS.get(key)
+        if target is None:
+            raise ReproError(
+                f"unknown budget cap {key!r}; expected one of "
+                f"{sorted(BUDGET_CAP_KEYS)}"
+            )
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ReproError(
+                f"budget cap {key!r} must be a number, got {value!r}"
+            )
+        if target != "timeout" and not isinstance(value, int):
+            raise ReproError(
+                f"budget cap {key!r} must be an integer, got {value!r}"
+            )
+        kwargs[target] = value
+    if not kwargs:
+        return None
+    return Budget(**kwargs)  # type: ignore[arg-type]
+
+
 # ---------------------------------------------------------------------------
 # Ambient installation
 # ---------------------------------------------------------------------------
@@ -385,9 +441,11 @@ def run_governed(
 
 
 __all__ = [
+    "BUDGET_CAP_KEYS",
     "Budget",
     "ProgressSnapshot",
     "activate",
+    "budget_from_caps",
     "current_budget",
     "run_governed",
     "scoped_phase",

@@ -1,0 +1,209 @@
+"""Request routing and response production for the daemon.
+
+The :class:`ServeApp` sits between the HTTP layer and the engine: it
+routes paths, gates POSTs on the in-flight limit (503 + ``Retry-After``
+when saturated), hops reasoning work onto the bounded executor so the
+event loop never blocks, and maps the library's exception hierarchy
+onto HTTP statuses the way :func:`repro.cli.main` maps it onto exit
+codes:
+
+* degraded answers (budget exhaustion) are **successful** responses —
+  200 with UNKNOWN records and ``exit_code`` 3, exactly like ``batch
+  --json`` printing its report and exiting 3;
+* :class:`~repro.errors.ReproError` (unparsable schema, malformed
+  query, bad budget caps) is the client's fault — 400, the CLI's
+  exit 2;
+* anything else is ours — 500, with the traceback on stderr and an
+  opaque body (never the partial result that caused it).
+
+Request deadlines are *cooperative*: the server's ``--request-timeout``
+becomes a default ``timeout`` budget cap merged under each request's
+own caps, so a long request degrades to UNKNOWN records through the
+normal governed path instead of being killed mid-pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import sys
+import time
+import traceback
+from concurrent.futures import Executor
+from typing import Any
+
+from repro.errors import LimitExceededError, ReproError
+from repro.serve.engine import ServeEngine
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    read_request,
+    render_response,
+)
+from repro.serve.metrics import ServeMetrics
+
+GET_ENDPOINTS = ("/healthz", "/metrics")
+POST_ENDPOINTS = ("/check", "/implies", "/batch")
+
+
+def _body(payload: Any) -> bytes:
+    return json.dumps(payload, indent=2).encode("utf-8")
+
+
+class ServeApp:
+    """One app per server: routes requests, owns the access log."""
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        metrics: ServeMetrics,
+        executor: Executor,
+        max_inflight: int = 8,
+        log_json: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.metrics = metrics
+        self.executor = executor
+        self.max_inflight = max_inflight
+        self.log_json = log_json
+        self._request_ids = itertools.count(1)
+
+    # -- connection handling -------------------------------------------------
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one request on one connection, then close it."""
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpError as error:
+                self.metrics.count_rejection(error.status)
+                await self._send(
+                    writer, error.status, _body({"error": error.message})
+                )
+                return
+            except (asyncio.IncompleteReadError, ValueError):
+                return  # client hung up mid-request or sent garbage
+            if request is None:
+                return  # connected and left without sending anything
+            status, body, extra_headers = await self.dispatch(request)
+            await self._send(writer, status, body, extra_headers)
+        except (ConnectionError, BrokenPipeError):
+            pass  # the client is gone; nothing left to tell them
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        extra_headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        writer.write(render_response(status, body, extra_headers=extra_headers))
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+
+    async def dispatch(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, tuple[tuple[str, str], ...]]:
+        """Answer one parsed request; always returns a response triple."""
+        started = time.monotonic()
+        request_id = f"req-{next(self._request_ids):06d}"
+        status, body, extra_headers = await self._route(request)
+        if self.log_json:
+            line = {
+                "event": "request",
+                "id": request_id,
+                "method": request.method,
+                "path": request.path,
+                "status": status,
+                "duration_ms": (time.monotonic() - started) * 1000.0,
+            }
+            print(json.dumps(line), file=sys.stderr, flush=True)
+        return status, body, extra_headers
+
+    async def _route(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, tuple[tuple[str, str], ...]]:
+        path = request.path
+        if path in GET_ENDPOINTS:
+            if request.method != "GET":
+                self.metrics.count_rejection(405)
+                return 405, _body({"error": f"{path} only answers GET"}), ()
+            self.metrics.count_get(path)
+            payload = (
+                self._healthz() if path == "/healthz" else self._metrics()
+            )
+            self.metrics.count_response(200)
+            return 200, _body(payload), ()
+        if path not in POST_ENDPOINTS:
+            self.metrics.count_rejection(404)
+            return 404, _body({"error": f"no such endpoint {path}"}), ()
+        if request.method != "POST":
+            self.metrics.count_rejection(405)
+            return 405, _body({"error": f"{path} only answers POST"}), ()
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self.metrics.count_rejection(400)
+            return 400, _body({"error": f"request body is not JSON: {error}"}), ()
+        if not self.metrics.try_start(path, self.max_inflight):
+            # ``try_start`` already counted ``rejected_busy``; the
+            # rejection never held an in-flight slot.
+            self.metrics.count_rejection(503)
+            return (
+                503,
+                _body({"error": "server is saturated; retry shortly"}),
+                (("Retry-After", "1"),),
+            )
+        endpoint = path.lstrip("/")
+        status = 500
+        stages: dict[str, Any] | None = None
+        try:
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                self.executor, self.engine.handle, endpoint, payload
+            )
+            stages = result["stages"]
+            status = 200
+            return 200, _body(result["payload"]), ()
+        except LimitExceededError as error:
+            # A budget that ran out *outside* the governed per-query
+            # path (normally exhaustion degrades to UNKNOWN records
+            # inside a 200).  Still the CLI's exit-3 shape.
+            status = 200
+            return 200, _body({"error": str(error), "exit_code": 3}), ()
+        except ReproError as error:
+            status = 400
+            return 400, _body({"error": str(error)}), ()
+        except Exception:
+            traceback.print_exc(file=sys.stderr)
+            status = 500
+            return 500, _body({"error": "internal server error"}), ()
+        finally:
+            self.metrics.request_finished(status, stages)
+
+    # -- GET endpoints -------------------------------------------------------
+
+    def _healthz(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_seconds": self.metrics.uptime_seconds(),
+        }
+
+    def _metrics(self) -> dict[str, Any]:
+        payload = self.metrics.snapshot()
+        payload["cache"] = self.engine.cache_metrics()
+        payload["store"] = self.engine.store_metrics()
+        return payload
+
+
+__all__ = ["GET_ENDPOINTS", "POST_ENDPOINTS", "ServeApp"]

@@ -1,0 +1,104 @@
+"""A tiny stdlib client for the daemon.
+
+One fresh :mod:`http.client` connection per request — matching the
+server's one-request-per-connection, ``Connection: close`` protocol —
+so the tests, the benchmark, and the CI smoke all speak to the daemon
+through the same few lines instead of three hand-rolled copies.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from typing import Any, Mapping
+
+
+class ServeClient:
+    """Synchronous JSON-over-HTTP client for one daemon."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.hostname is None or parsed.port is None:
+            raise ValueError(f"base_url needs host and port, got {base_url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, Any, dict[str, str]]:
+        """One request; returns ``(status, parsed_body, headers)``.
+
+        The body parses as JSON when possible and comes back raw
+        (decoded text) otherwise, so protocol tests can assert on
+        non-JSON responses too.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers: dict[str, str] = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                parsed = json.loads(raw) if raw else None
+            except json.JSONDecodeError:
+                parsed = raw.decode("utf-8", "replace")
+            return response.status, parsed, dict(response.getheaders())
+        finally:
+            connection.close()
+
+    # -- endpoint conveniences (status, parsed body) --------------------------
+
+    def healthz(self) -> tuple[int, Any]:
+        status, payload, _headers = self.request("GET", "/healthz")
+        return status, payload
+
+    def metrics(self) -> tuple[int, Any]:
+        status, payload, _headers = self.request("GET", "/metrics")
+        return status, payload
+
+    def check(
+        self,
+        schema: str,
+        cls: str,
+        budget: Mapping[str, float | int] | None = None,
+    ) -> tuple[int, Any]:
+        body: dict[str, Any] = {"schema": schema, "class": cls}
+        if budget is not None:
+            body["budget"] = dict(budget)
+        status, payload, _headers = self.request("POST", "/check", body)
+        return status, payload
+
+    def implies(
+        self,
+        schema: str,
+        statement: str,
+        budget: Mapping[str, float | int] | None = None,
+    ) -> tuple[int, Any]:
+        body: dict[str, Any] = {"schema": schema, "statement": statement}
+        if budget is not None:
+            body["budget"] = dict(budget)
+        status, payload, _headers = self.request("POST", "/implies", body)
+        return status, payload
+
+    def batch(
+        self,
+        schema: str,
+        queries: list[str],
+        budget: Mapping[str, float | int] | None = None,
+    ) -> tuple[int, Any]:
+        body: dict[str, Any] = {"schema": schema, "queries": list(queries)}
+        if budget is not None:
+            body["budget"] = dict(budget)
+        status, payload, _headers = self.request("POST", "/batch", body)
+        return status, payload
+
+
+__all__ = ["ServeClient"]

@@ -1,0 +1,293 @@
+"""The reasoning engine behind the daemon's POST endpoints.
+
+One :class:`ServeEngine` owns the process's shared two-tier cache — a
+thread-safe :class:`~repro.session.SessionCache` front (memory LRU)
+over an optional :class:`~repro.store.ArtifactStore` (the crash-safe
+persistent tier) — and answers ``check`` / ``implies`` / ``batch``
+requests on executor threads, off the event loop.
+
+**Parity is the design center**: a request is parsed with the same
+surface-syntax parsers the CLI uses (:func:`repro.cli.parse_batch_query`),
+governed by the same :class:`~repro.runtime.Budget` the CLI flags build
+(:func:`~repro.runtime.budget.budget_from_caps`), and answered through
+the same :func:`~repro.parallel.worker.answer_query` formatter that
+makes ``--jobs N`` byte-identical to serial — so a served record is
+byte-identical to the ``repro batch --json`` record for the same
+schema and query, which the differential suite asserts wholesale.
+
+**Concurrency model**: requests for the same schema fingerprint are
+serialized on a per-fingerprint lock (so a cold entry is built exactly
+once and never observed half-built — no torn adoption), requests for
+different schemas run concurrently, and the shared cache's entry map
+and counters are protected by :class:`ThreadSafeSessionCache` /
+:class:`LockedCacheStats` so every ``/metrics`` counter stays monotone.
+
+**Fault degradation**: the staged cache publishes the in-memory entry
+*before* persisting it, so a store crash mid-write (a
+:class:`~repro.runtime.faults.SimulatedCrash`, or any unexpected
+failure below the session) leaves warm, consistent state behind; the
+engine retries the request once against that state and answers
+normally — rebuild-and-answer, never a 500 carrying bad bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import ExitStack
+from typing import Any
+
+from repro.cli import parse_batch_query, parse_statement
+from repro.cr.schema import CRSchema
+from repro.dsl import parse_schema
+from repro.errors import ReproError
+from repro.parallel.worker import answer_query
+from repro.pipeline import PipelineRun, activate_run
+from repro.runtime.budget import Budget, budget_from_caps
+from repro.serve.metrics import ServeMetrics
+from repro.session import ReasoningSession, SessionCache
+from repro.session.cache import CacheStats
+from repro.session.fingerprint import schema_fingerprint
+from repro.solver.registry import pin_backend
+from repro.store import ArtifactStore
+from repro.store.store import StoreStats
+
+
+class LockedCacheStats(CacheStats):
+    """Cache counters whose increments are atomic under a lock, so the
+    ``/metrics`` endpoint exports monotone values even while requests
+    for *different* fingerprints build concurrently."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            super().bump(counter, amount)
+
+
+class LockedStoreStats(StoreStats):
+    """Store counters with the same atomic-increment treatment."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            super().bump(counter, amount)
+
+
+class ThreadSafeSessionCache(SessionCache):
+    """A :class:`SessionCache` whose entry-map operations are serialized.
+
+    The base class is documented thread-compatible, not thread-safe;
+    this subclass adds the external locking the daemon needs.  The map
+    lock covers lookup/adopt/insert/evict (so LRU bookkeeping and store
+    adoption are atomic); the *expensive* ``ensure_*`` stages run
+    outside it, serialized instead by the engine's per-fingerprint
+    locks — concurrent requests for different schemas still build in
+    parallel.
+    """
+
+    def __init__(
+        self, max_entries: int = 64, store: ArtifactStore | None = None
+    ) -> None:
+        super().__init__(max_entries, store=store, stats=LockedCacheStats())
+        self._map_lock = threading.RLock()
+
+    def artifacts(self, *args: Any, **kwargs: Any) -> Any:
+        with self._map_lock:
+            return super().artifacts(*args, **kwargs)
+
+    def invalidate(self, fingerprint: str) -> bool:
+        with self._map_lock:
+            return super().invalidate(fingerprint)
+
+    def __len__(self) -> int:
+        with self._map_lock:
+            return super().__len__()
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._map_lock:
+            return super().__contains__(fingerprint)
+
+
+class ServeEngine:
+    """Parse, govern, and answer one request at a time per fingerprint."""
+
+    ENDPOINTS = ("check", "implies", "batch")
+
+    def __init__(
+        self,
+        cache_dir: str | None = None,
+        memory_entries: int = 64,
+        backend: str | None = None,
+        default_caps: dict[str, float | int] | None = None,
+        metrics: ServeMetrics | None = None,
+    ) -> None:
+        self.store = (
+            ArtifactStore(cache_dir, stats=LockedStoreStats())
+            if cache_dir
+            else None
+        )
+        self.cache = ThreadSafeSessionCache(memory_entries, store=self.store)
+        self.backend = backend
+        self.default_caps = dict(default_caps or {})
+        self.metrics = metrics
+        self._fingerprint_locks: dict[str, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+
+    # -- request parsing -----------------------------------------------------
+
+    def _schema_from(self, payload: dict[str, Any]) -> CRSchema:
+        text = payload.get("schema")
+        if not isinstance(text, str):
+            raise ReproError(
+                'request needs a "schema" field holding the schema DSL text'
+            )
+        return parse_schema(text)
+
+    def _queries_from(
+        self, endpoint: str, payload: dict[str, Any]
+    ) -> list[tuple[str, Any]]:
+        if endpoint == "check":
+            cls = payload.get("class")
+            if not isinstance(cls, str):
+                raise ReproError(
+                    'check needs a "class" field naming the class to test'
+                )
+            return [("sat", cls)]
+        if endpoint == "implies":
+            statement = payload.get("statement")
+            if not isinstance(statement, str):
+                raise ReproError(
+                    'implies needs a "statement" field, e.g. "A isa B"'
+                )
+            return [("implies", parse_statement(statement))]
+        lines = payload.get("queries")
+        if (
+            not isinstance(lines, list)
+            or not lines
+            or not all(isinstance(line, str) for line in lines)
+        ):
+            raise ReproError(
+                'batch needs a non-empty "queries" list of strings '
+                "('sat <Class>' or implication statements)"
+            )
+        return [parse_batch_query(line) for line in lines]
+
+    def _budget_from(self, payload: dict[str, Any]) -> Budget | None:
+        caps = payload.get("budget")
+        if caps is not None and not isinstance(caps, dict):
+            raise ReproError(
+                f'"budget" must be an object of caps, got {caps!r}'
+            )
+        merged = dict(self.default_caps)
+        merged.update(caps or {})
+        return budget_from_caps(merged)
+
+    # -- concurrency ---------------------------------------------------------
+
+    def fingerprint_lock(self, fingerprint: str) -> threading.Lock:
+        """The lock serializing requests against one schema fingerprint."""
+        with self._locks_guard:
+            lock = self._fingerprint_locks.get(fingerprint)
+            if lock is None:
+                lock = self._fingerprint_locks[fingerprint] = threading.Lock()
+            return lock
+
+    # -- answering -----------------------------------------------------------
+
+    def handle(self, endpoint: str, payload: Any) -> dict[str, Any]:
+        """Answer one request; runs on an executor thread.
+
+        Returns ``{"payload": <response body>, "stages": <PipelineRun
+        dict>}``.  :class:`~repro.errors.ReproError` subclasses
+        propagate for the app to map onto HTTP statuses (bad input →
+        400, like CLI exit 2).
+        """
+        if not isinstance(payload, dict):
+            raise ReproError("request body must be a JSON object")
+        schema = self._schema_from(payload)
+        queries = self._queries_from(endpoint, payload)
+        budget = self._budget_from(payload)
+        fingerprint = schema_fingerprint(schema)
+        run = PipelineRun()
+        with self.fingerprint_lock(fingerprint):
+            try:
+                records, any_unknown, all_positive = self._answer(
+                    schema, queries, budget, run
+                )
+            except ReproError:
+                raise
+            except Exception:
+                # An unexpected failure below the session — e.g. a store
+                # write crashing mid-request.  The staged cache sets the
+                # entry's fields before persisting, so the in-memory
+                # state is warm and consistent; rebuild-and-answer.
+                if self.metrics is not None:
+                    self.metrics.count_retry()
+                records, any_unknown, all_positive = self._answer(
+                    schema, queries, budget, run
+                )
+        exit_code = 3 if any_unknown else (0 if all_positive else 1)
+        return {
+            "payload": {
+                "schema": schema.name,
+                "fingerprint": fingerprint,
+                "results": records,
+                "exit_code": exit_code,
+            },
+            "stages": run.as_dict(),
+        }
+
+    def _answer(
+        self,
+        schema: CRSchema,
+        queries: list[tuple[str, Any]],
+        budget: Budget | None,
+        run: PipelineRun,
+    ) -> tuple[list[dict[str, Any]], bool, bool]:
+        """The CLI's serial batch loop, verbatim: one session, the shared
+        :func:`answer_query` formatter, the same exit-code folding."""
+        session = ReasoningSession(schema, cache=self.cache, budget=budget)
+        records: list[dict[str, Any]] = []
+        any_unknown = False
+        all_positive = True
+        with ExitStack() as stack:
+            stack.enter_context(activate_run(run))
+            if self.backend:
+                # Executor threads do not inherit the main thread's
+                # contextvars, so the server-wide pin is re-applied per
+                # request rather than once at startup.
+                stack.enter_context(pin_backend(self.backend))
+            for kind, query in queries:
+                record, _text, positive, unknown = answer_query(
+                    session, kind, query
+                )
+                records.append(record)
+                any_unknown = any_unknown or unknown
+                all_positive = all_positive and positive
+        return records, any_unknown, all_positive
+
+    # -- observability -------------------------------------------------------
+
+    def cache_metrics(self) -> dict[str, Any]:
+        stats: dict[str, Any] = self.cache.stats.as_dict()
+        stats["memory_entries"] = len(self.cache)
+        stats["max_entries"] = self.cache.max_entries
+        return stats
+
+    def store_metrics(self) -> dict[str, int] | None:
+        if self.store is None:
+            return None
+        return self.store.stats.as_dict()
+
+
+__all__ = [
+    "LockedCacheStats",
+    "LockedStoreStats",
+    "ServeEngine",
+    "ThreadSafeSessionCache",
+]

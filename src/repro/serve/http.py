@@ -1,0 +1,124 @@
+"""A minimal HTTP/1.1 layer over :mod:`asyncio` streams.
+
+The daemon deliberately avoids web frameworks (no new hard deps — see
+ROADMAP): its protocol needs are tiny.  This module parses one request
+per connection (request line, headers, ``Content-Length`` body) and
+renders one response with ``Connection: close``, which is exactly the
+shape :mod:`http.client` — the stdlib client the tests, benchmarks, and
+CI smoke use — speaks when it opens a fresh connection per request.
+
+Size limits are enforced while reading (header count, body bytes); a
+violation raises :class:`HttpError` carrying the status code the
+connection handler should answer with before closing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+MAX_HEADER_LINES = 64
+"""Header-count bound; more than this is a malformed or hostile client."""
+
+MAX_BODY_BYTES = 8 << 20
+"""Request-body bound (8 MiB) — far above any plausible schema+queries."""
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure with the status code to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request.  ``path`` excludes any query string; header
+    names are lower-cased (HTTP headers are case-insensitive)."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request from ``reader``; ``None`` on a closed/empty
+    connection (a client that connected and hung up without sending).
+
+    Raises :class:`HttpError` on malformed input and lets the stream's
+    own exceptions (``IncompleteReadError`` on a mid-body disconnect,
+    ``LimitOverrunError``/``ValueError`` on an oversized line) propagate
+    for the connection handler to treat as a dropped client.
+    """
+    line = await reader.readline()
+    if not line.strip():
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES + 1):
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too many header lines")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {length_text!r}") from None
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length {length_text!r}")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"request body of {length} bytes is too large")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """Serialise one ``Connection: close`` response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_LINES",
+    "REASONS",
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "render_response",
+]

@@ -1,0 +1,220 @@
+"""The daemon's lifecycle: bind, announce readiness, serve, drain.
+
+:class:`ReasoningServer` runs one asyncio event loop around one
+:class:`~repro.serve.app.ServeApp`.  Reasoning never runs on the loop —
+each POST hops to a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+sized by ``--workers`` (default: the in-flight limit), so slow pipelines
+stall neither ``/healthz`` nor each other beyond the executor's width.
+
+**Graceful drain**: SIGTERM (or SIGINT, or an in-process
+:meth:`ReasoningServer.request_stop`) closes the listening socket,
+then awaits every connection task already accepted — in-flight requests
+finish and flush their responses — then shuts the executor down and
+exits 0.  The CI smoke holds the daemon to exactly this: SIGTERM after
+a burst must still yield a clean exit status.
+
+**Readiness**: with ``--port 0`` the kernel picks the port, so the
+daemon announces where it landed — a ``listening on <url>`` line on
+stderr and, with ``--ready-file``, a JSON file written *atomically*
+(tmp + rename) only after the socket is bound.  Supervisors and the
+test harness poll the file instead of racing the bind.
+
+:func:`running_server` packages the in-process variant the tests use:
+the server loop runs on a daemon thread, the caller gets the live
+:class:`ReasoningServer` (with ``base_url`` resolved), and shutdown
+drains through the same path as SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.serve.app import ServeApp
+from repro.serve.engine import ServeEngine
+from repro.serve.metrics import ServeMetrics
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``repro serve`` configures, as one value."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    cache_dir: str | None = None
+    memory_entries: int = 64
+    max_inflight: int = 8
+    workers: int | None = None
+    request_timeout: float | None = None
+    backend: str | None = None
+    log_json: bool = False
+    ready_file: str | None = None
+
+
+class ReasoningServer:
+    """One daemon instance; :meth:`run` blocks until drained."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.metrics = ServeMetrics()
+        default_caps = (
+            {"timeout": config.request_timeout}
+            if config.request_timeout is not None
+            else None
+        )
+        self.engine = ServeEngine(
+            cache_dir=config.cache_dir,
+            memory_entries=config.memory_entries,
+            backend=config.backend,
+            default_caps=default_caps,
+            metrics=self.metrics,
+        )
+        self.base_url: str | None = None
+        self.bound_port: int | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve until stopped; returns the process exit code (0)."""
+        try:
+            asyncio.run(self._main())
+        except KeyboardInterrupt:
+            pass  # SIGINT without a loop signal handler: still clean
+        return 0
+
+    async def _main(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stop = asyncio.Event()
+        workers = self.config.workers or self.config.max_inflight
+        executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        app = ServeApp(
+            self.engine,
+            self.metrics,
+            executor,
+            max_inflight=self.config.max_inflight,
+            log_json=self.config.log_json,
+        )
+        server = await asyncio.start_server(
+            lambda reader, writer: self._track(app, reader, writer),
+            self.config.host,
+            self.config.port,
+        )
+        try:
+            self.bound_port = server.sockets[0].getsockname()[1]
+            self.base_url = f"http://{self.config.host}:{self.bound_port}"
+            self._install_signal_handlers(loop)
+            self._announce()
+            self._ready.set()
+            await self._stop.wait()
+            # Drain: stop accepting, let accepted connections finish.
+            server.close()
+            await server.wait_closed()
+            while self._tasks:
+                await asyncio.gather(
+                    *list(self._tasks), return_exceptions=True
+                )
+        finally:
+            executor.shutdown(wait=True)
+
+    async def _track(
+        self,
+        app: ServeApp,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Run one connection under drain tracking."""
+        task = asyncio.current_task()
+        assert task is not None
+        self._tasks.add(task)
+        try:
+            await app.handle_connection(reader, writer)
+        finally:
+            self._tasks.discard(task)
+
+    def _install_signal_handlers(
+        self, loop: asyncio.AbstractEventLoop
+    ) -> None:
+        """SIGTERM/SIGINT → drain.  Only possible on the main thread of
+        the main interpreter; the in-process test server (a daemon
+        thread) stops via :meth:`request_stop` instead."""
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._stop_from_loop)
+            except (NotImplementedError, RuntimeError, ValueError):
+                return
+
+    def _stop_from_loop(self) -> None:
+        assert self._stop is not None
+        self._stop.set()
+
+    def _announce(self) -> None:
+        print(f"repro serve: listening on {self.base_url}", file=sys.stderr)
+        sys.stderr.flush()
+        if self.config.ready_file:
+            payload = json.dumps(
+                {
+                    "base_url": self.base_url,
+                    "port": self.bound_port,
+                    "pid": os.getpid(),
+                }
+            )
+            tmp = f"{self.config.ready_file}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.config.ready_file)
+
+    # -- cross-thread control (the in-process test harness) -------------------
+
+    def wait_until_ready(self, timeout: float = 30.0) -> bool:
+        """Block until the socket is bound (or the wait times out)."""
+        return self._ready.wait(timeout)
+
+    def request_stop(self) -> None:
+        """Trigger the same drain path as SIGTERM, from any thread."""
+        loop = self._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(self._stop_from_loop)
+
+
+@contextmanager
+def running_server(config: ServeConfig) -> Iterator[ReasoningServer]:
+    """A live in-process server on a daemon thread.
+
+    Yields once the socket is bound (``base_url`` is resolved); on exit
+    requests a drain and joins the thread.  Sharing the process means
+    fault hooks installed by a test (:func:`repro.runtime.faults`)
+    reach the server's store — which is exactly what the concurrency
+    suite needs.
+    """
+    server = ReasoningServer(config)
+    thread = threading.Thread(
+        target=server.run, name="repro-serve-loop", daemon=True
+    )
+    thread.start()
+    if not server.wait_until_ready(30.0):
+        raise RuntimeError("serve daemon failed to become ready")
+    try:
+        yield server
+    finally:
+        server.request_stop()
+        thread.join(30.0)
+
+
+__all__ = ["ReasoningServer", "ServeConfig", "running_server"]

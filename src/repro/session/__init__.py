@@ -22,11 +22,17 @@ Quickstart::
 
 from repro.session.cache import CacheStats, SchemaArtifacts, SessionCache
 from repro.session.fingerprint import canonical_form, schema_fingerprint
-from repro.session.session import ENGINE, ReasoningSession, SessionStats
+from repro.session.session import (
+    ENGINE,
+    SESSION_STATS_KEYS,
+    ReasoningSession,
+    SessionStats,
+)
 
 __all__ = [
     "CacheStats",
     "ENGINE",
+    "SESSION_STATS_KEYS",
     "ReasoningSession",
     "SchemaArtifacts",
     "SessionCache",

@@ -93,6 +93,16 @@ class CacheStats:
     store_writes: int = 0
     store_write_failures: int = 0
 
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment one counter by name.
+
+        Every increment in the cache funnels through here so a subclass
+        can make the read-modify-write atomic — the serve daemon installs
+        a lock-guarded subclass to keep its ``/metrics`` counters
+        monotone under concurrent requests.
+        """
+        setattr(self, counter, getattr(self, counter) + amount)
+
     def as_dict(self) -> dict[str, int]:
         return {
             "hits": self.hits,
@@ -143,7 +153,7 @@ class SchemaArtifacts:
         """
         if self.analysis is None:
             self.analysis = analyze(self.schema)
-            self.stats.analysis_runs += 1
+            self.stats.bump("analysis_runs")
         return self.analysis
 
     def ensure_system(self) -> CRSystem:
@@ -152,10 +162,10 @@ class SchemaArtifacts:
             if self.expansion is None:
                 with stage(STAGE_EXPAND, phase="session:expansion"):
                     self.expansion = Expansion(self.schema, self.limits)
-                self.stats.expansion_builds += 1
+                self.stats.bump("expansion_builds")
             with stage(STAGE_BUILD_SYSTEM, phase="session:system"):
                 self.cr_system = build_system(self.expansion, mode="pruned")
-            self.stats.system_builds += 1
+            self.stats.bump("system_builds")
         return self.cr_system
 
     def ensure_support(self) -> frozenset[str]:
@@ -167,7 +177,7 @@ class SchemaArtifacts:
                 support, solution = acceptable_support(
                     cr_system, self.fallback
                 )
-            self.stats.fixpoint_runs += 1
+            self.stats.bump("fixpoint_runs")
             self.witness = integerize(solution)
             self.class_verdicts = support_verdicts(cr_system, support)
             self.support = support
@@ -188,9 +198,9 @@ class SchemaArtifacts:
             return
         bundle = {name: getattr(self, name) for name in _BUNDLE_FIELDS}
         if self.store.put(self.fingerprint, bundle):
-            self.stats.store_writes += 1
+            self.stats.bump("store_writes")
         else:
-            self.stats.store_write_failures += 1
+            self.stats.bump("store_write_failures")
 
     def adopt_bundle(self, bundle: Any) -> bool:
         """Restore a persisted bundle into this (cold) entry; ``False``
@@ -232,6 +242,7 @@ class SessionCache:
         self,
         max_entries: int = 64,
         store: ArtifactStore | None = None,
+        stats: CacheStats | None = None,
     ) -> None:
         if max_entries < 1:
             raise ReproError(
@@ -239,7 +250,7 @@ class SessionCache:
             )
         self.max_entries = max_entries
         self.store = store
-        self.stats = CacheStats()
+        self.stats = stats if stats is not None else CacheStats()
         self._entries: OrderedDict[str, SchemaArtifacts] = OrderedDict()
 
     def __len__(self) -> int:
@@ -261,10 +272,10 @@ class SessionCache:
         key = fingerprint or schema_fingerprint(schema)
         entry = self._entries.get(key)
         if entry is not None:
-            self.stats.hits += 1
+            self.stats.bump("hits")
             self._entries.move_to_end(key)
             return entry
-        self.stats.misses += 1
+        self.stats.bump("misses")
         entry = SchemaArtifacts(
             fingerprint=key,
             schema=schema,
@@ -276,13 +287,13 @@ class SessionCache:
         if self.store is not None:
             bundle = self.store.get(key)
             if bundle is not None and entry.adopt_bundle(bundle):
-                self.stats.store_hits += 1
+                self.stats.bump("store_hits")
             else:
-                self.stats.store_misses += 1
+                self.stats.bump("store_misses")
         self._entries[key] = entry
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.bump("evictions")
         return entry
 
     def invalidate(self, fingerprint: str) -> bool:

@@ -69,6 +69,25 @@ from repro.session.fingerprint import schema_fingerprint
 ENGINE = "session"
 """Engine tag carried by results answered from cached session state."""
 
+SESSION_STATS_KEYS: tuple[str, ...] = (
+    "queries",
+    "hits",
+    "misses",
+    "evictions",
+    "analysis_runs",
+    "analysis_short_circuits",
+    "expansion_builds",
+    "system_builds",
+    "fixpoint_runs",
+    "store_hits",
+    "store_misses",
+    "store_writes",
+    "store_write_failures",
+)
+"""The :class:`SessionStats` field names, in ``as_dict`` order.  The
+parallel fan-out and the serve daemon sum per-worker / per-request stats
+dicts over exactly these keys."""
+
 
 @dataclass(frozen=True)
 class SessionStats:
@@ -220,7 +239,7 @@ class ReasoningSession:
             if diagnostic is not None:
                 # The witness proves `cls` empty in every model, so the
                 # Theorem-3.3 verdict is settled without the expansion.
-                self.cache.stats.analysis_short_circuits += 1
+                self.cache.stats.bump("analysis_short_circuits")
                 with stage(STAGE_VERDICT, phase="session:lookup"):
                     return diagnostic_result(cls, diagnostic)
             support = artifacts.ensure_support()
@@ -255,7 +274,7 @@ class ReasoningSession:
             report = artifacts.ensure_analysis()
             if set(self.schema.classes) <= report.unsat_classes:
                 # Every class is statically settled; skip the expansion.
-                self.cache.stats.analysis_short_circuits += 1
+                self.cache.stats.bump("analysis_short_circuits")
                 with stage(STAGE_VERDICT, phase="session:lookup"):
                     return {cls: False for cls in self.schema.classes}
             artifacts.ensure_support()
@@ -447,4 +466,9 @@ class ReasoningSession:
         )
 
 
-__all__ = ["ENGINE", "ReasoningSession", "SessionStats"]
+__all__ = [
+    "ENGINE",
+    "SESSION_STATS_KEYS",
+    "ReasoningSession",
+    "SessionStats",
+]

@@ -105,6 +105,16 @@ class StoreStats:
     lock_timeouts: int = 0
     quarantined: int = 0
 
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment one counter by name.
+
+        All store internals funnel increments through here so a subclass
+        can make the read-modify-write atomic — the serve daemon installs
+        a lock-guarded subclass to keep its ``/metrics`` counters
+        monotone under concurrent requests.
+        """
+        setattr(self, counter, getattr(self, counter) + amount)
+
     def as_dict(self) -> dict[str, int]:
         return {
             "hits": self.hits,
@@ -159,12 +169,13 @@ class ArtifactStore:
         artifact_version: int = ARTIFACT_VERSION,
         lock_timeout: float = DEFAULT_TIMEOUT,
         stale_lock_after: float = DEFAULT_STALE_AFTER,
+        stats: StoreStats | None = None,
     ) -> None:
         self.root = Path(root)
         self.artifact_version = artifact_version
         self.lock_timeout = lock_timeout
         self.stale_lock_after = stale_lock_after
-        self.stats = StoreStats()
+        self.stats = stats if stats is not None else StoreStats()
         version_root = self.root / f"v{FORMAT_VERSION}"
         self.objects_dir = version_root / "objects"
         self.quarantine_dir = version_root / "quarantine"
@@ -247,19 +258,19 @@ class ArtifactStore:
         try:
             blob = path.read_bytes()
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         except OSError as error:
             logger.warning("store read of %s failed: %s", path.name, error)
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         try:
             artifact = self._validate(blob, fingerprint, kind)
         except StoreIntegrityError as error:
             self._quarantine(path, fingerprint, kind, error.reason)
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
-        self.stats.hits += 1
+        self.stats.bump("hits")
         return artifact
 
     # -- writes --------------------------------------------------------------
@@ -287,7 +298,7 @@ class ArtifactStore:
                 path.name,
                 error,
             )
-            self.stats.write_errors += 1
+            self.stats.bump("write_errors")
             return False
         data = bytearray(encode_entry(payload, self.artifact_version))
         faults.fire(faults.DISK_ENCODE_POINT, {"buffer": data})
@@ -295,7 +306,7 @@ class ArtifactStore:
         try:
             lock.acquire()
         except StoreLockTimeout:
-            self.stats.lock_timeouts += 1
+            self.stats.bump("lock_timeouts")
             logger.warning("store put of %s skipped: lock contended", path.name)
             return False
         crashed = False
@@ -306,12 +317,12 @@ class ArtifactStore:
             raise
         except OSError as error:
             logger.warning("store put of %s failed: %s", path.name, error)
-            self.stats.write_errors += 1
+            self.stats.bump("write_errors")
             return False
         finally:
             if not crashed:
                 lock.release()
-        self.stats.writes += 1
+        self.stats.bump("writes")
         return True
 
     # -- quarantine ----------------------------------------------------------
@@ -325,7 +336,7 @@ class ArtifactStore:
         try:
             lock.acquire()
         except StoreLockTimeout:
-            self.stats.lock_timeouts += 1
+            self.stats.bump("lock_timeouts")
             return False  # leave it; the next read retries
         try:
             # Re-validate under the lock: a concurrent writer may have
@@ -350,7 +361,7 @@ class ArtifactStore:
                 return False
             fsync_directory(path.parent)
             fsync_directory(self.quarantine_dir)
-            self.stats.quarantined += 1
+            self.stats.bump("quarantined")
             logger.warning(
                 "quarantined %s (%s); will rebuild from source",
                 path.name,

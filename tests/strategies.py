@@ -183,6 +183,40 @@ def implication_queries_for(draw, schema: CRSchema):
 
 
 @st.composite
+def query_mixes(
+    draw, schema: CRSchema, min_size: int = 1, max_size: int = 5
+) -> list:
+    """A mixed batch of ``(kind, payload)`` query pairs over ``schema``.
+
+    ``("sat", class_name)`` and ``("implies", statement)`` in random
+    interleaving — the exact shape :func:`repro.cli.parse_batch_query`
+    produces from a batch file, which makes one generator serve every
+    suite that drives batches: the parallel parity properties, the
+    session metamorphic tests, and the serve differential harness
+    (which renders the pairs back to batch-line syntax).
+    """
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    queries = []
+    for _ in range(size):
+        if draw(st.booleans()):
+            queries.append(("sat", draw(st.sampled_from(schema.classes))))
+        else:
+            queries.append(("implies", draw(implication_queries_for(schema))))
+    return queries
+
+
+def query_lines(queries: list) -> list[str]:
+    """Render ``(kind, payload)`` pairs back to batch-file line syntax
+    (``sat <Class>`` / ``<statement>.pretty()``) — the inverse of
+    :func:`repro.cli.parse_batch_query`, used to feed the same random
+    mix to the CLI and the serve daemon."""
+    return [
+        f"sat {payload}" if kind == "sat" else payload.pretty()
+        for kind, payload in queries
+    ]
+
+
+@st.composite
 def interpretations_for(draw, schema: CRSchema, max_domain: int = 4):
     """A random finite interpretation of ``schema``.
 

@@ -24,7 +24,7 @@ from repro.parallel.worker import answer_query
 from repro.runtime.budget import Budget
 from repro.session import ReasoningSession
 
-from tests.strategies import implication_queries_for, schemas
+from tests.strategies import query_mixes, schemas
 
 POOLED = settings(
     max_examples=5,
@@ -33,21 +33,6 @@ POOLED = settings(
 )
 
 UNKNOWN_VERDICT = "unknown"
-
-
-@st.composite
-def batches_for(draw, schema):
-    """A mixed batch of 1–5 ``(kind, query)`` pairs over ``schema``."""
-    size = draw(st.integers(min_value=1, max_value=5))
-    queries = []
-    for _ in range(size):
-        if draw(st.booleans()):
-            queries.append(("sat", draw(st.sampled_from(schema.classes))))
-        else:
-            queries.append(
-                ("implies", draw(implication_queries_for(schema)))
-            )
-    return queries
 
 
 def serial_answers(schema, queries):
@@ -61,7 +46,7 @@ def serial_answers(schema, queries):
 @given(data=st.data())
 def test_parallel_batch_matches_the_serial_session(data):
     schema = data.draw(schemas(max_classes=3, max_relationships=1))
-    queries = data.draw(batches_for(schema))
+    queries = data.draw(query_mixes(schema))
     expected = serial_answers(schema, queries)
 
     outcome = run_parallel_batch(schema, queries, jobs=2)
@@ -91,7 +76,7 @@ def test_budget_faults_mid_batch_degrade_not_diverge(data):
     serial answer or be an honest UNKNOWN — never a wrong verdict — and
     the exhaustion must be reflected in the exit semantics."""
     schema = data.draw(schemas(max_classes=3, max_relationships=1))
-    queries = data.draw(batches_for(schema))
+    queries = data.draw(query_mixes(schema))
     expected = serial_answers(schema, queries)
     cap = data.draw(st.integers(min_value=1, max_value=3))
 

@@ -1,0 +1,291 @@
+"""Concurrency soak for the serve daemon: shared state under fire.
+
+The daemon multiplexes every request over ONE process-wide cache and
+ONE persistent store, so the hazards worth testing are exactly the
+shared-state ones:
+
+* **torn adoption** — N clients hammering overlapping schema
+  fingerprints must each get the full, correct record set; a half-built
+  entry must never be observable (the per-fingerprint lock plus the
+  staged cache build make this hold);
+* **counter monotonicity** — ``/metrics`` sampled *during* the storm
+  must never show any counter going backwards (the lost-update race
+  that plain ``+=`` would introduce is the thing the ``bump`` funnel
+  and the locked stats subclasses exist to kill);
+* **store faults mid-request** — a scripted crash inside the store's
+  atomic-write protocol (the global :mod:`repro.runtime.faults` hook
+  reaches the in-process server's threads) must degrade to
+  rebuild-and-answer: the response is a normal 200 with the same bytes
+  a fault-free run produces, never a 500 carrying partial output;
+* **saturation** — past ``max_inflight`` the daemon answers 503 +
+  ``Retry-After`` immediately instead of queueing unboundedly, and the
+  in-flight gauge returns to zero afterwards.
+
+Everything here runs the server in-process (:func:`running_server`),
+which is what lets tests hold engine locks and install fault hooks the
+served requests actually hit.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.cli import parse_batch_query
+from repro.dsl import parse_schema
+from repro.parallel.worker import answer_query
+from repro.runtime.faults import inject_faults
+from repro.serve import ServeClient, ServeConfig, running_server
+from repro.session import ReasoningSession
+
+CLIENTS = 8
+ROUNDS = 3
+
+SCHEMA_TEXTS = {
+    "Duo": """schema Duo {
+  class A;
+  class B isa A;
+  relationship R(U1: A, U2: B);
+  cardinality A in R.U1: (1, 2);
+  cardinality B in R.U2: (1, 1);
+}""",
+    "Trio": """schema Trio {
+  class A;
+  class B isa A;
+  class C isa B;
+  relationship R(U1: A, U2: C);
+  cardinality C in R.U2: (1, 1);
+  cardinality A in R.U1: (0, 1);
+}""",
+    "Tight": """schema Tight {
+  class A;
+  class B isa A;
+  relationship R(U1: A, U2: B);
+  cardinality A in R.U1: (2, 2);
+  cardinality B in R.U2: (1, 1);
+}""",
+}
+
+QUERY_LINES = ["sat A", "sat B", "B isa A", "A isa B", "disjoint(A, B)",
+               "maxc(A, R, U1) = 3", "minc(B, R, U1) = 1"]
+
+
+def serial_records(text: str) -> list[dict]:
+    """The oracle: one cold session through the shared formatter."""
+    session = ReasoningSession(parse_schema(text))
+    return [
+        answer_query(session, kind, payload)[0]
+        for kind, payload in map(parse_batch_query, QUERY_LINES)
+    ]
+
+
+@pytest.fixture(scope="module")
+def expected():
+    return {name: serial_records(text) for name, text in SCHEMA_TEXTS.items()}
+
+
+def test_overlapping_fingerprints_concurrent_parity(expected):
+    """8 clients × 3 rounds × 3 schemas, all interleaved: every response
+    must carry the complete serial record set — cold builds, warm hits,
+    and store adoptions all racing on the same fingerprints."""
+    with running_server(ServeConfig(max_inflight=CLIENTS)) as server:
+        def storm(client_index: int) -> list[tuple[str, int, list]]:
+            client = ServeClient(server.base_url)
+            out = []
+            for round_index in range(ROUNDS):
+                # Rotate the starting schema per client so cold builds,
+                # warm hits, and lock waits genuinely overlap.
+                names = list(SCHEMA_TEXTS)
+                names = names[client_index % len(names):] + names[: client_index % len(names)]
+                for name in names:
+                    status, payload = client.batch(
+                        SCHEMA_TEXTS[name], QUERY_LINES
+                    )
+                    out.append((name, status, payload["results"]))
+            return out
+
+        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+            all_answers = [
+                answer
+                for answers in pool.map(storm, range(CLIENTS))
+                for answer in answers
+            ]
+        _, metrics = ServeClient(server.base_url).metrics()
+
+    assert len(all_answers) == CLIENTS * ROUNDS * len(SCHEMA_TEXTS)
+    for name, status, results in all_answers:
+        assert status == 200
+        assert results == expected[name], f"torn/partial answer for {name}"
+    assert metrics["server"]["in_flight"] == 0
+    assert metrics["server"]["requests_by_endpoint"]["/batch"] == len(all_answers)
+    # Per-fingerprint serialization means each entry built at most once:
+    # one fixpoint per base schema plus one per cardinality query's
+    # Section-4 extended schema — never once per request.
+    card_queries = sum(
+        1 for line in QUERY_LINES if line.startswith(("minc", "maxc"))
+    )
+    assert 0 < metrics["cache"]["fixpoint_runs"] <= len(SCHEMA_TEXTS) * (
+        1 + card_queries
+    )
+
+
+MONOTONE_KEYS = (
+    ("server", "requests_total"),
+    ("cache", "hits"),
+    ("cache", "misses"),
+    ("cache", "analysis_runs"),
+    ("cache", "expansion_builds"),
+    ("cache", "fixpoint_runs"),
+    ("store", "hits"),
+    ("store", "misses"),
+    ("store", "writes"),
+)
+
+
+def test_metrics_counters_stay_monotone_under_load(tmp_path, expected):
+    """Sample ``/metrics`` continuously while clients hammer the daemon;
+    no sampled counter may ever be smaller than the previous sample."""
+    config = ServeConfig(
+        cache_dir=str(tmp_path / "store"), max_inflight=CLIENTS
+    )
+    with running_server(config) as server:
+        stop_sampling = threading.Event()
+        samples: list[dict] = []
+
+        def sample() -> None:
+            client = ServeClient(server.base_url)
+            while not stop_sampling.is_set():
+                _, payload = client.metrics()
+                samples.append(payload)
+
+        def hammer(client_index: int) -> None:
+            client = ServeClient(server.base_url)
+            for _ in range(ROUNDS):
+                for name, text in SCHEMA_TEXTS.items():
+                    status, payload = client.batch(text, QUERY_LINES)
+                    assert status == 200
+                    assert payload["results"] == expected[name]
+
+        sampler = threading.Thread(target=sample, daemon=True)
+        sampler.start()
+        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+            list(pool.map(hammer, range(CLIENTS)))
+        stop_sampling.set()
+        sampler.join(30.0)
+        _, final = ServeClient(server.base_url).metrics()
+    samples.append(final)
+
+    assert len(samples) >= 2
+    for section, key in MONOTONE_KEYS:
+        values = [sample[section][key] for sample in samples]
+        assert values == sorted(values), f"{section}.{key} went backwards: {values}"
+    stage_runs = [
+        sum(timing["runs"] for timing in sample["stages"].values())
+        for sample in samples
+    ]
+    assert stage_runs == sorted(stage_runs)
+    assert final["server"]["in_flight"] == 0
+    # The persistent tier genuinely participated.
+    assert final["store"]["writes"] > 0
+
+
+@pytest.mark.parametrize(
+    "crash_point",
+    ["store:write:start", "store:write:torn", "store:write:pre-rename"],
+)
+def test_store_crash_mid_request_degrades_to_rebuild_and_answer(
+    tmp_path, expected, crash_point
+):
+    """A simulated crash inside the first persistence attempt unwinds
+    through the request, the engine retries against the (warm, fully
+    consistent) in-memory entry, and every client — including the ones
+    that raced the crashing request — gets the fault-free bytes."""
+    config = ServeConfig(
+        cache_dir=str(tmp_path / "store"), max_inflight=CLIENTS
+    )
+    with running_server(config) as server:
+        with inject_faults(disk_failures={crash_point: {1}}) as plan:
+            def one(client_index: int):
+                client = ServeClient(server.base_url)
+                return client.batch(SCHEMA_TEXTS["Duo"], QUERY_LINES)
+
+            with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+                answers = list(pool.map(one, range(CLIENTS)))
+        _, metrics = ServeClient(server.base_url).metrics()
+
+    assert plan.injected == [(crash_point, 1)]
+    for status, payload in answers:
+        assert status == 200, payload
+        assert payload["results"] == expected["Duo"]
+        assert payload["exit_code"] in (0, 1)
+    assert metrics["server"]["retries"] >= 1
+    assert metrics["server"]["responses_by_status"].get("500") is None
+
+
+def test_corrupted_store_entry_quarantined_on_restart(tmp_path, expected):
+    """Silent bit-rot on the first daemon's write is caught by the
+    second daemon's checksum verification: the damaged entry is
+    quarantined and rebuilt from source — answers unchanged."""
+    store_dir = str(tmp_path / "store")
+    with inject_faults(disk_corruptions={"store:put:encoded": {1}}) as plan:
+        with running_server(ServeConfig(cache_dir=store_dir)) as first:
+            status, payload = ServeClient(first.base_url).batch(
+                SCHEMA_TEXTS["Duo"], QUERY_LINES
+            )
+            assert status == 200
+            assert payload["results"] == expected["Duo"]
+    assert plan.corrupted == [("store:put:encoded", 1)]
+
+    with running_server(ServeConfig(cache_dir=store_dir)) as second:
+        client = ServeClient(second.base_url)
+        status, payload = client.batch(SCHEMA_TEXTS["Duo"], QUERY_LINES)
+        _, metrics = client.metrics()
+    assert status == 200
+    assert payload["results"] == expected["Duo"]
+    assert metrics["store"]["quarantined"] >= 1
+
+
+def test_saturation_answers_503_with_retry_after(expected):
+    """Hold the engine's fingerprint lock from the test thread so the
+    single permitted request parks deterministically; the next request
+    must bounce with 503 + Retry-After instead of queueing."""
+    import time
+
+    from repro.session.fingerprint import schema_fingerprint
+
+    text = SCHEMA_TEXTS["Duo"]
+    fingerprint = schema_fingerprint(parse_schema(text))
+    with running_server(ServeConfig(max_inflight=1)) as server:
+        lock = server.engine.fingerprint_lock(fingerprint)
+        results: dict[str, tuple] = {}
+        with lock:
+            blocked = threading.Thread(
+                target=lambda: results.__setitem__(
+                    "first", ServeClient(server.base_url).batch(text, QUERY_LINES)
+                )
+            )
+            blocked.start()
+            client = ServeClient(server.base_url)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                _, metrics = client.metrics()
+                if metrics["server"]["in_flight"] == 1:
+                    break
+            else:
+                pytest.fail("first request never reached the engine")
+            status, payload, headers = client.request(
+                "POST", "/batch", {"schema": text, "queries": QUERY_LINES}
+            )
+            assert status == 503
+            assert headers.get("Retry-After") == "1"
+            assert "error" in payload
+        blocked.join(30.0)
+        status, payload = results["first"]
+        assert status == 200
+        assert payload["results"] == expected["Duo"]
+        _, metrics = client.metrics()
+    assert metrics["server"]["rejected_busy"] >= 1
+    assert metrics["server"]["in_flight"] == 0

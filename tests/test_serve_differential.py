@@ -1,0 +1,229 @@
+"""Differential harness: the serve daemon versus ``batch --json``.
+
+The daemon's contract is that serving adds *nothing observable* to the
+reasoning: for any schema and any query mix, the records coming back
+over HTTP are byte-identical to the records ``repro batch --json``
+prints for the same inputs — same verdicts, same ``unknown_reason``
+strings, same ordering, same exit-code semantics (carried as
+``exit_code`` in the response body).  Both paths share one formatter
+(:func:`repro.parallel.worker.answer_query`), and these properties
+pin that sharing down from the outside:
+
+* random schemas and mixed query batches (from the same
+  :func:`tests.strategies.query_mixes` generator the parallel parity
+  suite uses) through a live in-process server and through the CLI;
+* budget-capped requests whose queries exhaust mid-pipeline and
+  degrade to UNKNOWN records with ``exit_code`` 3 — compared cold
+  against cold, because exhaustion is a property of cold builds (a
+  warm entry answers without spending budget, on either path);
+* a warm second daemon adopting the first daemon's persisted store
+  entries, still answering byte-for-byte what a cold CLI run answers.
+
+The only tolerated difference is the wall-clock figure embedded in
+exhaustion reasons (``after 0.004s``) — physical time, not reasoning
+output — which :func:`scrub_elapsed` canonicalises on both sides.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import re
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.dsl import serialize_schema
+from repro.serve import ServeClient, ServeConfig, running_server
+
+from tests.strategies import query_lines, query_mixes, schemas
+
+SERVED = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_ELAPSED = re.compile(r"after \d+(?:\.\d+)?s")
+
+
+def scrub_elapsed(records: list[dict]) -> list[dict]:
+    """Canonicalise the wall-clock token inside exhaustion reasons."""
+    scrubbed = []
+    for record in records:
+        reason = record.get("unknown_reason")
+        if isinstance(reason, str):
+            record = {**record, "unknown_reason": _ELAPSED.sub("after <t>s", reason)}
+        scrubbed.append(record)
+    return scrubbed
+
+
+def as_bytes(records: list[dict]) -> str:
+    """The byte-level comparison key: full JSON serialisation."""
+    return json.dumps(records, sort_keys=True)
+
+
+def run_cli_batch(
+    schema_text: str, lines: list[str], extra_args: tuple[str, ...] = ()
+) -> tuple[dict, int]:
+    """``repro batch --json`` in-process: the exact CLI code path,
+    without paying a subprocess per Hypothesis example."""
+    with tempfile.TemporaryDirectory() as tmp:
+        schema_path = Path(tmp) / "schema.cr"
+        schema_path.write_text(schema_text)
+        queries_path = Path(tmp) / "queries.txt"
+        queries_path.write_text("\n".join(lines) + "\n")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = cli_main(
+                ["batch", str(schema_path), str(queries_path), "--json", *extra_args]
+            )
+        return json.loads(out.getvalue()), code
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One long-lived daemon shared by every example in this module —
+    deliberately *warm*: without budgets, a warm answer must equal a
+    cold one, so reusing the server is itself part of the property."""
+    with running_server(ServeConfig()) as srv:
+        yield srv
+
+
+@SERVED
+@given(data=st.data())
+def test_random_query_mixes_match_batch_json(server, data):
+    schema = data.draw(schemas(max_classes=3, max_relationships=1))
+    queries = data.draw(query_mixes(schema))
+    lines = query_lines(queries)
+    text = serialize_schema(schema)
+
+    report, cli_code = run_cli_batch(text, lines)
+    client = ServeClient(server.base_url)
+    status, payload = client.batch(text, lines)
+
+    assert status == 200
+    assert as_bytes(payload["results"]) == as_bytes(report["results"])
+    assert payload["fingerprint"] == report["fingerprint"]
+    assert payload["exit_code"] == cli_code
+
+
+@SERVED
+@given(data=st.data())
+def test_check_and_implies_match_their_batch_records(server, data):
+    """The single-query endpoints are one-line batches: same records."""
+    schema = data.draw(schemas(max_classes=3, max_relationships=1))
+    queries = data.draw(query_mixes(schema, max_size=1))
+    (kind, query_payload), = queries
+    line = query_lines(queries)[0]
+    text = serialize_schema(schema)
+
+    report, cli_code = run_cli_batch(text, [line])
+    client = ServeClient(server.base_url)
+    if kind == "sat":
+        status, payload = client.check(text, query_payload)
+    else:
+        status, payload = client.implies(text, query_payload.pretty())
+
+    assert status == 200
+    assert as_bytes(payload["results"]) == as_bytes(report["results"])
+    assert payload["exit_code"] == cli_code
+
+
+@SERVED
+@given(data=st.data())
+def test_budget_exhaustion_parity_cold_vs_cold(data):
+    """A deterministic LP cap exhausts mid-pipeline identically on both
+    paths: same UNKNOWN records (modulo the embedded wall-clock token),
+    same exit-3 semantics.  Fresh daemon per example — exhaustion is a
+    cold-build phenomenon and a warm entry would (correctly) answer
+    without spending budget at all."""
+    schema = data.draw(schemas(max_classes=3, max_relationships=1))
+    queries = data.draw(query_mixes(schema))
+    lines = query_lines(queries)
+    cap = data.draw(st.integers(min_value=1, max_value=3))
+    text = serialize_schema(schema)
+
+    report, cli_code = run_cli_batch(text, lines, ("--max-lp", str(cap)))
+    with running_server(ServeConfig()) as fresh:
+        status, payload = ServeClient(fresh.base_url).batch(
+            text, lines, budget={"max_lp": cap}
+        )
+
+    assert status == 200
+    assert as_bytes(scrub_elapsed(payload["results"])) == as_bytes(
+        scrub_elapsed(report["results"])
+    )
+    assert payload["exit_code"] == cli_code
+    if any(r["verdict"] == "unknown" for r in payload["results"]):
+        assert payload["exit_code"] == 3
+
+
+@SERVED
+@given(data=st.data())
+def test_warm_store_adoption_matches_cold_cli(data):
+    """Daemon #2 adopts daemon #1's persisted artifacts and still
+    answers exactly what a cold, store-less CLI run answers."""
+    schema = data.draw(schemas(max_classes=3, max_relationships=1))
+    queries = data.draw(query_mixes(schema, max_size=3))
+    lines = query_lines(queries)
+    text = serialize_schema(schema)
+    report, cli_code = run_cli_batch(text, lines)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = str(Path(tmp) / "store")
+        with running_server(ServeConfig(cache_dir=store_dir)) as first:
+            status1, cold = ServeClient(first.base_url).batch(text, lines)
+        with running_server(ServeConfig(cache_dir=store_dir)) as second:
+            client = ServeClient(second.base_url)
+            status2, warm = client.batch(text, lines)
+            _, metrics = client.metrics()
+
+    assert status1 == status2 == 200
+    assert as_bytes(cold["results"]) == as_bytes(report["results"])
+    assert as_bytes(warm["results"]) == as_bytes(report["results"])
+    assert cold["exit_code"] == warm["exit_code"] == cli_code
+    # The second daemon really did adopt from the store rather than
+    # rebuild — unless the analyzer short-circuited the whole pipeline,
+    # in which case nothing was persisted (nothing was built).
+    stats = metrics["cache"]
+    if cold["results"] and metrics["store"]["hits"] == 0:
+        assert stats["analysis_short_circuits"] > 0 or stats["expansion_builds"] == 0
+
+
+def test_bad_schema_is_http_400_and_cli_exit_2(server):
+    text = "this is not a schema"
+    client = ServeClient(server.base_url)
+    status, payload = client.batch(text, ["sat A"])
+    assert status == 400
+    assert "error" in payload
+
+    with tempfile.TemporaryDirectory() as tmp:
+        schema_path = Path(tmp) / "bad.cr"
+        schema_path.write_text(text)
+        queries_path = Path(tmp) / "q.txt"
+        queries_path.write_text("sat A\n")
+        with contextlib.redirect_stdout(io.StringIO()):
+            with contextlib.redirect_stderr(io.StringIO()):
+                code = cli_main(
+                    ["batch", str(schema_path), str(queries_path), "--json"]
+                )
+    assert code == 2
+
+
+def test_bad_query_and_bad_budget_are_http_400(server):
+    from repro.paper import meeting_schema
+
+    text = serialize_schema(meeting_schema())
+    client = ServeClient(server.base_url)
+    status, payload = client.batch(text, ["frobnicate Speaker"])
+    assert status == 400 and "error" in payload
+    status, payload = client.batch(text, ["sat Speaker"], budget={"max_warp": 9})
+    assert status == 400 and "error" in payload
+    status, payload = client.batch(text, ["sat Speaker"], budget={"max_lp": "many"})
+    assert status == 400 and "error" in payload
