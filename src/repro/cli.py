@@ -16,10 +16,14 @@ implies   decide ``S ⊨ K`` for a statement like ``"A isa B"`` or
           ``"maxc(Speaker, Holds, U1) = 1"``
 batch     answer many queries (``sat <Class>`` lines and implication
           statements) from ONE cached reasoning session, so the
-          exponential expansion is built once for the whole batch;
-          ``--cache-dir`` (or ``REPRO_CACHE_DIR``) adds the crash-safe
-          persistent artifact store so later runs — and ``--jobs`` pool
-          workers — start warm
+          exponential expansion is built once per constraint-graph
+          component for the whole batch; ``--cache-dir`` (or
+          ``REPRO_CACHE_DIR``) adds the crash-safe persistent artifact
+          store so later runs — and ``--jobs`` pool workers — start warm
+diff      component-level delta between two schemas: report which
+          constraint-graph islands changed, reuse warm artifacts for
+          the untouched ones (``--cache-dir``), and answer queries
+          against the new schema recomputing only the delta
 cache     maintenance surface of the persistent store: ``stats``,
           ``verify`` (checksum every entry, quarantining damage),
           ``clear``, ``quarantine list``; ``--json`` for tooling
@@ -224,8 +228,12 @@ def parse_batch_query(text: str):
     return ("implies", parse_statement(stripped))
 
 
-def _read_batch_queries(args: argparse.Namespace) -> list:
-    """Queries from ``--query`` flags plus the query file (``-`` = stdin)."""
+def _collect_queries(args: argparse.Namespace) -> list:
+    """Queries from ``--query`` flags plus the query file (``-`` = stdin).
+
+    May be empty — ``batch`` rejects that, ``diff`` treats it as a
+    report-only run.
+    """
     lines: list[str] = list(args.query or [])
     if args.queries is not None:
         source = (
@@ -240,6 +248,11 @@ def _read_batch_queries(args: argparse.Namespace) -> list:
         if not stripped or stripped.startswith("#"):
             continue
         queries.append(parse_batch_query(stripped))
+    return queries
+
+
+def _read_batch_queries(args: argparse.Namespace) -> list:
+    queries = _collect_queries(args)
     if not queries:
         raise ReproError(
             "batch needs at least one query (lines of 'sat <Class>', "
@@ -288,14 +301,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 for text in outcome.texts:
                     print(text)
         else:
-            from repro.session import ReasoningSession, SessionCache
+            from repro.components import DecomposedSession
+            from repro.session import SessionCache
 
             cache = None
             if cache_dir is not None:
                 from repro.store import ArtifactStore
 
                 cache = SessionCache(store=ArtifactStore(cache_dir))
-            session = ReasoningSession(schema, cache=cache, budget=budget)
+            session = DecomposedSession(schema, cache=cache, budget=budget)
             records = []
             any_unknown = False
             all_positive = True
@@ -329,35 +343,156 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             )
         )
     elif args.stats:
-        print(
-            f"# session: {stats_dict.get('queries', 0)} queries, "
-            f"{stats_dict.get('expansion_builds', 0)} expansion build(s), "
-            f"{stats_dict.get('fixpoint_runs', 0)} fixpoint run(s), "
-            f"{stats_dict.get('hits', 0)} cache hit(s)"
-        )
-        print(
-            f"# analyze: {stats_dict.get('analysis_runs', 0)} run(s), "
-            f"{stats_dict.get('analysis_short_circuits', 0)} short-circuit(s)"
-        )
-        if cache_dir is not None:
-            print(
-                f"# store: {stats_dict.get('store_hits', 0)} hit(s), "
-                f"{stats_dict.get('store_misses', 0)} miss(es), "
-                f"{stats_dict.get('store_writes', 0)} write(s), "
-                f"{stats_dict.get('store_write_failures', 0)} "
-                "write failure(s)"
-            )
-        for name, timing in run.as_dict().items():
-            print(
-                f"# stage {name}: {timing['runs']} run(s), "
-                f"{timing['seconds'] * 1000.0:.1f}ms"
-            )
-        print(
-            f"# wall-clock: {wall_seconds * 1000.0:.1f}ms ({jobs} job(s))"
-        )
+        _print_batch_stats(stats_dict, cache_dir, run, wall_seconds, jobs)
     if any_unknown:
         return 3
     return 0 if all_positive else 1
+
+
+def _print_batch_stats(
+    stats_dict: dict,
+    cache_dir: str | None,
+    run: PipelineRun,
+    wall_seconds: float,
+    jobs: int,
+) -> None:
+    """The ``--stats`` footer shared by ``batch`` and ``diff``."""
+    print(
+        f"# session: {stats_dict.get('queries', 0)} queries, "
+        f"{stats_dict.get('expansion_builds', 0)} expansion build(s), "
+        f"{stats_dict.get('fixpoint_runs', 0)} fixpoint run(s), "
+        f"{stats_dict.get('hits', 0)} cache hit(s)"
+    )
+    print(
+        f"# analyze: {stats_dict.get('analysis_runs', 0)} run(s), "
+        f"{stats_dict.get('analysis_short_circuits', 0)} short-circuit(s)"
+    )
+    print(
+        f"# components: {stats_dict.get('components_total', 0)} total, "
+        f"{stats_dict.get('components_reused', 0)} reused, "
+        f"{stats_dict.get('components_rebuilt', 0)} rebuilt"
+    )
+    if cache_dir is not None:
+        print(
+            f"# store: {stats_dict.get('store_hits', 0)} hit(s), "
+            f"{stats_dict.get('store_misses', 0)} miss(es), "
+            f"{stats_dict.get('store_writes', 0)} write(s), "
+            f"{stats_dict.get('store_write_failures', 0)} "
+            "write failure(s)"
+        )
+    for name, timing in run.as_dict().items():
+        print(
+            f"# stage {name}: {timing['runs']} run(s), "
+            f"{timing['seconds'] * 1000.0:.1f}ms"
+        )
+    print(
+        f"# wall-clock: {wall_seconds * 1000.0:.1f}ms ({jobs} job(s))"
+    )
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Component-level delta between two schemas (``repro diff OLD NEW``).
+
+    Reports which constraint-graph islands changed between the two
+    schemas, classifies the new schema's components against the session
+    cache and persistent store (warm → ``components_reused``, cold →
+    ``components_rebuilt``), and answers any queries against the *new*
+    schema — with a warm ``--cache-dir``, only the changed islands'
+    artifacts are recomputed.  Without queries the run is report-only
+    and exits 0; with queries the exit semantics match ``batch``.
+    """
+    from repro.components import (
+        DecomposedSession,
+        compute_delta,
+        decompose_schema,
+    )
+    from repro.parallel.worker import answer_query
+    from repro.pipeline import STAGE_DECOMPOSE
+    from repro.store import resolve_cache_dir
+
+    cache_dir = resolve_cache_dir(
+        getattr(args, "cache_dir", None), getattr(args, "no_cache", False)
+    )
+    run = PipelineRun()
+    wall_start = time.perf_counter()
+    with activate_run(run):
+        old_schema = _load_schema(args.old_schema)
+        new_schema = _load_schema(args.new_schema)
+        queries = _collect_queries(args)
+        budget = _budget_from(args)
+        from repro.session import SessionCache
+
+        cache = None
+        if cache_dir is not None:
+            from repro.store import ArtifactStore
+
+            cache = SessionCache(store=ArtifactStore(cache_dir))
+        with stage(STAGE_DECOMPOSE):
+            old_decomposition = decompose_schema(old_schema)
+        session = DecomposedSession(new_schema, cache=cache, budget=budget)
+        delta = compute_delta(old_decomposition, session.decomposition)
+        session.classify_all()
+        delta_dict = delta.as_dict()
+        if not args.json:
+            print(
+                f"# diff {old_schema.name} -> {new_schema.name}: "
+                f"{delta_dict['old_total']} old component(s), "
+                f"{delta_dict['new_total']} new, "
+                f"{len(delta.unchanged)} unchanged, "
+                f"{len(delta.changed)} changed, "
+                f"{len(delta.removed)} removed"
+            )
+            for label, components in (
+                ("unchanged", delta.unchanged),
+                ("changed", delta.changed),
+                ("removed", delta.removed),
+            ):
+                for component in components:
+                    classes = ", ".join(sorted(component.classes))
+                    print(
+                        f"# {label} {component.fingerprint[:12]} "
+                        f"[{classes}]"
+                    )
+        records = []
+        any_unknown = False
+        all_positive = True
+        for kind, payload in queries:
+            record, text, positive, unknown = answer_query(
+                session, kind, payload
+            )
+            records.append(record)
+            any_unknown = any_unknown or unknown
+            all_positive = all_positive and positive
+            if not args.json:
+                print(text)
+        stats_dict = session.stats.as_dict()
+    wall_seconds = time.perf_counter() - wall_start
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "old_schema": old_schema.name,
+                    "new_schema": new_schema.name,
+                    "old_fingerprint": old_decomposition.whole_fingerprint,
+                    "new_fingerprint": session.fingerprint,
+                    "components": delta_dict,
+                    "results": records,
+                    "stats": stats_dict,
+                    "stages": run.as_dict(),
+                    "wall_seconds": wall_seconds,
+                },
+                indent=2,
+            )
+        )
+    elif args.stats:
+        _print_batch_stats(stats_dict, cache_dir, run, wall_seconds, jobs=1)
+    if queries:
+        if any_unknown:
+            return 3
+        return 0 if all_positive else 1
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -692,6 +827,55 @@ def build_parser() -> argparse.ArgumentParser:
     add_budget(batch)
     add_jobs(batch)
     batch.set_defaults(run=_cmd_batch)
+
+    diff = subparsers.add_parser(
+        "diff",
+        help="component-level schema delta; answer queries against the "
+        "new schema reusing warm artifacts for unchanged islands",
+    )
+    diff.add_argument("old_schema")
+    diff.add_argument("new_schema")
+    diff.add_argument(
+        "queries",
+        nargs="?",
+        default=None,
+        help="optional file of queries against the NEW schema, one per "
+        "line ('-' for stdin); same syntax as batch; omit for a "
+        "report-only diff",
+    )
+    diff.add_argument(
+        "--query",
+        action="append",
+        metavar="QUERY",
+        help="an inline query (repeatable, combined with the file)",
+    )
+    diff.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON report (component delta, results, reuse "
+        "counters, session stats)",
+    )
+    diff.add_argument(
+        "--stats",
+        action="store_true",
+        help="append session cache statistics and per-stage pipeline "
+        "timings (as in batch --stats)",
+    )
+    diff.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent artifact store to reuse unchanged components "
+        "from (default: the REPRO_CACHE_DIR env var)",
+    )
+    diff.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and REPRO_CACHE_DIR for this run",
+    )
+    add_backend(diff)
+    add_budget(diff)
+    diff.set_defaults(run=_cmd_diff)
 
     serve = subparsers.add_parser(
         "serve",

@@ -1,0 +1,80 @@
+"""Schema deltas at component granularity.
+
+:func:`compute_delta` compares two decompositions by component
+fingerprint: a new-side component whose fingerprint also appears on the
+old side is *unchanged* (its artifacts — memory or store — are reusable
+as-is), otherwise it is *changed* (must be rebuilt); old-side components
+with no new-side counterpart are *removed*.  Matching is by multiset
+(`collections.Counter`), so two identical islands on one side pair with
+two on the other rather than collapsing into one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.components.decompose import ComponentDecomposition, SchemaComponent
+
+
+@dataclass(frozen=True)
+class SchemaDelta:
+    """The component-level difference between two schemas.
+
+    ``unchanged`` and ``changed`` are new-side components; ``removed``
+    are old-side components.  Orders follow each side's component order.
+    """
+
+    old: ComponentDecomposition
+    new: ComponentDecomposition
+    unchanged: tuple[SchemaComponent, ...]
+    changed: tuple[SchemaComponent, ...]
+    removed: tuple[SchemaComponent, ...]
+
+    def as_dict(self) -> dict[str, object]:
+        def rows(
+            components: tuple[SchemaComponent, ...],
+        ) -> list[dict[str, object]]:
+            return [
+                {
+                    "fingerprint": component.fingerprint,
+                    "classes": sorted(component.classes),
+                }
+                for component in components
+            ]
+
+        return {
+            "old_total": len(self.old.components),
+            "new_total": len(self.new.components),
+            "unchanged": rows(self.unchanged),
+            "changed": rows(self.changed),
+            "removed": rows(self.removed),
+        }
+
+
+def compute_delta(
+    old: ComponentDecomposition, new: ComponentDecomposition
+) -> SchemaDelta:
+    """Pair up components of ``old`` and ``new`` by fingerprint multiset."""
+    available = Counter(component.fingerprint for component in old.components)
+    unchanged: list[SchemaComponent] = []
+    changed: list[SchemaComponent] = []
+    for component in new.components:
+        if available[component.fingerprint] > 0:
+            available[component.fingerprint] -= 1
+            unchanged.append(component)
+        else:
+            changed.append(component)
+    remaining = Counter(component.fingerprint for component in new.components)
+    removed: list[SchemaComponent] = []
+    for component in old.components:
+        if remaining[component.fingerprint] > 0:
+            remaining[component.fingerprint] -= 1
+        else:
+            removed.append(component)
+    return SchemaDelta(
+        old, new, tuple(unchanged), tuple(changed), tuple(removed)
+    )
+
+
+__all__ = ["SchemaDelta", "compute_delta"]

@@ -1,0 +1,95 @@
+"""The constraint graph over classes and its connected components.
+
+Two classes are *constraint-connected* when some declared statement ties
+them together: an ISA edge, co-occurrence in a relationship signature, a
+declared cardinality on a relationship role, membership in the same
+disjointness group, or a covering.  The reflexive-transitive closure of
+that relation partitions the class set into islands; every declared
+constraint lives wholly inside one island by construction, which is what
+makes per-island reasoning sound (models of disjoint islands compose —
+see DESIGN §13).
+
+:func:`connected_class_sets` computes the partition with a union-find
+(path compression + union by size).  Component order is the first-seen
+root order over ``schema.classes``; member order within a component is
+declaration order — both deterministic, so the decomposition (and the
+per-component fingerprints derived from it) is reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.cr.schema import CRSchema
+
+
+def constraint_edges(schema: CRSchema) -> Iterator[tuple[str, str]]:
+    """Yield the undirected edges of the constraint graph.
+
+    Every edge endpoint is a declared class of ``schema``.  Edge
+    multiplicity and orientation are irrelevant — the consumer is a
+    union-find.
+    """
+    for sub, sup in schema.isa_statements:
+        yield sub, sup
+    for rel in schema.relationships:
+        first = rel.signature[0][1]
+        for _role, cls in rel.signature[1:]:
+            yield first, cls
+    for (cls, rel_name, _role) in schema.declared_cards:
+        # The constrained class is already tied to the relationship's
+        # signature classes; this edge is defensive — it keeps the
+        # invariant "a declared card never crosses islands" local to
+        # this module instead of depending on schema validation.
+        relationship = schema.relationship(rel_name)
+        yield cls, relationship.signature[0][1]
+    for group in schema.disjointness_groups:
+        members = sorted(group)
+        for other in members[1:]:
+            yield members[0], other
+    for covered, coverers in schema.coverings:
+        for coverer in sorted(coverers):
+            yield covered, coverer
+
+
+class _UnionFind:
+    """Classic disjoint-set forest over class names."""
+
+    def __init__(self, items: tuple[str, ...]) -> None:
+        self._parent = {item: item for item in items}
+        self._size = {item: 1 for item in items}
+
+    def find(self, item: str) -> str:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, first: str, second: str) -> None:
+        root_a, root_b = self.find(first), self.find(second)
+        if root_a == root_b:
+            return
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+
+
+def connected_class_sets(schema: CRSchema) -> tuple[tuple[str, ...], ...]:
+    """The constraint-graph components, as tuples of class names.
+
+    Components appear in first-seen order over ``schema.classes`` and
+    each component lists its members in declaration order.
+    """
+    finder = _UnionFind(schema.classes)
+    for first, second in constraint_edges(schema):
+        finder.union(first, second)
+    groups: dict[str, list[str]] = {}
+    for cls in schema.classes:
+        groups.setdefault(finder.find(cls), []).append(cls)
+    return tuple(tuple(members) for members in groups.values())
+
+
+__all__ = ["connected_class_sets", "constraint_edges"]

@@ -5,13 +5,17 @@ one shared immutable input, dispatches them through
 :class:`~repro.parallel.pool.WorkerPool`, and merges deterministically:
 
 :func:`run_parallel_batch`
-    ``repro batch --jobs N``.  Queries are partitioned by the schema
-    fingerprint their answer is cached under — cardinality implications
-    reason over the Section-4 extended schema, so two queries sharing
-    an extended fingerprint land on the same worker and hit its warm
-    artifacts — then fingerprint groups are packed onto the least-
-    loaded worker.  Answers merge by input index; a budget exhaustion
-    anywhere degrades every unanswered query to UNKNOWN.
+    ``repro batch --jobs N``.  Queries are partitioned by the
+    fingerprint their answer is cached under — the owning
+    constraint-graph component for satisfiability and same-island
+    implications, the merged sub-schema for cross-island ones, the
+    Section-4 extended schema for cardinality implications (see
+    :func:`repro.components.query_partition_key`) — so two queries
+    sharing artifacts land on the same worker and hit them warm, and
+    component fan-out composes with query fan-out for free.  Then
+    fingerprint groups are packed onto the least-loaded worker.
+    Answers merge by input index; a budget exhaustion anywhere degrades
+    every unanswered query to UNKNOWN.
 
 :func:`parallel_fixpoint_support`
     ``satisfiable_classes``.  Each acceptability-fixpoint iteration
@@ -40,13 +44,9 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Any, Sequence
 
-from repro.cr.constraints import (
-    MaxCardinalityStatement,
-    MinCardinalityStatement,
-)
-from repro.cr.implication import exceptional_schema
-from repro.cr.schema import Card, CRSchema, UNBOUNDED
-from repro.errors import BudgetExceededError, ReproError
+from repro.components.decompose import decompose_schema, query_partition_key
+from repro.cr.schema import CRSchema
+from repro.errors import BudgetExceededError
 from repro.parallel.pool import WorkerPool, chunk_evenly, worker_caps
 from repro.parallel.worker import (
     chain_spec,
@@ -56,7 +56,6 @@ from repro.parallel.worker import (
     unknown_record,
 )
 from repro.runtime.budget import Budget, activate, current_budget
-from repro.session.fingerprint import schema_fingerprint
 from repro.session.session import SESSION_STATS_KEYS
 from repro.solver.registry import AcceptabilityProblem, SolverBackend
 
@@ -94,44 +93,22 @@ def partition_queries(
     """Group queries by the fingerprint their artifacts live under,
     then pack groups onto the least-loaded of ``jobs`` bins.
 
-    ``sat``, ISA, and disjointness queries read the base schema's
-    artifacts; a cardinality query reads the Section-4 extended
-    schema's (mirroring :class:`~repro.session.ReasoningSession`), so
-    its group key is that extended fingerprint.  A query whose extended
-    schema cannot be built keeps the base key — the worker will surface
-    the real error at answer time.  Packing is deterministic (groups in
-    first-occurrence order, ties to the lowest bin) and each query
-    keeps its input index for the ordered merge.
+    The key comes from :func:`repro.components.query_partition_key`:
+    queries route to the constraint-graph component (or merged /
+    Section-4 extended sub-schema) whose artifacts answer them
+    (mirroring :class:`~repro.components.DecomposedSession`), so a
+    component's base artifacts are acquired — and classified as
+    reused/rebuilt — by exactly one worker, keeping the aggregated
+    stats equal to a serial run's.  A query that cannot be routed
+    (unknown names, illegal triple) keeps the whole-schema key — the
+    worker will surface the real error at answer time.  Packing is
+    deterministic (groups in first-occurrence order, ties to the lowest
+    bin) and each query keeps its input index for the ordered merge.
     """
-    base = schema_fingerprint(schema)
+    decomposition = decompose_schema(schema)
     groups: dict[str, list[tuple[int, str, Any]]] = {}
     for index, (kind, query) in enumerate(queries):
-        key = base
-        if kind == "implies":
-            try:
-                if (
-                    isinstance(query, MinCardinalityStatement)
-                    and query.value > 0
-                ):
-                    extended, _exc = exceptional_schema(
-                        schema,
-                        query.cls,
-                        query.rel,
-                        query.role,
-                        Card(0, query.value - 1),
-                    )
-                    key = schema_fingerprint(extended)
-                elif isinstance(query, MaxCardinalityStatement):
-                    extended, _exc = exceptional_schema(
-                        schema,
-                        query.cls,
-                        query.rel,
-                        query.role,
-                        Card(query.value + 1, UNBOUNDED),
-                    )
-                    key = schema_fingerprint(extended)
-            except ReproError:
-                key = base
+        key = query_partition_key(decomposition, kind, query)
         groups.setdefault(key, []).append((index, kind, query))
     bins: list[list[tuple[int, str, Any]]] = [[] for _ in range(jobs)]
     for group in groups.values():

@@ -327,17 +327,20 @@ def run_batch_chunk(args: tuple[Any, ...]) -> dict[str, Any]:
     Payload: ``{"schema": CRSchema, "backend": str | None, "cache_dir":
     str | None}``.  Args: ``(caps, items)`` with ``items`` a tuple of
     ``(index, kind, query)``.  The chunk shares one
-    :class:`ReasoningSession` — the parent partitions queries by schema
-    fingerprint so cardinality queries against the same extended schema
-    land on the same worker and hit its warm artifacts.  A ``cache_dir``
-    adds the cross-process persistent tier: every worker opens its own
+    :class:`~repro.components.DecomposedSession` — the parent partitions
+    queries by the fingerprint of the component (or merged / extended
+    sub-schema) that answers them, so queries sharing artifacts land on
+    the same worker and hit them warm, and each component is classified
+    (reused/rebuilt) by exactly one worker.  A ``cache_dir`` adds the
+    cross-process persistent tier: every worker opens its own
     :class:`~repro.store.ArtifactStore` on the shared directory.
     """
     caps, items = args
 
     def body(budget: Budget) -> dict[str, Any]:
         del budget  # the ambient budget governs the session's queries
-        from repro.session import ReasoningSession, SessionCache
+        from repro.components import DecomposedSession
+        from repro.session import SessionCache
 
         payload = _payload()
         session = _STATE.get("session")
@@ -349,7 +352,7 @@ def run_batch_chunk(args: tuple[Any, ...]) -> dict[str, Any]:
                 cache = SessionCache(
                     store=ArtifactStore(payload["cache_dir"])
                 )
-            session = _STATE["session"] = ReasoningSession(
+            session = _STATE["session"] = DecomposedSession(
                 payload["schema"], cache=cache
             )
         answers = []

@@ -1,4 +1,4 @@
-"""The staged pipeline IR: Normalize → Analyze → Expand → BuildSystem → Solve → Verdict.
+"""The staged pipeline IR: Normalize → Decompose → Analyze → Expand → BuildSystem → Solve → Verdict → Combine.
 
 Every decision procedure in the library runs the same conceptual
 pipeline:
@@ -6,6 +6,9 @@ pipeline:
 ==============  ==========================================================
 ``normalize``   parse / validate the input schema (the CLI's DSL front
                 door; programmatic callers usually arrive normalized)
+``decompose``   split the schema along its constraint-graph islands
+                (:mod:`repro.components`); the stages below then run
+                once per touched component instead of once per schema
 ``analyze``     the polynomial-time static battery (:mod:`repro.analysis`);
                 an ``error`` diagnostic short-circuits everything below
 ``expand``      the Section-3.1 expansion ``S̄`` (the exponential step)
@@ -14,6 +17,9 @@ pipeline:
                 work lives here
 ``verdict``     read the answer off the support, build witnesses and
                 counter-models
+``combine``     fold per-component verdicts into the whole-schema
+                answer (and build merged sub-schemas for queries whose
+                classes span islands); skipped for single-island schemas
 ==============  ==========================================================
 
 Historically each layer marked progress by mutating the ambient
@@ -51,19 +57,23 @@ from dataclasses import dataclass
 from repro.runtime.budget import current_budget
 
 STAGE_NORMALIZE = "normalize"
+STAGE_DECOMPOSE = "decompose"
 STAGE_ANALYZE = "analyze"
 STAGE_EXPAND = "expand"
 STAGE_BUILD_SYSTEM = "build-system"
 STAGE_SOLVE = "solve"
 STAGE_VERDICT = "verdict"
+STAGE_COMBINE = "combine"
 
 CANONICAL_STAGES: tuple[str, ...] = (
     STAGE_NORMALIZE,
+    STAGE_DECOMPOSE,
     STAGE_ANALYZE,
     STAGE_EXPAND,
     STAGE_BUILD_SYSTEM,
     STAGE_SOLVE,
     STAGE_VERDICT,
+    STAGE_COMBINE,
 )
 """Pipeline order; :meth:`PipelineRun.as_dict` reports in this order."""
 
@@ -224,6 +234,8 @@ __all__ = [
     "PipelineRun",
     "STAGE_ANALYZE",
     "STAGE_BUILD_SYSTEM",
+    "STAGE_COMBINE",
+    "STAGE_DECOMPOSE",
     "STAGE_EXPAND",
     "STAGE_NORMALIZE",
     "STAGE_SOLVE",

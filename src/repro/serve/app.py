@@ -44,7 +44,7 @@ from repro.serve.http import (
 from repro.serve.metrics import ServeMetrics
 
 GET_ENDPOINTS = ("/healthz", "/metrics")
-POST_ENDPOINTS = ("/check", "/implies", "/batch")
+POST_ENDPOINTS = ("/check", "/implies", "/batch", "/diff")
 
 
 def _body(payload: Any) -> bytes:

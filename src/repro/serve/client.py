@@ -100,5 +100,23 @@ class ServeClient:
         status, payload, _headers = self.request("POST", "/batch", body)
         return status, payload
 
+    def diff(
+        self,
+        old_schema: str,
+        new_schema: str,
+        queries: list[str] | None = None,
+        budget: Mapping[str, float | int] | None = None,
+    ) -> tuple[int, Any]:
+        body: dict[str, Any] = {
+            "old_schema": old_schema,
+            "new_schema": new_schema,
+        }
+        if queries is not None:
+            body["queries"] = list(queries)
+        if budget is not None:
+            body["budget"] = dict(budget)
+        status, payload, _headers = self.request("POST", "/diff", body)
+        return status, payload
+
 
 __all__ = ["ServeClient"]

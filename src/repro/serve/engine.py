@@ -3,8 +3,11 @@
 One :class:`ServeEngine` owns the process's shared two-tier cache — a
 thread-safe :class:`~repro.session.SessionCache` front (memory LRU)
 over an optional :class:`~repro.store.ArtifactStore` (the crash-safe
-persistent tier) — and answers ``check`` / ``implies`` / ``batch``
-requests on executor threads, off the event loop.
+persistent tier) — and answers ``check`` / ``implies`` / ``batch`` /
+``diff`` requests on executor threads, off the event loop.  Requests
+reason through :class:`~repro.components.DecomposedSession`, so cache
+entries are keyed per constraint-graph component and two schemas
+sharing an unchanged island share its artifacts.
 
 **Parity is the design center**: a request is parsed with the same
 surface-syntax parsers the CLI uses (:func:`repro.cli.parse_batch_query`),
@@ -15,12 +18,16 @@ makes ``--jobs N`` byte-identical to serial — so a served record is
 byte-identical to the ``repro batch --json`` record for the same
 schema and query, which the differential suite asserts wholesale.
 
-**Concurrency model**: requests for the same schema fingerprint are
-serialized on a per-fingerprint lock (so a cold entry is built exactly
-once and never observed half-built — no torn adoption), requests for
-different schemas run concurrently, and the shared cache's entry map
-and counters are protected by :class:`ThreadSafeSessionCache` /
-:class:`LockedCacheStats` so every ``/metrics`` counter stays monotone.
+**Concurrency model**: requests for the same *whole-schema*
+fingerprint are serialized on a per-fingerprint lock (so a cold entry
+is built exactly once and never observed half-built — no torn
+adoption), requests for different schemas run concurrently, and the
+shared cache's entry map and counters are protected by
+:class:`ThreadSafeSessionCache` / :class:`LockedCacheStats` so every
+``/metrics`` counter stays monotone.  Two *different* whole schemas
+sharing a constraint-graph island may race on that island's component
+entry; the race is benign — the staged builds are idempotent and each
+``ensure_*`` stage publishes complete state or nothing.
 
 **Fault degradation**: the staged cache publishes the in-memory entry
 *before* persisting it, so a store crash mid-write (a
@@ -37,14 +44,19 @@ from contextlib import ExitStack
 from typing import Any
 
 from repro.cli import parse_batch_query, parse_statement
+from repro.components import (
+    DecomposedSession,
+    compute_delta,
+    decompose_schema,
+)
 from repro.cr.schema import CRSchema
 from repro.dsl import parse_schema
 from repro.errors import ReproError
 from repro.parallel.worker import answer_query
-from repro.pipeline import PipelineRun, activate_run
+from repro.pipeline import STAGE_DECOMPOSE, PipelineRun, activate_run, stage
 from repro.runtime.budget import Budget, budget_from_caps
 from repro.serve.metrics import ServeMetrics
-from repro.session import ReasoningSession, SessionCache
+from repro.session import SessionCache
 from repro.session.cache import CacheStats
 from repro.session.fingerprint import schema_fingerprint
 from repro.solver.registry import pin_backend
@@ -116,7 +128,7 @@ class ThreadSafeSessionCache(SessionCache):
 class ServeEngine:
     """Parse, govern, and answer one request at a time per fingerprint."""
 
-    ENDPOINTS = ("check", "implies", "batch")
+    ENDPOINTS = ("check", "implies", "batch", "diff")
 
     def __init__(
         self,
@@ -140,11 +152,14 @@ class ServeEngine:
 
     # -- request parsing -----------------------------------------------------
 
-    def _schema_from(self, payload: dict[str, Any]) -> CRSchema:
-        text = payload.get("schema")
+    def _schema_from(
+        self, payload: dict[str, Any], field_name: str = "schema"
+    ) -> CRSchema:
+        text = payload.get(field_name)
         if not isinstance(text, str):
             raise ReproError(
-                'request needs a "schema" field holding the schema DSL text'
+                f'request needs a "{field_name}" field holding the '
+                "schema DSL text"
             )
         return parse_schema(text)
 
@@ -174,6 +189,23 @@ class ServeEngine:
             raise ReproError(
                 'batch needs a non-empty "queries" list of strings '
                 "('sat <Class>' or implication statements)"
+            )
+        return [parse_batch_query(line) for line in lines]
+
+    def _diff_queries_from(
+        self, payload: dict[str, Any]
+    ) -> list[tuple[str, Any]]:
+        """Diff queries are *optional*: ``None``/absent means a
+        report-only delta, mirroring ``repro diff OLD NEW`` without a
+        queries file."""
+        lines = payload.get("queries")
+        if lines is None:
+            return []
+        if not isinstance(lines, list) or not all(
+            isinstance(line, str) for line in lines
+        ):
+            raise ReproError(
+                'diff "queries" must be a list of strings when present'
             )
         return [parse_batch_query(line) for line in lines]
 
@@ -209,6 +241,8 @@ class ServeEngine:
         """
         if not isinstance(payload, dict):
             raise ReproError("request body must be a JSON object")
+        if endpoint == "diff":
+            return self._handle_diff(payload)
         schema = self._schema_from(payload)
         queries = self._queries_from(endpoint, payload)
         budget = self._budget_from(payload)
@@ -250,8 +284,11 @@ class ServeEngine:
         run: PipelineRun,
     ) -> tuple[list[dict[str, Any]], bool, bool]:
         """The CLI's serial batch loop, verbatim: one session, the shared
-        :func:`answer_query` formatter, the same exit-code folding."""
-        session = ReasoningSession(schema, cache=self.cache, budget=budget)
+        :func:`answer_query` formatter, the same exit-code folding.
+
+        The session is constructed *inside* the activated run so its
+        decompose stage lands in this request's stage timings.
+        """
         records: list[dict[str, Any]] = []
         any_unknown = False
         all_positive = True
@@ -262,6 +299,9 @@ class ServeEngine:
                 # contextvars, so the server-wide pin is re-applied per
                 # request rather than once at startup.
                 stack.enter_context(pin_backend(self.backend))
+            session = DecomposedSession(
+                schema, cache=self.cache, budget=budget
+            )
             for kind, query in queries:
                 record, _text, positive, unknown = answer_query(
                     session, kind, query
@@ -270,6 +310,88 @@ class ServeEngine:
                 any_unknown = any_unknown or unknown
                 all_positive = all_positive and positive
         return records, any_unknown, all_positive
+
+    def _handle_diff(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """``POST /diff``: component delta between two schemas, plus
+        optional queries answered against the *new* one.
+
+        Mirrors ``repro diff OLD NEW --json``: the new schema's
+        components are classified against the shared cache and store
+        (``components_reused`` vs ``components_rebuilt``), so after a
+        one-island edit only the touched island rebuilds.  Serialized
+        on the *new* schema's fingerprint, like any other request that
+        builds its artifacts.
+        """
+        old_schema = self._schema_from(payload, "old_schema")
+        new_schema = self._schema_from(payload, "new_schema")
+        queries = self._diff_queries_from(payload)
+        budget = self._budget_from(payload)
+        fingerprint = schema_fingerprint(new_schema)
+        run = PipelineRun()
+        with self.fingerprint_lock(fingerprint):
+            try:
+                body = self._answer_diff(
+                    old_schema, new_schema, queries, budget, run
+                )
+            except ReproError:
+                raise
+            except Exception:
+                if self.metrics is not None:
+                    self.metrics.count_retry()
+                body = self._answer_diff(
+                    old_schema, new_schema, queries, budget, run
+                )
+        return {"payload": body, "stages": run.as_dict()}
+
+    def _answer_diff(
+        self,
+        old_schema: CRSchema,
+        new_schema: CRSchema,
+        queries: list[tuple[str, Any]],
+        budget: Budget | None,
+        run: PipelineRun,
+    ) -> dict[str, Any]:
+        """The CLI's diff loop: decompose both sides, pair components
+        by fingerprint, classify the new side, answer queries."""
+        records: list[dict[str, Any]] = []
+        any_unknown = False
+        all_positive = True
+        with ExitStack() as stack:
+            stack.enter_context(activate_run(run))
+            if self.backend:
+                stack.enter_context(pin_backend(self.backend))
+            with stage(STAGE_DECOMPOSE):
+                old_decomposition = decompose_schema(old_schema)
+            session = DecomposedSession(
+                new_schema, cache=self.cache, budget=budget
+            )
+            delta = compute_delta(old_decomposition, session.decomposition)
+            session.classify_all()
+            for kind, query in queries:
+                record, _text, positive, unknown = answer_query(
+                    session, kind, query
+                )
+                records.append(record)
+                any_unknown = any_unknown or unknown
+                all_positive = all_positive and positive
+        if queries:
+            exit_code = 3 if any_unknown else (0 if all_positive else 1)
+        else:
+            exit_code = 0
+        return {
+            "old_schema": old_schema.name,
+            "new_schema": new_schema.name,
+            "old_fingerprint": old_decomposition.whole_fingerprint,
+            "new_fingerprint": session.fingerprint,
+            "components": delta.as_dict(),
+            "results": records,
+            "stats": {
+                "components_total": session.components_total,
+                "components_reused": session.components_reused,
+                "components_rebuilt": session.components_rebuilt,
+            },
+            "exit_code": exit_code,
+        }
 
     # -- observability -------------------------------------------------------
 

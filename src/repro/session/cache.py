@@ -92,6 +92,9 @@ class CacheStats:
     store_misses: int = 0
     store_writes: int = 0
     store_write_failures: int = 0
+    components_total: int = 0
+    components_reused: int = 0
+    components_rebuilt: int = 0
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment one counter by name.
@@ -117,6 +120,9 @@ class CacheStats:
             "store_misses": self.store_misses,
             "store_writes": self.store_writes,
             "store_write_failures": self.store_write_failures,
+            "components_total": self.components_total,
+            "components_reused": self.components_reused,
+            "components_rebuilt": self.components_rebuilt,
         }
 
 

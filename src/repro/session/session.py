@@ -83,6 +83,9 @@ SESSION_STATS_KEYS: tuple[str, ...] = (
     "store_misses",
     "store_writes",
     "store_write_failures",
+    "components_total",
+    "components_reused",
+    "components_rebuilt",
 )
 """The :class:`SessionStats` field names, in ``as_dict`` order.  The
 parallel fan-out and the serve daemon sum per-worker / per-request stats
@@ -106,6 +109,9 @@ class SessionStats:
     store_misses: int = 0
     store_writes: int = 0
     store_write_failures: int = 0
+    components_total: int = 0
+    components_reused: int = 0
+    components_rebuilt: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -122,6 +128,9 @@ class SessionStats:
             "store_misses": self.store_misses,
             "store_writes": self.store_writes,
             "store_write_failures": self.store_write_failures,
+            "components_total": self.components_total,
+            "components_reused": self.components_reused,
+            "components_rebuilt": self.components_rebuilt,
         }
 
 

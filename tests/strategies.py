@@ -25,7 +25,7 @@ from repro.cr.constraints import (
     MinCardinalityStatement,
 )
 from repro.cr.interpretation import Interpretation
-from repro.cr.schema import CRSchema
+from repro.cr.schema import CRSchema, Relationship
 
 CLASS_NAMES = ["A", "B", "C", "D"]
 MAX_RELATIONSHIPS = 2
@@ -138,6 +138,123 @@ def schemas(
             builder.cover(covered, *coverers)
 
     return builder.build()
+
+
+def _component_count(schema: CRSchema) -> int:
+    """An independent union-find oracle for the constraint graph.
+
+    Deliberately *not* built on :mod:`repro.components` — the
+    decomposition property suite compares the library against this
+    little re-derivation, so the two cannot share a bug.
+    """
+    parent = {cls: cls for cls in schema.classes}
+
+    def find(cls: str) -> str:
+        while parent[cls] != cls:
+            parent[cls] = parent[parent[cls]]
+            cls = parent[cls]
+        return cls
+
+    def union(a: str, b: str) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_a] = root_b
+
+    for sub, sup in schema.isa_statements:
+        union(sub, sup)
+    for rel in schema.relationships:
+        signature = [cls for _role, cls in rel.signature]
+        for cls in signature[1:]:
+            union(signature[0], cls)
+    for cls, rel_name, _role in schema.declared_cards:
+        union(cls, schema.relationship(rel_name).signature[0][1])
+    for group in schema.disjointness_groups:
+        members = sorted(group)
+        for cls in members[1:]:
+            union(members[0], cls)
+    for covered, coverers in schema.coverings:
+        for cls in coverers:
+            union(covered, cls)
+    return len({find(cls) for cls in schema.classes})
+
+
+@st.composite
+def multi_component_schemas(
+    draw, min_islands: int = 2, max_islands: int = 3
+) -> tuple[CRSchema, int]:
+    """A schema assembled from independent namespaced islands, plus the
+    number of constraint-graph components it *actually* has.
+
+    Each island is its own :func:`schemas` draw whose classes,
+    relationships, and roles get an ``I{i}`` prefix before the union,
+    so no constraint crosses islands.  A drawn island can itself be
+    disconnected (a class mentioned by no constraint is a singleton
+    component), so the expected count comes from the independent
+    :func:`_component_count` oracle, not from the island count.
+
+    Sizes are kept small — decomposition parity suites run every query
+    twice (decomposed and monolithic), and the monolithic side pays the
+    whole product expansion.
+    """
+    num_islands = draw(
+        st.integers(min_value=min_islands, max_value=max_islands)
+    )
+    island_classes = 3 if num_islands <= 2 else 2
+    classes: list[str] = []
+    relationships: list[Relationship] = []
+    isa: list[tuple[str, str]] = []
+    cards: dict = {}
+    disjointness: list[frozenset[str]] = []
+    coverings: list[tuple[str, frozenset[str]]] = []
+    for i in range(num_islands):
+        island = draw(
+            schemas(
+                max_classes=island_classes,
+                max_relationships=1,
+                allow_extensions=True,
+            )
+        )
+        prefix = f"I{i}"
+        cls_map = {cls: f"{prefix}{cls}" for cls in island.classes}
+        classes.extend(cls_map[cls] for cls in island.classes)
+        relationships.extend(
+            Relationship(
+                f"{prefix}{rel.name}",
+                tuple(
+                    (f"{prefix}{role}", cls_map[cls])
+                    for role, cls in rel.signature
+                ),
+            )
+            for rel in island.relationships
+        )
+        isa.extend(
+            (cls_map[sub], cls_map[sup])
+            for sub, sup in island.isa_statements
+        )
+        cards.update(
+            {
+                (cls_map[cls], f"{prefix}{rel}", f"{prefix}{role}"): card
+                for (cls, rel, role), card in island.declared_cards.items()
+            }
+        )
+        disjointness.extend(
+            frozenset(cls_map[cls] for cls in group)
+            for group in island.disjointness_groups
+        )
+        coverings.extend(
+            (cls_map[covered], frozenset(cls_map[c] for c in coverers))
+            for covered, coverers in island.coverings
+        )
+    schema = CRSchema(
+        classes=classes,
+        relationships=relationships,
+        isa=isa,
+        cards=cards,
+        disjointness=disjointness,
+        coverings=coverings,
+        name="Islands",
+    )
+    return schema, _component_count(schema)
 
 
 @st.composite

@@ -203,6 +203,37 @@ class TestNonatomicWriteBan:
         assert rules(source, path="repro/store/locks.py") == ["R6"]
 
 
+COMPONENTS_PATH = "repro/components/decompose.py"
+
+
+class TestWholeSchemaExpansionBan:
+    def test_direct_expansion_call_flagged(self):
+        source = "expansion = Expansion(schema)\n"
+        assert rules(source, path=COMPONENTS_PATH) == ["R7"]
+
+    def test_build_system_call_flagged(self):
+        source = "system = build_system(expansion)\n"
+        assert rules(source, path=COMPONENTS_PATH) == ["R7"]
+
+    def test_attribute_call_form_flagged(self):
+        # Reaching the banned entry points through the module object
+        # (`expansion_mod.Expansion(...)`) is the same violation.
+        source = "expansion = cr_expansion.Expansion(schema)\n"
+        assert rules(source, path=COMPONENTS_PATH) == ["R7"]
+
+    def test_delegating_to_sessions_is_fine(self):
+        source = """
+            session = ReasoningSession(component.schema, cache=cache)
+            entry = cache.artifacts(component.schema, fingerprint)
+            """
+        assert rules(source, path=COMPONENTS_PATH) == []
+
+    def test_rule_scoped_to_the_component_package(self):
+        source = "expansion = Expansion(schema)\n"
+        assert rules(source, path="repro/cli.py") == []
+        assert rules(source, path="repro/components/session.py") == ["R7"]
+
+
 class TestDiagnostics:
     def test_violations_render_file_line_rule(self):
         (violation,) = violations("x = 0.5\n")

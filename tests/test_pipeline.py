@@ -70,11 +70,13 @@ class TestPipelineRun:
     def test_canonical_order_matches_the_pipeline(self):
         assert CANONICAL_STAGES == (
             "normalize",
+            "decompose",
             "analyze",
             "expand",
             "build-system",
             "solve",
             "verdict",
+            "combine",
         )
 
     def test_pretty_formats_milliseconds(self):

@@ -37,6 +37,13 @@ R6  atomic writes only in ``repro/store/``: the store's crash-safety
     else under ``repro/store/`` — a bare ``open(path, "w")`` truncates
     in place and a crash mid-write leaves a torn entry that *reads* as
     present.
+R7  no whole-schema expansion in ``repro/components/``: the layer's
+    entire value is that reasoning cost scales with the touched
+    *island*, never the whole schema.  Calling ``Expansion(...)`` or
+    ``build_system(...)`` there would reintroduce the exponential
+    whole-schema path behind the incremental facade, so both are
+    banned — components must delegate to the per-component sessions
+    and cache, which expand only their own sub-schemas.
 
 Failures print ``file:line: RULE message`` diagnostics and exit 1.
 Run from the repository root: ``python tools/check_invariants.py``.
@@ -66,6 +73,13 @@ PARALLEL_MODULES = ("repro/parallel/",)
 
 STORE_MODULES = ("repro/store/",)
 """Scope of R6 (atomic writes only)."""
+
+COMPONENT_MODULES = ("repro/components/",)
+"""Scope of R7 (no whole-schema expansion)."""
+
+_EXPANSION_CALLS = ("Expansion", "build_system")
+"""Call names R7 bans inside the component layer — the two entry
+points of the exponential whole-schema pipeline."""
 
 STORE_WRITE_HELPER = "repro/store/atomic.py"
 """The one module allowed to open files for writing inside the store."""
@@ -314,6 +328,29 @@ def _check_nonatomic_writes(tree: ast.AST, path: str) -> list[Violation]:
     return violations
 
 
+def _check_whole_schema_expansion(
+    tree: ast.AST, path: str
+) -> list[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in _EXPANSION_CALLS:
+            continue
+        violations.append(
+            Violation(
+                path,
+                node.lineno,
+                "R7",
+                f"{name}() in the component layer; expansion must happen "
+                "per component through the session cache, never on the "
+                "whole schema",
+            )
+        )
+    return violations
+
+
 def check_source(source: str, relative_path: str) -> list[Violation]:
     """Lint one module's source against every rule whose scope covers
     ``relative_path`` (a path relative to ``src/``, e.g.
@@ -333,6 +370,8 @@ def check_source(source: str, relative_path: str) -> list[Violation]:
         and relative_path.replace("\\", "/") != STORE_WRITE_HELPER
     ):
         violations.extend(_check_nonatomic_writes(tree, relative_path))
+    if _in_scope(relative_path, COMPONENT_MODULES):
+        violations.extend(_check_whole_schema_expansion(tree, relative_path))
     return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
 
 
@@ -345,7 +384,11 @@ def iter_checked_files(src_root: Path = SRC) -> list[Path]:
     """Every file any rule applies to, sorted for stable output."""
     scoped: set[Path] = set()
     for entry in (
-        EXACT_KERNEL + KERNEL_MODULES + PARALLEL_MODULES + STORE_MODULES
+        EXACT_KERNEL
+        + KERNEL_MODULES
+        + PARALLEL_MODULES
+        + STORE_MODULES
+        + COMPONENT_MODULES
     ):
         target = src_root / entry
         if target.is_file():
