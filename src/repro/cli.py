@@ -11,7 +11,10 @@ check     per-class finite satisfiability (optionally one class,
 lint      the polynomial-time static analyzer alone: structured
           diagnostics (errors / warnings / infos) with machine-checked
           witnesses, ``--json`` for tooling, ``--strict`` to fail on
-          warnings
+          warnings; ``--repo`` turns the lens inward and runs the
+          :mod:`repro.lintkit` rules (R1–R12) over the repo's own
+          source against the checked-in baseline
+          (``tools/lint_baseline.json``)
 implies   decide ``S ⊨ K`` for a statement like ``"A isa B"`` or
           ``"maxc(Speaker, Holds, U1) = 1"``
 batch     answer many queries (``sat <Class>`` lines and implication
@@ -193,14 +196,40 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if all(verdicts.values()) else 1
 
 
+# The one authoritative statement of ``repro lint``'s exit semantics.
+# It appears verbatim in ``repro lint --help`` and in the README's
+# "Static schema analysis" section; ``tests/test_lint_cli.py`` pins
+# all three surfaces (epilog text, README text, actual exit codes)
+# against each other so they cannot drift again.
+LINT_EXIT_CODES = """\
+exit codes:
+  0 = clean (no errors; with --repo, no non-baselined finding)
+  1 = findings (errors, or warnings under --strict; with --repo, new
+      findings, or stale suppressions under --strict)
+  2 = unreadable or invalid input (missing file, parse error, bad
+      baseline)"""
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the static analyzer alone and report its diagnostics.
 
-    Exit codes: 0 when the report has no error (and, under
-    ``--strict``, no warning), 1 when it does, 2 for unreadable or
-    unparsable input (via :func:`main`'s error mapping).  Infos never
-    affect the exit code.
+    Exit codes (pinned by ``tests/test_lint_cli.py`` against the
+    ``--help`` epilog and the README): 0 when the report has no error
+    (and, under ``--strict``, no warning), 1 when it does, 2 for
+    unreadable or unparsable input (via :func:`main`'s error mapping).
+    Infos never affect the exit code.  With ``--repo`` the subject is
+    the repo's own source instead of a schema: 0 means no
+    non-baselined finding, 1 means new findings (or stale baseline
+    suppressions under ``--strict``), 2 means an unreadable or invalid
+    baseline.
     """
+    if args.repo:
+        return _cmd_lint_repo(args)
+    if args.schema is None:
+        raise ReproError(
+            "lint needs a schema file (or --repo to lint the repo's "
+            "own source)"
+        )
     schema = _load_schema(args.schema)
     report = analyze(schema)
     assert report.verify(schema), "analysis witness failed verification"
@@ -211,6 +240,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.pretty())
     failing = bool(report.errors) or (args.strict and bool(report.warnings))
+    return 1 if failing else 0
+
+
+def _cmd_lint_repo(args: argparse.Namespace) -> int:
+    """``repro lint --repo``: run the lintkit rules over this repo's
+    own source and gate against the checked-in baseline."""
+    from repro.lintkit import default_baseline_path, lint_repo
+
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else default_baseline_path()
+    )
+    report = lint_repo(baseline_path=baseline_path)
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        for line in report.render_human():
+            print(line)
+    failing = bool(report.new_findings) or (
+        args.strict and bool(report.stale_suppressions)
+    )
     return 1 if failing else 0
 
 
@@ -766,9 +819,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="static schema diagnostics (no expansion, polynomial time)",
+        help="static schema diagnostics (no expansion, polynomial "
+        "time); --repo lints the repo's own source instead",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=LINT_EXIT_CODES,
     )
-    lint.add_argument("schema")
+    lint.add_argument(
+        "schema",
+        nargs="?",
+        default=None,
+        help="schema file to lint (omit with --repo)",
+    )
+    lint.add_argument(
+        "--repo",
+        action="store_true",
+        help="lint the repo's own source with the lintkit rules "
+        "(R1-R12) against the checked-in baseline instead of "
+        "linting a schema",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline of accepted findings for --repo "
+        "(default: tools/lint_baseline.json)",
+    )
     lint.add_argument(
         "--json",
         action="store_true",
@@ -777,7 +852,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--strict",
         action="store_true",
-        help="treat warnings as failures (exit 1)",
+        help="fail (exit 1) on schema warnings, or on stale baseline "
+        "suppressions with --repo",
     )
     lint.set_defaults(run=_cmd_lint)
 

@@ -1,0 +1,124 @@
+"""Baseline suppressions: the "no *new* findings" gate.
+
+The checked-in baseline (``tools/lint_baseline.json``) lists findings
+that are understood and accepted, each with a mandatory human
+justification.  A suppression matches on ``(rule, path, scope)`` —
+deliberately *not* on line number, so unrelated edits to a file do not
+invalidate it — and covers every finding of that rule inside that
+definition.
+
+The gate semantics:
+
+* a finding with a matching suppression is *baselined* — reported in
+  JSON for transparency, but it does not fail the run;
+* a finding without one is *new* — the run fails;
+* a suppression matching no finding is *stale* — reported so the
+  baseline shrinks as code improves (and fails the run under
+  ``--strict``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.lintkit.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One justified, accepted finding."""
+
+    rule: str
+    path: str
+    scope: str
+    justification: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.scope)
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "scope": self.scope,
+            "justification": self.justification,
+        }
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The loaded suppression set."""
+
+    suppressions: tuple[Suppression, ...] = ()
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        """Load a baseline file; a missing file is an empty baseline
+        (every finding counts as new)."""
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"unreadable lint baseline {path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("suppressions"), list
+        ):
+            raise ReproError(
+                f"lint baseline {path} must be an object with a "
+                "'suppressions' list"
+            )
+        suppressions = []
+        for index, entry in enumerate(payload["suppressions"]):
+            if not isinstance(entry, dict):
+                raise ReproError(
+                    f"lint baseline {path}: suppression #{index} is "
+                    "not an object"
+                )
+            missing = [
+                field
+                for field in ("rule", "path", "scope", "justification")
+                if not str(entry.get(field, "")).strip()
+            ]
+            if missing:
+                raise ReproError(
+                    f"lint baseline {path}: suppression #{index} is "
+                    f"missing {', '.join(missing)} — every accepted "
+                    "finding needs a justification"
+                )
+            suppressions.append(
+                Suppression(
+                    rule=str(entry["rule"]),
+                    path=str(entry["path"]),
+                    scope=str(entry["scope"]),
+                    justification=str(entry["justification"]),
+                )
+            )
+        return cls(suppressions=tuple(suppressions))
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[Suppression]]:
+        """Partition into (new, baselined, stale suppressions)."""
+        by_key: dict[tuple[str, str, str], Suppression] = {}
+        for suppression in self.suppressions:
+            by_key[suppression.key()] = suppression
+        used: set[tuple[str, str, str]] = set()
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            key = finding.suppression_key()
+            if key in by_key:
+                used.add(key)
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [s for s in self.suppressions if s.key() not in used]
+        return new, baselined, stale

@@ -1,0 +1,335 @@
+"""Call graph with per-function summaries via a worklist fixpoint.
+
+Resolution is a deliberate *may* over-approximation, tuned for the
+dataflow rules rather than for completeness:
+
+* ``name(...)`` resolves through the module's own definitions and its
+  import alias table (``from repro.x import y``);
+* ``ClassName(...)`` resolves to ``ClassName.__init__`` when defined;
+* ``self.m(...)`` and ``super().m(...)`` resolve through the class
+  hierarchy (bases resolved through imports across modules);
+* any other ``obj.m(...)`` falls back to class-hierarchy analysis:
+  every in-project *method* named ``m`` is a candidate target, unless
+  ``m`` is a ubiquitous container/stdlib method name (the blocklist)
+  — those would connect everything to everything.
+
+Summaries are boolean facts closed under "calls a function that has
+the fact" (:meth:`CallGraph.can_reach`, a reverse-edge worklist), and
+witness chains come from a deterministic forward BFS over sorted
+adjacency (:meth:`CallGraph.witness_chain`), so diagnostics are
+stable under module discovery order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable
+
+from repro.lintkit.loader import Project
+from repro.lintkit.model import CallSite, ClassInfo, FunctionInfo
+
+CHA_BLOCKLIST = frozenset(
+    {
+        "acquire",
+        "add",
+        "append",
+        "as_posix",
+        "cancel",
+        "clear",
+        "close",
+        "copy",
+        "count",
+        "decode",
+        "discard",
+        "done",
+        "encode",
+        "endswith",
+        "exists",
+        "extend",
+        "flush",
+        "format",
+        "get",
+        "group",
+        "groups",
+        "index",
+        "insert",
+        "isoformat",
+        "items",
+        "join",
+        "keys",
+        "locked",
+        "lower",
+        "lstrip",
+        "match",
+        "mkdir",
+        "move_to_end",
+        "name",
+        "open",
+        "pop",
+        "popitem",
+        "put",
+        "read",
+        "recv",
+        "release",
+        "remove",
+        "replace",
+        "resolve",
+        "result",
+        "reverse",
+        "rstrip",
+        "run",
+        "running",
+        "search",
+        "send",
+        "set",
+        "setdefault",
+        "sort",
+        "split",
+        "start",
+        "startswith",
+        "stop",
+        "strip",
+        "submit",
+        "unlink",
+        "update",
+        "upper",
+        "values",
+        "wait",
+        "write",
+    }
+)
+"""Method names too common to resolve by name alone — class-hierarchy
+analysis on these would wire unrelated layers together."""
+
+
+class CallGraph:
+    """Edges and summaries over a :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self._methods_by_name: dict[str, tuple[str, ...]] = {}
+        for module in project.modules:
+            for cls in module.classes.values():
+                for method, qualname in cls.methods.items():
+                    bucket = self._methods_by_name.setdefault(method, ())
+                    self._methods_by_name[method] = bucket + (qualname,)
+        for method, bucket in self._methods_by_name.items():
+            self._methods_by_name[method] = tuple(sorted(bucket))
+        # edges[f] = [(call_site, (sorted targets...)), ...]
+        self.edges: dict[str, list[tuple[CallSite, tuple[str, ...]]]] = {}
+        for qualname in sorted(project.functions):
+            func = project.functions[qualname]
+            module = project.modules_by_name[func.modname]
+            resolved = []
+            for call in func.calls:
+                targets = self.resolve(module, func, call)
+                if targets:
+                    resolved.append((call, targets))
+            self.edges[qualname] = resolved
+        self._reverse: dict[str, tuple[str, ...]] = {}
+        reverse: dict[str, set[str]] = {}
+        for caller, resolved in self.edges.items():
+            for _, targets in resolved:
+                for target in targets:
+                    reverse.setdefault(target, set()).add(caller)
+        for target, callers in reverse.items():
+            self._reverse[target] = tuple(sorted(callers))
+
+    # -- resolution -------------------------------------------------
+
+    def call_targets(self, qualname: str) -> dict[int, tuple[str, ...]]:
+        """``id(call_site) -> resolved targets`` for one function."""
+        return {
+            id(call): targets
+            for call, targets in self.edges.get(qualname, ())
+        }
+
+    def class_chain(self, cls: ClassInfo) -> list[ClassInfo]:
+        """``cls`` plus its in-project bases, breadth-first."""
+        module = self.project.modules_by_name.get(
+            cls.qualname.rsplit(".", 1)[0]
+        )
+        chain = [cls]
+        queue = deque([(cls, module)])
+        while queue:
+            current, mod = queue.popleft()
+            for base_text in current.bases:
+                base = None
+                base_mod = None
+                if mod is not None and base_text in mod.classes:
+                    base = mod.classes[base_text]
+                    base_mod = mod
+                elif mod is not None and base_text in mod.imports:
+                    dotted = mod.imports[base_text]
+                    base = self.project.find_class(dotted)
+                    if base is not None:
+                        base_mod = self.project.modules_by_name.get(
+                            dotted.rpartition(".")[0]
+                        )
+                if base is not None and base not in chain:
+                    chain.append(base)
+                    queue.append((base, base_mod))
+        return chain
+
+    def _resolve_symbol(self, dotted: str) -> tuple[str, ...]:
+        """A dotted import target → function qualname(s), following a
+        class to its ``__init__``."""
+        func = self.project.find_function(dotted)
+        if func is not None:
+            return (dotted,)
+        cls = self.project.find_class(dotted)
+        if cls is not None and "__init__" in cls.methods:
+            return (cls.methods["__init__"],)
+        return ()
+
+    def resolve(
+        self, module, func: FunctionInfo, call: CallSite
+    ) -> tuple[str, ...]:
+        if call.name is not None:
+            local = f"{module.modname}.{call.name}"
+            if local in module.functions:
+                return (local,)
+            if call.name in module.classes:
+                cls = module.classes[call.name]
+                if "__init__" in cls.methods:
+                    return (cls.methods["__init__"],)
+                return ()
+            dotted = module.imports.get(call.name)
+            if dotted is not None:
+                return self._resolve_symbol(dotted)
+            return ()
+        if call.attr is None:
+            return ()
+        if call.is_self_method or call.is_super:
+            if func.cls is None:
+                return ()
+            cls = module.classes.get(func.cls)
+            if cls is None:
+                return ()
+            chain = self.class_chain(cls)
+            if call.is_super:
+                chain = chain[1:]
+            for candidate in chain:
+                target = candidate.methods.get(call.attr)
+                if target is not None:
+                    return (target,)
+            return ()
+        if call.base is not None and call.text == (
+            f"{call.base}.{call.attr}"
+        ):
+            dotted = module.imports.get(call.base)
+            if dotted is not None:
+                targets = self._resolve_symbol(f"{dotted}.{call.attr}")
+                if targets:
+                    return targets
+        if call.attr in CHA_BLOCKLIST:
+            return ()
+        return self._methods_by_name.get(call.attr, ())
+
+    # -- summaries --------------------------------------------------
+
+    def can_reach(self, direct: Iterable[str]) -> frozenset[str]:
+        """Every function that can reach a member of ``direct``
+        through calls (members included) — reverse-edge worklist."""
+        reached = set(direct)
+        queue = deque(sorted(reached))
+        while queue:
+            target = queue.popleft()
+            for caller in self._reverse.get(target, ()):
+                if caller not in reached:
+                    reached.add(caller)
+                    queue.append(caller)
+        return frozenset(reached)
+
+    def forward_reachable(
+        self,
+        seeds: Iterable[tuple[str, str | None]],
+        edge_ok: Callable[[CallSite], bool] | None = None,
+    ) -> dict[str, tuple[str | None, int]]:
+        """Forward BFS from ``(qualname, None)`` seeds.
+
+        Returns ``{qualname: (parent_qualname, call_line)}`` parent
+        pointers; seeds map to ``(None, 0)``.  Deterministic: seeds
+        and adjacency are explored in sorted order.
+        """
+        parents: dict[str, tuple[str | None, int]] = {}
+        queue: deque[str] = deque()
+        for qualname, _ in sorted(seeds, key=lambda s: s[0]):
+            if qualname not in parents:
+                parents[qualname] = (None, 0)
+                queue.append(qualname)
+        while queue:
+            current = queue.popleft()
+            for call, targets in self.edges.get(current, ()):
+                if edge_ok is not None and not edge_ok(call):
+                    continue
+                for target in targets:
+                    if target not in parents:
+                        parents[target] = (current, call.line)
+                        queue.append(target)
+        return parents
+
+    def witness_chain(
+        self,
+        parents: dict[str, tuple[str | None, int]],
+        qualname: str,
+    ) -> tuple[str, ...]:
+        """Render the BFS path to ``qualname`` as witness steps."""
+        steps: list[str] = []
+        current: str | None = qualname
+        while current is not None:
+            parent, line = parents[current]
+            func = self.project.functions.get(current)
+            where = (
+                f"{func.path}:{func.line}" if func is not None else "?"
+            )
+            if parent is None:
+                steps.append(f"{current} ({where})")
+            else:
+                steps.append(
+                    f"{current} ({where}) called from line {line}"
+                )
+            current = parent
+        return tuple(reversed(steps))
+
+    def chain_between(
+        self,
+        start: str,
+        targets: frozenset[str],
+        first_call: CallSite | None = None,
+    ) -> tuple[tuple[str, ...], str] | None:
+        """Shortest call chain from ``start`` into ``targets``.
+
+        Returns the rendered chain and the target qualname reached, or
+        ``None``.  ``first_call`` restricts the first hop to one call
+        site (used to scope a chain to a lock's held region).
+        """
+        if first_call is None:
+            parents = self.forward_reachable([(start, None)])
+        else:
+            parents = {start: (None, 0)}
+            queue: deque[str] = deque()
+            for call, hop_targets in self.edges.get(start, ()):
+                if call is not first_call:
+                    continue
+                for target in hop_targets:
+                    if target not in parents:
+                        parents[target] = (start, call.line)
+                        queue.append(target)
+            while queue:
+                current = queue.popleft()
+                for call, hop_targets in self.edges.get(current, ()):
+                    for target in hop_targets:
+                        if target not in parents:
+                            parents[target] = (current, call.line)
+                            queue.append(target)
+        best: str | None = None
+        for qualname in sorted(targets):
+            if qualname in parents and qualname != start:
+                best = qualname
+                break
+        if best is None:
+            if start in targets:
+                return self.witness_chain(parents, start), start
+            return None
+        return self.witness_chain(parents, best), best

@@ -1,0 +1,108 @@
+"""Byte-compatible API of the retired ``tools/check_invariants.py``.
+
+The historical single-file walker exposed four entry points that unit
+tests and CI invoke directly; the shim left behind at
+``tools/check_invariants.py`` forwards them here.  Diagnostics are
+byte-identical — same rule ids, messages, line anchors, scoping, and
+``(path, line, rule)`` sort — only the implementation moved onto the
+lintkit registry, which upgrades R2 from the same-scope name heuristic
+to transitive budget-charge reachability (a strictly more permissive
+check: every loop the old rule accepted is still accepted).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lintkit.astrules import (
+    COMPONENT_MODULES,
+    EXACT_KERNEL,
+    KERNEL_MODULES,
+    PARALLEL_MODULES,
+    STORE_MODULES,
+)
+from repro.lintkit.loader import Project, default_src_root
+from repro.lintkit.model import build_module
+from repro.lintkit.rules import run_rules
+
+COMPAT_RULE_IDS = ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
+"""The rules the historical script enforced (and the shim still runs).
+The dataflow-only rules R8–R12 are ``repro lint --repo`` territory."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, formatted ``file:line: RULE message``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def check_source(source: str, relative_path: str) -> list[Violation]:
+    """Lint one module's source against every compat rule whose scope
+    covers ``relative_path`` (relative to ``src/``)."""
+    module = build_module(source, relative_path)
+    project = Project([module])
+    findings = run_rules(project, COMPAT_RULE_IDS)
+    violations = [
+        Violation(
+            path=finding.path,
+            line=finding.line,
+            rule=finding.rule,
+            message=finding.message,
+        )
+        for finding in findings
+    ]
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+
+
+def check_file(
+    path: Path, src_root: Path | None = None
+) -> list[Violation]:
+    root = src_root if src_root is not None else default_src_root()
+    relative = path.resolve().relative_to(root.resolve()).as_posix()
+    return check_source(path.read_text(), relative)
+
+
+def iter_checked_files(src_root: Path | None = None) -> list[Path]:
+    """Every file a compat rule applies to, sorted for stable output."""
+    root = src_root if src_root is not None else default_src_root()
+    scoped: set[Path] = set()
+    for entry in (
+        EXACT_KERNEL
+        + KERNEL_MODULES
+        + PARALLEL_MODULES
+        + STORE_MODULES
+        + COMPONENT_MODULES
+    ):
+        target = root / entry
+        if target.is_file():
+            scoped.add(target)
+        elif target.is_dir():
+            scoped.update(target.rglob("*.py"))
+    return sorted(scoped)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI of the historical script, output-compatible."""
+    paths = [Path(arg) for arg in (argv or [])] or iter_checked_files()
+    violations: list[Violation] = []
+    for path in paths:
+        violations.extend(check_file(path))
+    for violation in violations:
+        print(violation.render(), file=sys.stderr)
+    if violations:
+        print(
+            f"check_invariants: {len(violations)} violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_invariants: {len(paths)} file(s) clean")
+    return 0

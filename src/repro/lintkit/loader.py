@@ -1,0 +1,99 @@
+"""Project loader: discover, parse, and model the repo's own source.
+
+:func:`load_project` walks ``src/repro`` (or an explicit file list),
+builds a :class:`~repro.lintkit.model.ModuleModel` per file, and wraps
+them in a :class:`Project` — the object every project-wide rule
+receives.  Modules are stored sorted by path and the call graph is
+built from sorted structures, so rule output is identical under any
+discovery order (pinned by a Hypothesis test).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from pathlib import Path
+
+from repro.lintkit.model import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleModel,
+    build_module,
+)
+
+
+def default_src_root() -> Path:
+    """The ``src/`` directory this installed ``repro`` package lives
+    in — lets ``repro lint --repo`` run from any working directory."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+class Project:
+    """An analyzed set of modules plus its lazily-built call graph."""
+
+    def __init__(self, modules: list[ModuleModel]) -> None:
+        self.modules = sorted(modules, key=lambda m: m.path)
+        self.modules_by_name = {m.modname: m for m in self.modules}
+
+    @cached_property
+    def functions(self) -> dict[str, FunctionInfo]:
+        table: dict[str, FunctionInfo] = {}
+        for module in self.modules:
+            table.update(module.functions)
+        return table
+
+    def find_class(self, dotted: str) -> ClassInfo | None:
+        """Resolve ``repro.session.cache.SessionCache`` → its info."""
+        modname, _, symbol = dotted.rpartition(".")
+        module = self.modules_by_name.get(modname)
+        if module is None:
+            return None
+        return module.classes.get(symbol)
+
+    def find_function(self, dotted: str) -> FunctionInfo | None:
+        return self.functions.get(dotted)
+
+    @cached_property
+    def callgraph(self):  # noqa: ANN201 - circular-import avoidance
+        from repro.lintkit.callgraph import CallGraph
+
+        return CallGraph(self)
+
+    def modules_in_scope(
+        self, scope: tuple[str, ...], exempt: tuple[str, ...] = ()
+    ) -> list[ModuleModel]:
+        selected = []
+        for module in self.modules:
+            if module.path in exempt:
+                continue
+            if any(
+                module.path == entry or module.path.startswith(entry)
+                for entry in scope
+            ):
+                selected.append(module)
+        return selected
+
+
+def iter_project_files(src_root: Path | None = None) -> list[Path]:
+    """Every ``repro`` source file, sorted for stable output."""
+    root = src_root if src_root is not None else default_src_root()
+    package = root / "repro"
+    return sorted(
+        path
+        for path in package.rglob("*.py")
+        if "__pycache__" not in path.parts
+    )
+
+
+def load_project(
+    src_root: Path | None = None, paths: list[Path] | None = None
+) -> Project:
+    """Load and model the project rooted at ``src_root``."""
+    root = src_root if src_root is not None else default_src_root()
+    files = paths if paths is not None else iter_project_files(root)
+    modules = []
+    for path in files:
+        relative = path.resolve().relative_to(root.resolve()).as_posix()
+        modules.append(build_module(path.read_text(), relative))
+    return Project(modules)

@@ -1,0 +1,100 @@
+"""Repo lint runner: load, analyze, gate against the baseline.
+
+:func:`lint_repo` is the engine behind ``repro lint --repo``: it loads
+every ``repro`` source module, runs the full rule registry, partitions
+findings against the checked-in baseline, and returns a
+:class:`RepoLintReport` with stable human and JSON renderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lintkit.baseline import Baseline, Suppression
+from repro.lintkit.findings import Finding
+from repro.lintkit.loader import (
+    Project,
+    default_src_root,
+    load_project,
+)
+from repro.lintkit.rules import run_rules
+
+REPORT_VERSION = 1
+
+
+def default_baseline_path(src_root: Path | None = None) -> Path:
+    root = src_root if src_root is not None else default_src_root()
+    return root.parent / "tools" / "lint_baseline.json"
+
+
+@dataclass
+class RepoLintReport:
+    """One ``repro lint --repo`` run."""
+
+    files_checked: int
+    new_findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_suppressions: list[Suppression] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.new_findings
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "version": REPORT_VERSION,
+            "files_checked": self.files_checked,
+            "summary": {
+                "new": len(self.new_findings),
+                "baselined": len(self.baselined),
+                "stale_suppressions": len(self.stale_suppressions),
+            },
+            "new_findings": [f.as_dict() for f in self.new_findings],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "stale_suppressions": [
+                s.as_dict() for s in self.stale_suppressions
+            ],
+        }
+
+    def render_human(self) -> list[str]:
+        lines: list[str] = []
+        for finding in self.new_findings:
+            lines.append(finding.render())
+            lines.extend(finding.render_witness())
+        for suppression in self.stale_suppressions:
+            lines.append(
+                "stale suppression: "
+                f"{suppression.rule} {suppression.path} "
+                f"[{suppression.scope}] no longer matches any finding"
+            )
+        lines.append(
+            f"repo lint: {self.files_checked} file(s), "
+            f"{len(self.new_findings)} new finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.stale_suppressions)} stale suppression(s)"
+        )
+        return lines
+
+
+def lint_repo(
+    src_root: Path | None = None,
+    baseline_path: Path | None = None,
+    project: Project | None = None,
+) -> RepoLintReport:
+    """Lint the repo's own source against every registered rule."""
+    if project is None:
+        project = load_project(src_root)
+    baseline = Baseline.load(
+        baseline_path
+        if baseline_path is not None
+        else default_baseline_path(src_root)
+    )
+    findings = run_rules(project)
+    new, baselined, stale = baseline.split(findings)
+    return RepoLintReport(
+        files_checked=len(project.modules),
+        new_findings=new,
+        baselined=baselined,
+        stale_suppressions=stale,
+    )

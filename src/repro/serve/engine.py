@@ -40,7 +40,8 @@ normally — rebuild-and-answer, never a 500 carrying bad bytes.
 from __future__ import annotations
 
 import threading
-from contextlib import ExitStack
+from collections.abc import Iterator
+from contextlib import ExitStack, contextmanager
 from typing import Any
 
 from repro.cli import parse_batch_query, parse_statement
@@ -51,7 +52,7 @@ from repro.components import (
 )
 from repro.cr.schema import CRSchema
 from repro.dsl import parse_schema
-from repro.errors import ReproError
+from repro.errors import LimitExceededError, ReproError
 from repro.parallel.worker import answer_query
 from repro.pipeline import STAGE_DECOMPOSE, PipelineRun, activate_run, stage
 from repro.runtime.budget import Budget, budget_from_caps
@@ -62,6 +63,13 @@ from repro.session.fingerprint import schema_fingerprint
 from repro.solver.registry import pin_backend
 from repro.store import ArtifactStore
 from repro.store.store import StoreStats
+
+
+LOCK_ACQUIRE_SECONDS = 300.0
+"""Deadline on acquiring a per-fingerprint build lock.  Generous —
+the build ahead may legitimately be large — but bounded, so a wedged
+build degrades to a clean error instead of stacking executor threads
+(lintkit rule R9)."""
 
 
 class LockedCacheStats(CacheStats):
@@ -229,6 +237,29 @@ class ServeEngine:
                 lock = self._fingerprint_locks[fingerprint] = threading.Lock()
             return lock
 
+    @contextmanager
+    def hold_fingerprint_lock(self, fingerprint: str) -> Iterator[None]:
+        """Acquire the per-fingerprint build lock *with a deadline*.
+
+        The lock is held across a potentially large artifact build, so
+        a bare ``with lock:`` would stack executor threads behind a
+        wedged build forever (lintkit rule R9).  A bounded acquire
+        degrades that pathology to a clean
+        :class:`~repro.errors.LimitExceededError`, which the app maps
+        onto the CLI's exit-3 resource-exhaustion shape.
+        """
+        lock = self.fingerprint_lock(fingerprint)
+        if not lock.acquire(timeout=LOCK_ACQUIRE_SECONDS):
+            raise LimitExceededError(
+                "timed out waiting for the schema build lock after "
+                f"{LOCK_ACQUIRE_SECONDS:g}s; another request is still "
+                "building artifacts for this fingerprint"
+            )
+        try:
+            yield
+        finally:
+            lock.release()
+
     # -- answering -----------------------------------------------------------
 
     def handle(self, endpoint: str, payload: Any) -> dict[str, Any]:
@@ -248,7 +279,7 @@ class ServeEngine:
         budget = self._budget_from(payload)
         fingerprint = schema_fingerprint(schema)
         run = PipelineRun()
-        with self.fingerprint_lock(fingerprint):
+        with self.hold_fingerprint_lock(fingerprint):
             try:
                 records, any_unknown, all_positive = self._answer(
                     schema, queries, budget, run
@@ -328,7 +359,7 @@ class ServeEngine:
         budget = self._budget_from(payload)
         fingerprint = schema_fingerprint(new_schema)
         run = PipelineRun()
-        with self.fingerprint_lock(fingerprint):
+        with self.hold_fingerprint_lock(fingerprint):
             try:
                 body = self._answer_diff(
                     old_schema, new_schema, queries, budget, run

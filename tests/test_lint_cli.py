@@ -160,3 +160,119 @@ class TestShortCircuitSurfacing:
         out = capsys.readouterr().out
         assert "# analyze: 1 run(s), 0 short-circuit(s)" in out
         assert "1 expansion build(s)" in out
+
+
+class TestRepoLint:
+    """``repro lint --repo`` — the lintkit self-lint surfaced on the
+    CLI, gated against the checked-in baseline."""
+
+    def test_repo_mode_is_clean_against_baseline(self, capsys):
+        assert main(["lint", "--repo"]) == 0
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+        assert "repo lint:" in out
+
+    def test_empty_baseline_surfaces_findings(self, tmp_path, capsys):
+        # With no suppressions, the accepted (baselined) findings
+        # become new findings and the gate fails.
+        path = tmp_path / "empty.json"
+        path.write_text('{"version": 1, "suppressions": []}')
+        assert main(["lint", "--repo", "--baseline", str(path)]) == 1
+        assert "new finding(s)" in capsys.readouterr().out
+
+    def test_invalid_baseline_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["lint", "--repo", "--baseline", str(path)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_stale_suppression_fails_only_under_strict(
+        self, tmp_path, capsys
+    ):
+        import repro.lintkit as lintkit
+
+        baseline = json.loads(
+            lintkit.default_baseline_path().read_text()
+        )
+        baseline["suppressions"].append(
+            {
+                "rule": "R1",
+                "path": "repro/linalg/nonexistent.py",
+                "scope": "gone",
+                "justification": "matches nothing on purpose",
+            }
+        )
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(baseline))
+        assert main(["lint", "--repo", "--baseline", str(path)]) == 0
+        assert "stale suppression" in capsys.readouterr().out
+        assert (
+            main(["lint", "--repo", "--baseline", str(path), "--strict"])
+            == 1
+        )
+        capsys.readouterr()
+
+    def test_json_report_shape(self, capsys):
+        assert main(["lint", "--repo", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "version",
+            "files_checked",
+            "summary",
+            "new_findings",
+            "baselined",
+            "stale_suppressions",
+        }
+        assert payload["summary"]["new"] == 0
+        for finding in payload["baselined"]:
+            assert set(finding) == {
+                "rule",
+                "path",
+                "line",
+                "scope",
+                "message",
+                "witness",
+            }
+
+    def test_no_schema_and_no_repo_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "schema file" in capsys.readouterr().err
+
+
+class TestExitCodeDocParity:
+    """Satellite: the exit semantics are stated once and pinned on all
+    three surfaces — ``--help`` epilog, README, actual behavior."""
+
+    def test_help_epilog_carries_the_exit_codes(self, capsys):
+        from repro.cli import LINT_EXIT_CODES
+
+        with pytest.raises(SystemExit):
+            main(["lint", "--help"])
+        assert LINT_EXIT_CODES in capsys.readouterr().out
+
+    def test_readme_carries_the_exit_codes_verbatim(self):
+        from pathlib import Path
+
+        from repro.cli import LINT_EXIT_CODES
+
+        readme = (
+            Path(__file__).resolve().parent.parent / "README.md"
+        ).read_text()
+        assert LINT_EXIT_CODES in readme
+
+    def test_strict_help_mentions_both_modes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--help"])
+        out = capsys.readouterr().out
+        assert "schema warnings" in out
+        assert "stale baseline" in out
+
+    def test_behavior_matches_the_stated_codes(
+        self, clean_file, warning_file, tmp_path, capsys
+    ):
+        # 0 = clean; 1 = findings (warnings under --strict);
+        # 2 = unreadable or invalid input.
+        assert main(["lint", clean_file]) == 0
+        assert main(["lint", warning_file, "--strict"]) == 1
+        assert main(["lint", str(tmp_path / "absent.cr")]) == 2
+        capsys.readouterr()

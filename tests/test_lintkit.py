@@ -1,0 +1,626 @@
+"""Tests for ``repro.lintkit`` — the dataflow-aware repo contract
+checker behind ``repro lint --repo``.
+
+Three layers:
+
+* a **fixture corpus** of known-bad snippets, one per rule R1–R12,
+  each asserting the expected rule id, line anchor, and (for the
+  dataflow rules) the witness chain — plus the matching known-good
+  twin that must stay silent;
+* the **clean-repo gate**: the real repo, linted against the
+  checked-in baseline, reports zero new findings;
+* a **Hypothesis order-stability** property: rule output is identical
+  under every module discovery order.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.lintkit import (
+    Baseline,
+    Project,
+    RULES,
+    all_rule_ids,
+    default_baseline_path,
+    lint_repo,
+    run_rules,
+    sort_findings,
+)
+from repro.lintkit.model import build_module
+
+
+def project_of(*mods: tuple[str, str]) -> Project:
+    return Project(
+        [build_module(textwrap.dedent(src), path) for path, src in mods]
+    )
+
+
+def findings_for(rule_id: str, *mods: tuple[str, str]):
+    return run_rules(project_of(*mods), (rule_id,))
+
+
+class TestRegistry:
+    def test_all_twelve_rules_registered(self):
+        assert all_rule_ids() == tuple(f"R{i}" for i in range(1, 13))
+
+    def test_every_rule_states_its_contract(self):
+        run_rules(project_of(), ())  # force registry population
+        for rule in RULES.values():
+            assert rule.title and rule.contract and rule.scope
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ReproError):
+            run_rules(project_of(), ("R99",))
+
+
+class TestR1Floats:
+    def test_float_literal(self):
+        (f,) = findings_for("R1", ("repro/linalg/bad.py", "X = 0.5\n"))
+        assert (f.rule, f.line, f.scope) == ("R1", 1, "<module>")
+        assert "float literal 0.5" in f.message
+
+    def test_scope_is_enclosing_function(self):
+        (f,) = findings_for(
+            "R1",
+            ("repro/solver/core.py", "def f():\n    return float(3)\n"),
+        )
+        assert f.scope == "f"
+
+    def test_out_of_scope_module_ignored(self):
+        assert not findings_for("R1", ("repro/serve/app.py", "X = 0.5\n"))
+
+
+class TestR2BudgetReachability:
+    BAD = (
+        "repro/solver/spin.py",
+        """
+        def spin():
+            while True:
+                step()
+
+        def step():
+            return 1
+        """,
+    )
+
+    def test_unreached_while_true_flagged_with_witness(self):
+        (f,) = findings_for("R2", self.BAD)
+        assert (f.rule, f.line, f.scope) == ("R2", 3, "spin")
+        assert "'while True:' without a budget charge/check" in f.message
+        assert f.witness == (
+            "repro.solver.spin.spin (repro/solver/spin.py:3) "
+            "'while True:'",
+            "no call in the loop body reaches a budget charge/check "
+            "transitively",
+        )
+
+    def test_transitive_budget_charge_silences(self):
+        # The charge is two calls away — the historical same-scope
+        # heuristic could not see it; the call-graph analysis must.
+        good = (
+            "repro/solver/spin.py",
+            """
+            def spin():
+                while True:
+                    step()
+
+            def step():
+                deduct()
+
+            def deduct(budget=None):
+                budget.charge(1)
+            """,
+        )
+        assert not findings_for("R2", good)
+
+    def test_for_over_unbounded_iterable_flagged(self):
+        (f,) = findings_for(
+            "R2",
+            (
+                "repro/solver/sweep.py",
+                """
+                import itertools
+
+                def sweep():
+                    for k in itertools.count():
+                        probe(k)
+
+                def probe(k):
+                    return k
+                """,
+            ),
+        )
+        assert f.line == 5
+        assert "'for' over itertools.count(...)" in f.message
+
+    def test_in_body_marker_is_still_a_fast_path(self):
+        good = (
+            "repro/solver/spin.py",
+            """
+            def spin(budget):
+                while True:
+                    budget.charge(1)
+            """,
+        )
+        assert not findings_for("R2", good)
+
+
+class TestR3Popitem:
+    def test_popitem_flagged(self):
+        (f,) = findings_for(
+            "R3",
+            ("repro/solver/tab.py", "def f(d):\n    d.popitem()\n"),
+        )
+        assert (f.rule, f.line) == ("R3", 2)
+
+
+class TestR4SpawnOnly:
+    def test_fork_context_flagged(self):
+        (f,) = findings_for(
+            "R4",
+            (
+                "repro/parallel/pool.py",
+                "import multiprocessing\n"
+                'ctx = multiprocessing.get_context("fork")\n',
+            ),
+        )
+        assert (f.rule, f.line) == ("R4", 2)
+
+    def test_spawn_context_clean(self):
+        assert not findings_for(
+            "R4",
+            (
+                "repro/parallel/pool.py",
+                "import multiprocessing\n"
+                'ctx = multiprocessing.get_context("spawn")\n',
+            ),
+        )
+
+
+class TestR5DeadlinedWaits:
+    def test_bare_result_flagged(self):
+        (f,) = findings_for(
+            "R5",
+            ("repro/parallel/pool.py", "def f(fut):\n    fut.result()\n"),
+        )
+        assert (f.rule, f.line) == ("R5", 2)
+        assert "result() without timeout=" in f.message
+
+
+class TestR6AtomicWrites:
+    def test_write_mode_open_flagged(self):
+        (f,) = findings_for(
+            "R6",
+            ("repro/store/index.py", 'def f(p):\n    open(p, "w")\n'),
+        )
+        assert (f.rule, f.line) == ("R6", 2)
+
+    def test_atomic_helper_module_exempt(self):
+        assert not findings_for(
+            "R6",
+            ("repro/store/atomic.py", 'def f(p):\n    open(p, "w")\n'),
+        )
+
+
+class TestR7NoWholeSchemaExpansion:
+    def test_expansion_call_flagged(self):
+        (f,) = findings_for(
+            "R7",
+            (
+                "repro/components/split.py",
+                "def f(schema):\n    return Expansion(schema)\n",
+            ),
+        )
+        assert (f.rule, f.line) == ("R7", 2)
+
+
+class TestR8LockDiscipline:
+    BAD = (
+        "repro/serve/state.py",
+        """
+        import threading
+
+        class Handler:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.count = 0
+
+            def handle(self):
+                self.count += 1
+        """,
+    )
+
+    def test_unguarded_write_flagged_with_chain(self):
+        (f,) = findings_for("R8", self.BAD)
+        assert (f.rule, f.line, f.scope) == ("R8", 10, "Handler.handle")
+        assert "write to self.count" in f.message
+        assert f.witness[-1] == (
+            "unguarded write at repro/serve/state.py:10"
+        )
+        assert "repro.serve.state.Handler.handle" in f.witness[0]
+
+    def test_write_under_owning_lock_clean(self):
+        good = (
+            "repro/serve/state.py",
+            """
+            import threading
+
+            class Handler:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.count = 0
+
+                def handle(self):
+                    with self.lock:
+                        self.count += 1
+            """,
+        )
+        assert not findings_for("R8", good)
+
+    def test_lockless_class_not_protected(self):
+        good = (
+            "repro/serve/state.py",
+            """
+            class Plain:
+                def handle(self):
+                    self.count = 1
+            """,
+        )
+        assert not findings_for("R8", good)
+
+
+class TestR9DeadlineDiscipline:
+    def test_undeadlined_acquire_flagged(self):
+        (f,) = findings_for(
+            "R9",
+            (
+                "repro/session/cache.py",
+                "def f(lock):\n    lock.acquire()\n",
+            ),
+        )
+        assert (f.rule, f.line) == ("R9", 2)
+        assert "lock.acquire() without a deadline" in f.message
+
+    def test_deadlined_acquire_clean(self):
+        assert not findings_for(
+            "R9",
+            (
+                "repro/session/cache.py",
+                "def f(lock):\n    lock.acquire(timeout=5)\n",
+            ),
+        )
+
+    def test_lock_held_across_unbounded_work_flagged(self):
+        (f,) = findings_for(
+            "R9",
+            (
+                "repro/serve/eng.py",
+                """
+                import threading
+
+                LOCK = threading.Lock()
+
+                def serve():
+                    with LOCK:
+                        grind()
+
+                def grind():
+                    while True:
+                        pass
+                """,
+            ),
+        )
+        assert (f.rule, f.line, f.scope) == ("R9", 7, "serve")
+        assert "'with LOCK:' acquires a lock with no deadline" in f.message
+        assert f.witness[0] == (
+            "repro.serve.eng.serve (repro/serve/eng.py:7) "
+            "holds 'with LOCK:'"
+        )
+        assert f.witness[-1] == "unbounded loop at repro/serve/eng.py:11"
+
+    def test_loop_directly_inside_held_region(self):
+        (f,) = findings_for(
+            "R9",
+            (
+                "repro/serve/eng.py",
+                """
+                import threading
+
+                LOCK = threading.Lock()
+
+                def serve():
+                    with LOCK:
+                        while True:
+                            pass
+                """,
+            ),
+        )
+        assert f.witness[-1] == (
+            "unbounded loop directly inside the held region"
+        )
+
+    def test_deadlined_guard_contextmanager_exempts_hold(self):
+        good = (
+            "repro/serve/eng.py",
+            """
+            import threading
+            from contextlib import contextmanager
+
+            LOCK = threading.Lock()
+
+            @contextmanager
+            def hold_lock():
+                if not LOCK.acquire(timeout=30):
+                    raise RuntimeError("wedged")
+                try:
+                    yield
+                finally:
+                    LOCK.release()
+
+            def serve():
+                with hold_lock():
+                    grind()
+
+            def grind():
+                while True:
+                    pass
+            """,
+        )
+        assert not findings_for("R9", good)
+
+
+class TestR10AsyncBlocking:
+    BAD = (
+        "repro/serve/app.py",
+        """
+        async def handler():
+            return load()
+
+        def load():
+            return open("x")
+        """,
+    )
+
+    def test_blocking_call_reachable_from_async_flagged(self):
+        (f,) = findings_for("R10", self.BAD)
+        assert (f.rule, f.path, f.line) == ("R10", "repro/serve/app.py", 6)
+        assert (
+            "blocking call open() is reachable from async handler()"
+            in f.message
+        )
+        assert f.witness[-1] == "blocking open() at repro/serve/app.py:6"
+
+    def test_sync_only_entry_points_ignored(self):
+        good = (
+            "repro/serve/app.py",
+            """
+            def handler():
+                return load()
+
+            def load():
+                return open("x")
+            """,
+        )
+        assert not findings_for("R10", good)
+
+    def test_str_join_with_argument_not_a_thread_join(self):
+        # Regression: ``"sep".join(parts)`` carries a positional
+        # argument, so the wait-attr heuristic must not fire.
+        good = (
+            "repro/serve/http.py",
+            """
+            async def render(parts):
+                return ",".join(parts)
+            """,
+        )
+        assert not findings_for("R10", good)
+
+
+class TestR11DeterminismTaint:
+    BAD = (
+        "repro/solver/order.py",
+        """
+        def f(items):
+            chosen = {x for x in items}
+            return [x for x in chosen]
+        """,
+    )
+
+    def test_set_into_list_comprehension_flagged(self):
+        (f,) = findings_for("R11", self.BAD)
+        assert (f.rule, f.line, f.scope) == ("R11", 4, "f")
+        assert f.witness == (
+            "set chosen constructed at repro/solver/order.py:3",
+            "iterated at repro/solver/order.py:4",
+            "ordered sink list comprehension at repro/solver/order.py:4",
+        )
+
+    def test_sorted_launders(self):
+        good = (
+            "repro/solver/order.py",
+            """
+            def f(items):
+                chosen = {x for x in items}
+                return sorted(chosen)
+            """,
+        )
+        assert not findings_for("R11", good)
+
+    def test_for_over_set_with_append_flagged(self):
+        (f,) = findings_for(
+            "R11",
+            (
+                "repro/parallel/fan.py",
+                """
+                def f(items):
+                    out = []
+                    for x in set(items):
+                        out.append(x)
+                    return out
+                """,
+            ),
+        )
+        assert f.line == 4
+        assert ".append(...)" in f.message
+
+    def test_reassigned_nonset_name_untainted(self):
+        good = (
+            "repro/solver/order.py",
+            """
+            def f(items):
+                chosen = {x for x in items}
+                chosen = sorted(chosen)
+                return [x for x in chosen]
+            """,
+        )
+        assert not findings_for("R11", good)
+
+
+class TestR12PickleSafety:
+    BAD = (
+        "repro/parallel/fan.py",
+        """
+        def launch(pool):
+            payload = {"fn": lambda x: x}
+            pool.submit_task(payload=payload)
+        """,
+    )
+
+    def test_lambda_in_payload_flagged(self):
+        (f,) = findings_for("R12", self.BAD)
+        assert (f.rule, f.line, f.scope) == ("R12", 4, "launch")
+        assert "a lambda" in f.message
+        assert f.witness == (
+            "payload constructed at repro/parallel/fan.py:4",
+            "offending value at repro/parallel/fan.py:3: a lambda",
+        )
+
+    def test_nested_function_in_payload_flagged(self):
+        (f,) = findings_for(
+            "R12",
+            (
+                "repro/parallel/fan.py",
+                """
+                def launch(pool):
+                    def helper(x):
+                        return x
+                    pool.submit_task(payload={"fn": helper})
+                """,
+            ),
+        )
+        assert "nested function helper()" in f.message
+
+    def test_lock_in_worker_pool_payload_flagged(self):
+        (f,) = findings_for(
+            "R12",
+            (
+                "repro/parallel/fan.py",
+                """
+                import threading
+
+                def launch():
+                    return WorkerPool({"ev": threading.Event()})
+                """,
+            ),
+        )
+        assert "Event() (a synchronization primitive)" in f.message
+
+    def test_plain_data_payload_clean(self):
+        good = (
+            "repro/parallel/fan.py",
+            """
+            def launch(pool, work):
+                pool.submit_task(payload={"items": list(work)})
+            """,
+        )
+        assert not findings_for("R12", good)
+
+
+class TestBaselineGate:
+    def test_suppression_requires_justification(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": [
+                        {"rule": "R1", "path": "x.py", "scope": "f"}
+                    ],
+                }
+            )
+        )
+        with pytest.raises(ReproError, match="justification"):
+            Baseline.load(path)
+
+    def test_split_new_baselined_stale(self):
+        from repro.lintkit import Suppression
+        from repro.lintkit.findings import Finding
+
+        baseline = Baseline(
+            suppressions=(
+                Suppression("R1", "a.py", "f", "accepted"),
+                Suppression("R3", "gone.py", "g", "obsolete"),
+            )
+        )
+        matched = Finding("R1", "a.py", 3, "msg", scope="f")
+        fresh = Finding("R1", "b.py", 9, "msg", scope="h")
+        new, baselined, stale = baseline.split([matched, fresh])
+        assert new == [fresh]
+        assert baselined == [matched]
+        assert [s.rule for s in stale] == ["R3"]
+
+    def test_suppression_survives_line_drift(self):
+        from repro.lintkit.findings import Finding
+
+        early = Finding("R1", "a.py", 3, "msg", scope="f")
+        late = Finding("R1", "a.py", 300, "msg", scope="f")
+        assert early.suppression_key() == late.suppression_key()
+
+
+class TestCleanRepo:
+    def test_repo_has_no_new_findings(self):
+        report = lint_repo()
+        rendered = "\n".join(report.render_human())
+        assert report.is_clean, rendered
+        assert not report.stale_suppressions, rendered
+        assert report.files_checked > 50
+
+    def test_every_baselined_finding_is_justified(self):
+        baseline = Baseline.load(default_baseline_path())
+        for suppression in baseline.suppressions:
+            assert len(suppression.justification) > 20
+            assert suppression.rule in all_rule_ids()
+
+
+FIXTURE_MODULES = [
+    TestR2BudgetReachability.BAD,
+    TestR8LockDiscipline.BAD,
+    TestR10AsyncBlocking.BAD,
+    TestR11DeterminismTaint.BAD,
+    TestR12PickleSafety.BAD,
+    ("repro/linalg/vals.py", "X = 0.5\n"),
+    ("repro/store/index.py", 'def f(p):\n    open(p, "w")\n'),
+]
+
+
+class TestDiscoveryOrderStability:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        order=st.permutations(list(range(len(FIXTURE_MODULES)))),
+    )
+    def test_findings_identical_under_any_order(self, order):
+        baseline_run = run_rules(project_of(*FIXTURE_MODULES))
+        shuffled = [FIXTURE_MODULES[i] for i in order]
+        assert run_rules(project_of(*shuffled)) == baseline_run
+
+    def test_sort_findings_is_canonical(self):
+        findings = run_rules(project_of(*FIXTURE_MODULES))
+        assert findings == sort_findings(list(reversed(findings)))
+        assert len(findings) >= 5

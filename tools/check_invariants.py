@@ -1,418 +1,69 @@
 #!/usr/bin/env python
-"""Repo-specific invariant lint for the exact-arithmetic kernel.
+"""DEPRECATED compatibility shim over ``repro.lintkit``.
 
-The solver kernel (``repro/solver/core.py`` and ``repro/linalg/``)
-promises exact rational arithmetic and budget-governed termination, and
-the kernel modules at large (``repro/solver/``, ``repro/linalg/``)
-promise deterministic iteration.  ruff and mypy cannot express these
-invariants, so this AST-based checker enforces them in CI:
+The repo-specific invariant lint that lived here — seven AST pattern
+rules over the exact-arithmetic kernel, the parallel fabric, the
+store, and the component layer — migrated onto the lintkit rule
+registry (``src/repro/lintkit/``), which adds call-graph dataflow
+rules, witness chains, and a baseline gate on top.  Prefer::
 
-R1  no ``float`` arithmetic in the exact kernel: float literals,
-    ``float(...)`` conversions, and ``math.``-module arithmetic are
-    banned in ``repro/solver/core.py`` and ``repro/linalg/``
-    (``Fraction`` everywhere — one float poisons exactness silently).
-R2  no un-budgeted ``while True:`` loop in the same scope: every
-    unbounded loop must charge or check the ambient budget somewhere in
-    its body, so a pathological input degrades to a clean
-    ``BudgetExceededError`` instead of a hang.
-R3  no ``popitem`` in any kernel module (``repro/solver/``,
-    ``repro/linalg/``): the kernels guarantee run-to-run deterministic
-    iteration, and ``popitem`` is the classic way an incidental dict
-    ordering assumption sneaks in.
-R4  spawn-only multiprocessing in ``repro/parallel/``: every
-    ``get_context(...)`` / ``set_start_method(...)`` call must pass the
-    literal ``"spawn"``.  ``fork`` would copy the parent's ambient
-    budgets, contextvars, and lock state into workers — the exact
-    aliasing the worker-initializer protocol exists to prevent.
-R5  deadlined waits in ``repro/parallel/``: every pool wait —
-    ``Future.result()``, ``concurrent.futures.wait()``,
-    ``as_completed()``, ``pool.map()`` — must pass ``timeout=`` so a
-    stuck worker degrades to a budget check instead of hanging the
-    parent forever.
-R6  atomic writes only in ``repro/store/``: the store's crash-safety
-    contract ("absent or valid" after a kill at any instant) holds only
-    if every byte reaches disk through the temp+fsync+rename helper in
-    ``repro/store/atomic.py``.  Writable ``open(...)`` modes and
-    ``Path.write_text`` / ``Path.write_bytes`` are banned everywhere
-    else under ``repro/store/`` — a bare ``open(path, "w")`` truncates
-    in place and a crash mid-write leaves a torn entry that *reads* as
-    present.
-R7  no whole-schema expansion in ``repro/components/``: the layer's
-    entire value is that reasoning cost scales with the touched
-    *island*, never the whole schema.  Calling ``Expansion(...)`` or
-    ``build_system(...)`` there would reintroduce the exponential
-    whole-schema path behind the incremental facade, so both are
-    banned — components must delegate to the per-component sessions
-    and cache, which expand only their own sub-schemas.
+    PYTHONPATH=src python -m repro lint --repo
 
-Failures print ``file:line: RULE message`` diagnostics and exit 1.
-Run from the repository root: ``python tools/check_invariants.py``.
+This shim keeps the historical entry points alive with byte-identical
+diagnostics so existing callers (``tests/test_check_invariants.py``,
+the CI lint job, editor hooks) keep working unchanged:
 
-The module is import-safe for unit tests: :func:`check_source` lints a
-source string, :func:`check_file` a path, :func:`main` the whole tree.
+* :func:`check_source` — lint one source string,
+* :func:`check_file` — lint one file,
+* :func:`iter_checked_files` — the historical rule scopes,
+* :func:`main` — the historical CLI (exit 0 clean / 1 violations).
+
+``Violation`` keeps its ``(path, line, rule, message)`` shape and
+``file:line: RULE message`` rendering.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
-EXACT_KERNEL = ("repro/solver/core.py", "repro/linalg/")
-"""Scope of R1 (float ban) and R2 (budgeted-loop rule), repo-relative."""
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
 
-KERNEL_MODULES = ("repro/solver/", "repro/linalg/")
-"""Scope of R3 (popitem ban)."""
+from repro.lintkit.compat import (  # noqa: E402
+    Violation,
+    check_source,
+    iter_checked_files as _iter_checked_files,
+    main as _main,
+)
+from repro.lintkit.compat import check_file as _check_file  # noqa: E402
 
-PARALLEL_MODULES = ("repro/parallel/",)
-"""Scope of R4 (spawn-only start method) and R5 (deadlined waits)."""
-
-STORE_MODULES = ("repro/store/",)
-"""Scope of R6 (atomic writes only)."""
-
-COMPONENT_MODULES = ("repro/components/",)
-"""Scope of R7 (no whole-schema expansion)."""
-
-_EXPANSION_CALLS = ("Expansion", "build_system")
-"""Call names R7 bans inside the component layer — the two entry
-points of the exponential whole-schema pipeline."""
-
-STORE_WRITE_HELPER = "repro/store/atomic.py"
-"""The one module allowed to open files for writing inside the store."""
-
-_WRITE_MODE_CHARS = frozenset("wax+")
-"""``open()`` mode characters that make a handle writable."""
-
-_WRITE_METHODS = ("write_text", "write_bytes")
-"""``Path`` convenience writers R6 bans alongside ``open``."""
-
-_START_METHOD_CALLS = ("get_context", "set_start_method")
-
-_WAIT_CALLS = ("result", "wait", "as_completed", "map")
-"""Call names R5 treats as pool waits needing a ``timeout=``."""
-
-# Identifiers that mark a loop as budget-governed when they appear
-# anywhere in its body (`budget.charge_pivots()`, `budget.check()`,
-# `current_budget()` re-reads, ...).
-_BUDGET_MARKERS = ("budget", "charge")
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One invariant breach, formatted ``file:line: RULE message``."""
-
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
-
-
-def _in_scope(relative: str, scope: tuple[str, ...]) -> bool:
-    normalized = relative.replace("\\", "/")
-    return any(
-        normalized == entry or normalized.startswith(entry)
-        for entry in scope
-    )
-
-
-def _is_true_constant(node: ast.expr) -> bool:
-    return isinstance(node, ast.Constant) and node.value is True
-
-
-def _mentions_budget(loop: ast.While) -> bool:
-    for node in ast.walk(loop):
-        name: str | None = None
-        if isinstance(node, ast.Name):
-            name = node.id
-        elif isinstance(node, ast.Attribute):
-            name = node.attr
-        if name is None:
-            continue
-        lowered = name.lower()
-        if any(marker in lowered for marker in _BUDGET_MARKERS):
-            return True
-    return False
-
-
-def _check_floats(tree: ast.AST, path: str) -> list[Violation]:
-    violations = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Constant) and isinstance(node.value, float):
-            violations.append(
-                Violation(
-                    path,
-                    node.lineno,
-                    "R1",
-                    f"float literal {node.value!r} in the exact-arithmetic "
-                    "kernel; use Fraction",
-                )
-            )
-        elif isinstance(node, ast.Call):
-            func = node.func
-            if isinstance(func, ast.Name) and func.id == "float":
-                violations.append(
-                    Violation(
-                        path,
-                        node.lineno,
-                        "R1",
-                        "float() conversion in the exact-arithmetic kernel; "
-                        "use Fraction",
-                    )
-                )
-            elif (
-                isinstance(func, ast.Attribute)
-                and isinstance(func.value, ast.Name)
-                and func.value.id == "math"
-            ):
-                violations.append(
-                    Violation(
-                        path,
-                        node.lineno,
-                        "R1",
-                        f"math.{func.attr}() in the exact-arithmetic kernel; "
-                        "math operates on floats",
-                    )
-                )
-    return violations
-
-
-def _check_unbudgeted_loops(tree: ast.AST, path: str) -> list[Violation]:
-    violations = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.While):
-            continue
-        if not _is_true_constant(node.test):
-            continue
-        if _mentions_budget(node):
-            continue
-        violations.append(
-            Violation(
-                path,
-                node.lineno,
-                "R2",
-                "'while True:' without a budget charge/check in its body; "
-                "unbounded kernel loops must be budget-governed",
-            )
-        )
-    return violations
-
-
-def _check_popitem(tree: ast.AST, path: str) -> list[Violation]:
-    violations = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Attribute) and node.attr == "popitem":
-            violations.append(
-                Violation(
-                    path,
-                    node.lineno,
-                    "R3",
-                    "popitem in a kernel module; kernels promise "
-                    "deterministic iteration — pop an explicit key instead",
-                )
-            )
-    return violations
-
-
-def _call_name(node: ast.Call) -> str | None:
-    func = node.func
-    if isinstance(func, ast.Name):
-        return func.id
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    return None
-
-
-def _check_start_method(tree: ast.AST, path: str) -> list[Violation]:
-    violations = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        if _call_name(node) not in _START_METHOD_CALLS:
-            continue
-        method: ast.expr | None = node.args[0] if node.args else None
-        if method is None:
-            for keyword in node.keywords:
-                if keyword.arg == "method":
-                    method = keyword.value
-        if isinstance(method, ast.Constant) and method.value == "spawn":
-            continue
-        violations.append(
-            Violation(
-                path,
-                node.lineno,
-                "R4",
-                "multiprocessing start method must be the literal 'spawn'; "
-                "fork copies ambient budgets, contextvars, and locks into "
-                "workers",
-            )
-        )
-    return violations
-
-
-def _check_undeadlined_waits(tree: ast.AST, path: str) -> list[Violation]:
-    violations = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        name = _call_name(node)
-        if name not in _WAIT_CALLS:
-            continue
-        if any(keyword.arg == "timeout" for keyword in node.keywords):
-            continue
-        violations.append(
-            Violation(
-                path,
-                node.lineno,
-                "R5",
-                f"{name}() without timeout= in repro.parallel; every pool "
-                "wait must carry a deadline so a stuck worker cannot hang "
-                "the parent",
-            )
-        )
-    return violations
-
-
-def _open_mode(node: ast.Call) -> ast.expr | None:
-    if len(node.args) >= 2:
-        return node.args[1]
-    for keyword in node.keywords:
-        if keyword.arg == "mode":
-            return keyword.value
-    return None
-
-
-def _check_nonatomic_writes(tree: ast.AST, path: str) -> list[Violation]:
-    violations = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        if isinstance(func, ast.Name) and func.id == "open":
-            mode = _open_mode(node)
-            if mode is None:
-                continue  # bare open(path) reads; reads are lock-free
-            if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
-                if not _WRITE_MODE_CHARS & set(mode.value):
-                    continue
-                detail = f"open(..., {mode.value!r})"
-            else:
-                detail = "open() with a computed mode"
-            violations.append(
-                Violation(
-                    path,
-                    node.lineno,
-                    "R6",
-                    f"{detail} in the store; all writes must go through "
-                    "the atomic temp+fsync+rename helper "
-                    "(repro.store.atomic.atomic_write_bytes)",
-                )
-            )
-        elif isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
-            violations.append(
-                Violation(
-                    path,
-                    node.lineno,
-                    "R6",
-                    f".{func.attr}() in the store; all writes must go "
-                    "through the atomic temp+fsync+rename helper "
-                    "(repro.store.atomic.atomic_write_bytes)",
-                )
-            )
-    return violations
-
-
-def _check_whole_schema_expansion(
-    tree: ast.AST, path: str
-) -> list[Violation]:
-    violations = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        name = _call_name(node)
-        if name not in _EXPANSION_CALLS:
-            continue
-        violations.append(
-            Violation(
-                path,
-                node.lineno,
-                "R7",
-                f"{name}() in the component layer; expansion must happen "
-                "per component through the session cache, never on the "
-                "whole schema",
-            )
-        )
-    return violations
-
-
-def check_source(source: str, relative_path: str) -> list[Violation]:
-    """Lint one module's source against every rule whose scope covers
-    ``relative_path`` (a path relative to ``src/``, e.g.
-    ``repro/solver/core.py``)."""
-    tree = ast.parse(source, filename=relative_path)
-    violations: list[Violation] = []
-    if _in_scope(relative_path, EXACT_KERNEL):
-        violations.extend(_check_floats(tree, relative_path))
-        violations.extend(_check_unbudgeted_loops(tree, relative_path))
-    if _in_scope(relative_path, KERNEL_MODULES):
-        violations.extend(_check_popitem(tree, relative_path))
-    if _in_scope(relative_path, PARALLEL_MODULES):
-        violations.extend(_check_start_method(tree, relative_path))
-        violations.extend(_check_undeadlined_waits(tree, relative_path))
-    if (
-        _in_scope(relative_path, STORE_MODULES)
-        and relative_path.replace("\\", "/") != STORE_WRITE_HELPER
-    ):
-        violations.extend(_check_nonatomic_writes(tree, relative_path))
-    if _in_scope(relative_path, COMPONENT_MODULES):
-        violations.extend(_check_whole_schema_expansion(tree, relative_path))
-    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+__all__ = [
+    "REPO_ROOT",
+    "SRC",
+    "Violation",
+    "check_source",
+    "check_file",
+    "iter_checked_files",
+    "main",
+]
 
 
 def check_file(path: Path, src_root: Path = SRC) -> list[Violation]:
-    relative = path.resolve().relative_to(src_root.resolve()).as_posix()
-    return check_source(path.read_text(), relative)
+    return _check_file(path, src_root)
 
 
 def iter_checked_files(src_root: Path = SRC) -> list[Path]:
-    """Every file any rule applies to, sorted for stable output."""
-    scoped: set[Path] = set()
-    for entry in (
-        EXACT_KERNEL
-        + KERNEL_MODULES
-        + PARALLEL_MODULES
-        + STORE_MODULES
-        + COMPONENT_MODULES
-    ):
-        target = src_root / entry
-        if target.is_file():
-            scoped.add(target)
-        elif target.is_dir():
-            scoped.update(target.rglob("*.py"))
-    return sorted(scoped)
+    """Every file any compat rule applies to, sorted for stable
+    output."""
+    return _iter_checked_files(src_root)
 
 
 def main(argv: list[str] | None = None) -> int:
-    paths = [Path(arg) for arg in (argv or [])] or iter_checked_files()
-    violations: list[Violation] = []
-    for path in paths:
-        violations.extend(check_file(path))
-    for violation in violations:
-        print(violation.render(), file=sys.stderr)
-    if violations:
-        print(
-            f"check_invariants: {len(violations)} violation(s)",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"check_invariants: {len(paths)} file(s) clean")
-    return 0
+    return _main(argv)
 
 
 if __name__ == "__main__":
