@@ -1,0 +1,320 @@
+"""E18 — pruned zero-set search: orbit reduction and Farkas nogoods.
+
+Paper context: Theorem 3.4 decides acceptability by walking the
+``2^n`` zero-set lattice, and the paper remarks that "there are many
+possible criteria for decreasing the complexity of the method".  The
+``pruned`` backend (:mod:`repro.solver.pruned`) implements two such
+criteria on top of the literal walk: exactly-verified column
+automorphisms collapse symmetric candidates to orbit representatives,
+and a Farkas certificate extracted from each refuted candidate is
+generalised to a nogood that eliminates later ones.  The contract is
+byte-identity with the naive engine — verdict, integer witness, and
+support — with only the LP count allowed to differ.
+
+Workload family: a root class ``T`` forced empty by ``2|T| = |R| =
+|T|`` over a self-relationship, plus ``k`` interchangeable sibling
+classes hanging off it (guaranteed non-trivial orbits); a root-side
+variant adds ``(0, 2)`` cardinalities on ``T``'s side of each sibling
+relationship (more LP rows, same symmetry); a satisfiable variant
+relaxes the conflict to ``(1, 2)`` so parity is also exercised on the
+witness-producing path.
+
+Acceptance bars (hard-checked by :func:`validate_report`, re-run by
+CI's bench-smoke against the emitted artifact): on every unsatisfiable
+symmetric workload the pruned engine must enumerate at least
+:data:`REDUCTION_BAR` times fewer zero-sets than the naive walk *and*
+win wall-clock; every workload must agree on verdict and witness, and
+the two-worker pool must reproduce the serial pruned answer
+byte-for-byte.
+
+Standalone runner (what CI's bench-smoke invokes)::
+
+    PYTHONPATH=src python benchmarks/bench_prune.py --quick \
+        --output BENCH_prune.json
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from benchmarks._emit import (
+    check_entry_fields,
+    check_report_shape,
+    check_summary,
+    run_emit_main,
+)
+from repro.cr.builder import SchemaBuilder
+from repro.cr.expansion import Expansion
+from repro.cr.satisfiability import class_targets, decision_problem
+from repro.cr.system import build_system
+from repro.runtime.fallback import DEFAULT_FALLBACK, chain_for
+from repro.solver.registry import get_backend
+from repro.solver.stats import SearchCounters, search_stats_sink
+
+REPEATS = 3
+"""Timed repetitions per engine; the minimum is reported."""
+
+REDUCTION_BAR = 5.0
+"""Acceptance bar: zero-sets enumerated by the naive walk over those
+the pruned search pays for, on the unsatisfiable symmetric family."""
+
+SPEEDUP_BAR = 1.0
+"""Acceptance bar: the pruned engine must also *win wall-clock* on the
+unsatisfiable family — pruning that trades LPs for slower bookkeeping
+does not count."""
+
+
+def sibling_schema(
+    siblings: int,
+    root_umax: int = 2,
+    root_side: bool = False,
+    disjoint: bool = False,
+):
+    """The symmetric family: root ``T`` with a self-relationship ``R``
+    under ``Card(T,R,u) = (2, root_umax)`` and ``Card(T,R,v) = (1,1)``
+    (unsatisfiable iff ``root_umax == 2``), plus ``siblings``
+    interchangeable classes each tied to ``T`` by its own relationship.
+
+    ``root_side`` adds a ``(0, 2)`` cardinality on ``T``'s side of each
+    sibling relationship; ``disjoint`` declares the siblings pairwise
+    disjoint, which caps the expansion at seven consistent compounds
+    and keeps the naive side affordable for ``siblings >= 3``.
+    """
+    builder = SchemaBuilder(f"Siblings{siblings}")
+    builder.cls("T")
+    names = [f"A{i}" for i in range(1, siblings + 1)]
+    for name in names:
+        builder.cls(name)
+    builder.relationship("R", u="T", v="T")
+    builder.card("T", "R", "u", 2, root_umax)
+    builder.card("T", "R", "v", 1, 1)
+    for i, name in enumerate(names, start=1):
+        builder.relationship(f"R{i}", **{f"x{i}": name, f"y{i}": "T"})
+        builder.card(name, f"R{i}", f"x{i}", 1, 2)
+        if root_side:
+            builder.card("T", f"R{i}", f"y{i}", 0, 2)
+    if disjoint:
+        builder.disjoint(*names)
+    return builder.build()
+
+
+def _problem(schema):
+    cr_system = build_system(Expansion(schema), mode="pruned")
+    return decision_problem(cr_system, class_targets(cr_system, "T"))
+
+
+def _run_engine(problem, engine: str, jobs: int = 1):
+    """One counted run plus ``REPEATS`` timed ones; returns the result
+    tuple, the fold of the counted run's search stats, and the best
+    wall-clock."""
+    chain = chain_for(DEFAULT_FALLBACK)
+    backend = get_backend(engine)
+    counters = SearchCounters()
+    with search_stats_sink(counters):
+        result = backend.decide_acceptable(problem, chain=chain, jobs=jobs)
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        backend.decide_acceptable(problem, chain=chain, jobs=jobs)
+        best = min(best, time.perf_counter() - start)
+    return result, counters, best
+
+
+def run_workload(
+    workload: str,
+    kind: str,
+    siblings: int,
+    root_side: bool = False,
+    satisfiable: bool = False,
+    check_jobs: bool = False,
+) -> dict:
+    schema = sibling_schema(
+        siblings,
+        root_umax=3 if satisfiable else 2,
+        root_side=root_side,
+        disjoint=siblings >= 3,
+    )
+    problem = _problem(schema)
+    naive_result, naive_counters, naive_s = _run_engine(problem, "naive")
+    pruned_result, pruned_counters, pruned_s = _run_engine(problem, "pruned")
+    jobs_identical = True
+    if check_jobs:
+        pooled_result, _, _ = _run_engine(problem, "pruned", jobs=2)
+        jobs_identical = repr(pooled_result) == repr(pruned_result)
+    pruned_enumerated = pruned_counters.zero_sets_enumerated
+    return {
+        "workload": workload,
+        "kind": kind,
+        "siblings": siblings,
+        "classes": len(schema.classes),
+        "unknowns": len(problem.class_unknowns),
+        "naive_s": naive_s,
+        "pruned_s": pruned_s,
+        "speedup": naive_s / pruned_s if pruned_s > 0 else 0.0,
+        "verdicts_agree": bool(naive_result[0] == pruned_result[0]),
+        "witnesses_identical": repr(naive_result) == repr(pruned_result),
+        "jobs_identical": jobs_identical,
+        "naive_enumerated": naive_counters.zero_sets_enumerated,
+        "pruned_enumerated": pruned_enumerated,
+        "enumeration_reduction": (
+            naive_counters.zero_sets_enumerated / pruned_enumerated
+            if pruned_enumerated > 0
+            else 0.0
+        ),
+        "pruned_by_orbit": pruned_counters.pruned_by_orbit,
+        "pruned_by_nogood": pruned_counters.pruned_by_nogood,
+        "orbits_found": pruned_counters.orbits_found,
+    }
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    entries = [
+        run_workload("conflict-2", "unsat-conflict", 2, check_jobs=True),
+        run_workload("rootside-2", "unsat-conflict", 2, root_side=True),
+        run_workload("benign-2", "sat-parity", 2, satisfiable=True),
+    ]
+    if not quick:
+        entries.append(run_workload("conflict-3", "unsat-conflict", 3))
+    gated = [e for e in entries if e["kind"] == "unsat-conflict"]
+    return {
+        "benchmark": "prune",
+        "version": 1,
+        "quick": quick,
+        "reduction_bar": REDUCTION_BAR,
+        "speedup_bar": SPEEDUP_BAR,
+        "entries": entries,
+        "summary": {
+            "workloads": len(entries),
+            "min_reduction": min(e["enumeration_reduction"] for e in gated),
+            "min_speedup": min(e["speedup"] for e in gated),
+        },
+    }
+
+
+_ENTRY_KEYS = {
+    "workload": str,
+    "kind": str,
+    "siblings": int,
+    "classes": int,
+    "unknowns": int,
+    "naive_s": float,
+    "pruned_s": float,
+    "speedup": float,
+    "verdicts_agree": bool,
+    "witnesses_identical": bool,
+    "jobs_identical": bool,
+    "naive_enumerated": int,
+    "pruned_enumerated": int,
+    "enumeration_reduction": float,
+    "pruned_by_orbit": int,
+    "pruned_by_nogood": int,
+    "orbits_found": int,
+}
+
+
+def validate_report(report: dict) -> dict:
+    """Raise ``ValueError`` unless ``report`` is a well-formed
+    BENCH_prune.json payload; returns the report for chaining."""
+    entries = check_report_shape(report, "prune")
+    for entry in entries:
+        check_entry_fields(entry, _ENTRY_KEYS)
+        label = entry.get("workload")
+        for claim in ("verdicts_agree", "witnesses_identical",
+                      "jobs_identical"):
+            if not entry[claim]:
+                raise ValueError(
+                    f"entry {label!r}: parity violated ({claim} is false)"
+                )
+        if entry["kind"] == "unsat-conflict":
+            if entry["pruned_by_orbit"] + entry["pruned_by_nogood"] <= 0:
+                raise ValueError(
+                    f"entry {label!r}: neither pruning lever fired on a "
+                    "symmetric unsatisfiable workload"
+                )
+            if entry["orbits_found"] <= 0:
+                raise ValueError(
+                    f"entry {label!r}: interchangeable siblings must "
+                    "yield at least one non-trivial orbit"
+                )
+            if entry["enumeration_reduction"] < REDUCTION_BAR:
+                raise ValueError(
+                    f"entry {label!r}: enumeration reduction "
+                    f"{entry['enumeration_reduction']:.1f}x is below "
+                    f"the {REDUCTION_BAR:.0f}x bar"
+                )
+            if entry["speedup"] < SPEEDUP_BAR:
+                raise ValueError(
+                    f"entry {label!r}: pruned engine lost wall-clock "
+                    f"({entry['speedup']:.2f}x vs the naive walk)"
+                )
+    summary = check_summary(report)
+    for key in ("min_reduction", "min_speedup"):
+        if not isinstance(summary.get(key), float):
+            raise ValueError(f"summary.{key} must be a float")
+    return report
+
+
+# -- pytest-benchmark entry points (pytest benchmarks/ --benchmark-only) ----
+
+
+def test_pruned_beats_naive_on_the_conflict_family(benchmark):
+    from benchmarks.conftest import paper_row
+
+    entry = benchmark.pedantic(
+        run_workload,
+        args=("conflict-2", "unsat-conflict", 2),
+        rounds=1,
+        iterations=1,
+    )
+    assert entry["verdicts_agree"] and entry["witnesses_identical"]
+    assert entry["enumeration_reduction"] >= REDUCTION_BAR
+    paper_row(
+        "E18/prune",
+        "orbit + nogood pruning shrink the Theorem-3.4 lattice walk",
+        f"{entry['naive_enumerated']} -> {entry['pruned_enumerated']} "
+        f"zero-sets ({entry['enumeration_reduction']:.1f}x), "
+        f"wall-clock {entry['speedup']:.1f}x",
+    )
+
+
+def test_report_is_wellformed(benchmark):
+    report = benchmark.pedantic(
+        run_benchmarks, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    validate_report(report)
+    assert report["summary"]["min_reduction"] >= REDUCTION_BAR
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run_emit_main(
+        argv,
+        description=(
+            "pruned vs naive zero-set search on the symmetric sibling "
+            "family; emits BENCH_prune.json"
+        ),
+        default_output="BENCH_prune.json",
+        quick_help="skip the three-sibling workload (CI)",
+        run=lambda args: run_benchmarks(quick=args.quick),
+        validate=validate_report,
+        entry_line=lambda entry: (
+            f"{entry['workload']:<12} {entry['kind']:<15}"
+            f" naive {entry['naive_s']*1e3:8.1f} ms"
+            f" /{entry['naive_enumerated']:4d} sets"
+            f"  pruned {entry['pruned_s']*1e3:8.1f} ms"
+            f" /{entry['pruned_enumerated']:4d} sets"
+            f"  speedup {entry['speedup']:5.1f}x"
+        ),
+        summary_line=lambda report, output: (
+            f"-> {output}: {report['summary']['workloads']} workloads, "
+            f"enumeration reduction >= "
+            f"{report['summary']['min_reduction']:.1f}x "
+            f"(bar: {REDUCTION_BAR:.0f}x), wall-clock >= "
+            f"{report['summary']['min_speedup']:.2f}x "
+            f"(bar: {SPEEDUP_BAR:.1f}x)"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -425,6 +425,13 @@ def _print_batch_stats(
         f"{stats_dict.get('components_reused', 0)} reused, "
         f"{stats_dict.get('components_rebuilt', 0)} rebuilt"
     )
+    print(
+        f"# pruning: {stats_dict.get('zero_sets_enumerated', 0)} "
+        "zero-set(s) enumerated, "
+        f"{stats_dict.get('pruned_by_orbit', 0)} orbit-pruned, "
+        f"{stats_dict.get('pruned_by_nogood', 0)} nogood-pruned, "
+        f"{stats_dict.get('orbits_found', 0)} orbit(s)"
+    )
     if cache_dir is not None:
         print(
             f"# store: {stats_dict.get('store_hits', 0)} hit(s), "
@@ -704,7 +711,35 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     explanation = explain_unsatisfiability(schema, args.cls)
     assert explanation.verify()
     print(explanation.pretty())
+    if getattr(args, "nogoods", False):
+        print()
+        print(_explain_nogoods(schema, args.cls))
     return 0
+
+
+def _explain_nogoods(schema: CRSchema, cls: str) -> str:
+    """The ``explain --nogoods`` appendix: re-run the class's
+    Theorem-3.4 zero-set search with the pruned engine and render each
+    learned Farkas nogood against its source system."""
+    from repro.cr.expansion import Expansion
+    from repro.cr.satisfiability import class_targets, decision_problem
+    from repro.runtime.fallback import DEFAULT_FALLBACK, chain_for
+    from repro.solver.pruned import (
+        NogoodStore,
+        pruned_zero_set_search,
+        render_nogoods,
+    )
+
+    cr_system = build_system(Expansion(schema), mode="pruned")
+    problem = decision_problem(cr_system, class_targets(cr_system, cls))
+    store = NogoodStore()
+    pruned_zero_set_search(
+        problem, chain=chain_for(DEFAULT_FALLBACK), store=store
+    )
+    return (
+        f"nogoods learned while deciding {cls!r} "
+        f"(pruned zero-set search):\n{render_nogoods(problem, store)}"
+    )
 
 
 def _cmd_debug(args: argparse.Namespace) -> int:
@@ -755,7 +790,7 @@ def build_parser() -> argparse.ArgumentParser:
     def add_engine(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--engine",
-            choices=["fixpoint", "naive"],
+            choices=["fixpoint", "naive", "pruned"],
             default="fixpoint",
             help="satisfiability engine (default: fixpoint)",
         )
@@ -1099,6 +1134,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument("schema")
     explain.add_argument("--class", dest="cls", required=True)
+    explain.add_argument(
+        "--nogoods",
+        action="store_true",
+        help="append the Farkas nogoods the pruned zero-set search "
+        "learns while re-deciding the class",
+    )
     add_backend(explain)
     add_budget(explain)
     explain.set_defaults(run=_cmd_explain)

@@ -6,7 +6,7 @@ where a solution is acceptable when every relationship unknown that
 depends on a zero class unknown is itself zero.  Theorem 3.4 makes this
 decidable by enumerating the zero-set ``Z`` of class unknowns.
 
-Two engines implement the test:
+Three engines implement the test:
 
 ``naive``
     The literal Theorem-3.4 procedure: for every subset ``Z`` of the
@@ -14,6 +14,12 @@ Two engines implement the test:
     Exponential in the number of *consistent compound classes* — i.e.
     doubly exponential in the schema — but it is the theorem verbatim,
     and serves as the differential-testing oracle for the fast engine.
+
+``pruned``
+    The same enumeration with two admissible prunes — orbit symmetry
+    reduction and Farkas-nogood learning (:mod:`repro.solver.pruned`).
+    Verdict, witness, and support are byte-identical to ``naive``; only
+    the number of LPs solved shrinks.
 
 ``fixpoint``
     Exploits the cone structure of homogeneous systems: the set of
@@ -264,13 +270,25 @@ def _naive_problem(
     )
 
 
+def decision_problem(
+    cr_system: CRSystem, targets: frozenset[str]
+) -> AcceptabilityProblem:
+    """Public form of the Theorem-3.4 decision input (zero-set universe
+    = the consistent class unknowns) for callers outside the engine
+    dispatch: ``repro explain --nogoods``, benchmarks, and tests that
+    drive :func:`repro.solver.pruned.pruned_zero_set_search` directly."""
+    return _naive_problem(cr_system, targets)
+
+
 def _resolve_engine(engine: str) -> str:
-    """Honour a pinned ``naive`` backend: pinning the Theorem-3.4
-    decision procedure via ``--backend`` / ``REPRO_BACKEND`` switches
-    the engine, since it is not an LP backend the fixpoint could run
-    on."""
-    if engine == "fixpoint" and active_backend_name() == "naive":
-        return "naive"
+    """Honour a pinned decision procedure: pinning ``naive`` or
+    ``pruned`` via ``--backend`` / ``REPRO_BACKEND`` switches the
+    engine, since neither is an LP backend the fixpoint could run on
+    (both declare ``capabilities.exponential``)."""
+    if engine == "fixpoint":
+        active = active_backend_name()
+        if get_backend(active).capabilities.exponential:
+            return active
     return engine
 
 
@@ -344,9 +362,9 @@ def acceptable_with_positive(
         if not (targets & support):
             return False, None, support
         return True, integerize(solution), support
-    if engine == "naive":
+    if engine in ("naive", "pruned"):
         return _naive_with_positive(
-            cr_system, targets, naive_limit, fallback, jobs
+            cr_system, targets, naive_limit, fallback, jobs, engine=engine
         )
     raise ReproError(f"unknown engine {engine!r}")
 
@@ -362,11 +380,12 @@ def _naive_with_positive(
     naive_limit: int = DEFAULT_NAIVE_LIMIT,
     fallback: FallbackPolicy | None = DEFAULT_FALLBACK,
     jobs: int = 1,
+    engine: str = "naive",
 ) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
-    """Run the registry's naive backend; per-zero-set strict probes run
-    on the policy's LP chain (the naivety is the enumeration strategy,
-    not the arithmetic)."""
-    return get_backend("naive").decide_acceptable(
+    """Run the registry's Theorem-3.4 decision procedure (``naive`` or
+    ``pruned``); per-zero-set strict probes run on the policy's LP chain
+    (the naivety is the enumeration strategy, not the arithmetic)."""
+    return get_backend(engine).decide_acceptable(
         _naive_problem(cr_system, targets),
         chain=chain_for(fallback),
         naive_limit=naive_limit,
@@ -400,7 +419,8 @@ def is_class_satisfiable(
     cls:
         The class whose satisfiability is queried.
     engine:
-        ``"fixpoint"`` (default) or ``"naive"`` — see the module
+        ``"fixpoint"`` (default), ``"naive"``, or ``"pruned"`` — see
+        the module
         docstring.
     expansion:
         Optionally a precomputed expansion of ``schema`` (reused by the

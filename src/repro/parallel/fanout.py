@@ -30,18 +30,34 @@ one shared immutable input, dispatches them through
     witness-returning entry points stay serial.
 
 :func:`parallel_zero_set_search`
-    The naive backend.  The parent materialises the zero-sets in the
+    The naive backend.  The parent *streams* the zero-sets in the
     serial enumeration order (size-ascending ``itertools.combinations``)
-    and splits them into contiguous chunks, so chunk *k* holds strictly
-    earlier candidates than chunk *k+1*; the first-hit short-circuit
-    keeps every chunk *before* the lowest hit alive, guaranteeing the
-    reported witness is the serial one regardless of completion order.
+    into contiguous chunks — chunk boundaries are computed from the
+    closed-form candidate count, so nothing is materialised up front —
+    and chunk *k* holds strictly earlier candidates than chunk *k+1*;
+    the first-hit short-circuit keeps every chunk *before* the lowest
+    hit alive, guaranteeing the reported witness is the serial one
+    regardless of completion order.
+
+:func:`parallel_pruned_zero_set_search`
+    The pruned backend (:mod:`repro.solver.pruned`).  The parent runs
+    automorphism discovery and the canonicity filter (deterministic, so
+    every run dispatches the same representative stream), chunks the
+    surviving candidates, and attaches the nogoods known at dispatch
+    time to each chunk; chunks return newly-learned nogoods, which the
+    parent folds into its store for later dispatches.  Nogoods only
+    match infeasible candidates, so verdicts and witnesses stay
+    byte-identical to the serial pruned (and naive) walk even though
+    *which* candidates get skipped depends on completion timing — the
+    pruning counters under ``jobs > 1`` are therefore best-effort, the
+    answers are not.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
-from itertools import combinations
+from itertools import combinations, islice
 from typing import Any, Sequence
 
 from repro.components.decompose import decompose_schema, query_partition_key
@@ -52,16 +68,25 @@ from repro.parallel.worker import (
     chain_spec,
     run_batch_chunk,
     run_probe_chunk,
+    run_pruned_chunk,
     run_zero_chunk,
     unknown_record,
 )
 from repro.runtime.budget import Budget, activate, current_budget
 from repro.session.session import SESSION_STATS_KEYS
+from repro.solver.pruned import NogoodStore, is_canonical, orbit_permutations
 from repro.solver.registry import AcceptabilityProblem, SolverBackend
+from repro.solver.stats import bump_search_stat, fold_search_stats
 
 ZERO_CHUNK_FACTOR = 4
 """Zero-set chunks per worker: small enough that a first hit cancels
 most of the remaining lattice, large enough to amortise dispatch."""
+
+PRUNED_CHUNK_SIZE = 32
+"""Canonical representatives per pruned-search chunk.  Fixed-size (not
+an even split) because the representative stream is lazy and nogoods
+learned early should reach later dispatches — smaller chunks mean a
+fresher store at each dispatch."""
 
 _STATS_KEYS = SESSION_STATS_KEYS
 """The :class:`~repro.session.SessionStats` fields, summed per worker
@@ -231,6 +256,59 @@ def parallel_fixpoint_support(
 # ---------------------------------------------------------------------------
 
 
+def _zero_set_count(problem: AcceptabilityProblem) -> int:
+    """How many zero-sets the serial walk tests, in closed form.
+
+    The walk skips exactly the subsets containing all of ``targets``:
+    ``2^(n-t)`` of them when the targets all live in the universe, none
+    when some target is not a class unknown (no subset can cover it),
+    and *all* ``2^n`` when ``targets`` is empty (the empty set is a
+    subset of every candidate).  Knowing the total up front is what lets
+    the parent stream chunks without materialising the lattice.
+    """
+    universe = set(problem.class_unknowns)
+    total = 2 ** len(universe)
+    if not problem.targets:
+        return 0
+    if problem.targets <= universe:
+        return total - 2 ** (len(universe) - len(problem.targets))
+    return total
+
+
+def _serial_zero_sets(
+    problem: AcceptabilityProblem,
+) -> Iterator[tuple[str, ...]]:
+    """The zero-sets the serial walk tests, lazily, in serial order."""
+    class_unknowns = list(problem.class_unknowns)
+    for size in range(len(class_unknowns) + 1):
+        for zero_tuple in combinations(class_unknowns, size):
+            if not problem.targets <= frozenset(zero_tuple):
+                yield zero_tuple
+
+
+def _zero_search_payload(
+    problem: AcceptabilityProblem, chain: Sequence[SolverBackend]
+) -> dict[str, Any]:
+    return {
+        "system": problem.system,
+        "class_unknowns": tuple(problem.class_unknowns),
+        "dependencies": dict(problem.dependencies),
+        "targets": problem.targets,
+        "chain": chain_spec(chain),
+    }
+
+
+def _first_hit(
+    results: Sequence[dict[str, Any] | None],
+) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
+    """Fold chunk results (submission order) into the search triple."""
+    for result in results:
+        if result is not None and result.get("hit") is not None:
+            hit = result["hit"]
+            return True, hit["witness"], frozenset(hit["support"])
+    return False, None, frozenset()
+
+
 def parallel_zero_set_search(
     problem: AcceptabilityProblem,
     chain: Sequence[SolverBackend],
@@ -238,40 +316,108 @@ def parallel_zero_set_search(
 ) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
     """Theorem 3.4's enumeration, chunked in serial order with a
     first-hit short-circuit; bit-identical to the serial naive engine
-    including the witness (see module docstring)."""
-    class_unknowns = list(problem.class_unknowns)
-    ordered = [
-        zero_tuple
-        for size in range(len(class_unknowns) + 1)
-        for zero_tuple in combinations(class_unknowns, size)
-        if not problem.targets <= frozenset(zero_tuple)
-    ]
-    if not ordered:
+    including the witness (see module docstring).
+
+    The chunk boundaries reproduce ``chunk_evenly`` arithmetic over the
+    closed-form candidate count, but the candidates themselves stream
+    out of the enumeration only as chunks are dispatched — the parent
+    holds at most the pool's submission window, not ``2^n`` tuples.
+    """
+    total = _zero_set_count(problem)
+    if total == 0:
         return False, None, frozenset()
-    payload = {
-        "system": problem.system,
-        "class_unknowns": tuple(problem.class_unknowns),
-        "dependencies": dict(problem.dependencies),
-        "targets": problem.targets,
-        "chain": chain_spec(chain),
-    }
     budget = current_budget()
-    chunks = chunk_evenly(ordered, jobs * ZERO_CHUNK_FACTOR)
-    with WorkerPool(payload, jobs) as pool:
-        calls = [(worker_caps(budget), tuple(chunk)) for chunk in chunks]
-        hits = pool.map_ordered(
-            run_zero_chunk, calls, short_circuit=lambda hit: hit is not None
+    caps = worker_caps(budget)
+    count = max(1, min(jobs * ZERO_CHUNK_FACTOR, total))
+    base, extra = divmod(total, count)
+    stream = _serial_zero_sets(problem)
+
+    def calls() -> Iterator[tuple[Any, ...]]:
+        for index in range(count):
+            size = base + (1 if index < extra else 0)
+            chunk = tuple(islice(stream, size))
+            if chunk:
+                yield (caps, chunk)
+
+    def fold(index: int, result: dict[str, Any]) -> None:
+        del index
+        fold_search_stats(result.get("stats"))
+
+    with WorkerPool(_zero_search_payload(problem, chain), jobs) as pool:
+        results = pool.map_ordered_streaming(
+            run_zero_chunk,
+            calls(),
+            short_circuit=lambda result: result.get("hit") is not None,
+            on_result=fold,
         )
-    for hit in hits:
-        if hit is not None:
-            return True, hit["witness"], frozenset(hit["support"])
-    return False, None, frozenset()
+    return _first_hit(results)
+
+
+def parallel_pruned_zero_set_search(
+    problem: AcceptabilityProblem,
+    chain: Sequence[SolverBackend],
+    jobs: int,
+) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
+    """The pruned walk fanned out over orbit representatives.
+
+    The parent owns the deterministic parts — automorphism discovery,
+    canonicity filtering (``pruned_by_orbit`` is bumped parent-side, so
+    it matches the serial count exactly) — and streams fixed-size
+    chunks of representatives, each carrying the nogood store as of its
+    dispatch.  Workers return what they learned; the store saturates
+    between dispatches.  Verdict and witness are byte-identical to the
+    serial walk (nogoods only match infeasible candidates; the
+    short-circuit keeps earlier chunks alive), while
+    ``pruned_by_nogood`` / ``zero_sets_enumerated`` depend on dispatch
+    timing under ``jobs > 1``.
+    """
+    names = list(problem.class_unknowns)
+    perms, orbits_found = orbit_permutations(problem)
+    bump_search_stat("orbits_found", orbits_found)
+    store = NogoodStore()
+    budget = current_budget()
+    caps = worker_caps(budget)
+
+    def representatives() -> Iterator[tuple[str, ...]]:
+        for size in range(len(names) + 1):
+            for combo in combinations(range(len(names)), size):
+                zero_tuple = tuple(names[index] for index in combo)
+                if problem.targets <= frozenset(zero_tuple):
+                    continue
+                if perms and not is_canonical(combo, perms):
+                    bump_search_stat("pruned_by_orbit")
+                    continue
+                yield zero_tuple
+
+    def calls() -> Iterator[tuple[Any, ...]]:
+        stream = representatives()
+        while True:
+            chunk = tuple(islice(stream, PRUNED_CHUNK_SIZE))
+            if not chunk:
+                return
+            yield (caps, chunk, tuple(store.nogoods))
+
+    def merge(index: int, result: dict[str, Any]) -> None:
+        del index
+        store.install_all(result.get("nogoods") or ())
+        fold_search_stats(result.get("stats"))
+
+    with WorkerPool(_zero_search_payload(problem, chain), jobs) as pool:
+        results = pool.map_ordered_streaming(
+            run_pruned_chunk,
+            calls(),
+            short_circuit=lambda result: result.get("hit") is not None,
+            on_result=merge,
+        )
+    return _first_hit(results)
 
 
 __all__ = [
     "BatchOutcome",
+    "PRUNED_CHUNK_SIZE",
     "ZERO_CHUNK_FACTOR",
     "parallel_fixpoint_support",
+    "parallel_pruned_zero_set_search",
     "parallel_zero_set_search",
     "partition_queries",
     "run_parallel_batch",

@@ -220,6 +220,100 @@ class WorkerPool:
             raise
         return results
 
+    def map_ordered_streaming(
+        self,
+        task: Callable[[Any], dict[str, Any]],
+        calls: Iterable[Any],
+        window: int | None = None,
+        short_circuit: Callable[[Any], bool] | None = None,
+        on_result: Callable[[int, Any], None] | None = None,
+    ) -> list[Any]:
+        """:meth:`map_ordered` over a *lazy* call stream.
+
+        At most ``window`` (default ``2 * jobs``) submissions are
+        outstanding at once and ``calls`` is only advanced as slots
+        free up, so the parent never materialises the whole work list —
+        the fix for the zero-set fan-out's parent-side memory.  Pulling
+        a call at submission time also lets the stream observe state
+        accumulated from earlier results (the pruned search attaches
+        the nogoods known *at dispatch*).
+
+        ``on_result`` fires as each non-``None`` result lands (in
+        completion order — merge logic must not depend on it).  The
+        short-circuit contract matches :meth:`map_ordered`: a hit stops
+        the stream and cancels only later indexes, and results are
+        returned in submission order for every call actually submitted.
+        """
+        budget = current_budget()
+        limit = max(1, window if window is not None else 2 * self.jobs)
+        iterator = iter(calls)
+        futures: dict[concurrent.futures.Future[dict[str, Any]], int] = {}
+        results: dict[int, Any] = {}
+        pending: set[concurrent.futures.Future[dict[str, Any]]] = set()
+        stop_index: int | None = None
+        exhausted = False
+        submitted = 0
+
+        def refill() -> None:
+            nonlocal exhausted, submitted
+            while (
+                not exhausted and stop_index is None and len(pending) < limit
+            ):
+                try:
+                    call = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    return
+                future = self._executor.submit(task, call)
+                futures[future] = submitted
+                pending.add(future)
+                submitted += 1
+
+        try:
+            refill()
+            while pending:
+                if budget is not None:
+                    budget.check()
+                done, pending = concurrent.futures.wait(
+                    pending,
+                    timeout=POLL_SECONDS,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in sorted(done, key=futures.__getitem__):
+                    if future.cancelled():
+                        continue
+                    index = futures[future]
+                    envelope = future.result(timeout=POLL_SECONDS)
+                    self._absorb(envelope, budget)
+                    result = envelope.get("result")
+                    results[index] = result
+                    if on_result is not None and result is not None:
+                        on_result(index, result)
+                    if (
+                        short_circuit is not None
+                        and result is not None
+                        and short_circuit(result)
+                        and (stop_index is None or index < stop_index)
+                    ):
+                        stop_index = index
+                if stop_index is not None:
+                    for future, index in futures.items():
+                        if index > stop_index:
+                            future.cancel()
+                    pending = {
+                        future
+                        for future in pending
+                        if not future.cancelled()
+                        and futures[future] < stop_index
+                    }
+                else:
+                    refill()
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return [results.get(index) for index in range(submitted)]
+
     @staticmethod
     def _absorb(
         envelope: dict[str, Any], budget: Budget | None

@@ -36,6 +36,7 @@ from repro.runtime.budget import Budget, ProgressSnapshot, activate
 from repro.runtime.outcome import ImplicationVerdict, Verdict
 from repro.solver.core import SparseRow
 from repro.solver.linear import Relation
+from repro.solver.pruned import Nogood, candidate_system, learn_nogood
 from repro.solver.registry import (
     AcceptabilityProblem,
     FourierMotzkinBackend,
@@ -45,6 +46,7 @@ from repro.solver.registry import (
     pin_backend,
     zero_set_rows,
 )
+from repro.solver.stats import SearchCounters
 
 _PAYLOAD: dict[str, Any] | None = None
 """The shared inputs, reconstructed once per worker by :func:`bootstrap`."""
@@ -211,49 +213,115 @@ def run_probe_chunk(args: tuple[Any, ...]) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 
+def _zero_search_problem() -> AcceptabilityProblem:
+    """The (worker-cached) acceptability problem of a zero-set payload."""
+    problem = _STATE.get("problem")
+    if problem is None:
+        payload = _payload()
+        problem = _STATE["problem"] = AcceptabilityProblem(
+            system=payload["system"],
+            class_unknowns=payload["class_unknowns"],
+            dependencies=payload["dependencies"],
+            targets=payload["targets"],
+        )
+    return problem
+
+
+def _hit_record(
+    universe: set[str], zero_set: frozenset[str], witness: Any
+) -> dict[str, Any]:
+    assert witness.integral is not None
+    support = frozenset(
+        name for name, value in witness.integral.items() if value > 0
+    )
+    assert universe - zero_set <= support
+    return {
+        "witness": witness.integral,
+        "support": tuple(sorted(support)),
+    }
+
+
 def run_zero_chunk(args: tuple[Any, ...]) -> dict[str, Any]:
     """Test a contiguous chunk of zero-sets; first feasible one wins.
 
     Payload: ``{"system", "class_unknowns", "dependencies", "targets",
     "chain"}``.  Args: ``(caps, zero_sets)`` where ``zero_sets`` is a
-    tuple of tuples in the *serial* enumeration order.  Returns ``None``
-    (chunk exhausted, no hit) or ``{"witness", "support"}`` for the
-    earliest feasible zero-set in the chunk.
+    tuple of tuples in the *serial* enumeration order.  Returns
+    ``{"hit": None | {"witness", "support"}, "stats": {...}}`` — the
+    earliest feasible zero-set in the chunk, if any, plus the search
+    counters the chunk accumulated (folded into the parent's ambient
+    sink on merge).
     """
     caps, zero_sets = args
 
-    def body(budget: Budget) -> dict[str, Any] | None:
-        payload = _payload()
-        problem = _STATE.get("problem")
-        if problem is None:
-            problem = _STATE["problem"] = AcceptabilityProblem(
-                system=payload["system"],
-                class_unknowns=payload["class_unknowns"],
-                dependencies=payload["dependencies"],
-                targets=payload["targets"],
-            )
+    def body(budget: Budget) -> dict[str, Any]:
+        problem = _zero_search_problem()
         chain = _cached_chain()
         universe = set(problem.class_unknowns)
+        counters = SearchCounters()
+        hit: dict[str, Any] | None = None
         for zero_tuple in zero_sets:
             budget.check()
             zero_set = frozenset(zero_tuple)
+            counters.bump("zero_sets_enumerated")
             candidate = problem.system.with_rows(
                 zero_set_rows(problem, zero_set)
             )
             witness = chain_positive_solution(candidate, chain)
             if witness.feasible:
-                assert witness.integral is not None
-                support = frozenset(
-                    name
-                    for name, value in witness.integral.items()
-                    if value > 0
-                )
-                assert universe - zero_set <= support
-                return {
-                    "witness": witness.integral,
-                    "support": tuple(sorted(support)),
-                }
-        return None
+                hit = _hit_record(universe, zero_set, witness)
+                break
+        return {"hit": hit, "stats": counters.as_dict()}
+
+    return _run_task(caps, body)
+
+
+def run_pruned_chunk(args: tuple[Any, ...]) -> dict[str, Any]:
+    """Test a chunk of *canonical* zero-sets with nogood pruning.
+
+    Payload: as :func:`run_zero_chunk`.  Args:
+    ``(caps, zero_sets, nogoods)`` — the candidates are the orbit
+    representatives the parent's canonicity filter let through (still in
+    serial order), and ``nogoods`` is the parent's
+    :class:`~repro.solver.pruned.Nogood` list as known *at dispatch
+    time*.  The chunk matches candidates against those plus whatever it
+    learns locally, and returns
+    ``{"hit": ..., "nogoods": new ones, "stats": {...}}`` so the parent
+    can saturate its store for later dispatches.  Nogoods only ever
+    match infeasible candidates, so the first-hit merge is unaffected
+    by which nogoods happened to reach which chunk.
+    """
+    caps, zero_sets, nogoods = args
+
+    def body(budget: Budget) -> dict[str, Any]:
+        problem = _zero_search_problem()
+        chain = _cached_chain()
+        universe = set(problem.class_unknowns)
+        counters = SearchCounters()
+        learned: list[Nogood] = []
+        hit: dict[str, Any] | None = None
+        for zero_tuple in zero_sets:
+            budget.check()
+            zero_set = frozenset(zero_tuple)
+            if any(ng.matches(zero_set) for ng in nogoods) or any(
+                ng.matches(zero_set) for ng in learned
+            ):
+                counters.bump("pruned_by_nogood")
+                continue
+            counters.bump("zero_sets_enumerated")
+            candidate = candidate_system(problem, zero_set)
+            witness = chain_positive_solution(candidate, chain)
+            if witness.feasible:
+                hit = _hit_record(universe, zero_set, witness)
+                break
+            nogood = learn_nogood(problem, zero_set, candidate)
+            if nogood is not None:
+                learned.append(nogood)
+        return {
+            "hit": hit,
+            "nogoods": tuple(learned),
+            "stats": counters.as_dict(),
+        }
 
     return _run_task(caps, body)
 
@@ -379,6 +447,7 @@ __all__ = [
     "resolve_chain",
     "run_batch_chunk",
     "run_probe_chunk",
+    "run_pruned_chunk",
     "run_zero_chunk",
     "unknown_record",
 ]

@@ -95,6 +95,10 @@ class CacheStats:
     components_total: int = 0
     components_reused: int = 0
     components_rebuilt: int = 0
+    zero_sets_enumerated: int = 0
+    pruned_by_orbit: int = 0
+    pruned_by_nogood: int = 0
+    orbits_found: int = 0
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment one counter by name.
@@ -123,6 +127,10 @@ class CacheStats:
             "components_total": self.components_total,
             "components_reused": self.components_reused,
             "components_rebuilt": self.components_rebuilt,
+            "zero_sets_enumerated": self.zero_sets_enumerated,
+            "pruned_by_orbit": self.pruned_by_orbit,
+            "pruned_by_nogood": self.pruned_by_nogood,
+            "orbits_found": self.orbits_found,
         }
 
 

@@ -33,8 +33,9 @@ the next query resumes from the last completed stage.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
+from typing import TypeVar
 
 from repro.cr.constraints import (
     DisjointnessStatement,
@@ -54,20 +55,40 @@ from repro.cr.implication import (
 from repro.cr.satisfiability import (
     SatisfiabilityResult,
     _unknown_result,
+    acceptable_with_positive,
     class_targets,
     diagnostic_result,
 )
 from repro.cr.schema import Card, CRSchema, UNBOUNDED
-from repro.errors import ReproError, SchemaError
-from repro.pipeline import STAGE_VERDICT, stage
+from repro.errors import BudgetExceededError, ReproError, SchemaError
+from repro.pipeline import STAGE_SOLVE, STAGE_VERDICT, stage
 from repro.runtime.budget import Budget, run_governed
 from repro.runtime.fallback import DEFAULT_FALLBACK, FallbackPolicy
 from repro.runtime.outcome import Verdict
 from repro.session.cache import SchemaArtifacts, SessionCache
 from repro.session.fingerprint import schema_fingerprint
+from repro.solver.stats import search_stats_sink
+
+_R = TypeVar("_R")
 
 ENGINE = "session"
 """Engine tag carried by results answered from cached session state."""
+
+
+def _pinned_exponential_engine() -> str | None:
+    """The active backend's name when it is a Theorem-3.4 decision
+    engine (``pruned``/``naive``), else ``None``.
+
+    Pinning such a backend means "decide through the zero-set walk",
+    not "solve individual LPs with it" — mirroring
+    ``repro.cr.satisfiability._resolve_engine`` for the stateless API.
+    """
+    from repro.solver.registry import active_backend_name, get_backend
+
+    name = active_backend_name()
+    if get_backend(name).capabilities.exponential:
+        return name
+    return None
 
 SESSION_STATS_KEYS: tuple[str, ...] = (
     "queries",
@@ -86,6 +107,10 @@ SESSION_STATS_KEYS: tuple[str, ...] = (
     "components_total",
     "components_reused",
     "components_rebuilt",
+    "zero_sets_enumerated",
+    "pruned_by_orbit",
+    "pruned_by_nogood",
+    "orbits_found",
 )
 """The :class:`SessionStats` field names, in ``as_dict`` order.  The
 parallel fan-out and the serve daemon sum per-worker / per-request stats
@@ -112,6 +137,10 @@ class SessionStats:
     components_total: int = 0
     components_reused: int = 0
     components_rebuilt: int = 0
+    zero_sets_enumerated: int = 0
+    pruned_by_orbit: int = 0
+    pruned_by_nogood: int = 0
+    orbits_found: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -131,6 +160,10 @@ class SessionStats:
             "components_total": self.components_total,
             "components_reused": self.components_reused,
             "components_rebuilt": self.components_rebuilt,
+            "zero_sets_enumerated": self.zero_sets_enumerated,
+            "pruned_by_orbit": self.pruned_by_orbit,
+            "pruned_by_nogood": self.pruned_by_nogood,
+            "orbits_found": self.orbits_found,
         }
 
 
@@ -208,6 +241,25 @@ class ReasoningSession:
         cache_stats = self.cache.stats
         return SessionStats(queries=self.queries, **cache_stats.as_dict())
 
+    def _governed(
+        self,
+        budget: Budget | None,
+        compute: Callable[[], _R],
+        on_exhaustion: Callable[[BudgetExceededError], _R],
+    ) -> _R:
+        """:func:`run_governed` with this session's cache stats installed
+        as the ambient search-counter sink, so any Theorem-3.4 decision
+        procedure reached under a query (a pinned ``pruned``/``naive``
+        backend, a future fallback) lands its pruning counters in the
+        same :class:`~repro.session.cache.CacheStats` funnel as the
+        cache counters."""
+
+        def governed_compute() -> _R:
+            with search_stats_sink(self.cache.stats):
+                return compute()
+
+        return run_governed(budget, governed_compute, on_exhaustion)
+
     def for_schema(self, schema: CRSchema) -> ReasoningSession:
         """A sibling session for an edited schema, sharing this cache.
 
@@ -251,6 +303,31 @@ class ReasoningSession:
                 self.cache.stats.bump("analysis_short_circuits")
                 with stage(STAGE_VERDICT, phase="session:lookup"):
                     return diagnostic_result(cls, diagnostic)
+            engine = _pinned_exponential_engine()
+            if engine is not None:
+                # The user pinned a Theorem-3.4 decision engine
+                # (``--backend pruned``/``naive``): decide this class
+                # through it — reusing the cached expansion/system —
+                # so pruning counters land in the session funnel.
+                cr_system = artifacts.ensure_system()
+                with stage(STAGE_SOLVE, phase=f"decide:{engine}"):
+                    targets = class_targets(cr_system, cls)
+                    satisfiable, solution, support = (
+                        acceptable_with_positive(
+                            cr_system,
+                            targets,
+                            engine,
+                            fallback=self.fallback,
+                        )
+                    )
+                return SatisfiabilityResult(
+                    cls=cls,
+                    satisfiable=satisfiable,
+                    engine=engine,
+                    cr_system=cr_system,
+                    solution=solution,
+                    support=support if satisfiable else frozenset(),
+                )
             support = artifacts.ensure_support()
             cr_system = artifacts.ensure_system()
             witness = artifacts.witness
@@ -267,7 +344,7 @@ class ReasoningSession:
                 support=support if satisfiable else frozenset(),
             )
 
-        return run_governed(
+        return self._governed(
             effective, compute, lambda error: _unknown_result(cls, ENGINE, error)
         )
 
@@ -290,7 +367,7 @@ class ReasoningSession:
             assert artifacts.class_verdicts is not None
             return dict(artifacts.class_verdicts)
 
-        return run_governed(
+        return self._governed(
             effective,
             compute,
             lambda error: {cls: Verdict.UNKNOWN for cls in self.schema.classes},
@@ -379,7 +456,7 @@ class ReasoningSession:
                 return ImplicationResult(query, True, ENGINE, None)
             return self._countermodel_result(query, artifacts)
 
-        return run_governed(
+        return self._governed(
             effective,
             compute,
             lambda error: _unknown_implication(query, ENGINE, error),
@@ -413,7 +490,7 @@ class ReasoningSession:
                 return ImplicationResult(query, True, ENGINE, None)
             return self._countermodel_result(query, artifacts)
 
-        return run_governed(
+        return self._governed(
             effective,
             compute,
             lambda error: _unknown_implication(query, ENGINE, error),
@@ -441,7 +518,7 @@ class ReasoningSession:
                 return ImplicationResult(query, True, ENGINE, None)
             return self._countermodel_result(query, artifacts, strip=exc)
 
-        return run_governed(
+        return self._governed(
             effective,
             compute,
             lambda error: _unknown_implication(query, ENGINE, error),

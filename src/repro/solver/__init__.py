@@ -26,6 +26,14 @@ from repro.solver.homogeneous import (
 from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation, term
 from repro.solver.simplex import SimplexResult, SimplexStatus, solve_lp
 
+# Importing the package finalises the backend registry: the pruned
+# (orbit/nogood) decision procedure registers itself on import, and it
+# lives above repro.solver.registry, so the registry module cannot pull
+# it in directly without a cycle.
+from repro.solver import pruned as _pruned  # noqa: E402  (registration import)
+
+del _pruned
+
 __all__ = [
     "Constraint",
     "LinearSystem",

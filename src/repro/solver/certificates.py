@@ -30,7 +30,7 @@ from fractions import Fraction
 
 from repro.errors import SolverError
 from repro.runtime.budget import current_budget
-from repro.solver.linear import LinearSystem, LinExpr, Relation
+from repro.solver.linear import Constraint, LinearSystem, LinExpr, Relation
 from repro.solver.simplex import _Tableau
 
 _ZERO = Fraction(0)
@@ -95,6 +95,117 @@ class FarkasCertificate:
         return "\n".join(lines)
 
 
+def _reduce_for_certificate(
+    system: LinearSystem,
+) -> tuple[
+    list[tuple[int, "Constraint"]],
+    dict[str, tuple[int, Fraction, Relation]],
+    int | None,
+]:
+    """Presolve that keeps certificates liftable to the full system.
+
+    Two reductions, iterated to a fixpoint over the implicitly
+    non-negative variables:
+
+    * **pinning** — a row forcing one variable to zero (``c·x = 0``, or
+      ``c·x ≤ 0`` with ``c > 0``, or the ``≥`` mirror) removes the
+      variable everywhere; the row index, coefficient, and relation are
+      remembered so the lift can re-weight it;
+    * **triviality** — a row non-negativity alone guarantees weighs
+      zero in any certificate and is dropped outright.
+
+    Returns the surviving ``(original_index, reduced_constraint)``
+    pairs, the pinning map, and — when substitution exposes a row whose
+    remaining constant already violates its relation — that row's
+    index, which by itself (plus pinning patches) proves infeasibility.
+    """
+    remaining = list(enumerate(system.constraints))
+    pinning: dict[str, tuple[int, Fraction, Relation]] = {}
+    changed = True
+    while changed:
+        changed = False
+        survivors: list[tuple[int, Constraint]] = []
+        for index, constraint in remaining:
+            coeffs = {
+                name: value
+                for name, value in constraint.expr.coefficients.items()
+                if name not in pinning and value != 0
+            }
+            const = constraint.expr.constant_term
+            relation = constraint.relation
+            if not coeffs:
+                if (
+                    (relation is Relation.EQ and const != 0)
+                    or (relation is Relation.LE and const > 0)
+                    or (relation is Relation.GE and const < 0)
+                ):
+                    return [], pinning, index
+                continue  # trivially true: weighs zero
+            if len(coeffs) == 1 and const == 0:
+                ((name, coeff),) = coeffs.items()
+                if (
+                    relation is Relation.EQ
+                    or (relation is Relation.LE and coeff > 0)
+                    or (relation is Relation.GE and coeff < 0)
+                ):
+                    pinning[name] = (index, coeff, relation)
+                    changed = True
+                    continue
+            if (
+                relation is Relation.GE
+                and const >= 0
+                and all(value >= 0 for value in coeffs.values())
+            ) or (
+                relation is Relation.LE
+                and const <= 0
+                and all(value <= 0 for value in coeffs.values())
+            ):
+                continue  # non-negativity already guarantees it
+            survivors.append(
+                (index, Constraint(LinExpr(coeffs, const), relation))
+            )
+        remaining = survivors
+    return remaining, pinning, None
+
+
+def _lift_weights(
+    system: LinearSystem,
+    weights: dict[int, Fraction],
+    pinning: dict[str, tuple[int, Fraction, Relation]],
+) -> FarkasCertificate:
+    """Patch a reduced-system certificate into a full-system one.
+
+    The reduced rows differ from the originals only in the pinned
+    (zero-forced) variables, so the weighted combination over the full
+    system can pick up negative coefficients on exactly those names;
+    each is cancelled by weighting its pinning row with ``-γ/c`` — a
+    sign-legal weight by the pinning conditions, adding nothing to the
+    constant term (pinning rows have constant 0).  A pinning row was
+    single-variable only *after* earlier substitutions, so its patch can
+    reintroduce names pinned before it: walking the map latest-first
+    makes one pass suffice.
+    """
+    partial = FarkasCertificate(
+        tuple(sorted((i, w) for i, w in weights.items() if w != 0))
+    )
+    combined = partial.combination(system)
+    for name in reversed(pinning):
+        index, coeff, _relation = pinning[name]
+        gamma = combined.coefficients.get(name, _ZERO)
+        if gamma < 0:
+            delta = -gamma / coeff
+            weights[index] = weights.get(index, _ZERO) + delta
+            combined = combined + delta * system.constraints[index].expr
+    certificate = FarkasCertificate(
+        tuple(sorted((i, w) for i, w in weights.items() if w != 0))
+    )
+    if not certificate.verify(system):  # pragma: no cover - soundness net
+        raise SolverError(
+            "internal error: extracted Farkas certificate failed verification"
+        )
+    return certificate
+
+
 def farkas_certificate(system: LinearSystem) -> FarkasCertificate | None:
     """A verified infeasibility proof, or ``None`` if the system is feasible.
 
@@ -103,10 +214,13 @@ def farkas_certificate(system: LinearSystem) -> FarkasCertificate | None:
     are implicitly non-negative, matching
     :func:`repro.solver.simplex.solve_lp`.
 
-    The extraction runs its own phase-1 simplex *without* presolve so
-    that tableau rows map one-to-one onto ``system.constraints``; the
-    resulting certificate is verified before being returned, so a
-    caller can trust it unconditionally.
+    The extraction presolves with the certificate-preserving reductions
+    of :func:`_reduce_for_certificate` (the pruned zero-set search
+    extracts a certificate per infeasible candidate, so this is a hot
+    path), runs its own phase-1 simplex whose rows map one-to-one onto
+    the surviving constraints, and lifts the weights back to the full
+    system; the resulting certificate is verified before being
+    returned, so a caller can trust it unconditionally.
     """
     for constraint in system.constraints:
         if constraint.relation.is_strict:
@@ -121,14 +235,26 @@ def farkas_certificate(system: LinearSystem) -> FarkasCertificate | None:
         # decision procedures.
         budget.charge_solver_call()
 
-    variables = list(system.variables)
+    surviving, pinning, violated = _reduce_for_certificate(system)
+    if violated is not None:
+        relation = system.constraints[violated].relation
+        const = system.constraints[violated].expr.constant_term
+        sign = _ONE if relation is Relation.LE or const > 0 else -_ONE
+        return _lift_weights(system, {violated: sign}, pinning)
+    if not surviving:
+        return None  # every row is trivially satisfiable
+
+    variables = [
+        name for name in system.variables if name not in pinning
+    ]
     column_of = {name: j for j, name in enumerate(variables)}
     num_structural = len(variables)
 
     # Normalised rows: coeffs . x (REL') rhs with rhs >= 0; remember the
-    # sign flip to translate dual values back to the original statement.
-    normalised: list[tuple[list[Fraction], Relation, Fraction, int]] = []
-    for constraint in system.constraints:
+    # original row index and the sign flip to translate dual values back
+    # to the full system's statement.
+    normalised: list[tuple[int, list[Fraction], Relation, Fraction, int]] = []
+    for original_index, constraint in surviving:
         coeffs = [_ZERO] * num_structural
         for name, value in constraint.expr.coefficients.items():
             coeffs[column_of[name]] += value
@@ -140,10 +266,10 @@ def farkas_certificate(system: LinearSystem) -> FarkasCertificate | None:
             rhs = -rhs
             relation = relation.flipped()
             sign = -1
-        normalised.append((coeffs, relation, rhs, sign))
+        normalised.append((original_index, coeffs, relation, rhs, sign))
 
     num_slacks = sum(
-        1 for _, relation, _, _ in normalised if relation is not Relation.EQ
+        1 for _, _, relation, _, _ in normalised if relation is not Relation.EQ
     )
     num_rows = len(normalised)
     total_columns = num_structural + num_slacks + num_rows
@@ -153,47 +279,53 @@ def farkas_certificate(system: LinearSystem) -> FarkasCertificate | None:
     artificial_of_row: list[int] = []
     slack_cursor = num_structural
     artificial_cursor = num_structural + num_slacks
-    for coeffs, relation, rhs, _sign in normalised:
+    for _index, coeffs, relation, rhs, _sign in normalised:
         row = list(coeffs) + [_ZERO] * (total_columns - num_structural) + [rhs]
         if relation is Relation.LE:
+            # Slack-basic start, exactly like solve_lp's phase 1: with
+            # rhs >= 0 after normalisation the slack is already feasible,
+            # so the row contributes no phase-1 work.
             row[slack_cursor] = _ONE
+            basis.append(slack_cursor)
             slack_cursor += 1
         elif relation is Relation.GE:
             row[slack_cursor] = -_ONE
             slack_cursor += 1
-        # Every row gets an artificial so the duals can be read off
-        # uniformly: y_i = 1 - reduced_cost(artificial_i).
+            basis.append(artificial_cursor)
+        else:  # EQ
+            basis.append(artificial_cursor)
+        # Every row still gets an artificial *column* so the duals can
+        # be read off uniformly (y_i = cost_i - reduced_cost(art_i)),
+        # but only GE/EQ artificials are basic and costed; LE ones are
+        # blocked from ever entering.
         row[artificial_cursor] = _ONE
-        basis.append(artificial_cursor)
         artificial_of_row.append(artificial_cursor)
         artificial_cursor += 1
         rows.append(row)
 
     tableau = _Tableau(rows, basis, total_columns)
     phase1_cost = [_ZERO] * total_columns
-    for column in artificial_of_row:
-        phase1_cost[column] = _ONE
-    status, value = tableau.minimize(phase1_cost)
+    for column, (_, _, relation, _, _) in zip(artificial_of_row, normalised):
+        if relation is Relation.LE:
+            tableau.blocked.add(column)
+        else:
+            phase1_cost[column] = _ONE
+    status, value = tableau.minimize(phase1_cost, floor=_ZERO)
     if value <= 0:
         return None  # feasible: no certificate exists
     assert status.name == "OPTIMAL"
 
     reduced = tableau.last_reduced
-    weights: list[tuple[int, Fraction]] = []
-    for index, (artificial, (_, _, _, sign)) in enumerate(
-        zip(artificial_of_row, normalised)
+    weights: dict[int, Fraction] = {}
+    for artificial, (original_index, _, _, _, sign) in zip(
+        artificial_of_row, normalised
     ):
-        dual = _ONE - reduced[artificial]
+        dual = phase1_cost[artificial] - reduced[artificial]
         weight = -dual * sign
         if weight != 0:
-            weights.append((index, weight))
+            weights[original_index] = weight
 
-    certificate = FarkasCertificate(tuple(weights))
-    if not certificate.verify(system):  # pragma: no cover - soundness net
-        raise SolverError(
-            "internal error: extracted Farkas certificate failed verification"
-        )
-    return certificate
+    return _lift_weights(system, weights, pinning)
 
 
 __all__ = ["FarkasCertificate", "farkas_certificate"]

@@ -1,0 +1,683 @@
+"""Orbit symmetry reduction and Farkas-nogood pruning for the zero-set
+search (the ``pruned`` backend).
+
+The naive Theorem-3.4 engine (:class:`repro.solver.registry.NaiveBackend`)
+walks every subset ``Z`` of the class unknowns and solves one exact LP
+per subset — ``2^|V_C|`` LPs in the worst case.  Component decomposition
+(PR 8) caps the blow-up at the largest island but does nothing *within*
+a dense component.  This module prunes inside one component with two
+compounding, *sound* levers, while keeping the output byte-identical to
+the naive serial walk:
+
+**Orbit reduction.**  Schemas routinely contain interchangeable classes
+(k sibling classes with identical cardinality profiles under one root).
+Interchangeability shows up in ``Ψ_S`` as an automorphism: a permutation
+``σ`` of the unknowns that fixes the class-unknown set and the target
+set setwise, maps the dependency relation onto itself, and maps the row
+multiset onto itself (labels excluded — provenance does not affect
+feasibility).  Such a ``σ`` carries ``Ψ_Z`` onto ``Ψ_{σZ}`` row for row,
+so feasibility is orbit-invariant.  Candidate automorphisms are
+discovered by Weisfeiler–Leman colour refinement over the columns of
+``Ψ_S`` plus individualisation–refinement on same-colour class-unknown
+pairs, then **verified exactly** (bijection, setwise class/target
+preservation, dependency preservation, row-multiset invariance); a
+candidate that fails verification is discarded, so a missed symmetry
+costs pruning power, never correctness.  The verified generators are
+closed under composition up to a size cap (on overflow the generator
+set itself is used — still sound).  Enumeration then visits subsets in
+the exact naive serial order but only *canonical* ones: ``Z`` is
+canonical iff no known automorphism maps it to a serially-earlier
+subset.  Because any feasible ``Z`` has a canonical, serially-no-later
+image in its orbit and the serial-first feasible subset is itself
+canonical (an earlier image would contradict first-ness), the first
+canonical feasible candidate **is** the serial-first feasible candidate
+— the same ``Ψ_Z`` is solved, so the witness is byte-identical with no
+remapping (DESIGN §15).
+
+**Farkas nogoods.**  Each infeasible candidate yields a dual
+infeasibility certificate
+(:func:`repro.solver.certificates.farkas_certificate`) over the
+sharpened ``Ψ_Z``.  The certificate is generalised to the minimal
+support it actually uses: the ``Z-zero``/``Z-positive``/``Z-dep`` rows
+it weights identify a set ``zeros`` that must be pinned to 0 and a set
+``positives`` that must be positive for the same weighted combination
+to apply (for a weighted ``Z-dep`` row the serially-earliest zeroed
+dependency is recorded, which keeps that row present in any matching
+candidate).  Any later ``Z'`` with ``zeros ⊆ Z'`` and
+``positives ∩ Z' = ∅`` contains every row the certificate weights, so
+the identical combination proves ``Ψ_{Z'}`` infeasible and the LP is
+skipped.  Nogoods only ever match infeasible candidates, so first-hit
+semantics and the witness are untouched.  The store saturates as the
+walk proceeds — each learned fact prunes all later cousins — and
+subsumed (strictly less general) nogoods are dropped on install.
+
+Counters flow through the ambient sink of :mod:`repro.solver.stats`:
+``zero_sets_enumerated`` (LP-tested candidates), ``pruned_by_orbit``,
+``pruned_by_nogood``, and ``orbits_found`` (non-trivial orbits of the
+verified symmetry group acting on the class unknowns).  Budgets are
+charged per *tested* representative — skipped cousins cost nothing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+
+from repro.errors import LimitExceededError, SolverError
+from repro.runtime.budget import current_budget
+from repro.solver.certificates import FarkasCertificate, farkas_certificate
+from repro.solver.core import InternedSystem, sharpened_rows
+from repro.solver.linear import LinearSystem
+from repro.solver.registry import (
+    DEFAULT_BACKEND,
+    DEFAULT_NAIVE_LIMIT,
+    AcceptabilityProblem,
+    BackendCapabilities,
+    SolverBackend,
+    chain_positive_solution,
+    get_backend,
+    register_backend,
+    zero_set_rows,
+)
+from repro.solver.stats import bump_search_stat
+
+#: Closure size cap: |S_7| = 5040.  Beyond this the verified generators
+#: are used unclosed — less pruning, identical answers.
+GROUP_CLOSURE_CAP = 5040
+
+#: Cap on individualisation–refinement verification attempts, bounding
+#: the polynomial preprocessing on pathologically colour-uniform inputs.
+MAX_PAIR_ATTEMPTS = 64
+
+
+# ---------------------------------------------------------------------------
+# Automorphism discovery: WL colour refinement + exact verification
+# ---------------------------------------------------------------------------
+
+
+class _Profile:
+    """The refinement view of one acceptability problem.
+
+    Columns are the unknowns of ``Ψ_S``; the structure refined over is
+    the row multiset (labels excluded) plus the dependency bipartite
+    graph, seeded with the class-unknown / target indicator colours.
+    """
+
+    def __init__(self, problem: AcceptabilityProblem) -> None:
+        table = problem.system.table
+        self.size = problem.system.num_variables
+        self.rows = problem.system.rows
+        self.class_cols = tuple(table.index(c) for c in problem.class_unknowns)
+        class_set = set(self.class_cols)
+        target_cols = {
+            table.index(c) for c in problem.targets if c in table
+        }
+        self.dep_of = {
+            table.index(rel): tuple(table.index(c) for c in deps)
+            for rel, deps in problem.dependencies.items()
+        }
+        self.initial = [
+            f"{int(col in class_set)}:{int(col in target_cols)}"
+            for col in range(self.size)
+        ]
+
+    def refine(self, seeds: Mapping[int, str] | None = None) -> list[int]:
+        """Stable colouring of the columns, optionally individualised.
+
+        Colour identifiers are assigned by sorted signature, so two
+        refinement runs over signature-isomorphic seedings produce
+        directly comparable colour ids.
+        """
+        keys = list(self.initial)
+        if seeds:
+            for col, tag in seeds.items():
+                keys[col] = f"{keys[col]}|{tag}"
+        colors = _canonical_colors(keys)
+        budget = current_budget()
+        while True:
+            # The partition strictly refines each round, so this runs at
+            # most `size` times; the check keeps wall-clock caps honest.
+            if budget is not None:
+                budget.check()
+            sigs: list[list[object]] = [[] for _ in range(self.size)]
+            for row in self.rows:
+                items = tuple(row.items())
+                row_sig = (
+                    row.relation.value,
+                    str(row.const),
+                    tuple(
+                        sorted((str(coeff), colors[col]) for col, coeff in items)
+                    ),
+                )
+                for col, coeff in items:
+                    sigs[col].append(("r", str(coeff), row_sig))
+            for rel_col, dep_cols in self.dep_of.items():
+                sigs[rel_col].append(
+                    ("d", tuple(sorted(colors[col] for col in dep_cols)))
+                )
+                for col in dep_cols:
+                    sigs[col].append(("D", colors[rel_col]))
+            refined = _canonical_colors(
+                [
+                    repr((colors[col], sorted(sigs[col], key=repr)))
+                    for col in range(self.size)
+                ]
+            )
+            if len(set(refined)) == len(set(colors)):
+                return refined
+            colors = refined
+
+
+def _canonical_colors(keys: Sequence[str]) -> list[int]:
+    """Dense colour ids, assigned in sorted-key order (run-stable)."""
+    mapping = {key: index for index, key in enumerate(sorted(set(keys)))}
+    return [mapping[key] for key in keys]
+
+
+def _match_colorings(ca: Sequence[int], cb: Sequence[int]) -> list[int] | None:
+    """The colour-class-wise bijection taking colouring ``ca`` to ``cb``.
+
+    Members of each colour class are paired in ascending column order —
+    a guess when classes stay non-singleton, which exact verification
+    accepts or rejects.
+    """
+    groups_a: dict[int, list[int]] = defaultdict(list)
+    groups_b: dict[int, list[int]] = defaultdict(list)
+    for col, color in enumerate(ca):
+        groups_a[color].append(col)
+    for col, color in enumerate(cb):
+        groups_b[color].append(col)
+    if {c: len(m) for c, m in groups_a.items()} != {
+        c: len(m) for c, m in groups_b.items()
+    }:
+        return None
+    sigma = [0] * len(ca)
+    for color in sorted(groups_a):
+        for source, image in zip(groups_a[color], groups_b[color]):
+            sigma[source] = image
+    return sigma
+
+
+def _verify_automorphism(
+    problem: AcceptabilityProblem, profile: _Profile, sigma: Sequence[int]
+) -> bool:
+    """Exact check that ``sigma`` is an automorphism of the problem.
+
+    Everything the decision depends on must be invariant: the
+    class-unknown set and the target set (setwise), the dependency
+    relation, and the row multiset (labels excluded).  Rejection is
+    always safe — an unverified candidate is simply not used.
+    """
+    size = profile.size
+    if sorted(sigma) != list(range(size)):
+        return False
+    class_set = set(profile.class_cols)
+    if {sigma[col] for col in class_set} != class_set:
+        return False
+    table = problem.system.table
+    target_cols = {table.index(c) for c in problem.targets if c in table}
+    if {sigma[col] for col in target_cols} != target_cols:
+        return False
+    for rel_col, dep_cols in profile.dep_of.items():
+        image_deps = profile.dep_of.get(sigma[rel_col])
+        if image_deps is None:
+            return False
+        if {sigma[col] for col in dep_cols} != set(image_deps):
+            return False
+
+    def row_key(row, perm=None):
+        items = (
+            row.items()
+            if perm is None
+            else ((perm[col], coeff) for col, coeff in row.items())
+        )
+        return (row.relation, row.const, tuple(sorted(items)))
+
+    return Counter(row_key(row) for row in profile.rows) == Counter(
+        row_key(row, sigma) for row in profile.rows
+    )
+
+
+def orbit_permutations(
+    problem: AcceptabilityProblem,
+) -> tuple[tuple[tuple[int, ...], ...], int]:
+    """Verified symmetry permutations over class-unknown *positions*.
+
+    Returns ``(perms, orbits_found)``: permutations of the serial
+    enumeration positions (restrictions of verified column
+    automorphisms, closed under composition up to
+    :data:`GROUP_CLOSURE_CAP`), and the number of non-trivial orbits of
+    their action on the class unknowns.
+    """
+    names = problem.class_unknowns
+    if len(names) < 2:
+        return (), 0
+    profile = _Profile(problem)
+    base = profile.refine()
+    by_color: dict[int, list[int]] = defaultdict(list)
+    for col in profile.class_cols:
+        by_color[base[col]].append(col)
+    pairs = [
+        (members[i], members[j])
+        for _, members in sorted(by_color.items())
+        if len(members) >= 2
+        for i in range(len(members))
+        for j in range(i + 1, len(members))
+    ]
+    if not pairs:
+        return (), 0
+
+    parent = {col: col for col in profile.class_cols}
+
+    def find(col: int) -> int:
+        while parent[col] != col:
+            parent[col] = parent[parent[col]]
+            col = parent[col]
+        return col
+
+    generators: list[list[int]] = []
+    refinements: dict[int, list[int]] = {}
+    for u, v in pairs[:MAX_PAIR_ATTEMPTS]:
+        if find(u) == find(v):
+            continue  # already connected by a verified generator
+        if u not in refinements:
+            refinements[u] = profile.refine({u: "pivot"})
+        if v not in refinements:
+            refinements[v] = profile.refine({v: "pivot"})
+        sigma = _match_colorings(refinements[u], refinements[v])
+        if sigma is None or not _verify_automorphism(problem, profile, sigma):
+            continue
+        generators.append(sigma)
+        for col in profile.class_cols:
+            image = sigma[col]
+            root_a, root_b = find(col), find(image)
+            if root_a != root_b:
+                parent[root_b] = root_a
+    if not generators:
+        return (), 0
+    orbit_sizes = Counter(find(col) for col in profile.class_cols)
+    orbits_found = sum(1 for count in orbit_sizes.values() if count >= 2)
+
+    # Restrict column automorphisms to serial positions of the class
+    # unknowns (every generator fixes that set setwise, so the
+    # restriction is a permutation of positions).
+    position = {col: index for index, col in enumerate(profile.class_cols)}
+    restricted = {
+        tuple(position[sigma[col]] for col in profile.class_cols)
+        for sigma in generators
+    }
+    return _close_permutations(restricted, len(names)), orbits_found
+
+
+def _close_permutations(
+    generators: set[tuple[int, ...]], size: int
+) -> tuple[tuple[int, ...], ...]:
+    """Composition closure of ``generators``, capped for safety.
+
+    On overflow the (deduplicated) generators are returned unclosed —
+    the canonicity filter stays sound with any subset of the true
+    symmetry group, it just prunes less.
+    """
+    identity = tuple(range(size))
+    gens = sorted(g for g in generators if g != identity)
+    if not gens:
+        return ()
+    group: set[tuple[int, ...]] = {identity, *gens}
+    frontier: list[tuple[int, ...]] = [*gens]
+    while frontier:
+        next_frontier: list[tuple[int, ...]] = []
+        for left in frontier:
+            for right in gens:
+                composed = tuple(left[right[index]] for index in identity)
+                if composed not in group:
+                    group.add(composed)
+                    if len(group) > GROUP_CLOSURE_CAP:
+                        return tuple(gens)
+                    next_frontier.append(composed)
+        frontier = next_frontier
+    group.discard(identity)
+    return tuple(sorted(group))
+
+
+def is_canonical(
+    combo: tuple[int, ...], perms: Sequence[tuple[int, ...]]
+) -> bool:
+    """Whether ``combo`` (ascending positions) is its orbit's serial
+    minimum under ``perms``.
+
+    Serial order within a size class is lexicographic on the ascending
+    position tuple (the :func:`itertools.combinations` order), so the
+    comparison is a plain tuple comparison of sorted images.
+    """
+    for perm in perms:
+        if tuple(sorted(perm[index] for index in combo)) < combo:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Farkas nogoods
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Nogood:
+    """A generalised infeasibility fact learned from one failed ``Ψ_Z``.
+
+    Any candidate ``Z'`` with ``zeros ⊆ Z'`` and
+    ``positives ∩ Z' = ∅`` contains every row ``certificate`` weights
+    (with identical content), so the same weighted combination proves
+    ``Ψ_{Z'}`` infeasible.  ``source`` is the zero-set the certificate
+    was extracted from, kept so the certificate can be re-verified
+    against its originating (sharpened) system.
+    """
+
+    zeros: frozenset[str]
+    positives: frozenset[str]
+    source: tuple[str, ...]
+    certificate: FarkasCertificate
+
+    def matches(self, zero_set: frozenset[str]) -> bool:
+        return self.zeros <= zero_set and not (self.positives & zero_set)
+
+
+class NogoodStore:
+    """Saturating worklist of learned nogoods.
+
+    Matching scans in learn order (deterministic); installing drops
+    strictly-less-general entries.  Hit counts and first victims are
+    tracked per nogood for ``repro explain --nogoods``.
+    """
+
+    def __init__(self) -> None:
+        self.nogoods: list[Nogood] = []
+        self.hits: list[int] = []
+        self.first_victims: list[tuple[str, ...] | None] = []
+
+    def match(self, zero_set: frozenset[str]) -> int | None:
+        """Index of the first nogood covering ``zero_set``, if any."""
+        for index, nogood in enumerate(self.nogoods):
+            if nogood.matches(zero_set):
+                return index
+        return None
+
+    def record_hit(self, index: int, zero_tuple: tuple[str, ...]) -> None:
+        self.hits[index] += 1
+        if self.first_victims[index] is None:
+            self.first_victims[index] = zero_tuple
+
+    def install(self, nogood: Nogood) -> bool:
+        """Add ``nogood`` unless an at-least-as-general one is present;
+        drop entries the new fact subsumes.  Returns whether it was kept.
+        """
+        for existing in self.nogoods:
+            if (
+                existing.zeros <= nogood.zeros
+                and existing.positives <= nogood.positives
+            ):
+                return False
+        kept = [
+            index
+            for index, existing in enumerate(self.nogoods)
+            if not (
+                nogood.zeros <= existing.zeros
+                and nogood.positives <= existing.positives
+            )
+        ]
+        self.nogoods = [self.nogoods[index] for index in kept]
+        self.hits = [self.hits[index] for index in kept]
+        self.first_victims = [self.first_victims[index] for index in kept]
+        self.nogoods.append(nogood)
+        self.hits.append(0)
+        self.first_victims.append(None)
+        return True
+
+    def install_all(self, nogoods: Sequence[Nogood]) -> None:
+        for nogood in nogoods:
+            self.install(nogood)
+
+
+def candidate_system(
+    problem: AcceptabilityProblem, zero_set: frozenset[str]
+) -> InternedSystem:
+    """``Ψ_Z`` — the base system plus the Theorem-3.4 zero-set rows."""
+    return problem.system.with_rows(zero_set_rows(problem, zero_set))
+
+
+def nogood_source_system(
+    problem: AcceptabilityProblem, nogood: Nogood
+) -> LinearSystem:
+    """The sharpened originating system of ``nogood``, rebuilt.
+
+    Row order matches the extraction exactly, so the certificate's
+    constraint indices (and :meth:`FarkasCertificate.verify` /
+    :meth:`~FarkasCertificate.pretty`) line up.
+    """
+    return _sharpened_linear(candidate_system(problem, frozenset(nogood.source)))
+
+
+def _sharpened_linear(candidate: InternedSystem) -> LinearSystem:
+    sharp = InternedSystem(candidate.table, tuple(sharpened_rows(candidate)))
+    return sharp.to_linear()
+
+
+_ZERO_PREFIX = "Z-zero:"
+_POSITIVE_PREFIX = "Z-positive:"
+_DEP_PREFIX = "Z-dep:"
+
+
+def learn_nogood(
+    problem: AcceptabilityProblem,
+    zero_set: frozenset[str],
+    candidate: InternedSystem,
+) -> Nogood | None:
+    """Extract and generalise a nogood from an infeasible ``Ψ_Z``.
+
+    The candidate is sharpened (strict rows become their integer-cone
+    equivalents, exactly as the LP probes do), a Farkas certificate is
+    extracted, and only the zero-set rows it actually weights survive
+    into the nogood.  Extraction faults (or a feasible sharpening, which
+    cannot happen for a candidate the chain called infeasible) simply
+    skip learning — pruning less is always sound.
+    """
+    linear = _sharpened_linear(candidate)
+    try:
+        certificate = farkas_certificate(linear)
+    except SolverError:
+        return None
+    if certificate is None:
+        return None
+    zeros: set[str] = set()
+    positives: set[str] = set()
+    constraints = linear.constraints
+    for index, _weight in certificate.weights:
+        label = constraints[index].label
+        if not label:
+            continue
+        if label.startswith(_ZERO_PREFIX):
+            zeros.add(label[len(_ZERO_PREFIX):])
+        elif label.startswith(_POSITIVE_PREFIX):
+            positives.add(label[len(_POSITIVE_PREFIX):])
+        elif label.startswith(_DEP_PREFIX):
+            rel = label[len(_DEP_PREFIX):]
+            deps = problem.dependencies.get(rel, ())
+            for name in problem.class_unknowns:
+                if name in zero_set and name in deps:
+                    zeros.add(name)  # keeps this Z-dep row in any match
+                    break
+    return Nogood(
+        zeros=frozenset(zeros),
+        positives=frozenset(positives),
+        source=tuple(sorted(zero_set)),
+        certificate=certificate,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The pruned walk
+# ---------------------------------------------------------------------------
+
+
+def pruned_zero_set_search(
+    problem: AcceptabilityProblem,
+    chain: Sequence[SolverBackend] | None = None,
+    store: NogoodStore | None = None,
+) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
+    """The Theorem-3.4 walk with orbit and nogood pruning (serial).
+
+    Same contract and byte-identical output as the naive walk of
+    :class:`~repro.solver.registry.NaiveBackend` — see the module
+    docstring for why pruning cannot change the first hit.  ``store``
+    may be supplied to observe the learned nogoods (``repro explain``).
+    """
+    names = list(problem.class_unknowns)
+    probes = chain or (get_backend(DEFAULT_BACKEND),)
+    if store is None:
+        store = NogoodStore()
+    perms, orbits_found = orbit_permutations(problem)
+    bump_search_stat("orbits_found", orbits_found)
+    universe = set(names)
+    budget = current_budget()
+    for size in range(len(names) + 1):
+        for combo in combinations(range(len(names)), size):
+            if budget is not None:
+                budget.check()
+            zero_tuple = tuple(names[index] for index in combo)
+            zero_set = frozenset(zero_tuple)
+            if problem.targets <= zero_set:
+                continue  # the required positivity would be impossible
+            if perms and not is_canonical(combo, perms):
+                bump_search_stat("pruned_by_orbit")
+                continue
+            matched = store.match(zero_set)
+            if matched is not None:
+                store.record_hit(matched, zero_tuple)
+                bump_search_stat("pruned_by_nogood")
+                continue
+            bump_search_stat("zero_sets_enumerated")
+            candidate = candidate_system(problem, zero_set)
+            witness = chain_positive_solution(candidate, probes)
+            if witness.feasible:
+                assert witness.integral is not None
+                support = frozenset(
+                    name
+                    for name, value in witness.integral.items()
+                    if value > 0
+                )
+                assert universe - zero_set <= support
+                return True, witness.integral, support
+            learned = learn_nogood(problem, zero_set, candidate)
+            if learned is not None:
+                store.install(learned)
+    return False, None, frozenset()
+
+
+class PrunedBackend(SolverBackend):
+    """The pruned Theorem-3.4 decision procedure, registry-selectable.
+
+    Exactly the :class:`~repro.solver.registry.NaiveBackend` contract —
+    a decision procedure gated by ``naive_limit`` that refuses the LP
+    primitives so chains skip over it — with the orbit/nogood walk
+    underneath.  ``jobs > 1`` fans the canonical representatives out
+    through :func:`repro.parallel.fanout.parallel_pruned_zero_set_search`.
+    """
+
+    name = "pruned"
+    capabilities = BackendCapabilities(exponential=True)
+
+    def maximal_support(
+        self, system: InternedSystem, candidates: Sequence[str]
+    ) -> tuple[frozenset[str], dict[str, Fraction]]:
+        raise SolverError(
+            "the pruned backend provides no LP primitives; use "
+            "decide_acceptable"
+        )
+
+    def positive_solution(self, system: InternedSystem):
+        raise SolverError(
+            "the pruned backend provides no LP primitives; use "
+            "decide_acceptable"
+        )
+
+    def decide_acceptable(
+        self,
+        problem: AcceptabilityProblem,
+        chain: Sequence[SolverBackend] | None = None,
+        naive_limit: int = DEFAULT_NAIVE_LIMIT,
+        jobs: int = 1,
+    ) -> tuple[bool, dict[str, int] | None, frozenset[str]]:
+        class_unknowns = problem.class_unknowns
+        if len(class_unknowns) > naive_limit:
+            raise LimitExceededError(
+                f"the pruned (Theorem 3.4) engine still visits the "
+                f"2^{len(class_unknowns)} zero-set lattice, above the "
+                f"configured naive_limit of {naive_limit}; use "
+                "engine='fixpoint' for schemas of this size or raise the "
+                "limit"
+            )
+        probes = chain or (get_backend(DEFAULT_BACKEND),)
+        if jobs > 1:
+            # Deferred import: repro.parallel sits above the solver layer.
+            from repro.parallel.fanout import parallel_pruned_zero_set_search
+
+            return parallel_pruned_zero_set_search(problem, probes, jobs)
+        return pruned_zero_set_search(problem, probes)
+
+
+# ---------------------------------------------------------------------------
+# Rendering (repro explain --nogoods)
+# ---------------------------------------------------------------------------
+
+
+def render_nogoods(problem: AcceptabilityProblem, store: NogoodStore) -> str:
+    """Human-readable account of the learned nogoods, in learn order.
+
+    Each entry names the generalised support, what it eliminated, and
+    the full Farkas combination via
+    :meth:`~repro.solver.certificates.FarkasCertificate.pretty` against
+    the rebuilt source system.
+    """
+    if not store.nogoods:
+        return "no nogoods learned (no infeasible candidate generalised)"
+    def braced(names) -> str:
+        return "{" + ", ".join(sorted(names)) + "}" if names else "{}"
+
+    blocks: list[str] = []
+    for index, nogood in enumerate(store.nogoods):
+        victim = store.first_victims[index]
+        eliminated = (
+            f"eliminated {store.hits[index]} candidate zero-set(s), "
+            f"first {braced(victim)}"
+            if victim is not None
+            else "eliminated 0 candidate zero-set(s)"
+        )
+        header = (
+            f"nogood {index + 1}: Z must contain {braced(nogood.zeros)} "
+            f"and avoid {braced(nogood.positives)}\n"
+            f"  learned from Z = {braced(nogood.source)}; {eliminated}\n"
+            f"  Farkas combination over the sharpened source system:"
+        )
+        pretty = nogood.certificate.pretty(nogood_source_system(problem, nogood))
+        body = "\n".join(f"    {line}" for line in pretty.splitlines())
+        blocks.append(f"{header}\n{body}")
+    return "\n".join(blocks)
+
+
+register_backend(PrunedBackend())
+
+__all__ = [
+    "GROUP_CLOSURE_CAP",
+    "Nogood",
+    "NogoodStore",
+    "PrunedBackend",
+    "candidate_system",
+    "is_canonical",
+    "learn_nogood",
+    "nogood_source_system",
+    "orbit_permutations",
+    "pruned_zero_set_search",
+    "render_nogoods",
+]

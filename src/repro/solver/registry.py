@@ -59,6 +59,7 @@ from repro.solver.homogeneous import (
     maximal_support,
 )
 from repro.solver.linear import Constraint, Relation, term
+from repro.solver.stats import bump_search_stat
 
 _ZERO = Fraction(0)
 
@@ -420,6 +421,7 @@ class NaiveBackend(SolverBackend):
                 zero_set = frozenset(zero_tuple)
                 if problem.targets <= zero_set:
                     continue  # the required positivity would be impossible
+                bump_search_stat("zero_sets_enumerated")
                 candidate = problem.system.with_rows(
                     zero_set_rows(problem, zero_set)
                 )

@@ -140,6 +140,59 @@ def schemas(
     return builder.build()
 
 
+@st.composite
+def symmetric_schemas(
+    draw, min_siblings: int = 2, max_siblings: int = 3
+) -> tuple[CRSchema, int]:
+    """A CR-schema with ``k`` interchangeable sibling classes, plus ``k``.
+
+    A root class ``T`` carries a self-relationship ``R(u, v)`` whose
+    drawn cardinality profile decides whether the core is satisfiable
+    (``(2,2)/(1,1)`` forces ``2|T| = |R| = |T|``, i.e. ``T`` empty);
+    each sibling ``Ai`` hangs off the root through its own relationship
+    ``Ri(xi: Ai, yi: T)`` — roles are schema-global (Definition 2.1),
+    hence the per-relationship names — and every sibling gets the *same*
+    drawn bounds, so swapping two siblings is a schema automorphism.
+    The pruned-search suites use this to guarantee non-trivial column
+    orbits while the naive oracle stays affordable: three siblings are
+    always declared pairwise disjoint, which caps the consistent
+    expansion at 7 compound classes (``2^7`` naive zero-sets).
+    """
+    siblings = draw(st.integers(min_value=min_siblings, max_value=max_siblings))
+    builder = SchemaBuilder("Symmetric")
+    builder.cls("T")
+    names = [f"A{i}" for i in range(1, siblings + 1)]
+    for name in names:
+        builder.cls(name)
+
+    builder.relationship("R", u="T", v="T")
+    core_u, core_v = draw(
+        st.sampled_from(
+            [((2, 2), (1, 1)), ((1, 2), (1, 1)), ((1, 2), (0, 2))]
+        )
+    )
+    builder.card("T", "R", "u", *core_u)
+    builder.card("T", "R", "v", *core_v)
+
+    sibling_min = draw(st.integers(min_value=0, max_value=2))
+    sibling_max = draw(
+        st.one_of(st.none(), st.integers(min_value=max(1, sibling_min), max_value=3))
+    )
+    root_side = draw(
+        st.one_of(st.none(), st.tuples(st.just(0), st.integers(1, 3)))
+    )
+    for i, name in enumerate(names, start=1):
+        builder.relationship(f"R{i}", **{f"x{i}": name, f"y{i}": "T"})
+        builder.card(name, f"R{i}", f"x{i}", sibling_min, sibling_max)
+        if root_side is not None:
+            builder.card("T", f"R{i}", f"y{i}", *root_side)
+
+    if siblings > 2 or draw(st.booleans()):
+        builder.disjoint(*names)
+
+    return builder.build(), siblings
+
+
 def _component_count(schema: CRSchema) -> int:
     """An independent union-find oracle for the constraint graph.
 

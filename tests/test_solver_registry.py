@@ -72,11 +72,11 @@ class TestCapabilities:
         }
         assert certifying == {"dense-simplex"}
 
-    def test_only_the_naive_engine_is_exponential(self):
+    def test_only_the_decision_procedures_are_exponential(self):
         exponential = {
             b.name for b in available_backends() if b.capabilities.exponential
         }
-        assert exponential == {"naive"}
+        assert exponential == {"naive", "pruned"}
 
     def test_capability_defaults(self):
         caps = BackendCapabilities()
